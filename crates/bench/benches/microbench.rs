@@ -1,0 +1,192 @@
+//! Criterion microbenchmarks for the simulation substrates: these measure
+//! the *simulator's* throughput (how fast the reproduction runs), not the
+//! simulated machine's performance.
+
+use ace_core::{
+    run_with_manager, single_cu_list, ConfigTuner, HotspotAceManager, HotspotManagerConfig,
+    Measurement, NullManager, RunConfig,
+};
+use ace_energy::EnergyModel;
+use ace_phase::{BbvConfig, BbvDetector, WorkingSetConfig, WorkingSetDetector};
+use ace_sim::{
+    Block, BranchEvent, BranchPredictor, Cache, CacheGeometry, CuKind, Machine, MachineConfig,
+    MemAccess, SizeLevel, Tlb,
+};
+use ace_workloads::{preset, Executor};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache");
+    group.throughput(Throughput::Elements(1));
+    let geom = CacheGeometry { size_bytes: 64 << 10, ways: 2, block_bytes: 64, hit_latency: 1 };
+
+    group.bench_function("access_hit", |b| {
+        let mut cache = Cache::new(geom).unwrap();
+        cache.access(0x1000, false);
+        b.iter(|| black_box(cache.access(black_box(0x1000), false)))
+    });
+    group.bench_function("access_stream", |b| {
+        let mut cache = Cache::new(geom).unwrap();
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(64);
+            black_box(cache.access(black_box(addr), false))
+        })
+    });
+    group.bench_function("resize_shrink_grow", |b| {
+        let mut cache = Cache::new(geom).unwrap();
+        for a in (0..65536u64).step_by(64) {
+            cache.access(a, a % 128 == 0);
+        }
+        b.iter(|| {
+            black_box(cache.resize(SizeLevel::SMALLEST));
+            black_box(cache.resize(SizeLevel::LARGEST));
+        })
+    });
+    group.finish();
+}
+
+fn bench_predictor_tlb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frontend");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("branch_predict_update", |b| {
+        let mut bp = BranchPredictor::new(2048);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(bp.predict_and_update(0x4000 + (i % 64) * 4, !i.is_multiple_of(3)))
+        })
+    });
+    group.bench_function("tlb_translate", |b| {
+        let mut tlb = Tlb::new(128, 4096);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(4096);
+            black_box(tlb.translate(black_box(i % (1 << 22))))
+        })
+    });
+    group.finish();
+}
+
+fn bench_machine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine");
+    let block = Block {
+        pc: 0x400,
+        ninstr: 48,
+        accesses: vec![
+            MemAccess::load(0x10_0000),
+            MemAccess::load(0x10_0040),
+            MemAccess::store(0x10_0080),
+        ],
+        branch: Some(BranchEvent { pc: 0x438, taken: true }),
+    };
+    group.throughput(Throughput::Elements(block.ninstr as u64));
+    group.bench_function("exec_block", |b| {
+        let mut m = Machine::new(MachineConfig::table2()).unwrap();
+        b.iter(|| m.exec_block(black_box(&block)))
+    });
+    group.bench_function("request_resize_guarded", |b| {
+        let mut m = Machine::new(MachineConfig::table2()).unwrap();
+        m.request_resize(CuKind::L1d, SizeLevel::SMALLEST);
+        // Subsequent requests are guard-rejected: measures the fast path.
+        b.iter(|| black_box(m.request_resize(CuKind::L1d, SizeLevel::LARGEST)))
+    });
+    group.finish();
+}
+
+fn bench_detectors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phase");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("bbv_note_branch", |b| {
+        let mut d = BbvDetector::new(BbvConfig::default());
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(4);
+            d.note_branch(black_box(0x1000 + (i % 8192)), 48)
+        })
+    });
+    group.bench_function("bbv_end_interval_64sigs", |b| {
+        let mut d = BbvDetector::new(BbvConfig::default());
+        // Pre-populate a realistic signature table.
+        for k in 0..64u64 {
+            for j in 0..16u64 {
+                d.note_branch(k * 65536 + j * 4, 48);
+            }
+            d.end_interval();
+        }
+        b.iter(|| {
+            d.note_branch(0x1234, 48);
+            black_box(d.end_interval())
+        })
+    });
+    group.bench_function("working_set_note_access", |b| {
+        let mut d = WorkingSetDetector::new(WorkingSetConfig::default());
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(64);
+            d.note_access(black_box(i % (1 << 20)))
+        })
+    });
+    group.finish();
+}
+
+fn bench_executor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload");
+    let program = preset("db").unwrap();
+    group.bench_function("executor_1M_instructions", |b| {
+        b.iter(|| {
+            let mut exec = Executor::new(&program);
+            exec.set_instruction_limit(1_000_000);
+            black_box(exec.measure())
+        })
+    });
+    group.finish();
+}
+
+fn bench_tuner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tuner");
+    group.bench_function("full_walk", |b| {
+        b.iter(|| {
+            let mut t = ConfigTuner::new(single_cu_list(CuKind::L1d), 0.02);
+            let mut k = 0.0;
+            while t.next_trial().is_some() {
+                k += 0.1;
+                t.record(Measurement { instr: 100_000, ipc: 2.0, epi_nj: 1.0 - k });
+            }
+            black_box(t.best())
+        })
+    });
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    let program = preset("db").unwrap();
+    let cfg = RunConfig { instruction_limit: Some(5_000_000), ..RunConfig::default() };
+    group.bench_function("baseline_5M", |b| {
+        b.iter(|| black_box(run_with_manager(&program, &cfg, &mut NullManager).unwrap()))
+    });
+    group.bench_function("hotspot_managed_5M", |b| {
+        b.iter(|| {
+            let mut mgr = HotspotAceManager::new(
+                HotspotManagerConfig::default(),
+                EnergyModel::default_180nm(),
+            );
+            black_box(run_with_manager(&program, &cfg, &mut mgr).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cache,
+    bench_predictor_tlb,
+    bench_machine,
+    bench_detectors,
+    bench_executor,
+    bench_tuner,
+    bench_end_to_end
+);
+criterion_main!(benches);

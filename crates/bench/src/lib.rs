@@ -1,0 +1,323 @@
+//! # ace-bench — experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation section.
+//! Each experiment is a binary (see `src/bin/`); this library holds the
+//! shared machinery: running one workload under the three schemes
+//! (non-adaptive baseline, BBV, hotspot), caching results as JSON under
+//! `results/`, and formatting report tables.
+//!
+//! Run everything with:
+//!
+//! ```text
+//! cargo run --release -p ace-bench --bin run_all
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ace_core::{
+    run_with_manager, BbvAceManager, BbvManagerConfig, BbvReport, HotspotAceManager,
+    HotspotManagerConfig, HotspotReport, NullManager, RunConfig, RunRecord,
+};
+use ace_energy::EnergyModel;
+use ace_workloads::PRESET_NAMES;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// Bump when any change invalidates cached results.
+pub const RESULT_VERSION: u32 = 2;
+
+/// The three runs of one workload plus the scheme reports.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SchemeResults {
+    /// Cache-format version stamp.
+    pub version: u32,
+    /// Workload name.
+    pub workload: String,
+    /// Non-adaptive run (maximum cache sizes).
+    pub baseline: RunRecord,
+    /// BBV + tune-all-combinations run.
+    pub bbv: RunRecord,
+    /// BBV scheme report.
+    pub bbv_report: BbvReport,
+    /// Hotspot (DO-based) run.
+    pub hotspot: RunRecord,
+    /// Hotspot scheme report.
+    pub hotspot_report: HotspotReport,
+}
+
+impl SchemeResults {
+    /// L1D energy saving of the hotspot scheme vs baseline, in percent.
+    pub fn hotspot_l1d_saving_pct(&self) -> f64 {
+        100.0 * self.hotspot.l1d_saving_vs(&self.baseline)
+    }
+
+    /// L2 energy saving of the hotspot scheme vs baseline, in percent.
+    pub fn hotspot_l2_saving_pct(&self) -> f64 {
+        100.0 * self.hotspot.l2_saving_vs(&self.baseline)
+    }
+
+    /// L1D energy saving of the BBV scheme vs baseline, in percent.
+    pub fn bbv_l1d_saving_pct(&self) -> f64 {
+        100.0 * self.bbv.l1d_saving_vs(&self.baseline)
+    }
+
+    /// L2 energy saving of the BBV scheme vs baseline, in percent.
+    pub fn bbv_l2_saving_pct(&self) -> f64 {
+        100.0 * self.bbv.l2_saving_vs(&self.baseline)
+    }
+
+    /// Hotspot-scheme slowdown vs baseline, in percent.
+    pub fn hotspot_slowdown_pct(&self) -> f64 {
+        100.0 * self.hotspot.slowdown_vs(&self.baseline)
+    }
+
+    /// BBV-scheme slowdown vs baseline, in percent.
+    pub fn bbv_slowdown_pct(&self) -> f64 {
+        100.0 * self.bbv.slowdown_vs(&self.baseline)
+    }
+}
+
+/// Standard run configuration used by every experiment.
+pub fn standard_run_config() -> RunConfig {
+    RunConfig::default()
+}
+
+/// Runs one workload under all three schemes (no caching).
+///
+/// # Panics
+///
+/// Panics if `name` is not one of [`PRESET_NAMES`] (the Table 2 machine
+/// configuration itself is statically valid).
+pub fn run_workload(name: &str) -> SchemeResults {
+    let program = ace_workloads::preset(name)
+        .unwrap_or_else(|| panic!("unknown workload {name}"));
+    let cfg = standard_run_config();
+    let model = EnergyModel::default_180nm();
+
+    let baseline = run_with_manager(&program, &cfg, &mut NullManager).expect("baseline run");
+
+    let mut bbv_mgr = BbvAceManager::new(BbvManagerConfig::default(), model);
+    let bbv = run_with_manager(&program, &cfg, &mut bbv_mgr).expect("bbv run");
+    let bbv_report = bbv_mgr.report();
+
+    let mut hs_mgr = HotspotAceManager::new(HotspotManagerConfig::default(), model);
+    let hotspot = run_with_manager(&program, &cfg, &mut hs_mgr).expect("hotspot run");
+    let mut hotspot_report = hs_mgr.report();
+    hotspot_report.guard_rejections = hotspot.counters.guard_rejections;
+
+    SchemeResults {
+        version: RESULT_VERSION,
+        workload: name.to_string(),
+        baseline,
+        bbv,
+        bbv_report,
+        hotspot,
+        hotspot_report,
+    }
+}
+
+/// Directory where cached results live.
+pub fn results_dir() -> PathBuf {
+    let root = std::env::var("ACE_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
+    PathBuf::from(root)
+}
+
+fn cache_path(name: &str) -> PathBuf {
+    results_dir().join(format!("{name}.json"))
+}
+
+/// Loads cached results for `name`, or runs and caches them. Set
+/// `ACE_FRESH=1` to force re-running.
+pub fn load_or_run(name: &str) -> SchemeResults {
+    let path = cache_path(name);
+    if std::env::var("ACE_FRESH").is_err() {
+        if let Some(cached) = try_load(&path) {
+            return cached;
+        }
+    }
+    let results = run_workload(name);
+    if let Err(e) = save(&path, &results) {
+        eprintln!("warning: could not cache {}: {e}", path.display());
+    }
+    results
+}
+
+fn try_load(path: &Path) -> Option<SchemeResults> {
+    let data = std::fs::read_to_string(path).ok()?;
+    let parsed: SchemeResults = serde_json::from_str(&data).ok()?;
+    (parsed.version == RESULT_VERSION).then_some(parsed)
+}
+
+fn save(path: &Path, results: &SchemeResults) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, serde_json::to_string(results).expect("serializable"))
+}
+
+/// Runs (or loads) all seven workloads, in parallel across workloads.
+pub fn load_or_run_all() -> Vec<SchemeResults> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = PRESET_NAMES
+            .iter()
+            .map(|name| scope.spawn(move || load_or_run(name)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+    })
+}
+
+/// Formats a row-major table with a header, aligning columns.
+pub fn format_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&head, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders grouped horizontal bars (one row per label, one bar per
+/// series) — the closest a terminal gets to the paper's figures.
+///
+/// `series` pairs a short name with one value per label. Values are
+/// scaled to `width` columns against the maximum across all series;
+/// negative values render as a left-pointing bar.
+pub fn bar_chart(labels: &[&str], series: &[(&str, Vec<f64>)], width: usize) -> String {
+    let mut out = String::new();
+    let max = series
+        .iter()
+        .flat_map(|(_, v)| v.iter())
+        .fold(1e-9f64, |m, &v| m.max(v.abs()));
+    let label_w = labels.iter().map(|l| l.len()).max().unwrap_or(4).max(4);
+    let name_w = series.iter().map(|(n, _)| n.len()).max().unwrap_or(3);
+    for (i, label) in labels.iter().enumerate() {
+        for (j, (name, values)) in series.iter().enumerate() {
+            let v = values.get(i).copied().unwrap_or(0.0);
+            let cols = ((v.abs() / max) * width as f64).round() as usize;
+            let bar: String = std::iter::repeat_n(if j == 0 { '█' } else { '▒' }, cols)
+                .collect();
+            let sign = if v < 0.0 { "-" } else { "" };
+            out.push_str(&format!(
+                "{:>label_w$} {:<name_w$} |{sign}{bar} {v:.1}
+",
+                if j == 0 { label } else { "" },
+                name,
+            ));
+        }
+    }
+    out
+}
+
+/// Appends one experiment's formatted output to `results/SUMMARY.md`.
+pub fn append_summary(section: &str, body: &str) {
+    let path = results_dir().join("SUMMARY.md");
+    let _ = std::fs::create_dir_all(results_dir());
+    let mut text = std::fs::read_to_string(&path).unwrap_or_default();
+    // Replace an existing section of the same name, else append.
+    let header = format!("## {section}
+");
+    if let Some(start) = text.find(&header) {
+        let rest = &text[start + header.len()..];
+        let end = rest.find("
+## ").map(|e| start + header.len() + e + 1).unwrap_or(text.len());
+        text.replace_range(start..end, "");
+    }
+    text.push_str(&header);
+    text.push_str("
+```text
+");
+    text.push_str(body.trim_end());
+    text.push_str("
+```
+
+");
+    let _ = std::fs::write(&path, text);
+}
+
+/// Arithmetic mean (the paper's "avg" rows average percentages).
+pub fn mean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = values.into_iter().collect();
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_table_aligns() {
+        let t = format_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "123456".into()],
+            ],
+        );
+        assert!(t.contains("long-name"));
+        assert!(t.lines().count() == 4);
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean([]), 0.0);
+        assert_eq!(mean([2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn bar_chart_scales_and_labels() {
+        let chart = bar_chart(
+            &["db", "jess"],
+            &[("BBV", vec![10.0, 20.0]), ("hot", vec![40.0, -5.0])],
+            20,
+        );
+        assert!(chart.contains("db"));
+        assert!(chart.contains("jess"));
+        assert!(chart.contains("40.0"));
+        assert!(chart.contains("-▒ 5.0") || chart.contains("-5.0"), "{chart}");
+        // The largest value spans the full width (second series uses ▒).
+        let max_line = chart.lines().find(|l| l.contains("40.0")).unwrap();
+        assert_eq!(max_line.matches('▒').count(), 20);
+    }
+
+    #[test]
+    fn summary_section_replacement() {
+        let dir = std::env::temp_dir().join(format!("ace_sum_{}", std::process::id()));
+        std::env::set_var("ACE_RESULTS_DIR", &dir);
+        append_summary("Alpha", "first");
+        append_summary("Beta", "second");
+        append_summary("Alpha", "updated");
+        let text = std::fs::read_to_string(dir.join("SUMMARY.md")).unwrap();
+        std::env::remove_var("ACE_RESULTS_DIR");
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(!text.contains("first"));
+        assert!(text.contains("updated"));
+        assert!(text.contains("second"));
+        assert_eq!(text.matches("## Alpha").count(), 1);
+    }
+}

@@ -1,0 +1,243 @@
+//! Configurable-unit settings and configuration lists.
+//!
+//! An [`AceConfig`] is a (possibly partial) assignment of size levels to
+//! the ACE's configurable units. *CU decoupling* (Section 3.2.1) shows up
+//! here as partial configurations: an L1D hotspot's configuration list
+//! only touches the L1D cache (4 entries), an L2 hotspot's only the L2 —
+//! versus the 16-entry combinatorial list a coupled tuner must walk.
+
+use ace_sim::{CuKind, Machine, ReconfigOutcome, SizeLevel, NUM_SIZE_LEVELS};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A (partial) assignment of size levels to the configurable units.
+///
+/// `None` means "leave that unit alone" — the essence of CU decoupling.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AceConfig {
+    /// Requested L1 data cache level, if this configuration touches it.
+    pub l1d: Option<SizeLevel>,
+    /// Requested L2 cache level, if this configuration touches it.
+    pub l2: Option<SizeLevel>,
+    /// Requested instruction-window level, if this configuration touches
+    /// it (the three-CU extension; `None` everywhere in the paper's
+    /// two-CU evaluation).
+    #[serde(default)]
+    pub window: Option<SizeLevel>,
+}
+
+impl AceConfig {
+    /// `true` when `self` selects a cache at most as large as `other` in
+    /// every unit both configurations touch — i.e. if `other` already
+    /// degrades performance past the threshold, `self` cannot do better
+    /// (capacity monotonicity).
+    pub fn dominated_by(&self, other: &AceConfig) -> bool {
+        fn le(a: Option<SizeLevel>, b: Option<SizeLevel>) -> bool {
+            match (a, b) {
+                // Larger index = smaller cache.
+                (Some(x), Some(y)) => x.index() >= y.index(),
+                (None, None) => true,
+                // One touches the unit, the other leaves it alone: no
+                // ordering can be concluded for that unit.
+                _ => false,
+            }
+        }
+        le(self.l1d, other.l1d) && le(self.l2, other.l2) && le(self.window, other.window)
+    }
+
+    /// A configuration touching only the L1D cache.
+    pub fn l1d_only(level: SizeLevel) -> AceConfig {
+        AceConfig { l1d: Some(level), ..AceConfig::default() }
+    }
+
+    /// A configuration touching only the L2 cache.
+    pub fn l2_only(level: SizeLevel) -> AceConfig {
+        AceConfig { l2: Some(level), ..AceConfig::default() }
+    }
+
+    /// A configuration touching only the instruction window.
+    pub fn window_only(level: SizeLevel) -> AceConfig {
+        AceConfig { window: Some(level), ..AceConfig::default() }
+    }
+
+    /// A full configuration of the paper's two cache units.
+    pub fn both(l1d: SizeLevel, l2: SizeLevel) -> AceConfig {
+        AceConfig { l1d: Some(l1d), l2: Some(l2), window: None }
+    }
+
+    /// The baseline (largest) full configuration.
+    pub fn baseline() -> AceConfig {
+        AceConfig::both(SizeLevel::LARGEST, SizeLevel::LARGEST)
+    }
+
+    /// Requests this configuration from the hardware; returns `true` when
+    /// every touched unit is now at the requested level (either newly
+    /// applied or already there), `false` if any request was rejected by
+    /// the reconfiguration-interval guard.
+    ///
+    /// `applied` is incremented for each unit whose control register
+    /// actually changed (the "reconfigurations" column of Table 6).
+    pub fn request(&self, machine: &mut Machine, applied: &mut u64) -> bool {
+        let mut ok = true;
+        if let Some(level) = self.l1d {
+            match machine.request_resize(CuKind::L1d, level) {
+                ReconfigOutcome::Applied(_) => *applied += 1,
+                ReconfigOutcome::Unchanged => {}
+                ReconfigOutcome::TooSoon { .. } => ok = false,
+            }
+        }
+        if let Some(level) = self.l2 {
+            match machine.request_resize(CuKind::L2, level) {
+                ReconfigOutcome::Applied(_) => *applied += 1,
+                ReconfigOutcome::Unchanged => {}
+                ReconfigOutcome::TooSoon { .. } => ok = false,
+            }
+        }
+        if let Some(level) = self.window {
+            match machine.request_resize(CuKind::Window, level) {
+                ReconfigOutcome::Applied(_) => *applied += 1,
+                ReconfigOutcome::Unchanged => {}
+                ReconfigOutcome::TooSoon { .. } => ok = false,
+            }
+        }
+        ok
+    }
+
+    /// `true` when the machine is currently at this configuration (for the
+    /// units this configuration touches).
+    pub fn in_effect(&self, machine: &Machine) -> bool {
+        self.l1d.is_none_or(|l| machine.level(CuKind::L1d) == l)
+            && self.l2.is_none_or(|l| machine.level(CuKind::L2) == l)
+            && self.window.is_none_or(|l| machine.level(CuKind::Window) == l)
+    }
+}
+
+impl fmt::Display for AceConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts = Vec::new();
+        if let Some(w) = self.window {
+            parts.push(format!("WIN={w}"));
+        }
+        if let Some(a) = self.l1d {
+            parts.push(format!("L1D={a}"));
+        }
+        if let Some(b) = self.l2 {
+            parts.push(format!("L2={b}"));
+        }
+        if parts.is_empty() {
+            write!(f, "-")
+        } else {
+            write!(f, "{}", parts.join(","))
+        }
+    }
+}
+
+/// The decoupled configuration list for one CU: its four sizes, largest
+/// first (so the first trial doubles as the performance baseline).
+pub fn single_cu_list(cu: CuKind) -> Vec<AceConfig> {
+    SizeLevel::all()
+        .map(|l| match cu {
+            CuKind::Window => AceConfig::window_only(l),
+            CuKind::L1d => AceConfig::l1d_only(l),
+            CuKind::L2 => AceConfig::l2_only(l),
+        })
+        .collect()
+}
+
+/// The coupled combinatorial list over both CUs: 16 configurations,
+/// walked in order of decreasing total capacity (the full-size baseline
+/// first), so the tuner explores both units' shrink directions instead of
+/// exhausting one unit before touching the other.
+pub fn combined_list() -> Vec<AceConfig> {
+    let mut out = Vec::with_capacity(NUM_SIZE_LEVELS * NUM_SIZE_LEVELS);
+    for l2 in SizeLevel::all() {
+        for l1d in SizeLevel::all() {
+            out.push(AceConfig::both(l1d, l2));
+        }
+    }
+    out.sort_by_key(|c| {
+        let a = c.l1d.map_or(0, |l| l.index());
+        let b = c.l2.map_or(0, |l| l.index());
+        (a + b, a)
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ace_sim::MachineConfig;
+
+    #[test]
+    fn list_shapes() {
+        assert_eq!(single_cu_list(CuKind::L1d).len(), 4);
+        assert_eq!(single_cu_list(CuKind::L2).len(), 4);
+        assert_eq!(combined_list().len(), 16);
+        assert_eq!(combined_list()[0], AceConfig::baseline());
+        assert_eq!(single_cu_list(CuKind::L1d)[0], AceConfig::l1d_only(SizeLevel::LARGEST));
+    }
+
+    #[test]
+    fn partial_config_leaves_other_unit_alone() {
+        let mut m = Machine::new(MachineConfig::table2()).unwrap();
+        let mut applied = 0;
+        let cfg = AceConfig::l1d_only(SizeLevel::new(2).unwrap());
+        assert!(cfg.request(&mut m, &mut applied));
+        assert_eq!(applied, 1);
+        assert_eq!(m.level(CuKind::L1d), SizeLevel::new(2).unwrap());
+        assert_eq!(m.level(CuKind::L2), SizeLevel::LARGEST);
+        assert!(cfg.in_effect(&m));
+    }
+
+    #[test]
+    fn unchanged_request_counts_nothing() {
+        let mut m = Machine::new(MachineConfig::table2()).unwrap();
+        let mut applied = 0;
+        assert!(AceConfig::baseline().request(&mut m, &mut applied));
+        assert_eq!(applied, 0, "already at baseline");
+    }
+
+    #[test]
+    fn guard_rejection_reported() {
+        let mut m = Machine::new(MachineConfig::table2()).unwrap();
+        let mut applied = 0;
+        assert!(AceConfig::l2_only(SizeLevel::new(1).unwrap()).request(&mut m, &mut applied));
+        // Immediately request another L2 level: guard rejects.
+        assert!(!AceConfig::l2_only(SizeLevel::new(2).unwrap()).request(&mut m, &mut applied));
+        assert_eq!(applied, 1);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(AceConfig::baseline().to_string(), "L1D=L0,L2=L0");
+        assert_eq!(AceConfig::l1d_only(SizeLevel::new(3).unwrap()).to_string(), "L1D=L3");
+        assert_eq!(AceConfig::window_only(SizeLevel::new(1).unwrap()).to_string(), "WIN=L1");
+        assert_eq!(AceConfig::default().to_string(), "-");
+    }
+
+    #[test]
+    fn window_list_touches_only_window() {
+        let list = single_cu_list(CuKind::Window);
+        assert_eq!(list.len(), 4);
+        for cfg in &list {
+            assert!(cfg.window.is_some());
+            assert!(cfg.l1d.is_none() && cfg.l2.is_none());
+        }
+        let mut m = Machine::new(MachineConfig::table2()).unwrap();
+        let mut applied = 0;
+        assert!(list[2].request(&mut m, &mut applied));
+        assert_eq!(applied, 1);
+        assert_eq!(m.level(CuKind::Window), SizeLevel::new(2).unwrap());
+        assert_eq!(m.level(CuKind::L1d), SizeLevel::LARGEST);
+    }
+
+    #[test]
+    fn window_domination() {
+        let a = AceConfig::window_only(SizeLevel::new(3).unwrap());
+        let b = AceConfig::window_only(SizeLevel::new(1).unwrap());
+        assert!(a.dominated_by(&b));
+        assert!(!b.dominated_by(&a));
+        // Mixed-unit configs are incomparable.
+        assert!(!a.dominated_by(&AceConfig::l1d_only(SizeLevel::LARGEST)));
+    }
+}

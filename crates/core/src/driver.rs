@@ -1,0 +1,293 @@
+//! The run driver: couples a workload executor, the DO system, the
+//! simulated machine, and an ACE manager into one complete run.
+//!
+//! Every experiment in the evaluation is one or more calls to
+//! [`run_with_manager`]: the baseline uses [`crate::NullManager`], the
+//! paper's scheme [`crate::HotspotAceManager`], the temporal baseline
+//! [`crate::BbvAceManager`], and the ablations [`crate::FixedManager`].
+
+use crate::manager::AceManager;
+use ace_energy::{EnergyBreakdown, EnergyModel};
+use ace_runtime::{DoConfig, DoStats, DoSystem, Table4Row};
+use ace_sim::{Block, ConfigError, Machine, MachineConfig, MachineCounters};
+use ace_workloads::{Executor, Program, Step};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one run.
+#[derive(Debug, Clone, Default)]
+pub struct RunConfig {
+    /// Machine configuration (Table 2 defaults).
+    pub machine: MachineConfig,
+    /// DO-system configuration.
+    pub do_config: DoConfig,
+    /// Energy model used for the run record (managers carry their own).
+    pub energy: EnergyModel,
+    /// Optional dynamic-instruction cap.
+    pub instruction_limit: Option<u64>,
+    /// Overrides the program's own executor seed (sensitivity studies).
+    pub workload_seed: Option<u64>,
+}
+
+/// The outcome of one run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Workload name.
+    pub workload: String,
+    /// Instructions retired.
+    pub instret: u64,
+    /// Cycles elapsed.
+    pub cycles: u64,
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// Configurable-cache energy totals.
+    pub energy: EnergyBreakdown,
+    /// Hotspot detection summary (Table 4).
+    pub table4: Table4Row,
+    /// DO-system statistics.
+    pub do_stats: DoStats,
+    /// Full machine counters (for downstream analysis).
+    pub counters: MachineCounters,
+}
+
+impl RunRecord {
+    /// Relative slowdown of this run versus `baseline` (positive = slower).
+    pub fn slowdown_vs(&self, baseline: &RunRecord) -> f64 {
+        if baseline.ipc == 0.0 {
+            return 0.0;
+        }
+        1.0 - self.ipc / baseline.ipc
+    }
+
+    /// Fractional L1D energy saving versus `baseline`.
+    pub fn l1d_saving_vs(&self, baseline: &RunRecord) -> f64 {
+        saving(self.energy.l1d_nj, baseline.energy.l1d_nj)
+    }
+
+    /// Fractional L2 energy saving versus `baseline`.
+    pub fn l2_saving_vs(&self, baseline: &RunRecord) -> f64 {
+        saving(self.energy.l2_nj, baseline.energy.l2_nj)
+    }
+}
+
+fn saving(ours: f64, base: f64) -> f64 {
+    if base <= 0.0 {
+        0.0
+    } else {
+        1.0 - ours / base
+    }
+}
+
+/// Runs `program` under `manager`.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] if the machine configuration is invalid.
+///
+/// # Examples
+///
+/// ```
+/// use ace_core::{run_with_manager, NullManager, RunConfig};
+/// let program = ace_workloads::preset("db").unwrap();
+/// let cfg = RunConfig { instruction_limit: Some(1_000_000), ..RunConfig::default() };
+/// let record = run_with_manager(&program, &cfg, &mut NullManager)?;
+/// assert!(record.instret >= 1_000_000);
+/// assert!(record.ipc > 0.0);
+/// # Ok::<(), ace_sim::ConfigError>(())
+/// ```
+pub fn run_with_manager<M: AceManager>(
+    program: &Program,
+    cfg: &RunConfig,
+    manager: &mut M,
+) -> Result<RunRecord, ConfigError> {
+    let mut machine = Machine::new(cfg.machine.clone())?;
+    let mut dos = DoSystem::new(program, cfg.do_config.clone());
+    let mut exec = match cfg.workload_seed {
+        Some(seed) => Executor::with_seed(program, seed),
+        None => Executor::new(program),
+    };
+    if let Some(limit) = cfg.instruction_limit {
+        exec.set_instruction_limit(limit);
+    }
+    let mut buf = Block::with_capacity(64);
+    // Entry instret per live frame, for raw method-exit sizes.
+    let mut entry_stack: Vec<u64> = Vec::with_capacity(64);
+
+    manager.on_start(&mut machine);
+    loop {
+        match exec.step(&mut buf) {
+            Step::Block => {
+                machine.exec_block(&buf);
+                manager.on_block(&buf, &mut machine);
+            }
+            Step::Enter(m) => {
+                entry_stack.push(machine.instret());
+                manager.on_method_enter(m, &mut machine);
+                let event = dos.on_enter(m, &mut machine);
+                manager.on_event(event, &mut machine);
+            }
+            Step::Exit(m) => {
+                let entered = entry_stack.pop().unwrap_or(0);
+                manager.on_method_exit(m, machine.instret() - entered, &mut machine);
+                let event = dos.on_exit(m, &mut machine);
+                manager.on_event(event, &mut machine);
+            }
+            Step::Done => break,
+        }
+    }
+    manager.on_finish(&mut machine);
+
+    let counters = machine.counters().clone();
+    Ok(RunRecord {
+        workload: program.name().to_string(),
+        instret: counters.instret,
+        cycles: counters.cycles,
+        ipc: counters.ipc(),
+        energy: cfg.energy.breakdown(&counters),
+        table4: dos.table4_summary(counters.instret),
+        do_stats: *dos.stats(),
+        counters,
+    })
+}
+
+/// Runs a multithreaded program: `entries` are the per-thread entry
+/// methods (disjoint method subtrees), time-multiplexed in `quantum_instr`
+/// slices over the one simulated core — the Dynamic SimpleScalar threading
+/// model, used by the dual-threaded mtrt experiment.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] if the machine configuration is invalid.
+///
+/// # Panics
+///
+/// Panics if `entries` is empty.
+pub fn run_threaded<M: AceManager>(
+    program: &Program,
+    entries: &[ace_workloads::MethodId],
+    quantum_instr: u64,
+    cfg: &RunConfig,
+    manager: &mut M,
+) -> Result<RunRecord, ConfigError> {
+    use ace_workloads::{MtStep, ThreadedExecutor};
+
+    assert!(!entries.is_empty(), "need at least one thread entry");
+    let mut machine = Machine::new(cfg.machine.clone())?;
+    let mut dos = DoSystem::new(program, cfg.do_config.clone());
+    let threads: Vec<_> = entries
+        .iter()
+        .enumerate()
+        .map(|(i, &entry)| {
+            let seed = cfg.workload_seed.unwrap_or(program.seed()) ^ (i as u64 + 1);
+            ace_workloads::Executor::with_entry(program, entry, seed)
+        })
+        .collect();
+    let mut mt = ThreadedExecutor::new(threads, quantum_instr);
+    let mut buf = Block::with_capacity(64);
+    let mut entry_stacks: Vec<Vec<u64>> = vec![Vec::new(); entries.len()];
+
+    manager.on_start(&mut machine);
+    loop {
+        if let Some(limit) = cfg.instruction_limit {
+            if machine.instret() >= limit {
+                break;
+            }
+        }
+        match mt.step(&mut buf) {
+            MtStep::Block(_) => {
+                machine.exec_block(&buf);
+                manager.on_block(&buf, &mut machine);
+            }
+            MtStep::Switch(tid) => {
+                dos.on_thread_switch(tid.0, &machine);
+                // A context switch drains the pipeline and touches the
+                // scheduler's state: a small fixed cost.
+                machine.add_overhead_cycles(200);
+            }
+            MtStep::Enter(tid, m) => {
+                entry_stacks[tid.0 as usize].push(machine.instret());
+                manager.on_method_enter(m, &mut machine);
+                let event = dos.on_enter(m, &mut machine);
+                manager.on_event(event, &mut machine);
+            }
+            MtStep::Exit(tid, m) => {
+                let entered = entry_stacks[tid.0 as usize].pop().unwrap_or(0);
+                manager.on_method_exit(m, machine.instret() - entered, &mut machine);
+                let event = dos.on_exit(m, &mut machine);
+                manager.on_event(event, &mut machine);
+            }
+            MtStep::Done => break,
+        }
+    }
+    manager.on_finish(&mut machine);
+
+    let counters = machine.counters().clone();
+    Ok(RunRecord {
+        workload: format!("{}({}T)", program.name(), entries.len()),
+        instret: counters.instret,
+        cycles: counters.cycles,
+        ipc: counters.ipc(),
+        energy: cfg.energy.breakdown(&counters),
+        table4: dos.table4_summary(counters.instret),
+        do_stats: *dos.stats(),
+        counters,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::{FixedManager, NullManager};
+    use crate::AceConfig;
+    use ace_sim::SizeLevel;
+
+    fn small_cfg(limit: u64) -> RunConfig {
+        RunConfig { instruction_limit: Some(limit), ..RunConfig::default() }
+    }
+
+    #[test]
+    fn baseline_run_produces_sane_record() {
+        let p = ace_workloads::preset("compress").unwrap();
+        let r = run_with_manager(&p, &small_cfg(3_000_000), &mut NullManager).unwrap();
+        assert!(r.instret >= 3_000_000);
+        assert!(r.ipc > 0.5 && r.ipc < 4.0, "ipc {}", r.ipc);
+        assert!(r.energy.total_nj() > 0.0);
+        assert_eq!(r.workload, "compress");
+    }
+
+    #[test]
+    fn deterministic_records() {
+        let p = ace_workloads::preset("jess").unwrap();
+        let a = run_with_manager(&p, &small_cfg(2_000_000), &mut NullManager).unwrap();
+        let b = run_with_manager(&p, &small_cfg(2_000_000), &mut NullManager).unwrap();
+        assert_eq!(a.instret, b.instret);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.counters, b.counters);
+    }
+
+    #[test]
+    fn smaller_fixed_config_uses_less_energy_on_db() {
+        // db's working sets are tiny; pinning small caches must save energy
+        // with modest slowdown.
+        let p = ace_workloads::preset("db").unwrap();
+        let base = run_with_manager(&p, &small_cfg(5_000_000), &mut NullManager).unwrap();
+        let mut small = FixedManager::new(AceConfig::both(
+            SizeLevel::new(3).unwrap(),
+            SizeLevel::new(2).unwrap(),
+        ));
+        let r = run_with_manager(&p, &small_cfg(5_000_000), &mut small).unwrap();
+        assert!(
+            r.l1d_saving_vs(&base) > 0.3,
+            "L1D saving {:.3}",
+            r.l1d_saving_vs(&base)
+        );
+        assert!(r.l2_saving_vs(&base) > 0.3, "L2 saving {:.3}", r.l2_saving_vs(&base));
+        assert!(r.slowdown_vs(&base) < 0.10, "slowdown {:.3}", r.slowdown_vs(&base));
+    }
+
+    #[test]
+    fn slowdown_sign_convention() {
+        let p = ace_workloads::preset("db").unwrap();
+        let base = run_with_manager(&p, &small_cfg(1_000_000), &mut NullManager).unwrap();
+        assert_eq!(base.slowdown_vs(&base), 0.0);
+    }
+}

@@ -1,0 +1,477 @@
+//! The DO-based ACE management scheme (Section 3) — the paper's
+//! contribution.
+//!
+//! For each hotspot the DO system classifies, the manager installs *tuning
+//! code* at its entry and *profiling code* at its exits: successive
+//! invocations test the hotspot's configuration list one entry at a time,
+//! measuring IPC and cache energy per instruction between entry and exit.
+//! Thanks to **CU decoupling**, the list holds only the four settings of
+//! the one CU whose reconfiguration interval matches the hotspot's size —
+//! L1D for 50 K–500 K-instruction hotspots, L2 for larger ones — instead of
+//! the 16 combinatorial settings. Once the most energy-efficient
+//! configuration is selected, the tuning code is replaced by
+//! *configuration code* that re-applies it on every invocation with zero
+//! recurring-phase identification latency, plus occasional *sampling code*
+//! that re-tunes the hotspot if its behavior drifts.
+
+use crate::cu::{combined_list, single_cu_list, AceConfig};
+use crate::measure::Probe;
+use crate::tuner::ConfigTuner;
+use ace_energy::EnergyModel;
+use ace_runtime::{DoEvent, HotspotClass};
+use ace_sim::{Block, CuKind, Machine, OnlineStats};
+use ace_workloads::MethodId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use crate::manager::AceManager;
+
+/// Configuration of the hotspot manager.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HotspotManagerConfig {
+    /// Maximum IPC degradation a configuration may cause versus the
+    /// full-size reference (paper: 2 %).
+    pub perf_threshold: f64,
+    /// After tuning, every `sample_period`-th invocation runs sampling
+    /// code to detect behavior drift.
+    pub sample_period: u64,
+    /// Relative IPC change versus the tuned measurement that triggers
+    /// re-tuning (hotspot behavior is usually stable, so re-tunes are rare).
+    pub retune_threshold: f64,
+    /// `true` for CU decoupling (the paper's scheme); `false` makes every
+    /// adaptable hotspot walk all 16 combinatorial configurations (the
+    /// ablation of Section 3.2's claim).
+    pub decouple: bool,
+}
+
+impl Default for HotspotManagerConfig {
+    fn default() -> Self {
+        HotspotManagerConfig {
+            perf_threshold: 0.02,
+            sample_period: 16,
+            retune_threshold: 0.5,
+            decouple: true,
+        }
+    }
+}
+
+/// What the current invocation of a hotspot is being used for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pending {
+    /// Measuring one configuration trial.
+    Trial,
+    /// Sampling code checking for behavior drift.
+    Sample,
+    /// Nothing to measure this invocation.
+    Idle,
+}
+
+/// Per-hotspot manager state (the ACE part of its DO database entry).
+#[derive(Debug, Clone)]
+struct HsState {
+    class: HotspotClass,
+    tuner: ConfigTuner,
+    pending: Pending,
+    probe: Option<Probe>,
+    /// Whether this invocation runs under the selected configuration.
+    covered: bool,
+    ipc_stats: OnlineStats,
+    invocations_after_tuned: u64,
+    tuned_ipc: Option<f64>,
+    retunings: u32,
+    covered_instr: u64,
+}
+
+/// Per-CU aggregate counters (Table 6).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CuSchemeStats {
+    /// Configuration trials measured (the "tunings" column).
+    pub tunings: u64,
+    /// Control-register changes applying a selected best configuration
+    /// (the "reconfigs" column).
+    pub reconfigs: u64,
+    /// Dynamic instructions executed inside hotspots running under their
+    /// selected configuration (the "coverage" numerator).
+    pub covered_instr: u64,
+}
+
+/// End-of-run report of the hotspot scheme (Tables 5 and 6).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HotspotReport {
+    /// Adaptable instruction-window hotspots (three-CU extension only).
+    #[serde(default)]
+    pub window_hotspots: u64,
+    /// Per-CU counters for the window (three-CU extension only).
+    #[serde(default)]
+    pub window: CuSchemeStats,
+    /// Adaptable L1D hotspots observed.
+    pub l1d_hotspots: u64,
+    /// Adaptable L2 hotspots observed.
+    pub l2_hotspots: u64,
+    /// Hotspots too small to adapt any CU.
+    pub small_hotspots: u64,
+    /// Adaptable hotspots that completed tuning.
+    pub tuned_hotspots: u64,
+    /// Per-CU tuning/reconfiguration/coverage counters.
+    pub l1d: CuSchemeStats,
+    /// Per-CU tuning/reconfiguration/coverage counters.
+    pub l2: CuSchemeStats,
+    /// Mean over hotspots of each hotspot's own IPC CoV (Table 5
+    /// "per-hotspot IPC CoV").
+    pub per_hotspot_ipc_cov: f64,
+    /// CoV of the per-hotspot mean IPCs (Table 5 "inter-hotspot IPC CoV").
+    pub inter_hotspot_ipc_cov: f64,
+    /// Re-tunings triggered by sampling code.
+    pub retunings: u64,
+    /// Reconfiguration requests the hardware guard rejected.
+    pub guard_rejections: u64,
+}
+
+impl HotspotReport {
+    /// Fraction of adaptable hotspots that finished tuning.
+    pub fn tuned_fraction(&self) -> f64 {
+        let adaptable = self.window_hotspots + self.l1d_hotspots + self.l2_hotspots;
+        if adaptable == 0 {
+            0.0
+        } else {
+            self.tuned_hotspots as f64 / adaptable as f64
+        }
+    }
+}
+
+/// The hotspot-based ACE manager.
+///
+/// Wire it into [`crate::run_with_manager`]; see the crate-level example.
+#[derive(Debug, Clone)]
+pub struct HotspotAceManager {
+    config: HotspotManagerConfig,
+    model: EnergyModel,
+    states: HashMap<MethodId, HsState>,
+    stats_window: CuSchemeStats,
+    stats_l1d: CuSchemeStats,
+    stats_l2: CuSchemeStats,
+    retunings: u64,
+    /// Scratch counter for trial requests (not reported as reconfigs).
+    trial_changes: u64,
+    /// Hotspots classified too small to adapt any CU.
+    small_seen: u64,
+    /// Predicted configurations (Section 6 extension): a hotspot with a
+    /// prediction skips tuning entirely and applies the predicted setting
+    /// from its first instrumented invocation.
+    predictions: HashMap<MethodId, AceConfig>,
+}
+
+impl HotspotAceManager {
+    /// Creates a manager with the given policy and energy model.
+    pub fn new(config: HotspotManagerConfig, model: EnergyModel) -> HotspotAceManager {
+        HotspotAceManager {
+            config,
+            model,
+            states: HashMap::new(),
+            stats_window: CuSchemeStats::default(),
+            stats_l1d: CuSchemeStats::default(),
+            stats_l2: CuSchemeStats::default(),
+            retunings: 0,
+            trial_changes: 0,
+            small_seen: 0,
+            predictions: HashMap::new(),
+        }
+    }
+
+    /// Installs a configuration prediction for `method` (the Section 6
+    /// "JIT code analysis" extension): when the hotspot is classified, the
+    /// prediction for its CU class is adopted without any tuning latency.
+    pub fn set_prediction(&mut self, method: MethodId, config: AceConfig) {
+        self.predictions.insert(method, config);
+    }
+
+    /// The policy configuration.
+    pub fn config(&self) -> &HotspotManagerConfig {
+        &self.config
+    }
+
+    fn list_for(&self, class: HotspotClass) -> Vec<AceConfig> {
+        if !self.config.decouple {
+            return combined_list();
+        }
+        match class {
+            HotspotClass::Window => single_cu_list(CuKind::Window),
+            HotspotClass::L1d => single_cu_list(CuKind::L1d),
+            HotspotClass::L2 => single_cu_list(CuKind::L2),
+            HotspotClass::TooSmall => unreachable!("small hotspots are not tuned"),
+        }
+    }
+
+    fn cu_stats_mut(&mut self, class: HotspotClass) -> &mut CuSchemeStats {
+        match class {
+            HotspotClass::Window => &mut self.stats_window,
+            HotspotClass::L2 => &mut self.stats_l2,
+            _ => &mut self.stats_l1d,
+        }
+    }
+
+    fn handle_enter(&mut self, method: MethodId, class: HotspotClass, machine: &mut Machine) {
+        if class == HotspotClass::TooSmall {
+            return;
+        }
+        let list = self.list_for(class);
+        let threshold = self.config.perf_threshold;
+        let sample_period = self.config.sample_period;
+        // A predicted configuration (restricted to this hotspot's CU class)
+        // eliminates the tuning process entirely.
+        let predicted = self.predictions.get(&method).map(|p| match class {
+            HotspotClass::L2 => AceConfig { l2: p.l2, ..AceConfig::default() },
+            HotspotClass::Window => AceConfig { window: p.window, ..AceConfig::default() },
+            _ => AceConfig { l1d: p.l1d, ..AceConfig::default() },
+        });
+        let state = self.states.entry(method).or_insert_with(|| HsState {
+            class,
+            tuner: match predicted {
+                Some(cfg) => ConfigTuner::preselected(cfg),
+                None => ConfigTuner::new(list, threshold),
+            },
+            pending: Pending::Idle,
+            probe: None,
+            covered: false,
+            ipc_stats: OnlineStats::new(),
+            invocations_after_tuned: 0,
+            tuned_ipc: None,
+            retunings: 0,
+            covered_instr: 0,
+        });
+
+        state.pending = Pending::Idle;
+        state.covered = false;
+
+        if let Some(best) = state.tuner.best() {
+            // Configuration code: set the chosen configuration.
+            let mut applied = 0;
+            let ok = best.request(machine, &mut applied);
+            state.covered = ok && best.in_effect(machine);
+            state.invocations_after_tuned += 1;
+            if state.invocations_after_tuned.is_multiple_of(sample_period) {
+                state.pending = Pending::Sample;
+            }
+            match class {
+                HotspotClass::Window => self.stats_window.reconfigs += applied,
+                HotspotClass::L2 => self.stats_l2.reconfigs += applied,
+                _ => self.stats_l1d.reconfigs += applied,
+            }
+        } else if let Some(trial) = state.tuner.next_trial() {
+            // Tuning code: fetch the next configuration. A configuration is
+            // *measured* only on an invocation where it was already in
+            // effect: the invocation that applies the change absorbs the
+            // transition (flush, refills) unmeasured, and hotspots recur in
+            // back-to-back invocations, so the next invocation measures the
+            // configuration's steady behavior.
+            let mut applied = 0;
+            let ok = trial.request(machine, &mut applied);
+            self.trial_changes += applied;
+            if ok && applied == 0 {
+                state.pending = Pending::Trial;
+            }
+        }
+        // Arm the measurement *after* any reconfiguration: the tuning code
+        // reads the counters once the transition has completed, so a trial
+        // compares configurations' steady behavior rather than charging the
+        // one-time flush to whichever configuration happened to be next.
+        if let Some(state) = self.states.get_mut(&method) {
+            state.probe = Some(Probe::arm(machine, &self.model));
+        }
+    }
+
+    fn handle_exit(&mut self, method: MethodId, class: HotspotClass, machine: &mut Machine) {
+        if class == HotspotClass::TooSmall {
+            return;
+        }
+        let retune_threshold = self.config.retune_threshold;
+        let perf_threshold = self.config.perf_threshold;
+        let decouple_list = self.list_for(class);
+        let model = self.model;
+        let Some(state) = self.states.get_mut(&method) else { return };
+        let Some(probe) = state.probe.take() else { return };
+        let Some(m) = probe.finish(machine, &model) else { return };
+
+        state.ipc_stats.push(m.ipc);
+        if state.covered {
+            state.covered_instr += m.instr;
+        }
+
+        let mut tunings = 0;
+        match state.pending {
+            Pending::Trial => {
+                state.tuner.record(m);
+                tunings = 1;
+                if state.tuner.is_done() {
+                    state.tuned_ipc = state.tuner.best_measurement().map(|bm| bm.ipc);
+                }
+            }
+            Pending::Sample => {
+                if let Some(tuned) = state.tuned_ipc {
+                    let drift = (m.ipc - tuned).abs() / tuned;
+                    if drift > retune_threshold {
+                        // Behavior changed: discard the selection, re-tune.
+                        state.tuner = ConfigTuner::new(decouple_list, perf_threshold);
+                        state.tuned_ipc = None;
+                        state.invocations_after_tuned = 0;
+                        state.retunings += 1;
+                        self.retunings += 1;
+                    }
+                }
+            }
+            Pending::Idle => {}
+        }
+        state.pending = Pending::Idle;
+        if tunings > 0 {
+            self.cu_stats_mut(class).tunings += tunings;
+        }
+    }
+
+    /// Builds the end-of-run report. `guard_rejections` is left at zero;
+    /// fill it from the run's machine counters (the driver's `RunRecord`
+    /// carries them), since rejections are counted by the hardware.
+    pub fn report(&self) -> HotspotReport {
+        let mut report = HotspotReport {
+            window: self.stats_window,
+            l1d: self.stats_l1d,
+            l2: self.stats_l2,
+            retunings: self.retunings,
+            small_hotspots: self.small_seen,
+            ..HotspotReport::default()
+        };
+        let mut cov_sum = 0.0;
+        let mut cov_n = 0u64;
+        let mut means = OnlineStats::new();
+        for state in self.states.values() {
+            match state.class {
+                HotspotClass::Window => report.window_hotspots += 1,
+                HotspotClass::L1d => report.l1d_hotspots += 1,
+                HotspotClass::L2 => report.l2_hotspots += 1,
+                HotspotClass::TooSmall => {}
+            }
+            if state.tuner.is_done() {
+                report.tuned_hotspots += 1;
+            }
+            if state.ipc_stats.count() >= 2 {
+                cov_sum += state.ipc_stats.cov();
+                cov_n += 1;
+            }
+            if state.ipc_stats.count() > 0 {
+                means.push(state.ipc_stats.mean());
+            }
+            match state.class {
+                HotspotClass::Window => {
+                    report.window.covered_instr =
+                        report.window.covered_instr.saturating_add(state.covered_instr)
+                }
+                HotspotClass::L2 => {
+                    report.l2.covered_instr =
+                        report.l2.covered_instr.saturating_add(state.covered_instr)
+                }
+                _ => {
+                    report.l1d.covered_instr =
+                        report.l1d.covered_instr.saturating_add(state.covered_instr)
+                }
+            }
+        }
+        // `covered_instr` in stats_l1d/stats_l2 was never filled globally;
+        // it is assembled from the per-state counters above.
+        report.per_hotspot_ipc_cov = if cov_n > 0 { cov_sum / cov_n as f64 } else { 0.0 };
+        report.inter_hotspot_ipc_cov = means.cov();
+        report
+    }
+
+    /// Per-hotspot diagnostic: `(class, tuned, invocations_measured)`.
+    pub fn hotspot_state(&self, method: MethodId) -> Option<(HotspotClass, bool, u64)> {
+        self.states
+            .get(&method)
+            .map(|s| (s.class, s.tuner.is_done(), s.ipc_stats.count()))
+    }
+
+    /// Detailed per-hotspot diagnostics for analysis tools:
+    /// `(method, class, tuner, mean IPC, IPC CoV, invocations measured)`.
+    pub fn hotspot_details(
+        &self,
+    ) -> impl Iterator<Item = (MethodId, HotspotClass, &ConfigTuner, f64, f64, u64)> {
+        self.states.iter().map(|(m, s)| {
+            (*m, s.class, &s.tuner, s.ipc_stats.mean(), s.ipc_stats.cov(), s.ipc_stats.count())
+        })
+    }
+
+    /// Number of hotspots with manager state.
+    pub fn tracked_hotspots(&self) -> usize {
+        self.states.len()
+    }
+}
+
+impl AceManager for HotspotAceManager {
+    fn on_event(&mut self, event: DoEvent, machine: &mut Machine) {
+        match event {
+            DoEvent::HotspotEnter { method, class } => self.handle_enter(method, class, machine),
+            DoEvent::HotspotExit { method, class, .. } => {
+                self.handle_exit(method, class, machine)
+            }
+            DoEvent::HotspotClassified { class: HotspotClass::TooSmall, .. } => {
+                self.small_seen += 1;
+            }
+            DoEvent::HotspotClassified { .. } | DoEvent::None => {}
+        }
+    }
+
+    fn on_block(&mut self, _block: &Block, _machine: &mut Machine) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ace_sim::SizeLevel;
+
+    #[test]
+    fn default_config_matches_paper() {
+        let c = HotspotManagerConfig::default();
+        assert!((c.perf_threshold - 0.02).abs() < 1e-12);
+        assert!(c.decouple);
+    }
+
+    #[test]
+    fn decoupled_lists_are_small() {
+        let mgr = HotspotAceManager::new(
+            HotspotManagerConfig::default(),
+            EnergyModel::default_180nm(),
+        );
+        assert_eq!(mgr.list_for(HotspotClass::L1d).len(), 4);
+        assert_eq!(mgr.list_for(HotspotClass::L2).len(), 4);
+        let coupled = HotspotAceManager::new(
+            HotspotManagerConfig { decouple: false, ..Default::default() },
+            EnergyModel::default_180nm(),
+        );
+        assert_eq!(coupled.list_for(HotspotClass::L1d).len(), 16);
+    }
+
+    #[test]
+    fn l1d_list_touches_only_l1d() {
+        let mgr = HotspotAceManager::new(
+            HotspotManagerConfig::default(),
+            EnergyModel::default_180nm(),
+        );
+        for cfg in mgr.list_for(HotspotClass::L1d) {
+            assert!(cfg.l1d.is_some());
+            assert!(cfg.l2.is_none());
+        }
+        assert_eq!(
+            mgr.list_for(HotspotClass::L2)[3],
+            AceConfig::l2_only(SizeLevel::SMALLEST)
+        );
+    }
+
+    #[test]
+    fn report_empty_run() {
+        let mgr = HotspotAceManager::new(
+            HotspotManagerConfig::default(),
+            EnergyModel::default_180nm(),
+        );
+        let r = mgr.report();
+        assert_eq!(r.l1d_hotspots + r.l2_hotspots, 0);
+        assert_eq!(r.tuned_fraction(), 0.0);
+    }
+}

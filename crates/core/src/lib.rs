@@ -1,0 +1,63 @@
+//! # ace-core — adaptive computing environment management via dynamic optimization
+//!
+//! The primary contribution of *Effective Adaptive Computing Environment
+//! Management via Dynamic Optimization* (Hu, Valluri & John, CGO 2005),
+//! reproduced on the Rust substrates of this workspace:
+//!
+//! * [`HotspotAceManager`] — the paper's scheme: phase detection and
+//!   adaptation at DO-system hotspot boundaries, with **CU decoupling**
+//!   (small hotspots tune the L1D cache, large hotspots the L2), zero
+//!   recurring-phase identification latency, tuning code → configuration
+//!   code replacement, and drift-sampled re-tuning.
+//! * [`BbvAceManager`] — the strongest prior temporal scheme: Basic Block
+//!   Vector phase detection at 1 M-instruction sampling intervals plus the
+//!   Dhodapkar–Smith tuning algorithm over all 16 combinatorial cache
+//!   configurations.
+//! * [`NullManager`] / [`FixedManager`] — the non-adaptive baseline and
+//!   static oracle points.
+//! * [`run_with_manager`] — the driver tying workload, DO system, machine
+//!   and manager into one measured run.
+//!
+//! ## Example: compare the two schemes on one workload
+//!
+//! ```no_run
+//! use ace_core::*;
+//! use ace_energy::EnergyModel;
+//!
+//! let program = ace_workloads::preset("db").unwrap();
+//! let cfg = RunConfig::default();
+//!
+//! let base = run_with_manager(&program, &cfg, &mut NullManager)?;
+//! let mut hotspot = HotspotAceManager::new(
+//!     HotspotManagerConfig::default(),
+//!     EnergyModel::default_180nm(),
+//! );
+//! let ours = run_with_manager(&program, &cfg, &mut hotspot)?;
+//! println!(
+//!     "L1D energy saving: {:.0}%, slowdown: {:.2}%",
+//!     100.0 * ours.l1d_saving_vs(&base),
+//!     100.0 * ours.slowdown_vs(&base),
+//! );
+//! # Ok::<(), ace_sim::ConfigError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bbv_mgr;
+mod cu;
+mod driver;
+mod hotspot;
+mod manager;
+mod measure;
+mod positional_mgr;
+mod tuner;
+
+pub use bbv_mgr::{BbvAceManager, BbvManagerConfig, BbvReport};
+pub use cu::{combined_list, single_cu_list, AceConfig};
+pub use driver::{run_threaded, run_with_manager, RunConfig, RunRecord};
+pub use hotspot::{CuSchemeStats, HotspotAceManager, HotspotManagerConfig, HotspotReport};
+pub use manager::{AceManager, FixedManager, NullManager};
+pub use positional_mgr::{PositionalAceManager, PositionalManagerConfig, PositionalReport};
+pub use measure::{Measurement, Probe};
+pub use tuner::ConfigTuner;

@@ -1,0 +1,150 @@
+//! Whole-processor power context.
+//!
+//! The paper reports cache energy in isolation; readers of Wattch-era work
+//! usually want the chip-level context — what fraction of *total* processor
+//! energy the cache savings represent, and whether a slowdown's extra
+//! cycles eat the gains (energy vs energy-delay). This module prices the
+//! non-configurable rest of the chip with the same style of model: a
+//! per-instruction dynamic term (datapath, register file, result buses),
+//! a per-fetch term (L1I, predictor), and a per-cycle term (clock tree,
+//! leakage of everything that never resizes).
+
+use crate::{EnergyBreakdown, EnergyModel};
+use ace_sim::MachineCounters;
+use serde::{Deserialize, Serialize};
+
+/// Parameters for the non-configurable remainder of the processor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProcessorEnergyParams {
+    /// Datapath energy per retired instruction (decode, rename, ALU,
+    /// register file, commit), nanojoules.
+    pub core_nj_per_instr: f64,
+    /// Fetch-side energy per L1I access (cache + predictor), nanojoules.
+    pub fetch_nj_per_access: f64,
+    /// Global clock + fixed-structure leakage per cycle, nanojoules.
+    pub uncore_nj_per_cycle: f64,
+}
+
+impl ProcessorEnergyParams {
+    /// 180 nm-era defaults for the Table 2 core at 1 GHz / 2 V: ≈2 nJ per
+    /// instruction of datapath activity, ≈1 nJ per fetch, and ≈1.5 W of
+    /// clock + fixed leakage (the Alpha 21264's clock tree alone drew a
+    /// third of chip power at this node).
+    pub fn default_180nm() -> ProcessorEnergyParams {
+        ProcessorEnergyParams {
+            core_nj_per_instr: 2.0,
+            fetch_nj_per_access: 1.0,
+            uncore_nj_per_cycle: 1.5,
+        }
+    }
+}
+
+impl Default for ProcessorEnergyParams {
+    fn default() -> Self {
+        ProcessorEnergyParams::default_180nm()
+    }
+}
+
+/// Chip-level energy summary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ChipEnergy {
+    /// Configurable-unit energy (the paper's reported quantity).
+    pub configurable_nj: f64,
+    /// Everything else: datapath + fetch + clock/leakage.
+    pub rest_nj: f64,
+}
+
+impl ChipEnergy {
+    /// Total chip energy.
+    pub fn total_nj(&self) -> f64 {
+        self.configurable_nj + self.rest_nj
+    }
+
+    /// The configurable units' share of chip energy.
+    pub fn configurable_share(&self) -> f64 {
+        if self.total_nj() <= 0.0 {
+            0.0
+        } else {
+            self.configurable_nj / self.total_nj()
+        }
+    }
+}
+
+/// Prices a counter snapshot at the chip level.
+pub fn chip_energy(
+    model: &EnergyModel,
+    proc: &ProcessorEnergyParams,
+    counters: &MachineCounters,
+) -> ChipEnergy {
+    let configurable: EnergyBreakdown = model.breakdown(counters);
+    let rest = counters.instret as f64 * proc.core_nj_per_instr
+        + counters.l1i.total_accesses() as f64 * proc.fetch_nj_per_access
+        + counters.cycles as f64 * proc.uncore_nj_per_cycle;
+    ChipEnergy { configurable_nj: configurable.total_nj(), rest_nj: rest }
+}
+
+/// Energy-delay product (nJ · cycles), the metric that penalizes saving
+/// energy by running longer.
+pub fn energy_delay(chip: &ChipEnergy, cycles: u64) -> f64 {
+    chip.total_nj() * cycles as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ace_sim::{Block, Machine, MachineConfig, MemAccess};
+
+    fn run(blocks: u32) -> MachineCounters {
+        let mut m = Machine::new(MachineConfig::table2()).unwrap();
+        for i in 0..blocks {
+            m.exec_block(&Block {
+                pc: 0x400,
+                ninstr: 40,
+                accesses: vec![MemAccess::load(0x8000 + (i as u64 % 64) * 64)],
+                branch: None,
+            });
+        }
+        m.counters().clone()
+    }
+
+    #[test]
+    fn chip_energy_dominated_by_rest() {
+        // At the 180 nm design point the two caches are a meaningful but
+        // minority share of chip energy (the premise that makes 47%/58%
+        // cache savings translate to single-digit chip savings).
+        let c = run(5000);
+        let chip = chip_energy(
+            &EnergyModel::default_180nm(),
+            &ProcessorEnergyParams::default_180nm(),
+            &c,
+        );
+        let share = chip.configurable_share();
+        assert!(
+            (0.05..0.5).contains(&share),
+            "configurable share {share:.3} out of the plausible band"
+        );
+    }
+
+    #[test]
+    fn rest_scales_with_work() {
+        let small = run(1000);
+        let large = run(4000);
+        let proc = ProcessorEnergyParams::default_180nm();
+        let model = EnergyModel::default_180nm();
+        let e_small = chip_energy(&model, &proc, &small);
+        let e_large = chip_energy(&model, &proc, &large);
+        let ratio = e_large.rest_nj / e_small.rest_nj;
+        assert!((3.2..4.8).contains(&ratio), "4x work ~ 4x rest energy, got {ratio:.2}");
+    }
+
+    #[test]
+    fn energy_delay_penalizes_slow_runs() {
+        let c = run(2000);
+        let proc = ProcessorEnergyParams::default_180nm();
+        let model = EnergyModel::default_180nm();
+        let chip = chip_energy(&model, &proc, &c);
+        let ed_fast = energy_delay(&chip, c.cycles);
+        let ed_slow = energy_delay(&chip, c.cycles * 2);
+        assert!(ed_slow > ed_fast * 1.9);
+    }
+}

@@ -1,0 +1,351 @@
+//! Basic Block Vector (BBV) phase detection (Sherwood, Sair, Calder).
+//!
+//! This is the temporal baseline the paper compares against, configured as
+//! in Section 4.1: an accumulator table of uncompressed buckets indexed by
+//! branch PC bits, an **unlimited** signature table, Manhattan-distance
+//! matching, and stable/transitional classification (a phase is *stable*
+//! when it persists for two or more consecutive sampling intervals).
+//! Recurring phases keep their identity, so the ACE manager can reuse or
+//! resume their tuning state — the generosity the paper grants the BBV
+//! implementation. No next-phase predictor is modeled (ditto).
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies a detected phase (an equivalence class of BBV signatures).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PhaseId(pub u32);
+
+impl std::fmt::Display for PhaseId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// BBV detector configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BbvConfig {
+    /// Sampling interval length in instructions (paper: 1 M, matching the
+    /// L2 reconfiguration interval).
+    pub interval_instr: u64,
+    /// Accumulator buckets (paper: 32 uncompressed buckets).
+    pub buckets: usize,
+    /// Manhattan distance (on vectors normalized to sum 1, so the range is
+    /// `[0, 2]`) below which two signatures are the same phase. Program
+    /// phases built from large method invocations sample differently into
+    /// successive intervals, so the threshold sits well above that mixing
+    /// noise and well below the ~2.0 distance of disjoint code.
+    pub distance_threshold: f64,
+}
+
+impl Default for BbvConfig {
+    fn default() -> Self {
+        BbvConfig { interval_instr: 1_000_000, buckets: 128, distance_threshold: 1.1 }
+    }
+}
+
+/// Outcome of closing one sampling interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IntervalOutcome {
+    /// The phase this interval was classified into.
+    pub phase: PhaseId,
+    /// `true` if a new signature had to be allocated.
+    pub is_new: bool,
+    /// `true` if this interval continues the previous interval's phase —
+    /// the causal stability test the tuning algorithm may act on.
+    pub continues_previous: bool,
+    /// Distance to the matched signature (0.0 for a new phase).
+    pub distance: f64,
+}
+
+/// The BBV phase detector.
+///
+/// Feed every conditional branch via [`BbvDetector::note_branch`]; the
+/// caller closes intervals (every `interval_instr` instructions) with
+/// [`BbvDetector::end_interval`].
+///
+/// # Examples
+///
+/// ```
+/// use ace_phase::{BbvDetector, BbvConfig};
+/// let mut d = BbvDetector::new(BbvConfig::default());
+/// // Interval 1: branchy code at one PC cluster.
+/// for _ in 0..1000 { d.note_branch(0x1000, 40); }
+/// let a = d.end_interval();
+/// // Interval 2: same behavior -> same phase, now stable.
+/// for _ in 0..1000 { d.note_branch(0x1000, 40); }
+/// let b = d.end_interval();
+/// assert_eq!(a.phase, b.phase);
+/// assert!(b.continues_previous);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BbvDetector {
+    config: BbvConfig,
+    acc: Vec<u64>,
+    signatures: Vec<Vec<f64>>,
+    last_phase: Option<PhaseId>,
+    history: Vec<PhaseId>,
+}
+
+impl BbvDetector {
+    /// Creates a detector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.buckets` is zero or the threshold is not in
+    /// `(0, 2]`.
+    pub fn new(config: BbvConfig) -> BbvDetector {
+        assert!(config.buckets > 0, "need at least one bucket");
+        assert!(
+            config.distance_threshold > 0.0 && config.distance_threshold <= 2.0,
+            "threshold must be in (0, 2]"
+        );
+        BbvDetector {
+            acc: vec![0; config.buckets],
+            signatures: Vec::new(),
+            last_phase: None,
+            history: Vec::new(),
+            config,
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &BbvConfig {
+        &self.config
+    }
+
+    /// Records a conditional branch at `pc` weighted by the instructions of
+    /// its basic block (the BBV weighting of Sherwood et al.).
+    #[inline]
+    pub fn note_branch(&mut self, pc: u64, block_len: u32) {
+        // Hash the (word-aligned) branch PC into the accumulator. The
+        // original proposal uses a random-projection hash; a Fibonacci
+        // multiplicative hash spreads the regularly spaced branch addresses
+        // of compiled code over all buckets, which plain low-order bits do
+        // not (64-byte-aligned blocks would alias into two buckets).
+        let h = (pc >> 2).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        let idx = (h as usize) % self.config.buckets;
+        self.acc[idx] += block_len as u64;
+    }
+
+    /// Manhattan distance between two normalized vectors.
+    fn distance(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+    }
+
+    /// Closes the current sampling interval and classifies it.
+    pub fn end_interval(&mut self) -> IntervalOutcome {
+        let total: u64 = self.acc.iter().sum();
+        let vec: Vec<f64> = if total == 0 {
+            vec![0.0; self.config.buckets]
+        } else {
+            self.acc.iter().map(|&c| c as f64 / total as f64).collect()
+        };
+        for c in &mut self.acc {
+            *c = 0;
+        }
+
+        let mut best: Option<(usize, f64)> = None;
+        for (i, sig) in self.signatures.iter().enumerate() {
+            let d = Self::distance(sig, &vec);
+            if best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((i, d));
+            }
+        }
+
+        let (phase, is_new, distance) = match best {
+            Some((i, d)) if d <= self.config.distance_threshold => {
+                // Signatures are frozen at first sight: updating them (e.g.
+                // by exponential smoothing) lets a signature drift toward a
+                // blend of several behaviors until everything matches it.
+                (PhaseId(i as u32), false, d)
+            }
+            _ => {
+                self.signatures.push(vec);
+                (PhaseId(self.signatures.len() as u32 - 1), true, 0.0)
+            }
+        };
+
+        let continues_previous = self.last_phase == Some(phase);
+        self.last_phase = Some(phase);
+        self.history.push(phase);
+        IntervalOutcome { phase, is_new, continues_previous, distance }
+    }
+
+    /// Number of distinct phases seen so far.
+    pub fn phase_count(&self) -> usize {
+        self.signatures.len()
+    }
+
+    /// The full per-interval phase sequence.
+    pub fn history(&self) -> &[PhaseId] {
+        &self.history
+    }
+
+    /// Figure 1 statistics: how many intervals belong to runs of ≥ 2
+    /// consecutive same-phase intervals (*stable*) versus singleton runs
+    /// (*transitional*).
+    pub fn stability(&self) -> StabilityStats {
+        let mut stats = StabilityStats::default();
+        let h = &self.history;
+        let mut i = 0;
+        while i < h.len() {
+            let mut j = i + 1;
+            while j < h.len() && h[j] == h[i] {
+                j += 1;
+            }
+            let run = j - i;
+            if run >= 2 {
+                stats.stable_intervals += run as u64;
+                stats.stable_runs += 1;
+            } else {
+                stats.transitional_intervals += 1;
+            }
+            i = j;
+        }
+        stats.total_intervals = h.len() as u64;
+        stats
+    }
+}
+
+/// Stable/transitional interval distribution (Figure 1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StabilityStats {
+    /// Intervals in runs of length ≥ 2.
+    pub stable_intervals: u64,
+    /// Intervals in singleton runs.
+    pub transitional_intervals: u64,
+    /// Number of stable runs.
+    pub stable_runs: u64,
+    /// All intervals.
+    pub total_intervals: u64,
+}
+
+impl StabilityStats {
+    /// Fraction of intervals in stable phases (0.0 when empty).
+    pub fn stable_fraction(&self) -> f64 {
+        if self.total_intervals == 0 {
+            0.0
+        } else {
+            self.stable_intervals as f64 / self.total_intervals as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(d: &mut BbvDetector, pcs: &[u64]) {
+        for &pc in pcs {
+            d.note_branch(pc, 50);
+        }
+    }
+
+    #[test]
+    fn identical_intervals_same_phase() {
+        let mut d = BbvDetector::new(BbvConfig::default());
+        let pcs: Vec<u64> = (0..20).map(|i| 0x1000 + i * 4).collect();
+        feed(&mut d, &pcs);
+        let a = d.end_interval();
+        feed(&mut d, &pcs);
+        let b = d.end_interval();
+        assert_eq!(a.phase, b.phase);
+        assert!(a.is_new && !b.is_new);
+        assert!(b.continues_previous);
+        assert_eq!(d.phase_count(), 1);
+    }
+
+    #[test]
+    fn disjoint_behavior_new_phase() {
+        let mut d = BbvDetector::new(BbvConfig::default());
+        feed(&mut d, &[0x1000, 0x1004, 0x1008]);
+        let a = d.end_interval();
+        feed(&mut d, &[0x2040, 0x2044, 0x2048]);
+        let b = d.end_interval();
+        assert_ne!(a.phase, b.phase);
+        assert!(b.is_new);
+        assert!(!b.continues_previous);
+    }
+
+    #[test]
+    fn recurring_phase_recognized() {
+        let mut d = BbvDetector::new(BbvConfig::default());
+        let x: Vec<u64> = (0..10).map(|i| 0x1000 + i * 4).collect();
+        let y: Vec<u64> = (0..10).map(|i| 0x2040 + i * 4).collect();
+        feed(&mut d, &x);
+        let a = d.end_interval();
+        feed(&mut d, &y);
+        let _ = d.end_interval();
+        feed(&mut d, &x);
+        let c = d.end_interval();
+        assert_eq!(a.phase, c.phase, "recurrence maps to the stored signature");
+        assert!(!c.is_new);
+        assert_eq!(d.phase_count(), 2);
+    }
+
+    #[test]
+    fn small_perturbations_tolerated() {
+        let mut d = BbvDetector::new(BbvConfig::default());
+        let pcs: Vec<u64> = (0..30).map(|i| 0x1000 + i * 4).collect();
+        feed(&mut d, &pcs);
+        let a = d.end_interval();
+        // Same mix plus a little noise.
+        feed(&mut d, &pcs);
+        d.note_branch(0x9000, 50);
+        let b = d.end_interval();
+        assert_eq!(a.phase, b.phase, "5% perturbation stays within threshold");
+    }
+
+    #[test]
+    fn stability_statistics() {
+        let mut d = BbvDetector::new(BbvConfig::default());
+        let x: Vec<u64> = (0..10).map(|i| 0x1000 + i * 4).collect();
+        let y: Vec<u64> = (0..10).map(|i| 0x2040 + i * 4).collect();
+        // Pattern: X X X Y X X -> runs [3, 1, 2]: 5 stable, 1 transitional.
+        for pcs in [&x, &x, &x, &y, &x, &x] {
+            feed(&mut d, pcs);
+            d.end_interval();
+        }
+        let s = d.stability();
+        assert_eq!(s.total_intervals, 6);
+        assert_eq!(s.stable_intervals, 5);
+        assert_eq!(s.transitional_intervals, 1);
+        assert_eq!(s.stable_runs, 2);
+        assert!((s.stable_fraction() - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_interval_is_classified() {
+        let mut d = BbvDetector::new(BbvConfig::default());
+        let a = d.end_interval();
+        assert!(a.is_new);
+        let b = d.end_interval();
+        assert_eq!(a.phase, b.phase, "two empty intervals match");
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn rejects_bad_threshold() {
+        let _ = BbvDetector::new(BbvConfig {
+            distance_threshold: 0.0,
+            ..BbvConfig::default()
+        });
+    }
+
+    #[test]
+    fn distance_is_weight_sensitive() {
+        // Same PCs, very different weights -> different phase.
+        let mut d = BbvDetector::new(BbvConfig::default());
+        for _ in 0..100 {
+            d.note_branch(0x1000, 50);
+        }
+        d.note_branch(0x2040, 50);
+        let a = d.end_interval();
+        d.note_branch(0x1000, 50);
+        for _ in 0..100 {
+            d.note_branch(0x2040, 50);
+        }
+        let b = d.end_interval();
+        assert_ne!(a.phase, b.phase);
+    }
+}

@@ -1,0 +1,149 @@
+//! Conditional-branch-counter phase detection (Balasubramonian,
+//! Albonesi, Buyuktosunoglu & Dwarkadas, MICRO 2000 — reference \[6\] of the
+//! paper).
+//!
+//! The earliest and simplest temporal detector the paper surveys: count
+//! conditional branches per sampling interval and declare a phase change
+//! when the count differs from the previous interval's by more than a
+//! threshold. It is cheap but *nameless* — unlike BBV signatures it cannot
+//! recognize a recurring phase, so every recurrence pays the full tuning
+//! process again. Included for the detector-comparison extension.
+
+use serde::{Deserialize, Serialize};
+
+/// Branch-counter detector configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BranchCounterConfig {
+    /// Absolute difference in branch counts (per interval) tolerated
+    /// before declaring a phase change, as a fraction of the previous
+    /// interval's count.
+    pub delta_threshold: f64,
+}
+
+impl Default for BranchCounterConfig {
+    fn default() -> Self {
+        BranchCounterConfig { delta_threshold: 0.05 }
+    }
+}
+
+/// Outcome of closing one interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BranchCounterOutcome {
+    /// `true` when this interval's branch count matches the previous one.
+    pub same_phase: bool,
+    /// This interval's conditional-branch count.
+    pub branches: u64,
+    /// Relative difference to the previous interval.
+    pub delta: f64,
+}
+
+/// The conditional-branch-counter detector.
+///
+/// # Examples
+///
+/// ```
+/// use ace_phase::{BranchCounterDetector, BranchCounterConfig};
+/// let mut d = BranchCounterDetector::new(BranchCounterConfig::default());
+/// d.note_branches(1000);
+/// let _ = d.end_interval();
+/// d.note_branches(1010);
+/// assert!(d.end_interval().same_phase); // within 5%
+/// d.note_branches(2000);
+/// assert!(!d.end_interval().same_phase);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BranchCounterDetector {
+    config: BranchCounterConfig,
+    current: u64,
+    previous: Option<u64>,
+    stable_intervals: u64,
+    total_intervals: u64,
+}
+
+impl BranchCounterDetector {
+    /// Creates a detector.
+    pub fn new(config: BranchCounterConfig) -> BranchCounterDetector {
+        BranchCounterDetector { config, ..BranchCounterDetector::default() }
+    }
+
+    /// Adds `n` conditional branches to the current interval.
+    #[inline]
+    pub fn note_branches(&mut self, n: u64) {
+        self.current += n;
+    }
+
+    /// Closes the interval and compares against the previous one.
+    pub fn end_interval(&mut self) -> BranchCounterOutcome {
+        let branches = self.current;
+        self.current = 0;
+        self.total_intervals += 1;
+        let (same_phase, delta) = match self.previous {
+            Some(prev) if prev > 0 => {
+                let delta = (branches as f64 - prev as f64).abs() / prev as f64;
+                (delta <= self.config.delta_threshold, delta)
+            }
+            Some(_) => (branches == 0, f64::INFINITY),
+            None => (false, f64::INFINITY),
+        };
+        if same_phase {
+            self.stable_intervals += 1;
+        }
+        self.previous = Some(branches);
+        BranchCounterOutcome { same_phase, branches, delta }
+    }
+
+    /// Fraction of intervals whose branch count matched their predecessor.
+    pub fn stable_fraction(&self) -> f64 {
+        if self.total_intervals == 0 {
+            0.0
+        } else {
+            self.stable_intervals as f64 / self.total_intervals as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_counts_are_stable() {
+        let mut d = BranchCounterDetector::new(BranchCounterConfig::default());
+        for _ in 0..10 {
+            d.note_branches(5000);
+            d.end_interval();
+        }
+        assert!(d.stable_fraction() > 0.85, "got {}", d.stable_fraction());
+    }
+
+    #[test]
+    fn count_jumps_break_stability() {
+        let mut d = BranchCounterDetector::new(BranchCounterConfig::default());
+        d.note_branches(5000);
+        d.end_interval();
+        d.note_branches(8000);
+        let out = d.end_interval();
+        assert!(!out.same_phase);
+        assert!((out.delta - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cannot_distinguish_equal_counts() {
+        // The detector's blindness: two *different* behaviors with the same
+        // branch rate look like one stable phase — why BBV superseded it.
+        let mut d = BranchCounterDetector::new(BranchCounterConfig::default());
+        d.note_branches(5000); // "phase A"
+        d.end_interval();
+        d.note_branches(5000); // behaviorally different "phase B"
+        assert!(d.end_interval().same_phase);
+    }
+
+    #[test]
+    fn zero_branch_intervals() {
+        let mut d = BranchCounterDetector::new(BranchCounterConfig::default());
+        let first = d.end_interval();
+        assert!(!first.same_phase, "no history yet");
+        let second = d.end_interval();
+        assert!(second.same_phase, "0 == 0");
+    }
+}

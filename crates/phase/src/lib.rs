@@ -1,0 +1,37 @@
+//! # ace-phase — program phase detectors
+//!
+//! The phase-detection baselines the paper compares its DO-based scheme
+//! against, plus one ablation detector:
+//!
+//! * [`BbvDetector`] — Basic Block Vectors (Sherwood et al.), "one of the
+//!   best" temporal detectors and the paper's headline baseline: branch-PC
+//!   accumulator buckets, Manhattan-distance signature matching, unlimited
+//!   signature storage, stable/transitional classification (Figure 1).
+//! * [`WorkingSetDetector`] — working-set signatures (Dhodapkar & Smith),
+//!   whose tuning algorithm the paper reuses.
+//! * [`BranchCounterDetector`] — the conditional-branch-counter detector
+//!   of Balasubramonian et al. (the paper's reference \\[6\\]), the simplest
+//!   temporal scheme.
+//! * [`PositionalDetector`] — large-procedure positional adaptation
+//!   (Huang et al.), the non-DO positional ancestor of the paper's scheme.
+//! * [`PhasePredictor`] — the RLE-Markov next-phase predictor the paper's
+//!   BBV baseline deliberately omits (Section 4.1), provided for the
+//!   prediction ablation.
+//!
+//! All detectors are pure observers: feed them branches/accesses/exits and
+//! read classifications; the ACE managers in `ace-core` own the policy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bbv;
+mod branch_counter;
+mod positional;
+mod predictor;
+mod working_set;
+
+pub use bbv::{BbvConfig, BbvDetector, IntervalOutcome, PhaseId, StabilityStats};
+pub use branch_counter::{BranchCounterConfig, BranchCounterDetector, BranchCounterOutcome};
+pub use positional::{PositionalConfig, PositionalDetector};
+pub use predictor::{PhasePredictor, PredictorStats};
+pub use working_set::{Signature, WorkingSetConfig, WorkingSetDetector, WsOutcome};

@@ -1,0 +1,139 @@
+//! Positional phase detection (Huang, Renau, Torrellas, ISCA 2003).
+//!
+//! The original positional approach adapts hardware at the boundaries of
+//! *large procedures* — no DO system, no hotspot threshold: a procedure
+//! qualifies once its observed per-invocation size exceeds a fixed cutoff.
+//! The paper (Section 3.5) argues this under-performs the hotspot scheme
+//! because large procedures are not necessarily *frequently invoked*, so
+//! tuned configurations are applied fewer times, and fine-grain changes
+//! inside a large procedure are invisible. Included here as an ablation
+//! baseline.
+
+use ace_workloads::MethodId;
+use serde::{Deserialize, Serialize};
+
+/// Positional detector configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PositionalConfig {
+    /// Per-invocation inclusive size above which a procedure is "large"
+    /// and becomes an adaptation point.
+    pub large_procedure_instr: u64,
+    /// Invocations observed before deciding (sizes are averaged).
+    pub observe_invocations: u32,
+}
+
+impl Default for PositionalConfig {
+    fn default() -> Self {
+        PositionalConfig { large_procedure_instr: 500_000, observe_invocations: 2 }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct ProcState {
+    invocations: u64,
+    observed_instr: u64,
+    observed_count: u32,
+    large: bool,
+    decided: bool,
+}
+
+/// Tracks which procedures are adaptation points.
+///
+/// # Examples
+///
+/// ```
+/// use ace_phase::{PositionalDetector, PositionalConfig};
+/// use ace_workloads::MethodId;
+///
+/// let mut d = PositionalDetector::new(8, PositionalConfig::default());
+/// let m = MethodId(3);
+/// d.on_exit(m, 900_000);
+/// d.on_exit(m, 900_000);
+/// assert!(d.is_large(m));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PositionalDetector {
+    config: PositionalConfig,
+    procs: Vec<ProcState>,
+}
+
+impl PositionalDetector {
+    /// Creates a detector for a program with `method_count` procedures.
+    pub fn new(method_count: usize, config: PositionalConfig) -> PositionalDetector {
+        PositionalDetector { config, procs: vec![ProcState::default(); method_count] }
+    }
+
+    /// Records a completed invocation of `m` with the given inclusive size;
+    /// returns `true` if `m` just became an adaptation point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is out of range for the program this detector was
+    /// sized for.
+    pub fn on_exit(&mut self, m: MethodId, invocation_instr: u64) -> bool {
+        let cfg_obs = self.config.observe_invocations;
+        let cutoff = self.config.large_procedure_instr;
+        let p = &mut self.procs[m.0 as usize];
+        p.invocations += 1;
+        if p.decided {
+            return false;
+        }
+        p.observed_instr += invocation_instr;
+        p.observed_count += 1;
+        if p.observed_count >= cfg_obs {
+            p.decided = true;
+            p.large = p.observed_instr / p.observed_count as u64 >= cutoff;
+            return p.large;
+        }
+        false
+    }
+
+    /// Whether `m` is a large-procedure adaptation point.
+    pub fn is_large(&self, m: MethodId) -> bool {
+        self.procs[m.0 as usize].large
+    }
+
+    /// Number of adaptation points discovered.
+    pub fn large_count(&self) -> usize {
+        self.procs.iter().filter(|p| p.large).count()
+    }
+
+    /// Invocations recorded for `m`.
+    pub fn invocations(&self, m: MethodId) -> u64 {
+        self.procs[m.0 as usize].invocations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_procedures_never_qualify() {
+        let mut d = PositionalDetector::new(4, PositionalConfig::default());
+        for _ in 0..10 {
+            d.on_exit(MethodId(0), 10_000);
+        }
+        assert!(!d.is_large(MethodId(0)));
+        assert_eq!(d.large_count(), 0);
+        assert_eq!(d.invocations(MethodId(0)), 10);
+    }
+
+    #[test]
+    fn decision_is_one_shot() {
+        let mut d = PositionalDetector::new(2, PositionalConfig::default());
+        assert!(!d.on_exit(MethodId(1), 600_000), "still observing");
+        assert!(d.on_exit(MethodId(1), 600_000), "second observation decides");
+        assert!(!d.on_exit(MethodId(1), 600_000), "already decided");
+        assert!(d.is_large(MethodId(1)));
+    }
+
+    #[test]
+    fn averaging_across_observations() {
+        // One big + one tiny invocation: average below cutoff.
+        let mut d = PositionalDetector::new(1, PositionalConfig::default());
+        d.on_exit(MethodId(0), 700_000);
+        d.on_exit(MethodId(0), 100_000);
+        assert!(!d.is_large(MethodId(0)), "mean 400 K < 500 K cutoff");
+    }
+}

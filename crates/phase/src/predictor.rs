@@ -1,0 +1,234 @@
+//! Next-phase prediction (Sherwood, Sair & Calder's run-length-encoded
+//! Markov predictor, ISCA 2003).
+//!
+//! The paper deliberately leaves this out of its BBV baseline ("this BBV
+//! implementation does not contain a next phase predictor") while noting
+//! that accurate prediction could reduce the recurring-phase
+//! identification latency — at the risk of wrong adaptations on
+//! mispredictions. This module provides the predictor so the ablation
+//! benches can quantify that trade-off.
+//!
+//! The predictor learns transitions keyed by *(current phase, run length)*:
+//! "after phase 3 has run for 5 intervals, phase 0 usually follows". Run
+//! lengths are bucketed logarithmically, as in the original hardware
+//! proposal's compressed tags.
+
+use crate::bbv::PhaseId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Buckets a run length logarithmically (1, 2, 3-4, 5-8, 9-16, …).
+fn bucket(run: u32) -> u32 {
+    32 - run.max(1).leading_zeros()
+}
+
+/// Per-key transition counts.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct TransitionCounts {
+    counts: HashMap<PhaseId, u64>,
+}
+
+impl TransitionCounts {
+    fn note(&mut self, next: PhaseId) {
+        *self.counts.entry(next).or_insert(0) += 1;
+    }
+
+    fn best(&self) -> Option<(PhaseId, u64, u64)> {
+        let total: u64 = self.counts.values().sum();
+        self.counts
+            .iter()
+            .max_by_key(|(p, c)| (**c, std::cmp::Reverse(p.0)))
+            .map(|(p, c)| (*p, *c, total))
+    }
+}
+
+/// Statistics of the predictor's own accuracy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PredictorStats {
+    /// Predictions issued (confident ones only).
+    pub predictions: u64,
+    /// Predictions that matched the next interval's phase.
+    pub correct: u64,
+}
+
+impl PredictorStats {
+    /// Fraction of confident predictions that were right.
+    pub fn accuracy(&self) -> f64 {
+        if self.predictions == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.predictions as f64
+        }
+    }
+}
+
+/// A run-length-encoded Markov next-phase predictor.
+///
+/// Feed every classified interval via [`PhasePredictor::observe`]; ask for
+/// the next interval's phase with [`PhasePredictor::predict`].
+///
+/// # Examples
+///
+/// ```
+/// use ace_phase::{PhasePredictor, PhaseId};
+/// let mut p = PhasePredictor::new(0.6);
+/// // Learn an A A B A A B ... pattern.
+/// for _ in 0..8 {
+///     p.observe(PhaseId(0));
+///     p.observe(PhaseId(0));
+///     p.observe(PhaseId(1));
+/// }
+/// p.observe(PhaseId(0));
+/// p.observe(PhaseId(0));
+/// assert_eq!(p.predict(), Some(PhaseId(1)));
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PhasePredictor {
+    /// (phase, run-length bucket) → next-phase counts.
+    table: HashMap<(PhaseId, u32), TransitionCounts>,
+    current: Option<PhaseId>,
+    run_length: u32,
+    /// Minimum fraction of past observations agreeing before a prediction
+    /// is issued (low-confidence entries predict "same phase continues").
+    confidence: f64,
+    stats: PredictorStats,
+    /// The prediction issued for the upcoming interval, for accuracy
+    /// accounting.
+    outstanding: Option<PhaseId>,
+}
+
+impl PhasePredictor {
+    /// Creates a predictor issuing predictions only when at least
+    /// `confidence` of prior observations agree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `confidence` is not within `(0, 1]`.
+    pub fn new(confidence: f64) -> PhasePredictor {
+        assert!(confidence > 0.0 && confidence <= 1.0, "confidence in (0,1]");
+        PhasePredictor { confidence, ..PhasePredictor::default() }
+    }
+
+    /// Accuracy statistics.
+    pub fn stats(&self) -> &PredictorStats {
+        &self.stats
+    }
+
+    /// Records the phase the just-finished interval was classified into.
+    pub fn observe(&mut self, phase: PhaseId) {
+        if let Some(predicted) = self.outstanding.take() {
+            self.stats.predictions += 1;
+            if predicted == phase {
+                self.stats.correct += 1;
+            }
+        }
+        match self.current {
+            Some(cur) if cur == phase => {
+                self.run_length = self.run_length.saturating_add(1);
+            }
+            Some(cur) => {
+                // Phase change: learn the transition at the closed run's
+                // length, then start the new run.
+                self.table
+                    .entry((cur, bucket(self.run_length)))
+                    .or_default()
+                    .note(phase);
+                self.current = Some(phase);
+                self.run_length = 1;
+            }
+            None => {
+                self.current = Some(phase);
+                self.run_length = 1;
+            }
+        }
+    }
+
+    /// Predicts the next interval's phase, or `None` when the history is
+    /// insufficient or below the confidence bar (callers should then assume
+    /// the current phase continues — the stability heuristic).
+    pub fn predict(&mut self) -> Option<PhaseId> {
+        let cur = self.current?;
+        let entry = self.table.get(&(cur, bucket(self.run_length)))?;
+        let (candidate, votes, total) = entry.best()?;
+        if votes as f64 >= self.confidence * total as f64 && total >= 2 {
+            self.outstanding = Some(candidate);
+            Some(candidate)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_periodic_pattern() {
+        let mut p = PhasePredictor::new(0.6);
+        for _ in 0..10 {
+            for id in [0u32, 0, 0, 1, 1] {
+                p.observe(PhaseId(id));
+            }
+        }
+        // After three intervals of phase 0, phase 1 follows.
+        p.observe(PhaseId(0));
+        p.observe(PhaseId(0));
+        p.observe(PhaseId(0));
+        assert_eq!(p.predict(), Some(PhaseId(1)));
+        // After one interval of phase 1, another phase-1 interval... the
+        // run continues, so no transition is learned mid-run; prediction at
+        // run length 1 of phase 1 says phase... the only transition seen
+        // from (1, len>=2) is to 0.
+        p.observe(PhaseId(1));
+        p.observe(PhaseId(1));
+        assert_eq!(p.predict(), Some(PhaseId(0)));
+    }
+
+    #[test]
+    fn no_prediction_without_history() {
+        let mut p = PhasePredictor::new(0.6);
+        assert_eq!(p.predict(), None);
+        p.observe(PhaseId(3));
+        assert_eq!(p.predict(), None, "no transition from phase 3 seen yet");
+    }
+
+    #[test]
+    fn low_confidence_suppresses_prediction() {
+        let mut p = PhasePredictor::new(0.9);
+        // Transitions from phase 0 split ~50/50 between 1 and 2.
+        for i in 0..20 {
+            p.observe(PhaseId(0));
+            p.observe(PhaseId(1 + (i % 2)));
+        }
+        p.observe(PhaseId(0));
+        assert_eq!(p.predict(), None, "50% agreement < 90% confidence");
+    }
+
+    #[test]
+    fn accuracy_accounting() {
+        let mut p = PhasePredictor::new(0.5);
+        for _ in 0..6 {
+            p.observe(PhaseId(0));
+            p.observe(PhaseId(1));
+        }
+        // On a strict alternation every prediction is issuable and right.
+        for i in 0..6u32 {
+            let pred = p.predict();
+            assert!(pred.is_some(), "iteration {i}");
+            p.observe(pred.unwrap());
+        }
+        assert_eq!(p.stats().predictions, 6);
+        assert!((p.stats().accuracy() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_length_buckets() {
+        assert_eq!(bucket(1), 1);
+        assert_eq!(bucket(2), 2);
+        assert_eq!(bucket(3), 2);
+        assert_eq!(bucket(4), 3);
+        assert_eq!(bucket(8), 4);
+        assert_eq!(bucket(16), 5);
+    }
+}

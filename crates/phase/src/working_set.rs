@@ -1,0 +1,220 @@
+//! Working-set-signature phase detection (Dhodapkar & Smith, ISCA 2002).
+//!
+//! An alternative temporal detector used for ablations: each sampling
+//! interval collects a lossy bit-vector signature of the memory lines (or
+//! code lines) touched; the *relative signature distance*
+//! `|A Δ B| / |A ∪ B|` between consecutive intervals detects phase changes.
+//! The paper's tuning algorithm is taken from this work; the detector
+//! itself lost to BBV in Dhodapkar & Smith's own comparison (MICRO 2003),
+//! which is why the paper's headline baseline is BBV.
+
+use serde::{Deserialize, Serialize};
+
+/// Working-set detector configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkingSetConfig {
+    /// Signature size in bits (power of two; the original uses 1024).
+    pub signature_bits: usize,
+    /// Granularity of a working-set element in bytes (cache-line sized).
+    pub granule_bytes: u64,
+    /// Relative distance above which consecutive intervals are different
+    /// phases (the original uses 0.5).
+    pub delta_threshold: f64,
+}
+
+impl Default for WorkingSetConfig {
+    fn default() -> Self {
+        WorkingSetConfig { signature_bits: 1024, granule_bytes: 64, delta_threshold: 0.5 }
+    }
+}
+
+/// A working-set signature: a lossy hashed bit vector.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Signature {
+    bits: Vec<u64>,
+}
+
+impl Signature {
+    fn new(nbits: usize) -> Signature {
+        Signature { bits: vec![0; nbits / 64] }
+    }
+
+    fn set(&mut self, hash: u64) {
+        let nbits = self.bits.len() * 64;
+        let b = (hash as usize) % nbits;
+        self.bits[b / 64] |= 1 << (b % 64);
+    }
+
+    fn clear(&mut self) {
+        for w in &mut self.bits {
+            *w = 0;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn population(&self) -> u32 {
+        self.bits.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Relative signature distance `|A Δ B| / |A ∪ B|` in `[0, 1]`.
+    pub fn distance(&self, other: &Signature) -> f64 {
+        let mut sym = 0u32;
+        let mut uni = 0u32;
+        for (a, b) in self.bits.iter().zip(&other.bits) {
+            sym += (a ^ b).count_ones();
+            uni += (a | b).count_ones();
+        }
+        if uni == 0 {
+            0.0
+        } else {
+            sym as f64 / uni as f64
+        }
+    }
+}
+
+/// Outcome of closing one working-set interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WsOutcome {
+    /// `true` when the interval's working set matches the previous one.
+    pub same_phase: bool,
+    /// Relative distance to the previous interval's signature.
+    pub distance: f64,
+    /// Set bits in this interval's signature (working-set size proxy).
+    pub population: u32,
+}
+
+/// The working-set phase detector.
+///
+/// # Examples
+///
+/// ```
+/// use ace_phase::{WorkingSetDetector, WorkingSetConfig};
+/// let mut d = WorkingSetDetector::new(WorkingSetConfig::default());
+/// for a in (0..8192u64).step_by(64) { d.note_access(a); }
+/// let _ = d.end_interval();
+/// for a in (0..8192u64).step_by(64) { d.note_access(a); }
+/// let out = d.end_interval();
+/// assert!(out.same_phase);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkingSetDetector {
+    config: WorkingSetConfig,
+    current: Signature,
+    previous: Option<Signature>,
+}
+
+impl WorkingSetDetector {
+    /// Creates a detector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signature_bits` is not a positive multiple of 64 or the
+    /// granule is not a power of two.
+    pub fn new(config: WorkingSetConfig) -> WorkingSetDetector {
+        assert!(
+            config.signature_bits >= 64 && config.signature_bits.is_multiple_of(64),
+            "signature bits must be a positive multiple of 64"
+        );
+        assert!(config.granule_bytes.is_power_of_two(), "granule must be a power of two");
+        WorkingSetDetector {
+            current: Signature::new(config.signature_bits),
+            previous: None,
+            config,
+        }
+    }
+
+    /// Records one memory reference.
+    #[inline]
+    pub fn note_access(&mut self, addr: u64) {
+        let granule = addr / self.config.granule_bytes;
+        // Fibonacci hash spreads granule numbers over the signature.
+        let hash = granule.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        self.current.set(hash);
+    }
+
+    /// Closes the interval, comparing against the previous one.
+    pub fn end_interval(&mut self) -> WsOutcome {
+        let population = self.current.population();
+        let (same_phase, distance) = match &self.previous {
+            Some(prev) => {
+                let d = prev.distance(&self.current);
+                (d <= self.config.delta_threshold, d)
+            }
+            None => (false, 1.0),
+        };
+        let mut finished = Signature::new(self.config.signature_bits);
+        std::mem::swap(&mut finished, &mut self.current);
+        self.previous = Some(finished);
+        self.current.clear();
+        WsOutcome { same_phase, distance, population }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_working_set_matches() {
+        let mut d = WorkingSetDetector::new(WorkingSetConfig::default());
+        for a in (0..65536u64).step_by(64) {
+            d.note_access(a);
+        }
+        let first = d.end_interval();
+        assert!(!first.same_phase, "nothing to compare against yet");
+        for a in (0..65536u64).step_by(64) {
+            d.note_access(a);
+        }
+        let second = d.end_interval();
+        assert!(second.same_phase);
+        assert!(second.distance < 0.01);
+    }
+
+    #[test]
+    fn disjoint_working_sets_differ() {
+        // Working sets well below signature saturation (256 granules into
+        // 1024 bits) so disjoint sets really map to disjoint bits.
+        let mut d = WorkingSetDetector::new(WorkingSetConfig::default());
+        for a in (0..16384u64).step_by(64) {
+            d.note_access(a);
+        }
+        d.end_interval();
+        for a in (0x100_0000..0x100_4000u64).step_by(64) {
+            d.note_access(a);
+        }
+        let out = d.end_interval();
+        assert!(!out.same_phase);
+        assert!(out.distance > 0.7, "distance {}", out.distance);
+    }
+
+    #[test]
+    fn population_tracks_set_size() {
+        let mut d = WorkingSetDetector::new(WorkingSetConfig::default());
+        for a in (0..4096u64).step_by(64) {
+            d.note_access(a);
+        }
+        let small = d.end_interval().population;
+        for a in (0..262144u64).step_by(64) {
+            d.note_access(a);
+        }
+        let large = d.end_interval().population;
+        assert!(large > small * 4, "larger set, more bits: {small} vs {large}");
+    }
+
+    #[test]
+    fn same_line_single_granule() {
+        let mut d = WorkingSetDetector::new(WorkingSetConfig::default());
+        d.note_access(0x100);
+        d.note_access(0x13f);
+        assert_eq!(d.end_interval().population, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 64")]
+    fn rejects_bad_bits() {
+        let _ = WorkingSetDetector::new(WorkingSetConfig {
+            signature_bits: 100,
+            ..WorkingSetConfig::default()
+        });
+    }
+}

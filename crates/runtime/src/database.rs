@@ -1,0 +1,179 @@
+//! The DO database: per-method runtime profiling state.
+//!
+//! The paper's DO system keeps one database entry per code block holding
+//! execution-frequency information, the hotspot's configuration list, and
+//! tuning results. Detection state lives here; the ACE manager (ace-core)
+//! attaches its tuning state per hotspot on top.
+
+use ace_workloads::MethodId;
+use serde::{Deserialize, Serialize};
+
+/// Size classification of a promoted hotspot (Section 3.2.1).
+///
+/// With the paper's reconfiguration intervals, hotspots of 50 K–500 K
+/// instructions adapt the L1 data cache and hotspots above 500 K adapt the
+/// L2. Smaller hotspots adapt nothing (but still exist as hotspots).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HotspotClass {
+    /// Below the smallest reconfiguration interval: no CU assigned.
+    TooSmall,
+    /// Small hotspots matched to the instruction window's 10 K-instruction
+    /// reconfiguration interval (only when the window CU is enabled).
+    Window,
+    /// 50 K–500 K instructions per invocation: tunes the L1D cache.
+    L1d,
+    /// Above 500 K instructions per invocation: tunes the L2 cache.
+    L2,
+}
+
+impl std::fmt::Display for HotspotClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HotspotClass::TooSmall => write!(f, "small"),
+            HotspotClass::Window => write!(f, "WIN"),
+            HotspotClass::L1d => write!(f, "L1D"),
+            HotspotClass::L2 => write!(f, "L2"),
+        }
+    }
+}
+
+/// Detection lifecycle of one method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MethodState {
+    /// Baseline-compiled; the DO system counts invocations.
+    Cold,
+    /// Promoted past `hot_threshold` and JIT-optimized; the next few
+    /// invocations measure its dynamic size to pick the CU subset.
+    Probing,
+    /// Classified; tuning/configuration code is installed at its
+    /// boundaries.
+    Hot(HotspotClass),
+}
+
+/// One method's database entry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MethodEntry {
+    /// Detection state.
+    pub state: MethodState,
+    /// Total invocations observed.
+    pub invocations: u64,
+    /// Inclusive dynamic instructions across all completed invocations.
+    pub total_instr: u64,
+    /// Instructions accumulated during the probing invocations.
+    pub probe_instr: u64,
+    /// Completed probing invocations.
+    pub probe_count: u32,
+    /// Mean inclusive instructions per invocation, fixed at classification.
+    pub avg_size: u64,
+    /// Machine instret when the method was promoted (for identification
+    /// latency accounting); `None` while cold.
+    pub promoted_at: Option<u64>,
+}
+
+impl Default for MethodEntry {
+    fn default() -> Self {
+        MethodEntry {
+            state: MethodState::Cold,
+            invocations: 0,
+            total_instr: 0,
+            probe_instr: 0,
+            probe_count: 0,
+            avg_size: 0,
+            promoted_at: None,
+        }
+    }
+}
+
+impl MethodEntry {
+    /// `true` once the method is a classified hotspot.
+    pub fn is_hot(&self) -> bool {
+        matches!(self.state, MethodState::Hot(_))
+    }
+
+    /// The hotspot class, if classified.
+    pub fn class(&self) -> Option<HotspotClass> {
+        match self.state {
+            MethodState::Hot(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+/// The database: one entry per method, indexed by [`MethodId`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DoDatabase {
+    entries: Vec<MethodEntry>,
+}
+
+impl DoDatabase {
+    /// Creates a database for `method_count` methods.
+    pub fn new(method_count: usize) -> DoDatabase {
+        DoDatabase { entries: vec![MethodEntry::default(); method_count] }
+    }
+
+    /// The entry for `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` does not belong to the program this database was
+    /// sized for.
+    pub fn entry(&self, m: MethodId) -> &MethodEntry {
+        &self.entries[m.0 as usize]
+    }
+
+    /// Mutable access to the entry for `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is out of range.
+    pub fn entry_mut(&mut self, m: MethodId) -> &mut MethodEntry {
+        &mut self.entries[m.0 as usize]
+    }
+
+    /// Iterates over `(MethodId, entry)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (MethodId, &MethodEntry)> {
+        self.entries.iter().enumerate().map(|(i, e)| (MethodId(i as u32), e))
+    }
+
+    /// Number of classified hotspots of `class`.
+    pub fn count_class(&self, class: HotspotClass) -> usize {
+        self.entries.iter().filter(|e| e.class() == Some(class)).count()
+    }
+
+    /// All classified hotspots.
+    pub fn hotspots(&self) -> impl Iterator<Item = (MethodId, &MethodEntry)> {
+        self.iter().filter(|(_, e)| e.is_hot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_entry_is_cold() {
+        let db = DoDatabase::new(3);
+        assert_eq!(db.entry(MethodId(0)).state, MethodState::Cold);
+        assert!(!db.entry(MethodId(2)).is_hot());
+        assert_eq!(db.entry(MethodId(1)).class(), None);
+    }
+
+    #[test]
+    fn class_counting() {
+        let mut db = DoDatabase::new(4);
+        db.entry_mut(MethodId(0)).state = MethodState::Hot(HotspotClass::L1d);
+        db.entry_mut(MethodId(1)).state = MethodState::Hot(HotspotClass::L1d);
+        db.entry_mut(MethodId(2)).state = MethodState::Hot(HotspotClass::L2);
+        assert_eq!(db.count_class(HotspotClass::L1d), 2);
+        assert_eq!(db.count_class(HotspotClass::L2), 1);
+        assert_eq!(db.count_class(HotspotClass::TooSmall), 0);
+        assert_eq!(db.hotspots().count(), 3);
+    }
+
+    #[test]
+    fn display_classes() {
+        assert_eq!(HotspotClass::L1d.to_string(), "L1D");
+        assert_eq!(HotspotClass::L2.to_string(), "L2");
+        assert_eq!(HotspotClass::TooSmall.to_string(), "small");
+    }
+}

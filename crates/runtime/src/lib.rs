@@ -1,0 +1,30 @@
+//! # ace-runtime — the dynamic optimization system model
+//!
+//! A stand-in for the Jikes Research Virtual Machine in the reproduction of
+//! *Effective Adaptive Computing Environment Management via Dynamic
+//! Optimization* (CGO 2005). It provides exactly the DO-system capabilities
+//! the paper's framework builds on (Figure 2):
+//!
+//! * **invocation counting** of baseline-compiled methods,
+//! * **hotspot promotion** once a method passes `hot_threshold`, with a
+//!   modeled JIT compilation cost charged to the simulated machine,
+//! * **size probing** over the next few invocations to classify the
+//!   hotspot as an L1D hotspot (50 K–500 K inclusive instructions per
+//!   invocation), an L2 hotspot (larger), or too small to adapt,
+//! * a **DO database** ([`DoDatabase`]) holding per-method profiling state,
+//! * **boundary instrumentation**: after classification, every entry/exit
+//!   of the hotspot is reported to the ACE manager ([`DoEvent`]) so tuning
+//!   code and, later, configuration code can run there.
+//!
+//! The adaptation policy itself (configuration lists, CU decoupling, best
+//! configuration selection) lives in `ace-core`; this crate is the
+//! substrate that tells it *where* and *when* hotspot boundaries occur.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod database;
+mod system;
+
+pub use database::{DoDatabase, HotspotClass, MethodEntry, MethodState};
+pub use system::{DoConfig, DoEvent, DoStats, DoSystem, Table4Row};

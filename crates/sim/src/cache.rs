@@ -1,0 +1,508 @@
+//! Set-associative, write-back, write-allocate cache with runtime resizing.
+//!
+//! A configurable cache shrinks or grows by halving/doubling its *set count*
+//! (associativity and line size stay fixed), matching the four sizes per
+//! unit in Table 2. Resizing follows the selective-sets model of the
+//! reconfigurable-cache literature the paper builds on:
+//!
+//! * **shrinking** disables the upper sets: their valid lines are
+//!   invalidated, and the dirty ones are written back to the next level —
+//!   the "thousands of cycles" reconfiguration overhead the paper cites;
+//! * **growing** re-enables sets: lines whose address now indexes a
+//!   different set are invalidated (dirty ones written back); lines whose
+//!   mapping is unchanged survive.
+//!
+//! Tags store the full line address, so surviving lines stay correct across
+//! index-width changes. The flush report lets the machine charge cycles and
+//! energy for every written-back line.
+//!
+//! Statistics are kept **per size level** so the energy model can later
+//! price each access at the energy of the configuration it actually hit.
+
+use crate::config::{CacheGeometry, SizeLevel, NUM_SIZE_LEVELS};
+use serde::{Deserialize, Serialize};
+
+/// A single cache line's metadata (tags only; no data payload is simulated).
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    lru: u64,
+    valid: bool,
+    dirty: bool,
+}
+
+/// Outcome of one cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Whether the reference hit.
+    pub hit: bool,
+    /// Address of a dirty line evicted to make room, if any. The caller is
+    /// responsible for propagating the writeback to the next level.
+    pub writeback: Option<u64>,
+}
+
+/// Outcome of a resize or flush: what the transition cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FlushReport {
+    /// Dirty lines written back to the next level.
+    pub dirty_lines: u64,
+    /// Valid lines invalidated (including the dirty ones).
+    pub valid_lines: u64,
+}
+
+/// Per-size-level access statistics for one cache.
+///
+/// Index `k` of each array accumulates events that occurred while the cache
+/// was at [`SizeLevel`] `k`. Non-configurable caches only ever use index 0.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Total references (loads + stores).
+    pub accesses: [u64; NUM_SIZE_LEVELS],
+    /// References that missed.
+    pub misses: [u64; NUM_SIZE_LEVELS],
+    /// Store references (subset of `accesses`).
+    pub stores: [u64; NUM_SIZE_LEVELS],
+    /// Dirty evictions due to replacement.
+    pub writebacks: [u64; NUM_SIZE_LEVELS],
+    /// Dirty lines written back by resize flushes, attributed to the level
+    /// being *left*.
+    pub flush_writebacks: [u64; NUM_SIZE_LEVELS],
+    /// Number of applied reconfigurations (attributed to the level left).
+    pub resizes: [u64; NUM_SIZE_LEVELS],
+}
+
+impl CacheStats {
+    /// Total references across all levels.
+    pub fn total_accesses(&self) -> u64 {
+        self.accesses.iter().sum()
+    }
+
+    /// Total misses across all levels.
+    pub fn total_misses(&self) -> u64 {
+        self.misses.iter().sum()
+    }
+
+    /// Global miss ratio, or 0.0 when there were no accesses.
+    pub fn miss_ratio(&self) -> f64 {
+        let a = self.total_accesses();
+        if a == 0 {
+            0.0
+        } else {
+            self.total_misses() as f64 / a as f64
+        }
+    }
+
+    /// Element-wise difference `self - earlier`; used to attribute events to
+    /// a region of execution (e.g. one hotspot invocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any counter of `earlier` exceeds `self`'s
+    /// (i.e. the snapshots are swapped).
+    pub fn delta_since(&self, earlier: &CacheStats) -> CacheStats {
+        fn sub(a: &[u64; NUM_SIZE_LEVELS], b: &[u64; NUM_SIZE_LEVELS]) -> [u64; NUM_SIZE_LEVELS] {
+            let mut out = [0; NUM_SIZE_LEVELS];
+            for i in 0..NUM_SIZE_LEVELS {
+                debug_assert!(a[i] >= b[i], "snapshot order reversed");
+                out[i] = a[i].wrapping_sub(b[i]);
+            }
+            out
+        }
+        CacheStats {
+            accesses: sub(&self.accesses, &earlier.accesses),
+            misses: sub(&self.misses, &earlier.misses),
+            stores: sub(&self.stores, &earlier.stores),
+            writebacks: sub(&self.writebacks, &earlier.writebacks),
+            flush_writebacks: sub(&self.flush_writebacks, &earlier.flush_writebacks),
+            resizes: sub(&self.resizes, &earlier.resizes),
+        }
+    }
+}
+
+/// A resizable set-associative cache model.
+///
+/// # Examples
+///
+/// ```
+/// use ace_sim::{Cache, CacheGeometry, SizeLevel};
+/// let geom = CacheGeometry { size_bytes: 8 * 1024, ways: 2, block_bytes: 64, hit_latency: 1 };
+/// let mut c = Cache::new(geom).unwrap();
+/// assert!(!c.access(0x1000, false).hit); // cold miss (set 0)
+/// assert!(!c.access(0xFC0, false).hit);  // cold miss (set 63)
+/// let report = c.resize(SizeLevel::new(1).unwrap()); // 32 sets remain
+/// assert!(c.access(0x1000, false).hit);  // set 0 survives the shrink
+/// assert!(!c.access(0xFC0, false).hit);  // set 63 was disabled
+/// assert_eq!(report.dirty_lines, 0);     // nothing was dirty
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    geom: CacheGeometry,
+    level: SizeLevel,
+    /// `log2(block_bytes)`.
+    offset_bits: u32,
+    /// Sets at the current level.
+    sets: u32,
+    /// Storage for the *maximum* set count; only the first `sets * ways`
+    /// entries are in use after a shrink.
+    lines: Vec<Line>,
+    /// Monotonic access counter for LRU ordering.
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates the cache at its largest size.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the geometry fails [`CacheGeometry::validate`].
+    pub fn new(geom: CacheGeometry) -> Result<Cache, crate::config::ConfigError> {
+        geom.validate()?;
+        let max_sets = geom.max_sets();
+        Ok(Cache {
+            geom,
+            level: SizeLevel::LARGEST,
+            offset_bits: geom.block_bytes.trailing_zeros(),
+            sets: max_sets,
+            lines: vec![Line::default(); (max_sets * geom.ways) as usize],
+            tick: 0,
+            stats: CacheStats::default(),
+        })
+    }
+
+    /// The static geometry (at the largest level).
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
+
+    /// The current size level.
+    pub fn level(&self) -> SizeLevel {
+        self.level
+    }
+
+    /// Current capacity in bytes.
+    pub fn current_size(&self) -> u64 {
+        self.geom.size_at(self.level)
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Splits an address into (full-line-address tag, set index) at the
+    /// current size.
+    fn index(&self, addr: u64) -> (u64, u32) {
+        let line_addr = addr >> self.offset_bits;
+        let set = (line_addr as u32) & (self.sets - 1);
+        (line_addr, set)
+    }
+
+    /// Performs one reference; `is_store` marks the line dirty on hit or
+    /// after allocation (write-allocate).
+    pub fn access(&mut self, addr: u64, is_store: bool) -> AccessOutcome {
+        let lvl = self.level.index();
+        self.stats.accesses[lvl] += 1;
+        if is_store {
+            self.stats.stores[lvl] += 1;
+        }
+        self.tick += 1;
+        let (tag, set) = self.index(addr);
+        let ways = self.geom.ways as usize;
+        let base = set as usize * ways;
+        let slots = &mut self.lines[base..base + ways];
+
+        // Hit path.
+        for line in slots.iter_mut() {
+            if line.valid && line.tag == tag {
+                line.lru = self.tick;
+                line.dirty |= is_store;
+                return AccessOutcome { hit: true, writeback: None };
+            }
+        }
+
+        // Miss: choose the LRU victim (preferring invalid slots).
+        self.stats.misses[lvl] += 1;
+        let mut victim = 0usize;
+        let mut best = u64::MAX;
+        for (i, line) in slots.iter().enumerate() {
+            if !line.valid {
+                victim = i;
+                break;
+            }
+            if line.lru < best {
+                best = line.lru;
+                victim = i;
+            }
+        }
+        let v = &mut slots[victim];
+        let writeback = if v.valid && v.dirty {
+            Some(v.tag << self.offset_bits)
+        } else {
+            None
+        };
+        v.valid = true;
+        v.dirty = is_store;
+        v.tag = tag;
+        v.lru = self.tick;
+        if writeback.is_some() {
+            self.stats.writebacks[lvl] += 1;
+        }
+        AccessOutcome { hit: false, writeback }
+    }
+
+    /// Probes for residency without updating LRU state or statistics.
+    pub fn contains(&self, addr: u64) -> bool {
+        let (tag, set) = self.index(addr);
+        let ways = self.geom.ways as usize;
+        let base = set as usize * ways;
+        self.lines[base..base + ways]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Changes the cache to `new_level` using selective-sets resizing.
+    ///
+    /// Shrinking invalidates the disabled sets; growing invalidates lines
+    /// whose set mapping changes under the wider index. In both directions
+    /// dirty casualties are written back and counted in the report (and in
+    /// [`CacheStats::flush_writebacks`] at the level being left) so the
+    /// caller can charge writeback cycles and next-level traffic. Resizing
+    /// to the current level is a no-op returning an empty report.
+    pub fn resize(&mut self, new_level: SizeLevel) -> FlushReport {
+        if new_level == self.level {
+            return FlushReport::default();
+        }
+        let old = self.level.index();
+        let old_sets = self.sets;
+        let new_sets = self.geom.sets_at(new_level);
+        let ways = self.geom.ways as usize;
+        let mut report = FlushReport::default();
+
+        if new_sets < old_sets {
+            // Disable the upper sets. Surviving sets keep their lines:
+            // for s < new_sets, line_addr & (new_sets-1) == s still holds.
+            for slot in &mut self.lines[new_sets as usize * ways..old_sets as usize * ways] {
+                if slot.valid {
+                    report.valid_lines += 1;
+                    if slot.dirty {
+                        report.dirty_lines += 1;
+                    }
+                }
+                *slot = Line::default();
+            }
+        } else {
+            // Re-enable sets: lines that would now index elsewhere must go.
+            let new_mask = (new_sets - 1) as u64;
+            for set in 0..old_sets {
+                for slot in &mut self.lines[set as usize * ways..(set as usize + 1) * ways] {
+                    if slot.valid && (slot.tag & new_mask) != set as u64 {
+                        report.valid_lines += 1;
+                        if slot.dirty {
+                            report.dirty_lines += 1;
+                        }
+                        *slot = Line::default();
+                    }
+                }
+            }
+        }
+
+        self.stats.flush_writebacks[old] += report.dirty_lines;
+        self.stats.resizes[old] += 1;
+        self.level = new_level;
+        self.sets = new_sets;
+        report
+    }
+
+    /// Writes back and invalidates every line without changing the size.
+    pub fn flush(&mut self) -> FlushReport {
+        let mut report = FlushReport::default();
+        let in_use = (self.sets * self.geom.ways) as usize;
+        for line in &mut self.lines[..in_use] {
+            if line.valid {
+                report.valid_lines += 1;
+                if line.dirty {
+                    report.dirty_lines += 1;
+                }
+            }
+            *line = Line::default();
+        }
+        report
+    }
+
+    /// Number of currently valid lines (test/diagnostic helper).
+    pub fn valid_lines(&self) -> u64 {
+        let in_use = (self.sets * self.geom.ways) as usize;
+        self.lines[..in_use].iter().filter(|l| l.valid).count() as u64
+    }
+
+    /// Number of currently dirty lines (test/diagnostic helper).
+    pub fn dirty_lines(&self) -> u64 {
+        let in_use = (self.sets * self.geom.ways) as usize;
+        self.lines[..in_use].iter().filter(|l| l.valid && l.dirty).count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        Cache::new(CacheGeometry {
+            size_bytes: 8 * 1024,
+            ways: 2,
+            block_bytes: 64,
+            hit_latency: 1,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = small();
+        assert!(!c.access(0x40, false).hit);
+        assert!(c.access(0x40, false).hit);
+        assert!(c.access(0x7f, false).hit, "same line");
+        assert!(!c.access(0x80, false).hit, "next line");
+        assert_eq!(c.stats().total_accesses(), 4);
+        assert_eq!(c.stats().total_misses(), 2);
+    }
+
+    #[test]
+    fn lru_replacement_within_set() {
+        let mut c = small();
+        // 8KB, 2-way, 64B lines -> 64 sets; addresses 64*64 apart share a set.
+        let stride = 64 * 64;
+        c.access(0, false);
+        c.access(stride, false);
+        c.access(0, false); // make line 0 MRU
+        let out = c.access(2 * stride, false); // evicts `stride`
+        assert!(!out.hit);
+        assert!(c.contains(0));
+        assert!(!c.contains(stride));
+        assert!(c.contains(2 * stride));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback_address() {
+        let mut c = small();
+        let stride = 64 * 64;
+        c.access(0x100, true); // dirty
+        c.access(0x100 + stride, false);
+        let out = c.access(0x100 + 2 * stride, false);
+        assert_eq!(out.writeback, Some(0x100 & !63));
+        assert_eq!(c.stats().writebacks[0], 1);
+    }
+
+    #[test]
+    fn store_allocate_marks_dirty() {
+        let mut c = small();
+        c.access(0x200, true);
+        assert_eq!(c.dirty_lines(), 1);
+        c.access(0x200, false);
+        assert_eq!(c.dirty_lines(), 1, "load does not clean the line");
+    }
+
+    #[test]
+    fn shrink_evicts_only_disabled_sets() {
+        let mut c = small(); // 64 sets at level 0; 16 sets at level 2.
+        // Lines in surviving sets 0..3 and in disabled sets 20..22.
+        c.access(0, true);
+        c.access(64, false);
+        c.access(20 * 64, true);
+        c.access(21 * 64, true);
+        c.access(22 * 64, false);
+        let report = c.resize(SizeLevel::new(2).unwrap());
+        assert_eq!(report.valid_lines, 3, "only the disabled sets' lines go");
+        assert_eq!(report.dirty_lines, 2);
+        assert_eq!(c.current_size(), 2 * 1024);
+        assert!(c.contains(0), "surviving set keeps its line");
+        assert!(c.contains(64));
+        assert!(!c.contains(20 * 64));
+        assert_eq!(c.stats().flush_writebacks[0], 2);
+        assert_eq!(c.stats().resizes[0], 1);
+        // Subsequent accesses are attributed to the new level.
+        c.access(0, false);
+        assert_eq!(c.stats().accesses[2], 1);
+    }
+
+    #[test]
+    fn grow_evicts_remapped_lines_only() {
+        let mut c = small();
+        c.resize(SizeLevel::new(2).unwrap()); // 16 sets
+        // Two lines sharing set 0 at 16 sets: line 0 (set 0 at 64 sets too)
+        // and line 16 (set 16 at 64 sets: remapped on grow).
+        c.access(0, true);
+        c.access(16 * 64, true);
+        let report = c.resize(SizeLevel::LARGEST);
+        assert_eq!(report.valid_lines, 1, "only the remapped line is dropped");
+        assert_eq!(report.dirty_lines, 1);
+        assert!(c.contains(0));
+        assert!(!c.contains(16 * 64));
+    }
+
+    #[test]
+    fn resize_to_same_level_is_noop() {
+        let mut c = small();
+        c.access(0, true);
+        let report = c.resize(SizeLevel::LARGEST);
+        assert_eq!(report, FlushReport::default());
+        assert!(c.contains(0));
+    }
+
+    #[test]
+    fn shrink_reduces_capacity_behaviorally() {
+        let mut c = small(); // 8 KB
+        // Touch a 4 KB working set: fits at level 0.
+        for a in (0..4096).step_by(64) {
+            c.access(a, false);
+        }
+        let misses_before = c.stats().total_misses();
+        for a in (0..4096).step_by(64) {
+            c.access(a, false);
+        }
+        assert_eq!(c.stats().total_misses(), misses_before, "fits at 8 KB");
+        // At 2 KB (level 2) the same working set must thrash.
+        c.resize(SizeLevel::new(2).unwrap());
+        for _round in 0..2 {
+            for a in (0..4096).step_by(64) {
+                c.access(a, false);
+            }
+        }
+        let lvl2 = 2;
+        assert!(
+            c.stats().misses[lvl2] > 64,
+            "4 KB working set thrashes a 2 KB cache: {} misses",
+            c.stats().misses[lvl2]
+        );
+    }
+
+    #[test]
+    fn delta_since_subtracts() {
+        let mut c = small();
+        c.access(0, false);
+        let snap = *c.stats();
+        c.access(64, true);
+        c.access(64, true);
+        let d = c.stats().delta_since(&snap);
+        assert_eq!(d.total_accesses(), 2);
+        assert_eq!(d.stores[0], 2);
+        assert_eq!(d.total_misses(), 1);
+    }
+
+    #[test]
+    fn grow_after_shrink_restores_capacity() {
+        let mut c = small();
+        c.resize(SizeLevel::SMALLEST);
+        assert_eq!(c.current_size(), 1024);
+        c.resize(SizeLevel::LARGEST);
+        assert_eq!(c.current_size(), 8 * 1024);
+        // All sets usable again.
+        for a in (0..8192).step_by(64) {
+            c.access(a, false);
+        }
+        for a in (0..8192).step_by(64) {
+            assert!(c.contains(a), "line {a:#x} resident after fill");
+        }
+    }
+}

@@ -1,0 +1,671 @@
+//! The simulated machine: pipeline timing, memory hierarchy, and the
+//! hardware support for adaptive computing (Section 3.4 of the paper).
+//!
+//! # Timing model
+//!
+//! Blocks retire at the issue width unless stalled. Stall sources:
+//!
+//! * branch mispredictions (fixed penalty),
+//! * L1I misses (fetch stalls, fully exposed),
+//! * data misses: the L2-hit portion scaled by `l2_hit_exposure_pct`
+//!   (short fills hide almost completely under the 64-entry window) and
+//!   the memory-latency portion by `miss_exposure_pct` (long fills expose
+//!   more), with store misses further discounted because they drain
+//!   through the write buffer,
+//! * DTLB misses (software walk, fully exposed),
+//! * reconfiguration flushes (dirty writebacks at a per-line cost).
+//!
+//! # Hardware support for adaptation
+//!
+//! Each configurable unit has a *control register* (its current
+//! [`SizeLevel`]) and a *last-reconfiguration counter*. A reconfiguration
+//! request arriving earlier than the unit's reconfiguration interval since
+//! the previous applied change is ignored without modifying the
+//! configuration — exactly the guard described in Section 3.4. This frees
+//! the software framework from tracking minimum intervals itself.
+
+use crate::branch::{BranchPredictor, BranchStats};
+use crate::cache::{Cache, CacheStats, FlushReport};
+use crate::config::{ConfigError, MachineConfig, SizeLevel, NUM_SIZE_LEVELS};
+use crate::tlb::{Tlb, TlbStats};
+use crate::trace::Block;
+use serde::{Deserialize, Serialize};
+
+/// The configurable units of the evaluated ACE: the paper's two caches
+/// plus the instruction window it reports as work in progress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CuKind {
+    /// The instruction window / ROB (10 K-instruction reconfiguration
+    /// interval; the extension CU of Section 4.1).
+    Window,
+    /// The L1 data cache (100 K-instruction reconfiguration interval).
+    L1d,
+    /// The unified L2 cache (1 M-instruction reconfiguration interval).
+    L2,
+}
+
+impl CuKind {
+    /// All configurable units, in tuning order (cheapest first).
+    pub const ALL: [CuKind; 3] = [CuKind::Window, CuKind::L1d, CuKind::L2];
+}
+
+impl std::fmt::Display for CuKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CuKind::Window => write!(f, "WIN"),
+            CuKind::L1d => write!(f, "L1D"),
+            CuKind::L2 => write!(f, "L2"),
+        }
+    }
+}
+
+/// Result of a reconfiguration request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReconfigOutcome {
+    /// The control register was updated; the flush overhead was charged.
+    Applied(FlushReport),
+    /// The request arrived within the unit's reconfiguration interval and
+    /// was ignored by the hardware guard.
+    TooSoon {
+        /// Instructions remaining until the guard reopens.
+        remaining: u64,
+    },
+    /// The unit was already at the requested level; nothing happened.
+    Unchanged,
+}
+
+impl ReconfigOutcome {
+    /// `true` if the configuration now equals the requested one.
+    pub fn in_effect(&self) -> bool {
+        matches!(self, ReconfigOutcome::Applied(_) | ReconfigOutcome::Unchanged)
+    }
+}
+
+/// A full snapshot of the machine's counters.
+///
+/// Cheap to clone; tuning code snapshots counters at hotspot entry and
+/// subtracts at exit via [`MachineCounters::delta_since`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MachineCounters {
+    /// Instructions retired.
+    pub instret: u64,
+    /// Cycles elapsed.
+    pub cycles: u64,
+    /// L1 instruction cache statistics (level 0 only).
+    pub l1i: CacheStats,
+    /// L1 data cache statistics, per size level.
+    pub l1d: CacheStats,
+    /// L2 cache statistics, per size level.
+    pub l2: CacheStats,
+    /// DTLB statistics.
+    pub dtlb: TlbStats,
+    /// Branch predictor statistics.
+    pub branch: BranchStats,
+    /// Cycles spent while the L1D was at each size level (for leakage).
+    pub l1d_cycles: [u64; NUM_SIZE_LEVELS],
+    /// Cycles spent while the L2 was at each size level (for leakage).
+    pub l2_cycles: [u64; NUM_SIZE_LEVELS],
+    /// Cycles spent while the instruction window was at each level.
+    #[serde(default)]
+    pub window_cycles: [u64; NUM_SIZE_LEVELS],
+    /// Instructions retired while the window was at each level (the
+    /// per-instruction issue-energy accounting).
+    #[serde(default)]
+    pub window_instr: [u64; NUM_SIZE_LEVELS],
+    /// Applied window reconfigurations, per level left.
+    #[serde(default)]
+    pub window_resizes: [u64; NUM_SIZE_LEVELS],
+    /// Reconfiguration requests rejected by the hardware interval guard.
+    pub guard_rejections: u64,
+}
+
+impl MachineCounters {
+    /// Counter difference `self - earlier`.
+    pub fn delta_since(&self, earlier: &MachineCounters) -> MachineCounters {
+        fn sub4(a: &[u64; NUM_SIZE_LEVELS], b: &[u64; NUM_SIZE_LEVELS]) -> [u64; NUM_SIZE_LEVELS] {
+            let mut out = [0; NUM_SIZE_LEVELS];
+            for i in 0..NUM_SIZE_LEVELS {
+                out[i] = a[i] - b[i];
+            }
+            out
+        }
+        MachineCounters {
+            instret: self.instret - earlier.instret,
+            cycles: self.cycles - earlier.cycles,
+            l1i: self.l1i.delta_since(&earlier.l1i),
+            l1d: self.l1d.delta_since(&earlier.l1d),
+            l2: self.l2.delta_since(&earlier.l2),
+            dtlb: self.dtlb.delta_since(&earlier.dtlb),
+            branch: self.branch.delta_since(&earlier.branch),
+            l1d_cycles: sub4(&self.l1d_cycles, &earlier.l1d_cycles),
+            l2_cycles: sub4(&self.l2_cycles, &earlier.l2_cycles),
+            window_cycles: sub4(&self.window_cycles, &earlier.window_cycles),
+            window_instr: sub4(&self.window_instr, &earlier.window_instr),
+            window_resizes: sub4(&self.window_resizes, &earlier.window_resizes),
+            guard_rejections: self.guard_rejections - earlier.guard_rejections,
+        }
+    }
+
+    /// Instructions per cycle over this snapshot, or 0.0 if no cycles.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instret as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// The simulated machine.
+///
+/// # Examples
+///
+/// ```
+/// use ace_sim::{Machine, MachineConfig, Block, MemAccess};
+/// let mut m = Machine::new(MachineConfig::table2())?;
+/// let block = Block {
+///     pc: 0x400,
+///     ninstr: 16,
+///     accesses: vec![MemAccess::load(0x1_0000)],
+///     branch: None,
+/// };
+/// m.exec_block(&block);
+/// assert_eq!(m.counters().instret, 16);
+/// assert!(m.counters().cycles > 0);
+/// # Ok::<(), ace_sim::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine {
+    cfg: MachineConfig,
+    l1i: Cache,
+    l1d: Cache,
+    l2: Cache,
+    dtlb: Tlb,
+    predictor: BranchPredictor,
+    counters: MachineCounters,
+    /// Fractional-issue accumulator (instructions not yet converted to cycles).
+    issue_acc: u64,
+    /// Residual per-mille of exposed stall cycles not yet charged.
+    stall_acc: u64,
+    /// Current instruction-window level (the window's control register).
+    window_level: SizeLevel,
+    /// Instret at the last applied reconfiguration, per unit.
+    last_reconfig: [Option<u64>; 3],
+}
+
+impl Machine {
+    /// Builds a machine from `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `cfg` fails validation.
+    pub fn new(cfg: MachineConfig) -> Result<Machine, ConfigError> {
+        cfg.validate()?;
+        Ok(Machine {
+            l1i: Cache::new(cfg.l1i)?,
+            l1d: Cache::new(cfg.l1d)?,
+            l2: Cache::new(cfg.l2)?,
+            dtlb: Tlb::new(cfg.dtlb_entries, cfg.page_bytes),
+            predictor: BranchPredictor::new(cfg.predictor_entries),
+            counters: MachineCounters::default(),
+            issue_acc: 0,
+            stall_acc: 0,
+            window_level: SizeLevel::LARGEST,
+            last_reconfig: [None; 3],
+            cfg,
+        })
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Current counter values.
+    pub fn counters(&self) -> &MachineCounters {
+        &self.counters
+    }
+
+    /// Instructions retired so far.
+    pub fn instret(&self) -> u64 {
+        self.counters.instret
+    }
+
+    /// Cycles elapsed so far.
+    pub fn cycles(&self) -> u64 {
+        self.counters.cycles
+    }
+
+    /// Current size level of `cu` (the control register value).
+    pub fn level(&self, cu: CuKind) -> SizeLevel {
+        match cu {
+            CuKind::Window => self.window_level,
+            CuKind::L1d => self.l1d.level(),
+            CuKind::L2 => self.l2.level(),
+        }
+    }
+
+    /// The reconfiguration interval of `cu` in instructions.
+    pub fn reconfig_interval(&self, cu: CuKind) -> u64 {
+        match cu {
+            CuKind::Window => self.cfg.window_reconfig_interval,
+            CuKind::L1d => self.cfg.l1d_reconfig_interval,
+            CuKind::L2 => self.cfg.l2_reconfig_interval,
+        }
+    }
+
+    /// Advances time by `cycles` without retiring instructions, attributing
+    /// leakage time to the caches' current levels. Used to charge software
+    /// overheads such as JIT compilation.
+    pub fn add_overhead_cycles(&mut self, cycles: u64) {
+        self.counters.cycles += cycles;
+        self.counters.l1d_cycles[self.l1d.level().index()] += cycles;
+        self.counters.l2_cycles[self.l2.level().index()] += cycles;
+        self.counters.window_cycles[self.window_level.index()] += cycles;
+    }
+
+    /// Executes one dynamic block, updating all structures and counters.
+    pub fn exec_block(&mut self, block: &Block) {
+        let mut stalls: u64 = 0;
+
+        // Instruction fetch: one L1I probe per block.
+        let i_out = self.l1i.access(block.pc, false);
+        if !i_out.hit {
+            let l2_out = self.l2.access(block.pc, false);
+            stalls += self.cfg.l2.hit_latency as u64;
+            if !l2_out.hit {
+                stalls += self.cfg.mem_latency as u64;
+            }
+        }
+
+        // Data references.
+        let mut data_stall_milli: u64 = 0;
+        for acc in &block.accesses {
+            if !self.dtlb.translate(acc.addr) {
+                stalls += self.cfg.tlb_miss_penalty as u64;
+            }
+            let out = self.l1d.access(acc.addr, acc.is_store);
+            if let Some(wb) = out.writeback {
+                // Dirty L1D eviction drains into the L2.
+                let l2wb = self.l2.access(wb, true);
+                if let Some(_mem_wb) = l2wb.writeback {
+                    // L2 dirty eviction goes to memory; no stall (buffered).
+                }
+            }
+            if !out.hit {
+                let fill = self.l2.access(acc.addr, false);
+                // Milli-cycles: latency * 1000 * exposure% / 100.
+                let mut penalty_milli =
+                    self.cfg.l2.hit_latency as u64 * self.cfg.l2_hit_exposure_pct as u64 * 10;
+                if !fill.hit {
+                    penalty_milli +=
+                        self.cfg.mem_latency as u64 * self.cfg.miss_exposure_pct as u64 * 10;
+                }
+                if acc.is_store {
+                    penalty_milli = penalty_milli * self.cfg.store_stall_pct as u64 / 100;
+                }
+                data_stall_milli += penalty_milli;
+            }
+        }
+        // A smaller instruction window extracts less memory-level
+        // parallelism: scale the exposed data stalls by the window level's
+        // multiplier. Hit-dominated code is unaffected, which is what lets
+        // small hotspots shrink the window for free.
+        let wf = self.cfg.window_exposure_permille[self.window_level.index()] as u64;
+        // Carry the sub-cycle residue so long runs are exact.
+        let exposed = data_stall_milli * wf / 1000 + self.stall_acc;
+        stalls += exposed / 1000;
+        self.stall_acc = exposed % 1000;
+
+        // Branch resolution.
+        if let Some(br) = block.branch {
+            if !self.predictor.predict_and_update(br.pc, br.taken) {
+                stalls += self.cfg.mispredict_penalty as u64;
+            }
+        }
+
+        // Base issue bandwidth.
+        self.issue_acc += block.ninstr as u64;
+        let base = self.issue_acc / self.cfg.issue_width as u64;
+        self.issue_acc %= self.cfg.issue_width as u64;
+
+        self.counters.instret += block.ninstr as u64;
+        self.counters.window_instr[self.window_level.index()] += block.ninstr as u64;
+        let delta = base + stalls;
+        self.counters.cycles += delta;
+        self.counters.l1d_cycles[self.l1d.level().index()] += delta;
+        self.counters.l2_cycles[self.l2.level().index()] += delta;
+        self.counters.window_cycles[self.window_level.index()] += delta;
+        self.sync_stats();
+    }
+
+    /// Copies sub-structure stats into the counters snapshot.
+    fn sync_stats(&mut self) {
+        self.counters.l1i = *self.l1i.stats();
+        self.counters.l1d = *self.l1d.stats();
+        self.counters.l2 = *self.l2.stats();
+        self.counters.dtlb = *self.dtlb.stats();
+        self.counters.branch = *self.predictor.stats();
+    }
+
+    /// Requests that `cu`'s control register be set to `level`.
+    ///
+    /// The hardware guard ignores requests arriving within the unit's
+    /// reconfiguration interval of the last applied change
+    /// ([`ReconfigOutcome::TooSoon`]). An applied change flushes the cache:
+    /// dirty lines are written back (L1D lines drain into the L2; L2 lines
+    /// drain to memory) and the flush cycles are charged.
+    pub fn request_resize(&mut self, cu: CuKind, level: SizeLevel) -> ReconfigOutcome {
+        let now = self.counters.instret;
+        let idx = match cu {
+            CuKind::Window => 0,
+            CuKind::L1d => 1,
+            CuKind::L2 => 2,
+        };
+        let current = self.level(cu);
+        if current == level {
+            return ReconfigOutcome::Unchanged;
+        }
+        if let Some(last) = self.last_reconfig[idx] {
+            let interval = self.reconfig_interval(cu);
+            if now < last + interval {
+                self.counters.guard_rejections += 1;
+                return ReconfigOutcome::TooSoon { remaining: last + interval - now };
+            }
+        }
+        self.last_reconfig[idx] = Some(now);
+        let report = self.apply_resize(cu, level);
+        ReconfigOutcome::Applied(report)
+    }
+
+    /// Immediately applies a resize, bypassing the interval guard. Used by
+    /// oracle/static experiments; runtime adaptation should go through
+    /// [`Machine::request_resize`].
+    pub fn apply_resize(&mut self, cu: CuKind, level: SizeLevel) -> FlushReport {
+        if cu == CuKind::Window {
+            // Resizing the window drains the pipeline: a short fixed stall,
+            // no cache state is lost.
+            if level != self.window_level {
+                self.counters.window_resizes[self.window_level.index()] += 1;
+                self.window_level = level;
+                self.add_overhead_cycles(30);
+            }
+            return FlushReport::default();
+        }
+        let report = match cu {
+            CuKind::L1d => self.l1d.resize(level),
+            CuKind::L2 => self.l2.resize(level),
+            CuKind::Window => unreachable!(),
+        };
+        // Drain L1D dirty lines into the L2 (they are L2 store traffic).
+        if cu == CuKind::L1d && report.dirty_lines > 0 {
+            for i in 0..report.dirty_lines {
+                // Distinct line addresses in a reserved region: the energy
+                // and traffic accounting is what matters, not the addresses.
+                let addr = 0xF000_0000_0000 + i * self.cfg.l2.block_bytes as u64;
+                let _ = self.l2.access(addr, true);
+            }
+        }
+        let flush_cycles = report.dirty_lines * self.cfg.flush_writeback_cycles as u64;
+        self.add_overhead_cycles(flush_cycles);
+        self.sync_stats();
+        report
+    }
+
+    /// Instructions until `cu`'s guard reopens (0 when a request would be
+    /// applied immediately).
+    pub fn guard_remaining(&self, cu: CuKind) -> u64 {
+        let idx = match cu {
+            CuKind::Window => 0,
+            CuKind::L1d => 1,
+            CuKind::L2 => 2,
+        };
+        match self.last_reconfig[idx] {
+            Some(last) => {
+                (last + self.reconfig_interval(cu)).saturating_sub(self.counters.instret)
+            }
+            None => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{BranchEvent, MemAccess};
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::table2()).unwrap()
+    }
+
+    fn block(pc: u64, ninstr: u32, accesses: Vec<MemAccess>) -> Block {
+        Block { pc, ninstr, accesses, branch: None }
+    }
+
+    #[test]
+    fn issue_width_limits_ipc() {
+        let mut m = machine();
+        // Same block repeatedly: after warmup no misses, IPC -> issue width.
+        let b = block(0x400, 16, vec![MemAccess::load(0x1000)]);
+        for _ in 0..1000 {
+            m.exec_block(&b);
+        }
+        let ipc = m.counters().ipc();
+        assert!(ipc > 3.5 && ipc <= 4.0, "steady IPC near width, got {ipc}");
+    }
+
+    #[test]
+    fn misses_add_stalls() {
+        let mut m = machine();
+        let hit = block(0x400, 8, vec![MemAccess::load(0x1000)]);
+        for _ in 0..100 {
+            m.exec_block(&hit);
+        }
+        let before = m.counters().clone();
+        // Stream through 16 MB: misses in both L1D and L2.
+        let mut misses = Vec::new();
+        for i in 0..1000u64 {
+            misses.push(MemAccess::load(0x100_0000 + i * 4096));
+        }
+        m.exec_block(&Block { pc: 0x400, ninstr: 8, accesses: misses, branch: None });
+        let d = m.counters().delta_since(&before);
+        assert!(d.cycles > 1000, "misses must stall, got {} cycles", d.cycles);
+        assert!(d.l2.total_misses() > 900);
+    }
+
+    #[test]
+    fn mispredicts_charge_penalty() {
+        let mut m = machine();
+        let mut taken = false;
+        let mut base = 0;
+        // Random-ish outcomes on many PCs to defeat the predictor.
+        let mut x = 1u64;
+        for i in 0..2000u64 {
+            x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            taken = (x >> 63) != 0;
+            let b = Block {
+                pc: 0x400,
+                ninstr: 4,
+                accesses: vec![],
+                branch: Some(BranchEvent { pc: 0x800 + (i % 64) * 4, taken }),
+            };
+            m.exec_block(&b);
+            base += 1;
+        }
+        let _ = (taken, base);
+        let c = m.counters();
+        assert!(c.branch.mispredicts > 300, "got {}", c.branch.mispredicts);
+        // Each mispredict costs 3 cycles on top of base 1 cycle/block.
+        assert!(c.cycles >= 2000 + 3 * c.branch.mispredicts);
+    }
+
+    #[test]
+    fn guard_blocks_rapid_reconfiguration() {
+        let mut m = machine();
+        let l1 = SizeLevel::new(1).unwrap();
+        assert!(matches!(m.request_resize(CuKind::L1d, l1), ReconfigOutcome::Applied(_)));
+        // Immediately asking again (different level) is too soon.
+        let l2 = SizeLevel::new(2).unwrap();
+        assert!(matches!(m.request_resize(CuKind::L1d, l2), ReconfigOutcome::TooSoon { .. }));
+        assert_eq!(m.counters().guard_rejections, 1);
+        // Retire 100K instructions, then it works.
+        let b = block(0x400, 1000, vec![]);
+        for _ in 0..100 {
+            m.exec_block(&b);
+        }
+        assert!(matches!(m.request_resize(CuKind::L1d, l2), ReconfigOutcome::Applied(_)));
+        assert_eq!(m.level(CuKind::L1d), l2);
+    }
+
+    #[test]
+    fn unchanged_request_is_free() {
+        let mut m = machine();
+        assert_eq!(
+            m.request_resize(CuKind::L1d, SizeLevel::LARGEST),
+            ReconfigOutcome::Unchanged
+        );
+        assert_eq!(m.counters().guard_rejections, 0);
+    }
+
+    #[test]
+    fn l1d_flush_drains_into_l2() {
+        let mut m = machine();
+        // Dirty 100 lines spread across the upper sets (sets 412..511 of
+        // 512), which a shrink to 256 sets disables.
+        for i in 0..100u64 {
+            m.exec_block(&block(0x400, 4, vec![MemAccess::store((412 + i) * 64)]));
+        }
+        let l2_before = m.counters().l2.total_accesses();
+        let out = m.request_resize(CuKind::L1d, SizeLevel::new(1).unwrap());
+        match out {
+            ReconfigOutcome::Applied(report) => assert_eq!(report.dirty_lines, 100),
+            other => panic!("expected Applied, got {other:?}"),
+        }
+        let l2_after = m.counters().l2.total_accesses();
+        assert!(l2_after >= l2_before + 50, "writebacks become L2 traffic");
+    }
+
+    #[test]
+    fn overhead_cycles_attributed_to_levels() {
+        let mut m = machine();
+        m.apply_resize(CuKind::L2, SizeLevel::new(3).unwrap());
+        m.add_overhead_cycles(500);
+        assert_eq!(m.counters().l2_cycles[3], 500);
+        assert_eq!(m.counters().l1d_cycles[0], 500);
+    }
+
+    #[test]
+    fn smaller_l1d_misses_more() {
+        let cfgs = [SizeLevel::LARGEST, SizeLevel::SMALLEST];
+        let mut miss_ratios = Vec::new();
+        for lvl in cfgs {
+            let mut m = machine();
+            m.apply_resize(CuKind::L1d, lvl);
+            // 32 KB working set streamed repeatedly.
+            for _round in 0..20 {
+                for a in (0..32768u64).step_by(64) {
+                    m.exec_block(&block(0x400, 4, vec![MemAccess::load(0x2_0000 + a)]));
+                }
+            }
+            miss_ratios.push(m.counters().l1d.miss_ratio());
+        }
+        assert!(
+            miss_ratios[1] > miss_ratios[0] * 2.0,
+            "8 KB misses far more than 64 KB on a 32 KB set: {miss_ratios:?}"
+        );
+    }
+
+    #[test]
+    fn ipc_degrades_with_tiny_caches() {
+        let mut big = machine();
+        let mut small = machine();
+        small.apply_resize(CuKind::L1d, SizeLevel::SMALLEST);
+        small.apply_resize(CuKind::L2, SizeLevel::SMALLEST);
+        for m in [&mut big, &mut small] {
+            for _round in 0..10 {
+                for a in (0..262144u64).step_by(64) {
+                    m.exec_block(&block(0x400, 8, vec![MemAccess::load(0x10_0000 + a)]));
+                }
+            }
+        }
+        assert!(
+            small.counters().ipc() < big.counters().ipc(),
+            "small {} vs big {}",
+            small.counters().ipc(),
+            big.counters().ipc()
+        );
+    }
+
+    #[test]
+    fn window_resize_is_cheap_and_guarded() {
+        let mut m = machine();
+        let out = m.request_resize(CuKind::Window, SizeLevel::SMALLEST);
+        assert!(matches!(out, ReconfigOutcome::Applied(report) if report == FlushReport::default()));
+        assert_eq!(m.level(CuKind::Window), SizeLevel::SMALLEST);
+        assert!(m.cycles() > 0, "pipeline drain charged");
+        // Guard: 5K instructions between window changes.
+        assert!(matches!(
+            m.request_resize(CuKind::Window, SizeLevel::LARGEST),
+            ReconfigOutcome::TooSoon { .. }
+        ));
+        for _ in 0..6 {
+            m.exec_block(&block(0x400, 1000, vec![]));
+        }
+        assert!(m.request_resize(CuKind::Window, SizeLevel::LARGEST).in_effect());
+    }
+
+    #[test]
+    fn small_window_amplifies_miss_stalls_only() {
+        // Hit-dominated code: window size must not matter.
+        let mut big = machine();
+        let mut small = machine();
+        small.apply_resize(CuKind::Window, SizeLevel::SMALLEST);
+        for m in [&mut big, &mut small] {
+            for _ in 0..2000 {
+                m.exec_block(&block(0x400, 16, vec![MemAccess::load(0x1000)]));
+            }
+        }
+        let diff = small.counters().cycles as i64 - big.counters().cycles as i64;
+        assert!(
+            (0..=80).contains(&diff),
+            "hit-dominated code pays only the drain and cold-miss residue, diff {diff}"
+        );
+
+        // Miss-heavy code: the small window exposes more stall cycles.
+        let mut big = machine();
+        let mut small = machine();
+        small.apply_resize(CuKind::Window, SizeLevel::SMALLEST);
+        for m in [&mut big, &mut small] {
+            for i in 0..5000u64 {
+                m.exec_block(&block(0x400, 16, vec![MemAccess::load(0x10_0000 + i * 64)]));
+            }
+        }
+        assert!(
+            small.counters().cycles > big.counters().cycles * 105 / 100,
+            "streaming at 8 entries: {} vs {} cycles",
+            small.counters().cycles,
+            big.counters().cycles
+        );
+    }
+
+    #[test]
+    fn window_counters_track_levels() {
+        let mut m = machine();
+        m.exec_block(&block(0x400, 100, vec![]));
+        m.apply_resize(CuKind::Window, SizeLevel::new(2).unwrap());
+        m.exec_block(&block(0x400, 200, vec![]));
+        let c = m.counters();
+        assert_eq!(c.window_instr[0], 100);
+        assert_eq!(c.window_instr[2], 200);
+        assert_eq!(c.window_resizes[0], 1);
+        assert!(c.window_cycles[2] > 0);
+    }
+
+    #[test]
+    fn guard_remaining_reports() {
+        let mut m = machine();
+        assert_eq!(m.guard_remaining(CuKind::L2), 0);
+        m.request_resize(CuKind::L2, SizeLevel::new(1).unwrap());
+        assert_eq!(m.guard_remaining(CuKind::L2), 1_000_000);
+    }
+}

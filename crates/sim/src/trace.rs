@@ -1,0 +1,199 @@
+//! The simulator's input model: a stream of *basic-block events*.
+//!
+//! The original system executed PowerPC binaries under Dynamic SimpleScalar.
+//! Our substitute consumes an abstract dynamic stream in which each event is
+//! one basic block: an instruction count, the data accesses the block
+//! performs, and the conditional branch that terminates it. This carries
+//! exactly the information the evaluation needs — instruction counts, memory
+//! reference streams and branch outcomes — without modeling ISA semantics.
+
+use serde::{Deserialize, Serialize};
+
+/// One data memory reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemAccess {
+    /// Byte address of the reference.
+    pub addr: u64,
+    /// `true` for a store, `false` for a load.
+    pub is_store: bool,
+}
+
+impl MemAccess {
+    /// A load from `addr`.
+    pub fn load(addr: u64) -> MemAccess {
+        MemAccess { addr, is_store: false }
+    }
+
+    /// A store to `addr`.
+    pub fn store(addr: u64) -> MemAccess {
+        MemAccess { addr, is_store: true }
+    }
+}
+
+/// The conditional branch terminating a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BranchEvent {
+    /// Address of the branch instruction; indexes predictor tables and the
+    /// BBV accumulator.
+    pub pc: u64,
+    /// Dynamic outcome.
+    pub taken: bool,
+}
+
+/// One dynamic basic block.
+///
+/// `Block` is designed for reuse: the producer clears and refills one buffer
+/// per event (see [`Block::reset`]) so the hot simulation loop performs no
+/// allocation in steady state.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    /// Address of the first instruction of the block.
+    pub pc: u64,
+    /// Number of instructions in the block (including the branch, if any).
+    pub ninstr: u32,
+    /// Data references performed by the block, in program order.
+    pub accesses: Vec<MemAccess>,
+    /// Terminating conditional branch, if the block ends in one.
+    pub branch: Option<BranchEvent>,
+}
+
+impl Block {
+    /// Creates an empty block with capacity for `cap` accesses.
+    pub fn with_capacity(cap: usize) -> Block {
+        Block {
+            pc: 0,
+            ninstr: 0,
+            accesses: Vec::with_capacity(cap),
+            branch: None,
+        }
+    }
+
+    /// Clears the block for reuse, retaining the access buffer's capacity.
+    pub fn reset(&mut self) {
+        self.pc = 0;
+        self.ninstr = 0;
+        self.accesses.clear();
+        self.branch = None;
+    }
+
+    /// `true` if the block contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.ninstr == 0
+    }
+}
+
+/// A source of dynamic basic blocks.
+///
+/// Implemented by workload executors; consumed by the machine driver.
+/// Returning `false` signals end of program. Implementations fill `out`
+/// in place (after the driver has called [`Block::reset`] is *not* assumed;
+/// implementations must reset the buffer themselves).
+pub trait BlockSource {
+    /// Produces the next dynamic block into `out`.
+    ///
+    /// Returns `false` (leaving `out` empty) once the program has finished.
+    fn next_block(&mut self, out: &mut Block) -> bool;
+}
+
+impl<T: BlockSource + ?Sized> BlockSource for &mut T {
+    fn next_block(&mut self, out: &mut Block) -> bool {
+        (**self).next_block(out)
+    }
+}
+
+impl<T: BlockSource + ?Sized> BlockSource for Box<T> {
+    fn next_block(&mut self, out: &mut Block) -> bool {
+        (**self).next_block(out)
+    }
+}
+
+/// A `BlockSource` over a pre-recorded slice of blocks; mainly for tests.
+///
+/// # Examples
+///
+/// ```
+/// use ace_sim::{Block, BlockSource, SliceSource};
+/// let trace = vec![Block { pc: 0x100, ninstr: 8, ..Block::default() }];
+/// let mut src = SliceSource::new(&trace);
+/// let mut buf = Block::default();
+/// assert!(src.next_block(&mut buf));
+/// assert_eq!(buf.ninstr, 8);
+/// assert!(!src.next_block(&mut buf));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SliceSource<'a> {
+    blocks: &'a [Block],
+    next: usize,
+}
+
+impl<'a> SliceSource<'a> {
+    /// Creates a source replaying `blocks` once, in order.
+    pub fn new(blocks: &'a [Block]) -> SliceSource<'a> {
+        SliceSource { blocks, next: 0 }
+    }
+}
+
+impl BlockSource for SliceSource<'_> {
+    fn next_block(&mut self, out: &mut Block) -> bool {
+        match self.blocks.get(self.next) {
+            Some(b) => {
+                self.next += 1;
+                out.clone_from(b);
+                true
+            }
+            None => {
+                out.reset();
+                false
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_reset_retains_capacity() {
+        let mut b = Block::with_capacity(32);
+        b.accesses.extend((0..20).map(MemAccess::load));
+        b.ninstr = 20;
+        let cap = b.accesses.capacity();
+        b.reset();
+        assert!(b.is_empty());
+        assert_eq!(b.accesses.capacity(), cap);
+        assert!(b.branch.is_none());
+    }
+
+    #[test]
+    fn slice_source_replays_in_order() {
+        let trace = vec![
+            Block { pc: 1, ninstr: 4, ..Block::default() },
+            Block { pc: 2, ninstr: 6, ..Block::default() },
+        ];
+        let mut src = SliceSource::new(&trace);
+        let mut buf = Block::default();
+        assert!(src.next_block(&mut buf));
+        assert_eq!(buf.pc, 1);
+        assert!(src.next_block(&mut buf));
+        assert_eq!(buf.pc, 2);
+        assert!(!src.next_block(&mut buf));
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn mem_access_constructors() {
+        assert!(!MemAccess::load(8).is_store);
+        assert!(MemAccess::store(8).is_store);
+    }
+
+    #[test]
+    fn block_source_through_references() {
+        let trace = vec![Block { pc: 7, ninstr: 1, ..Block::default() }];
+        let mut src = SliceSource::new(&trace);
+        let mut by_ref: &mut SliceSource = &mut src;
+        let mut buf = Block::default();
+        assert!(BlockSource::next_block(&mut by_ref, &mut buf));
+        assert_eq!(buf.pc, 7);
+    }
+}

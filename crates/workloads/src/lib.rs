@@ -1,0 +1,59 @@
+//! # ace-workloads — synthetic SPECjvm98-like workloads
+//!
+//! SPECjvm98 under Jikes RVM is the workload the paper evaluates; neither
+//! is runnable in this environment, so this crate generates synthetic
+//! programs with the same *structure*: methods nested three levels deep
+//! (stages → kernels → leaves), parameterized memory working sets, branch
+//! predictability, and deterministic per-invocation jitter. The programs
+//! execute into the [`ace_sim`] block-stream model and expose the method
+//! enter/exit events a dynamic optimization system instruments.
+//!
+//! * [`ProgramBuilder`] — build custom programs statement by statement.
+//! * [`WorkloadSpec`]/[`StageSpec`]/[`ChildSpec`] — declarative template
+//!   used by the presets.
+//! * [`preset`]/[`all_presets`] — the seven calibrated stand-ins for
+//!   compress, db, jack, javac, jess, mpegaudio, and mtrt.
+//! * [`Executor`] — runs a program, yielding [`Step`] events and blocks.
+//!
+//! ## Example
+//!
+//! ```
+//! use ace_workloads::{preset, Executor, Step};
+//! use ace_sim::Block;
+//!
+//! let program = preset("compress").unwrap();
+//! let mut exec = Executor::new(&program);
+//! exec.set_instruction_limit(100_000);
+//! let mut buf = Block::default();
+//! let mut blocks = 0u64;
+//! loop {
+//!     match exec.step(&mut buf) {
+//!         Step::Block => blocks += 1,
+//!         Step::Done => break,
+//!         _ => {}
+//!     }
+//! }
+//! assert!(blocks > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod exec;
+mod ir;
+mod pattern;
+mod presets;
+mod rng;
+mod threads;
+
+pub use builder::{BuildError, ProgramBuilder};
+pub use exec::{Executor, Step, MAX_CALL_DEPTH, MAX_LOOP_DEPTH};
+pub use ir::{Method, MethodId, Op, Program, Stmt};
+pub use pattern::{MemPattern, PatternCursor, PatternId, Walk};
+pub use presets::{
+    all_presets, build_spec, mtrt_threaded, preset, preset_spec, ChildSpec, StageSpec,
+    WorkloadSpec, PRESET_NAMES,
+};
+pub use rng::DetRng;
+pub use threads::{MtStep, ThreadId, ThreadedExecutor};

@@ -1,0 +1,200 @@
+//! A tiny, stable, deterministic PRNG.
+//!
+//! Workload generation must be bit-for-bit reproducible across runs,
+//! platforms, and dependency upgrades — every table in EXPERIMENTS.md is
+//! regenerated from seeds. We therefore use our own SplitMix64/xoshiro256++
+//! implementation instead of an external crate whose stream might change
+//! between versions.
+
+/// xoshiro256++ seeded via SplitMix64.
+///
+/// # Examples
+///
+/// ```
+/// use ace_workloads::DetRng;
+/// let mut a = DetRng::new(42);
+/// let mut b = DetRng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl DetRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> DetRng {
+        let mut sm = seed;
+        DetRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `0..bound` (unbiased enough for workload synthesis;
+    /// returns 0 when `bound == 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            // Multiply-shift range reduction.
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+    }
+
+    /// Uniform value in the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range");
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// `true` with probability `pct`/100.
+    pub fn chance(&mut self, pct: u32) -> bool {
+        self.below(100) < pct as u64
+    }
+
+    /// A jittered value: `base` scaled uniformly within ±`pct`%.
+    pub fn jitter(&mut self, base: u64, pct: u32) -> u64 {
+        if base == 0 || pct == 0 {
+            return base;
+        }
+        let span = base * pct as u64 / 100;
+        let lo = base.saturating_sub(span).max(1);
+        self.range(lo, base + span)
+    }
+
+    /// Derives an independent stream for a labeled sub-component.
+    pub fn fork(&self, label: u64) -> DetRng {
+        let mut sm = self.s[0] ^ self.s[2] ^ label.wrapping_mul(0x9E3779B97F4A7C15);
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        DetRng { s }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = DetRng::new(7);
+        let mut b = DetRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = DetRng::new(3);
+        for bound in [1u64, 2, 7, 100, 1 << 40] {
+            for _ in 0..200 {
+                assert!(r.below(bound) < bound);
+            }
+        }
+        assert_eq!(r.below(0), 0);
+    }
+
+    #[test]
+    fn range_inclusive() {
+        let mut r = DetRng::new(4);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..1000 {
+            let v = r.range(5, 8);
+            assert!((5..=8).contains(&v));
+            seen_lo |= v == 5;
+            seen_hi |= v == 8;
+        }
+        assert!(seen_lo && seen_hi, "both endpoints reachable");
+    }
+
+    #[test]
+    fn chance_statistics() {
+        let mut r = DetRng::new(5);
+        let hits = (0..10_000).filter(|_| r.chance(30)).count();
+        assert!((2600..3400).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn jitter_brackets_base() {
+        let mut r = DetRng::new(6);
+        for _ in 0..500 {
+            let v = r.jitter(1000, 20);
+            assert!((800..=1200).contains(&v));
+        }
+        assert_eq!(r.jitter(0, 20), 0);
+        assert_eq!(r.jitter(100, 0), 100);
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let root = DetRng::new(9);
+        let mut a = root.fork(1);
+        let mut b = root.fork(2);
+        let mut same = 0;
+        for _ in 0..64 {
+            if a.next_u64() == b.next_u64() {
+                same += 1;
+            }
+        }
+        assert_eq!(same, 0);
+        // Forks are reproducible.
+        let mut a2 = root.fork(1);
+        assert_eq!(DetRng::new(9).fork(1).next_u64(), a2.next_u64());
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut r = DetRng::new(11);
+        let mut buckets = [0u32; 8];
+        for _ in 0..8000 {
+            buckets[r.below(8) as usize] += 1;
+        }
+        for b in buckets {
+            assert!((800..1200).contains(&b), "bucket {b}");
+        }
+    }
+}

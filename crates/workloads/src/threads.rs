@@ -1,0 +1,290 @@
+//! Time-multiplexed multithreading.
+//!
+//! Dynamic SimpleScalar "implements support for … thread scheduling and
+//! synchronization", and mtrt — the one multithreaded SPECjvm98 benchmark —
+//! runs two render threads. This module provides the same coarse-grained
+//! time multiplexing: several logical threads, each an [`Executor`] with
+//! its own entry method and call stack, scheduled round-robin in fixed
+//! instruction quanta over the one simulated core. Threads share the
+//! address space (and so the caches), but their *method sets are
+//! disjoint* — each thread enters the program at its own entry — which
+//! keeps per-method runtime state (DO database entries, tuning state)
+//! race-free by construction.
+
+use crate::exec::{Executor, Step};
+use crate::ir::MethodId;
+use ace_sim::Block;
+use serde::{Deserialize, Serialize};
+
+/// Identifies one logical thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ThreadId(pub u32);
+
+impl std::fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// One step of a multithreaded execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MtStep {
+    /// The scheduler switched to this thread (also fired once per thread
+    /// at startup, before its first event).
+    Switch(ThreadId),
+    /// `thread` entered a method.
+    Enter(ThreadId, MethodId),
+    /// `thread` exited a method.
+    Exit(ThreadId, MethodId),
+    /// `thread` produced a block into the caller's buffer.
+    Block(ThreadId),
+    /// All threads have finished.
+    Done,
+}
+
+/// Round-robin time multiplexer over per-thread executors.
+///
+/// # Examples
+///
+/// ```
+/// use ace_workloads::{preset, Executor, ThreadedExecutor, MtStep};
+/// use ace_sim::Block;
+///
+/// let program = preset("check").unwrap();
+/// // Two threads running the same entry with different seeds.
+/// let threads = vec![
+///     Executor::with_entry(&program, program.entry(), 1),
+///     Executor::with_entry(&program, program.entry(), 2),
+/// ];
+/// let mut mt = ThreadedExecutor::new(threads, 50_000);
+/// let mut buf = Block::default();
+/// let mut blocks = 0;
+/// loop {
+///     match mt.step(&mut buf) {
+///         MtStep::Block(_) => blocks += 1,
+///         MtStep::Done => break,
+///         _ => {}
+///     }
+/// }
+/// assert!(blocks > 0);
+/// ```
+#[derive(Debug)]
+pub struct ThreadedExecutor<'p> {
+    threads: Vec<Executor<'p>>,
+    quantum_instr: u64,
+    current: usize,
+    /// Instructions the current thread has executed in its quantum.
+    used: u64,
+    /// Whether the initial `Switch` for the current thread has been fired.
+    announced: bool,
+    finished: Vec<bool>,
+    switches: u64,
+}
+
+impl<'p> ThreadedExecutor<'p> {
+    /// Creates a multiplexer over `threads`, switching every
+    /// `quantum_instr` instructions (at block granularity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is empty or the quantum is zero.
+    pub fn new(threads: Vec<Executor<'p>>, quantum_instr: u64) -> ThreadedExecutor<'p> {
+        assert!(!threads.is_empty(), "need at least one thread");
+        assert!(quantum_instr > 0, "quantum must be nonzero");
+        let n = threads.len();
+        ThreadedExecutor {
+            threads,
+            quantum_instr,
+            current: 0,
+            used: 0,
+            announced: false,
+            finished: vec![false; n],
+            switches: 0,
+        }
+    }
+
+    /// Number of logical threads.
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Scheduler switches performed (excluding thread startup).
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// Total instructions emitted across all threads.
+    pub fn emitted_instructions(&self) -> u64 {
+        self.threads.iter().map(|t| t.emitted_instructions()).sum()
+    }
+
+    /// Rotates to the next unfinished thread; returns `false` if none.
+    fn rotate(&mut self) -> bool {
+        let n = self.threads.len();
+        for k in 1..=n {
+            let cand = (self.current + k) % n;
+            if !self.finished[cand] {
+                if cand != self.current {
+                    self.switches += 1;
+                }
+                self.current = cand;
+                self.used = 0;
+                self.announced = false;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Produces the next event; `out` is meaningful only for
+    /// [`MtStep::Block`].
+    pub fn step(&mut self, out: &mut Block) -> MtStep {
+        loop {
+            if self.finished.iter().all(|&f| f) {
+                return MtStep::Done;
+            }
+            if self.finished[self.current] {
+                if !self.rotate() {
+                    return MtStep::Done;
+                }
+                continue;
+            }
+            if !self.announced {
+                self.announced = true;
+                return MtStep::Switch(ThreadId(self.current as u32));
+            }
+            if self.used >= self.quantum_instr {
+                // Quantum expired: hand the core to the next thread.
+                if self.rotate() {
+                    continue;
+                }
+                // Only this thread remains; keep running it.
+                self.used = 0;
+            }
+            let tid = ThreadId(self.current as u32);
+            match self.threads[self.current].step(out) {
+                Step::Block => {
+                    self.used += out.ninstr as u64;
+                    return MtStep::Block(tid);
+                }
+                Step::Enter(m) => return MtStep::Enter(tid, m),
+                Step::Exit(m) => return MtStep::Exit(tid, m),
+                Step::Done => {
+                    self.finished[self.current] = true;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::ir::{Program, Stmt};
+    use crate::pattern::MemPattern;
+
+    fn two_entry_program() -> (Program, MethodId, MethodId) {
+        let mut b = ProgramBuilder::new("mt", 21);
+        let r1 = b.alloc_region(4096);
+        let p1 = b.add_pattern(MemPattern::resident(r1, 4096));
+        let r2 = b.alloc_region(4096);
+        let p2 = b.add_pattern(MemPattern::resident(r2, 4096));
+        let work_a = b.add_method("work_a", vec![Stmt::Compute { ninstr: 20_000, pattern: p1 }]);
+        let main_a = b.add_method("main_a", vec![Stmt::Call { callee: work_a, count: 10 }]);
+        let work_b = b.add_method("work_b", vec![Stmt::Compute { ninstr: 20_000, pattern: p2 }]);
+        let main_b = b.add_method("main_b", vec![Stmt::Call { callee: work_b, count: 10 }]);
+        let program = b.entry(main_a).build().unwrap();
+        (program, main_a, main_b)
+    }
+
+    #[test]
+    fn interleaves_and_completes_both_threads() {
+        let (program, ea, eb) = two_entry_program();
+        let threads = vec![
+            Executor::with_entry(&program, ea, 1),
+            Executor::with_entry(&program, eb, 2),
+        ];
+        let mut mt = ThreadedExecutor::new(threads, 30_000);
+        let mut buf = Block::default();
+        let mut per_thread_instr = [0u64; 2];
+        let mut per_thread_depth = [0i64; 2];
+        let mut switch_seen = 0;
+        loop {
+            match mt.step(&mut buf) {
+                MtStep::Block(t) => per_thread_instr[t.0 as usize] += buf.ninstr as u64,
+                MtStep::Enter(t, _) => per_thread_depth[t.0 as usize] += 1,
+                MtStep::Exit(t, _) => {
+                    per_thread_depth[t.0 as usize] -= 1;
+                    assert!(per_thread_depth[t.0 as usize] >= 0);
+                }
+                MtStep::Switch(_) => switch_seen += 1,
+                MtStep::Done => break,
+            }
+        }
+        assert_eq!(per_thread_depth, [0, 0], "per-thread nesting balanced");
+        // Each thread's program is ~200K instructions.
+        for (t, &instr) in per_thread_instr.iter().enumerate() {
+            assert!(
+                (150_000..260_000).contains(&instr),
+                "thread {t} ran {instr} instructions"
+            );
+        }
+        // ~400K total at 30K quanta: a dozen switches.
+        assert!(mt.switches() >= 8, "switches {}", mt.switches());
+        assert!(switch_seen >= mt.switches());
+    }
+
+    #[test]
+    fn single_thread_degenerates_to_plain_execution() {
+        let (program, ea, _) = two_entry_program();
+        let solo = Executor::with_entry(&program, ea, 1).measure();
+
+        let mut mt = ThreadedExecutor::new(
+            vec![Executor::with_entry(&program, ea, 1)],
+            10_000,
+        );
+        let mut buf = Block::default();
+        let mut total = 0u64;
+        loop {
+            match mt.step(&mut buf) {
+                MtStep::Block(_) => total += buf.ninstr as u64,
+                MtStep::Done => break,
+                _ => {}
+            }
+        }
+        assert_eq!(total, solo, "one thread executes exactly the solo stream");
+        assert_eq!(mt.switches(), 0);
+    }
+
+    #[test]
+    fn uneven_thread_lengths_drain_cleanly() {
+        let mut b = ProgramBuilder::new("uneven", 5);
+        let r = b.alloc_region(1024);
+        let p = b.add_pattern(MemPattern::resident(r, 1024));
+        let short = b.add_method("short", vec![Stmt::Compute { ninstr: 5_000, pattern: p }]);
+        let long = b.add_method("long", vec![Stmt::Compute { ninstr: 500_000, pattern: p }]);
+        let program = b.entry(long).build().unwrap();
+        let threads = vec![
+            Executor::with_entry(&program, short, 1),
+            Executor::with_entry(&program, long, 2),
+        ];
+        let mut mt = ThreadedExecutor::new(threads, 20_000);
+        let mut buf = Block::default();
+        let mut last_thread = None;
+        loop {
+            match mt.step(&mut buf) {
+                MtStep::Block(t) => last_thread = Some(t),
+                MtStep::Done => break,
+                _ => {}
+            }
+        }
+        assert_eq!(last_thread, Some(ThreadId(1)), "long thread finishes last");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn rejects_empty_thread_set() {
+        let _ = ThreadedExecutor::new(Vec::new(), 1000);
+    }
+}

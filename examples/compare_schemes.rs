@@ -1,0 +1,75 @@
+//! Compare the three management schemes — non-adaptive baseline, BBV
+//! (temporal) + tune-all-combinations, and the paper's hotspot scheme —
+//! on one workload, reproducing one column of Figures 3 and 4.
+//!
+//! ```text
+//! cargo run --release --example compare_schemes [workload]
+//! ```
+
+use ace::core::{
+    run_with_manager, BbvAceManager, BbvManagerConfig, HotspotAceManager,
+    HotspotManagerConfig, NullManager, RunConfig,
+};
+use ace::energy::EnergyModel;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "jess".to_string());
+    let program = ace::workloads::preset(&name)
+        .ok_or_else(|| format!("unknown workload {name:?}"))?;
+    let cfg = RunConfig::default();
+    let model = EnergyModel::default_180nm();
+
+    let baseline = run_with_manager(&program, &cfg, &mut NullManager)?;
+
+    let mut bbv = BbvAceManager::new(BbvManagerConfig::default(), model);
+    let bbv_run = run_with_manager(&program, &cfg, &mut bbv)?;
+    let bbv_report = bbv.report();
+
+    let mut hs = HotspotAceManager::new(HotspotManagerConfig::default(), model);
+    let hs_run = run_with_manager(&program, &cfg, &mut hs)?;
+    let hs_report = hs.report();
+
+    println!("workload {name}: {} instructions, baseline IPC {:.3}", baseline.instret, baseline.ipc);
+    println!();
+    println!("{:<26} {:>10} {:>10}", "", "BBV", "hotspot");
+    let rows: Vec<(&str, f64, f64)> = vec![
+        (
+            "L1D energy saving (%)",
+            100.0 * bbv_run.l1d_saving_vs(&baseline),
+            100.0 * hs_run.l1d_saving_vs(&baseline),
+        ),
+        (
+            "L2 energy saving (%)",
+            100.0 * bbv_run.l2_saving_vs(&baseline),
+            100.0 * hs_run.l2_saving_vs(&baseline),
+        ),
+        (
+            "slowdown (%)",
+            100.0 * bbv_run.slowdown_vs(&baseline),
+            100.0 * hs_run.slowdown_vs(&baseline),
+        ),
+    ];
+    for (label, b, h) in rows {
+        println!("{label:<26} {b:>10.2} {h:>10.2}");
+    }
+    println!();
+    println!(
+        "BBV:     {} phases, {} tuned, {:.0}% of intervals stable, {} trials",
+        bbv_report.phases,
+        bbv_report.tuned_phases,
+        100.0 * bbv_report.stability.stable_fraction(),
+        bbv_report.tunings,
+    );
+    println!(
+        "hotspot: {} L1D + {} L2 hotspots, {:.0}% tuned, {} + {} trials, {} + {} reconfigs",
+        hs_report.l1d_hotspots,
+        hs_report.l2_hotspots,
+        100.0 * hs_report.tuned_fraction(),
+        hs_report.l1d.tunings,
+        hs_report.l2.tunings,
+        hs_report.l1d.reconfigs,
+        hs_report.l2.reconfigs,
+    );
+    Ok(())
+}

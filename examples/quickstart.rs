@@ -1,0 +1,65 @@
+//! Quickstart: run one SPECjvm98-like workload under the paper's
+//! DO-based ACE manager and report the headline numbers.
+//!
+//! ```text
+//! cargo run --release --example quickstart [workload]
+//! ```
+
+use ace::core::{
+    run_with_manager, HotspotAceManager, HotspotManagerConfig, NullManager, RunConfig,
+};
+use ace::energy::EnergyModel;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "db".to_string());
+    let program = ace::workloads::preset(&name)
+        .ok_or_else(|| format!("unknown workload {name:?}; try one of {:?}", ace::workloads::PRESET_NAMES))?;
+
+    println!("workload: {} ({} methods)", program.name(), program.method_count());
+    let cfg = RunConfig::default();
+
+    // Baseline: both configurable caches pinned at their largest sizes.
+    let baseline = run_with_manager(&program, &cfg, &mut NullManager)?;
+    println!(
+        "baseline : {:>11} instructions, IPC {:.3}, cache energy {:.2} mJ",
+        baseline.instret,
+        baseline.ipc,
+        baseline.energy.total_nj() / 1e6,
+    );
+
+    // The paper's scheme: hotspot-boundary adaptation with CU decoupling.
+    let mut manager =
+        HotspotAceManager::new(HotspotManagerConfig::default(), EnergyModel::default_180nm());
+    let adaptive = run_with_manager(&program, &cfg, &mut manager)?;
+    let report = manager.report();
+
+    println!(
+        "adaptive : {:>11} instructions, IPC {:.3}, cache energy {:.2} mJ",
+        adaptive.instret,
+        adaptive.ipc,
+        adaptive.energy.total_nj() / 1e6,
+    );
+    println!();
+    println!(
+        "hotspots: {} L1D + {} L2 adaptable ({:.0}% finished tuning), {} too small",
+        report.l1d_hotspots,
+        report.l2_hotspots,
+        100.0 * report.tuned_fraction(),
+        report.small_hotspots,
+    );
+    println!(
+        "L1D energy saving: {:>5.1}%   ({} tunings, {} reconfigurations)",
+        100.0 * adaptive.l1d_saving_vs(&baseline),
+        report.l1d.tunings,
+        report.l1d.reconfigs,
+    );
+    println!(
+        "L2  energy saving: {:>5.1}%   ({} tunings, {} reconfigurations)",
+        100.0 * adaptive.l2_saving_vs(&baseline),
+        report.l2.tunings,
+        report.l2.reconfigs,
+    );
+    println!("slowdown:          {:>5.2}%", 100.0 * adaptive.slowdown_vs(&baseline));
+    Ok(())
+}

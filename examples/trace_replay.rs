@@ -1,0 +1,72 @@
+//! Record a workload's dynamic block stream into a binary trace file and
+//! replay it through the simulator — the trace-driven workflow of the
+//! SimpleScalar era, for pinning inputs or driving the machine from
+//! externally produced traces.
+//!
+//! ```text
+//! cargo run --release --example trace_replay [workload] [instr_limit]
+//! ```
+
+use ace::sim::{record_trace, Block, BlockSource, Machine, MachineConfig, TraceReader};
+use ace::workloads::Executor;
+use bytes::Bytes;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "compress".to_string());
+    let limit: u64 = std::env::args()
+        .nth(2)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(5_000_000);
+    let program = ace::workloads::preset(&name)
+        .ok_or_else(|| format!("unknown workload {name:?}"))?;
+
+    // Record.
+    let mut exec = Executor::new(&program);
+    let trace = record_trace(&mut exec, limit);
+    let path = std::env::temp_dir().join(format!("{name}.acet"));
+    std::fs::write(&path, &trace)?;
+    println!(
+        "recorded {} instructions of {name} into {} ({:.2} MB, {:.2} bytes/instr)",
+        limit,
+        path.display(),
+        trace.len() as f64 / 1e6,
+        trace.len() as f64 / limit as f64,
+    );
+
+    // Replay from disk and simulate.
+    let data = Bytes::from(std::fs::read(&path)?);
+    let mut reader = TraceReader::new(data)?;
+    let mut machine = Machine::new(MachineConfig::table2())?;
+    let mut buf = Block::default();
+    while reader.next_block(&mut buf) {
+        machine.exec_block(&buf);
+    }
+    let c = machine.counters();
+    println!(
+        "replayed: {} instructions, {} cycles, IPC {:.3}",
+        c.instret,
+        c.cycles,
+        c.ipc()
+    );
+    println!(
+        "L1D miss ratio {:.2}%, L2 miss ratio {:.2}%, branch mispredict {:.2}%",
+        100.0 * c.l1d.miss_ratio(),
+        100.0 * c.l2.miss_ratio(),
+        100.0 * c.branch.mispredict_ratio(),
+    );
+
+    // Cross-check against a live run of the same prefix.
+    let mut live_exec = Executor::new(&program);
+    let mut live = Machine::new(MachineConfig::table2())?;
+    let mut emitted = 0u64;
+    while emitted < limit && live_exec.next_block(&mut buf) {
+        emitted += buf.ninstr as u64;
+        live.exec_block(&buf);
+    }
+    assert_eq!(live.counters(), machine.counters(), "replay must match live execution");
+    println!("replay matches live execution bit-for-bit");
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

@@ -1,0 +1,224 @@
+//! `ace` — command-line front end for the reproduction.
+//!
+//! ```text
+//! ace list                                   show the preset workloads
+//! ace run <workload> [--scheme S] [--limit N]
+//!                                            run one workload; S is one of
+//!                                            baseline | hotspot | bbv | positional
+//! ace sweep <workload>                       16-point static-oracle grid
+//! ace trace <workload> <file> [--limit N]    record a binary block trace
+//! ace replay <file>                          simulate a recorded trace
+//! ```
+
+use ace::core::{
+    run_with_manager, AceConfig, BbvAceManager, BbvManagerConfig, FixedManager,
+    HotspotAceManager, HotspotManagerConfig, NullManager, PositionalAceManager,
+    PositionalManagerConfig, RunConfig, RunRecord,
+};
+use ace::energy::EnergyModel;
+use ace::sim::{record_trace, Block, BlockSource, Machine, MachineConfig, SizeLevel, TraceReader};
+use ace::workloads::{Executor, Program, PRESET_NAMES};
+use std::error::Error;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("run") => cmd_run(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}; try --help").into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "ace — adaptive computing environment management via dynamic optimization\n\
+         \n\
+         usage:\n  \
+         ace list\n  \
+         ace run <workload> [--scheme baseline|hotspot|bbv|positional] [--limit N]\n  \
+         ace sweep <workload>\n  \
+         ace trace <workload> <file> [--limit N]\n  \
+         ace replay <file>"
+    );
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn load_program(name: &str) -> Result<Program, Box<dyn Error>> {
+    ace::workloads::preset(name)
+        .ok_or_else(|| format!("unknown workload {name:?}; see `ace list`").into())
+}
+
+fn cmd_list() -> Result<(), Box<dyn Error>> {
+    println!("{:<10} {:>8} {:>8} {:>14}", "workload", "methods", "stages", "est. instr");
+    for name in PRESET_NAMES {
+        let spec = ace::workloads::preset_spec(name).expect("known preset");
+        let program = spec.build()?;
+        println!(
+            "{:<10} {:>8} {:>8} {:>14}",
+            name,
+            program.method_count(),
+            spec.stages.len(),
+            spec.expected_total(),
+        );
+    }
+    Ok(())
+}
+
+fn summarize(label: &str, record: &RunRecord, baseline: Option<&RunRecord>) {
+    print!(
+        "{label:<11} {:>11} instr  IPC {:.3}  energy {:8.2} mJ",
+        record.instret,
+        record.ipc,
+        record.energy.total_nj() / 1e6
+    );
+    if let Some(base) = baseline {
+        print!(
+            "  | L1D saving {:.1}%  L2 saving {:.1}%  slowdown {:.2}%",
+            100.0 * record.l1d_saving_vs(base),
+            100.0 * record.l2_saving_vs(base),
+            100.0 * record.slowdown_vs(base),
+        );
+    }
+    println!();
+}
+
+fn cmd_run(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let name = args.first().ok_or("usage: ace run <workload> [--scheme S] [--limit N]")?;
+    let program = load_program(name)?;
+    let scheme = flag_value(args, "--scheme").unwrap_or_else(|| "hotspot".to_string());
+    let mut cfg = RunConfig::default();
+    if let Some(limit) = flag_value(args, "--limit") {
+        cfg.instruction_limit = Some(limit.parse()?);
+    }
+    let model = EnergyModel::default_180nm();
+
+    let base = run_with_manager(&program, &cfg, &mut NullManager)?;
+    summarize("baseline", &base, None);
+    match scheme.as_str() {
+        "baseline" => {}
+        "hotspot" => {
+            let mut mgr = HotspotAceManager::new(HotspotManagerConfig::default(), model);
+            let r = run_with_manager(&program, &cfg, &mut mgr)?;
+            summarize("hotspot", &r, Some(&base));
+            let rep = mgr.report();
+            println!(
+                "            {} L1D + {} L2 hotspots, {:.0}% tuned, {} + {} reconfigs",
+                rep.l1d_hotspots,
+                rep.l2_hotspots,
+                100.0 * rep.tuned_fraction(),
+                rep.l1d.reconfigs,
+                rep.l2.reconfigs,
+            );
+        }
+        "bbv" => {
+            let mut mgr = BbvAceManager::new(BbvManagerConfig::default(), model);
+            let r = run_with_manager(&program, &cfg, &mut mgr)?;
+            summarize("bbv", &r, Some(&base));
+            let rep = mgr.report();
+            println!(
+                "            {} phases ({} tuned), {:.0}% stable intervals",
+                rep.phases,
+                rep.tuned_phases,
+                100.0 * rep.stability.stable_fraction(),
+            );
+        }
+        "positional" => {
+            let mut mgr =
+                PositionalAceManager::new(&program, PositionalManagerConfig::default(), model);
+            let r = run_with_manager(&program, &cfg, &mut mgr)?;
+            summarize("positional", &r, Some(&base));
+            let rep = mgr.report();
+            println!(
+                "            {} large procedures ({} tuned), {} reconfigs",
+                rep.large_procedures, rep.tuned, rep.reconfigs,
+            );
+        }
+        other => return Err(format!("unknown scheme {other:?}").into()),
+    }
+    Ok(())
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let name = args.first().ok_or("usage: ace sweep <workload>")?;
+    let program = load_program(name)?;
+    let cfg = RunConfig::default();
+    let base = run_with_manager(&program, &cfg, &mut NullManager)?;
+    println!("{name}: energy saving % / slowdown % per fixed configuration");
+    println!("L1D\\L2     1MB        512KB       256KB       128KB");
+    for l1d in 0..4u8 {
+        print!("{:>4}KB", 64 >> l1d);
+        for l2 in 0..4u8 {
+            let mut mgr = FixedManager::new(AceConfig::both(
+                SizeLevel::new(l1d).unwrap(),
+                SizeLevel::new(l2).unwrap(),
+            ));
+            let r = run_with_manager(&program, &cfg, &mut mgr)?;
+            print!(
+                "  {:>5.1}/{:<4.1}",
+                100.0 * (1.0 - r.energy.total_nj() / base.energy.total_nj()),
+                100.0 * r.slowdown_vs(&base),
+            );
+        }
+        println!();
+    }
+    Ok(())
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let name = args.first().ok_or("usage: ace trace <workload> <file> [--limit N]")?;
+    let path = args.get(1).ok_or("usage: ace trace <workload> <file> [--limit N]")?;
+    let limit: u64 = flag_value(args, "--limit").map(|s| s.parse()).transpose()?.unwrap_or(10_000_000);
+    let program = load_program(name)?;
+    let mut exec = Executor::new(&program);
+    let trace = record_trace(&mut exec, limit);
+    std::fs::write(path, &trace)?;
+    println!(
+        "wrote {} ({:.2} MB, ~{} instructions)",
+        path,
+        trace.len() as f64 / 1e6,
+        limit
+    );
+    Ok(())
+}
+
+fn cmd_replay(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let path = args.first().ok_or("usage: ace replay <file>")?;
+    let data = bytes::Bytes::from(std::fs::read(path)?);
+    let mut reader = TraceReader::new(data)?;
+    let mut machine = Machine::new(MachineConfig::table2())?;
+    let mut buf = Block::default();
+    while reader.next_block(&mut buf) {
+        machine.exec_block(&buf);
+    }
+    let c = machine.counters();
+    println!(
+        "{}: {} instructions, {} cycles, IPC {:.3}",
+        path, c.instret, c.cycles, c.ipc()
+    );
+    println!(
+        "L1D miss {:.2}%  L2 miss {:.2}%  mispredict {:.2}%  DTLB miss {:.3}%",
+        100.0 * c.l1d.miss_ratio(),
+        100.0 * c.l2.miss_ratio(),
+        100.0 * c.branch.mispredict_ratio(),
+        100.0 * c.dtlb.miss_ratio(),
+    );
+    Ok(())
+}
