@@ -18,7 +18,12 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughpu
 fn bench_cache(c: &mut Criterion) {
     let mut group = c.benchmark_group("cache");
     group.throughput(Throughput::Elements(1));
-    let geom = CacheGeometry { size_bytes: 64 << 10, ways: 2, block_bytes: 64, hit_latency: 1 };
+    let geom = CacheGeometry {
+        size_bytes: 64 << 10,
+        ways: 2,
+        block_bytes: 64,
+        hit_latency: 1,
+    };
 
     group.bench_function("access_hit", |b| {
         let mut cache = Cache::new(geom).unwrap();
@@ -78,7 +83,10 @@ fn bench_machine(c: &mut Criterion) {
             MemAccess::load(0x10_0040),
             MemAccess::store(0x10_0080),
         ],
-        branch: Some(BranchEvent { pc: 0x438, taken: true }),
+        branch: Some(BranchEvent {
+            pc: 0x438,
+            taken: true,
+        }),
     };
     group.throughput(Throughput::Elements(block.ninstr as u64));
     group.bench_function("exec_block", |b| {
@@ -151,7 +159,11 @@ fn bench_tuner(c: &mut Criterion) {
             let mut k = 0.0;
             while t.next_trial().is_some() {
                 k += 0.1;
-                t.record(Measurement { instr: 100_000, ipc: 2.0, epi_nj: 1.0 - k });
+                t.record(Measurement {
+                    instr: 100_000,
+                    ipc: 2.0,
+                    epi_nj: 1.0 - k,
+                });
             }
             black_box(t.best())
         })
@@ -163,7 +175,10 @@ fn bench_end_to_end(c: &mut Criterion) {
     let mut group = c.benchmark_group("end_to_end");
     group.sample_size(10);
     let program = preset("db").unwrap();
-    let cfg = RunConfig { instruction_limit: Some(5_000_000), ..RunConfig::default() };
+    let cfg = RunConfig {
+        instruction_limit: Some(5_000_000),
+        ..RunConfig::default()
+    };
     group.bench_function("baseline_5M", |b| {
         b.iter(|| black_box(run_with_manager(&program, &cfg, &mut NullManager).unwrap()))
     });

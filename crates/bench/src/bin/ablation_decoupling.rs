@@ -23,7 +23,10 @@ fn main() {
 
         let run_one = |decouple: bool| {
             let mut mgr = HotspotAceManager::new(
-                HotspotManagerConfig { decouple, ..HotspotManagerConfig::default() },
+                HotspotManagerConfig {
+                    decouple,
+                    ..HotspotManagerConfig::default()
+                },
                 model,
             );
             let r = run_with_manager(&program, &cfg, &mut mgr).unwrap();
@@ -58,15 +61,29 @@ fn main() {
         format!("{:.1}", mean(agg.iter().map(|a| a.1))),
         format!("{:.2}", mean(agg.iter().map(|a| a.2))),
         format!("{:.2}", mean(agg.iter().map(|a| a.3))),
-        String::new(), String::new(), String::new(), String::new(), String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
     ]);
     println!("Ablation: CU decoupling on vs off (total cache energy saving %, slowdown %,");
     println!("tuned hotspot fraction, configuration trials, guard rejections)\n");
     println!(
         "{}",
         format_table(
-            &["bench", "savON", "savOFF", "slowON", "slowOFF", "tunedON", "tunedOFF",
-              "trialsON", "trialsOFF", "rejOFF"],
+            &[
+                "bench",
+                "savON",
+                "savOFF",
+                "slowON",
+                "slowOFF",
+                "tunedON",
+                "tunedOFF",
+                "trialsON",
+                "trialsOFF",
+                "rejOFF"
+            ],
             &rows
         )
     );

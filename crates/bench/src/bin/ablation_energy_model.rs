@@ -9,8 +9,8 @@
 
 use ace_bench::{format_table, mean, standard_run_config};
 use ace_core::{
-    run_with_manager, BbvAceManager, BbvManagerConfig, HotspotAceManager,
-    HotspotManagerConfig, NullManager,
+    run_with_manager, BbvAceManager, BbvManagerConfig, HotspotAceManager, HotspotManagerConfig,
+    NullManager,
 };
 use ace_energy::EnergyModel;
 use ace_workloads::PRESET_NAMES;
@@ -44,11 +44,7 @@ fn main() {
             format!("{:.1}", mean(hot_sav.iter().copied())),
             format!(
                 "{}",
-                hot_sav
-                    .iter()
-                    .zip(&bbv_sav)
-                    .filter(|(h, b)| h > b)
-                    .count()
+                hot_sav.iter().zip(&bbv_sav).filter(|(h, b)| h > b).count()
             ),
             format!("{:.2}", mean(hot_slow.iter().copied())),
         ]);
@@ -56,7 +52,13 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["idle power", "BBV sav%", "hotspot sav%", "hotspot wins (of 7)", "hot slow%"],
+            &[
+                "idle power",
+                "BBV sav%",
+                "hotspot sav%",
+                "hotspot wins (of 7)",
+                "hot slow%"
+            ],
             &rows
         )
     );

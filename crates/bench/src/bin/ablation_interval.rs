@@ -24,7 +24,10 @@ fn main() {
             let base = run_with_manager(&program, &cfg, &mut NullManager).unwrap();
             let mut mgr = BbvAceManager::new(
                 BbvManagerConfig {
-                    bbv: BbvConfig { interval_instr: interval, ..BbvConfig::default() },
+                    bbv: BbvConfig {
+                        interval_instr: interval,
+                        ..BbvConfig::default()
+                    },
                     ..BbvManagerConfig::default()
                 },
                 model,
@@ -51,7 +54,14 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["interval", "stable", "tuned phases", "energy sav%", "slow%", "guard rej"],
+            &[
+                "interval",
+                "stable",
+                "tuned phases",
+                "energy sav%",
+                "slow%",
+                "guard rej"
+            ],
             &rows
         )
     );

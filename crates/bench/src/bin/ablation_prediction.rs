@@ -91,7 +91,12 @@ fn main() {
 
         let t_sav = 100.0 * (1.0 - tuned_run.energy.total_nj() / base.energy.total_nj());
         let p_sav = 100.0 * (1.0 - pred_run.energy.total_nj() / base.energy.total_nj());
-        agg.push((t_sav, p_sav, 100.0 * tuned_run.slowdown_vs(&base), 100.0 * pred_run.slowdown_vs(&base)));
+        agg.push((
+            t_sav,
+            p_sav,
+            100.0 * tuned_run.slowdown_vs(&base),
+            100.0 * pred_run.slowdown_vs(&base),
+        ));
         rows.push(vec![
             name.to_string(),
             format!("{t_sav:.1}"),
@@ -114,8 +119,15 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["bench", "tuned sav%", "pred sav%", "tuned slow%", "pred slow%",
-              "tuned trials", "pred trials"],
+            &[
+                "bench",
+                "tuned sav%",
+                "pred sav%",
+                "tuned slow%",
+                "pred slow%",
+                "tuned trials",
+                "pred trials"
+            ],
             &rows
         )
     );

@@ -47,13 +47,25 @@ fn main() {
     rows.push(vec![
         "avg".into(),
         format!("{:.1}", mean(grand)),
-        String::new(), String::new(), String::new(), String::new(), String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
     ]);
     println!("Robustness: hotspot-scheme total energy saving across 4 executor seeds\n");
     println!(
         "{}",
         format_table(
-            &["bench", "sav mean%", "min", "max", "stddev", "slow mean%", "slow max%"],
+            &[
+                "bench",
+                "sav mean%",
+                "min",
+                "max",
+                "stddev",
+                "slow mean%",
+                "slow max%"
+            ],
             &rows
         )
     );

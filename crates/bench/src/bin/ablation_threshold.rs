@@ -36,7 +36,15 @@ fn main() {
         println!(
             "{}",
             format_table(
-                &["threshold", "hotspots", "ident lat", "tuned", "L1D sav%", "L2 sav%", "slow%"],
+                &[
+                    "threshold",
+                    "hotspots",
+                    "ident lat",
+                    "tuned",
+                    "L1D sav%",
+                    "L2 sav%",
+                    "slow%"
+                ],
                 &rows
             )
         );

@@ -45,7 +45,13 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["bench", "cache share", "chip sav BBV%", "chip sav hot%", "E*D sav hot%"],
+            &[
+                "bench",
+                "cache share",
+                "chip sav BBV%",
+                "chip sav hot%",
+                "E*D sav hot%"
+            ],
             &rows
         )
     );

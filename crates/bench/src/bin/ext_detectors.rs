@@ -61,8 +61,14 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["bench", "BBV phases", "BBV stable", "BBV per-phase CoV", "WS same-phase",
-              "branch-ctr stable"],
+            &[
+                "bench",
+                "BBV phases",
+                "BBV stable",
+                "BBV per-phase CoV",
+                "WS same-phase",
+                "branch-ctr stable"
+            ],
             &rows
         )
     );

@@ -8,8 +8,8 @@
 
 use ace_bench::{format_table, mean, standard_run_config};
 use ace_core::{
-    run_with_manager, BbvAceManager, BbvManagerConfig, HotspotAceManager,
-    HotspotManagerConfig, NullManager, PositionalAceManager, PositionalManagerConfig,
+    run_with_manager, BbvAceManager, BbvManagerConfig, HotspotAceManager, HotspotManagerConfig,
+    NullManager, PositionalAceManager, PositionalManagerConfig,
 };
 use ace_energy::EnergyModel;
 use ace_workloads::PRESET_NAMES;
@@ -23,9 +23,8 @@ fn main() {
     for name in PRESET_NAMES {
         let program = ace_workloads::preset(name).unwrap();
         let base = run_with_manager(&program, &cfg, &mut NullManager).unwrap();
-        let sav = |r: &ace_core::RunRecord| {
-            100.0 * (1.0 - r.energy.total_nj() / base.energy.total_nj())
-        };
+        let sav =
+            |r: &ace_core::RunRecord| 100.0 * (1.0 - r.energy.total_nj() / base.energy.total_nj());
         let slow = |r: &ace_core::RunRecord| 100.0 * r.slowdown_vs(&base);
 
         let mut pos =
@@ -36,7 +35,10 @@ fn main() {
         let r_bbv = run_with_manager(&program, &cfg, &mut bbv).unwrap();
 
         let mut bbv_pred = BbvAceManager::new(
-            BbvManagerConfig { use_predictor: true, ..BbvManagerConfig::default() },
+            BbvManagerConfig {
+                use_predictor: true,
+                ..BbvManagerConfig::default()
+            },
             model,
         );
         let r_pred = run_with_manager(&program, &cfg, &mut bbv_pred).unwrap();
@@ -46,10 +48,14 @@ fn main() {
         let r_hs = run_with_manager(&program, &cfg, &mut hs).unwrap();
 
         agg.push([
-            sav(&r_pos), slow(&r_pos),
-            sav(&r_bbv), slow(&r_bbv),
-            sav(&r_pred), slow(&r_pred),
-            sav(&r_hs), slow(&r_hs),
+            sav(&r_pos),
+            slow(&r_pos),
+            sav(&r_bbv),
+            slow(&r_bbv),
+            sav(&r_pred),
+            slow(&r_pred),
+            sav(&r_hs),
+            slow(&r_hs),
         ]);
         rows.push(vec![
             name.to_string(),
@@ -66,10 +72,26 @@ fn main() {
     }
     rows.push(vec![
         "avg".into(),
-        format!("{:.1}/{:.1}", mean(agg.iter().map(|a| a[0])), mean(agg.iter().map(|a| a[1]))),
-        format!("{:.1}/{:.1}", mean(agg.iter().map(|a| a[2])), mean(agg.iter().map(|a| a[3]))),
-        format!("{:.1}/{:.1}", mean(agg.iter().map(|a| a[4])), mean(agg.iter().map(|a| a[5]))),
-        format!("{:.1}/{:.1}", mean(agg.iter().map(|a| a[6])), mean(agg.iter().map(|a| a[7]))),
+        format!(
+            "{:.1}/{:.1}",
+            mean(agg.iter().map(|a| a[0])),
+            mean(agg.iter().map(|a| a[1]))
+        ),
+        format!(
+            "{:.1}/{:.1}",
+            mean(agg.iter().map(|a| a[2])),
+            mean(agg.iter().map(|a| a[3]))
+        ),
+        format!(
+            "{:.1}/{:.1}",
+            mean(agg.iter().map(|a| a[4])),
+            mean(agg.iter().map(|a| a[5]))
+        ),
+        format!(
+            "{:.1}/{:.1}",
+            mean(agg.iter().map(|a| a[6])),
+            mean(agg.iter().map(|a| a[7]))
+        ),
         String::new(),
     ]);
     println!("Extension: scheme comparison (total cache energy saving % / slowdown %)");
@@ -78,7 +100,14 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["bench", "positional", "BBV", "BBV+pred", "hotspot", "predictions (acc)"],
+            &[
+                "bench",
+                "positional",
+                "BBV",
+                "BBV+pred",
+                "hotspot",
+                "predictions (acc)"
+            ],
             &rows
         )
     );

@@ -50,7 +50,11 @@ fn main() {
             format!("{:.1}", 100.0 * hot.l1d_saving_vs(&base)),
             format!("{:.1}", 100.0 * hot.l2_saving_vs(&base)),
             format!("{:.2}", 100.0 * hot.slowdown_vs(&base)),
-            format!("{}/{}", hrep.tuned_hotspots, hrep.l1d_hotspots + hrep.l2_hotspots),
+            format!(
+                "{}/{}",
+                hrep.tuned_hotspots,
+                hrep.l1d_hotspots + hrep.l2_hotspots
+            ),
             format!("{}", hot.counters.guard_rejections),
         ],
         vec![
@@ -65,7 +69,14 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["scheme", "L1D sav%", "L2 sav%", "slow%", "tuned", "guard rej"],
+            &[
+                "scheme",
+                "L1D sav%",
+                "L2 sav%",
+                "slow%",
+                "tuned",
+                "guard rej"
+            ],
             &rows
         )
     );

@@ -48,7 +48,12 @@ fn main() {
         let sav2 = 100.0 * (1.0 - r2.energy.total_nj() / base.energy.total_nj());
         let sav3 = 100.0 * (1.0 - r3.energy.total_nj() / base.energy.total_nj());
         let win_sav = 100.0 * (1.0 - r3.energy.window_nj / base.energy.window_nj);
-        agg.push([sav2, sav3, 100.0 * r2.slowdown_vs(&base), 100.0 * r3.slowdown_vs(&base)]);
+        agg.push([
+            sav2,
+            sav3,
+            100.0 * r2.slowdown_vs(&base),
+            100.0 * r3.slowdown_vs(&base),
+        ]);
         rows.push(vec![
             name.to_string(),
             format!("{sav2:.1}"),
@@ -68,15 +73,26 @@ fn main() {
         String::new(),
         format!("{:.2}", mean(agg.iter().map(|a| a[2]))),
         format!("{:.2}", mean(agg.iter().map(|a| a[3]))),
-        String::new(), String::new(), String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
     ]);
     println!("Extension: two-CU vs three-CU ACE (total configurable-unit energy,");
     println!("including the instruction window in both denominators)\n");
     println!(
         "{}",
         format_table(
-            &["bench", "2CU sav%", "3CU sav%", "WIN sav%", "2CU slow%", "3CU slow%",
-              "WIN hs", "WIN tunings", "WIN reconfigs"],
+            &[
+                "bench",
+                "2CU sav%",
+                "3CU sav%",
+                "WIN sav%",
+                "2CU slow%",
+                "3CU slow%",
+                "WIN hs",
+                "WIN tunings",
+                "WIN reconfigs"
+            ],
             &rows
         )
     );

@@ -21,11 +21,17 @@ fn main() {
         String::new(),
         format!(
             "{:.1}",
-            mean(all.iter().map(|r| 100.0 * r.bbv_report.stability.stable_fraction()))
+            mean(
+                all.iter()
+                    .map(|r| 100.0 * r.bbv_report.stability.stable_fraction())
+            )
         ),
         format!(
             "{:.1}",
-            mean(all.iter().map(|r| 100.0 * (1.0 - r.bbv_report.stability.stable_fraction())))
+            mean(
+                all.iter()
+                    .map(|r| 100.0 * (1.0 - r.bbv_report.stability.stable_fraction()))
+            )
         ),
     ]);
     println!("Figure 1: distribution of stable/transitional BBV phase intervals");
@@ -44,6 +50,11 @@ fn main() {
     );
     println!("{table}");
     println!("{chart}");
-    append_summary("Figure 1: stable BBV phase intervals (%)", &format!("{table}
-{chart}"));
+    append_summary(
+        "Figure 1: stable BBV phase intervals (%)",
+        &format!(
+            "{table}
+{chart}"
+        ),
+    );
 }

@@ -20,7 +20,10 @@ fn main() {
     rows.push(vec![
         "avg".into(),
         format!("{:.1}", mean(all.iter().map(|r| r.bbv_l1d_saving_pct()))),
-        format!("{:.1}", mean(all.iter().map(|r| r.hotspot_l1d_saving_pct()))),
+        format!(
+            "{:.1}",
+            mean(all.iter().map(|r| r.hotspot_l1d_saving_pct()))
+        ),
     ]);
     let table_a = format_table(&["bench", "BBV", "hotspot"], &rows);
     let labels: Vec<&str> = all.iter().map(|r| r.workload.as_str()).collect();
@@ -28,14 +31,22 @@ fn main() {
         &labels,
         &[
             ("BBV", all.iter().map(|r| r.bbv_l1d_saving_pct()).collect()),
-            ("hot", all.iter().map(|r| r.hotspot_l1d_saving_pct()).collect()),
+            (
+                "hot",
+                all.iter().map(|r| r.hotspot_l1d_saving_pct()).collect(),
+            ),
         ],
         42,
     );
     println!("{table_a}");
     println!("{chart_a}");
-    append_summary("Figure 3(a): L1D energy reduction (%)", &format!("{table_a}
-{chart_a}"));
+    append_summary(
+        "Figure 3(a): L1D energy reduction (%)",
+        &format!(
+            "{table_a}
+{chart_a}"
+        ),
+    );
 
     println!("Figure 3(b): L2 cache energy reduction vs baseline (%)");
     println!("(paper: BBV avg 52%, hotspot avg 58%, BBV ahead only on jack and mtrt)\n");
@@ -57,12 +68,20 @@ fn main() {
         &labels,
         &[
             ("BBV", all.iter().map(|r| r.bbv_l2_saving_pct()).collect()),
-            ("hot", all.iter().map(|r| r.hotspot_l2_saving_pct()).collect()),
+            (
+                "hot",
+                all.iter().map(|r| r.hotspot_l2_saving_pct()).collect(),
+            ),
         ],
         42,
     );
     println!("{table_b}");
     println!("{chart_b}");
-    append_summary("Figure 3(b): L2 energy reduction (%)", &format!("{table_b}
-{chart_b}"));
+    append_summary(
+        "Figure 3(b): L2 energy reduction (%)",
+        &format!(
+            "{table_b}
+{chart_b}"
+        ),
+    );
 }

@@ -26,12 +26,20 @@ fn main() {
         &labels,
         &[
             ("BBV", all.iter().map(|r| r.bbv_slowdown_pct()).collect()),
-            ("hot", all.iter().map(|r| r.hotspot_slowdown_pct()).collect()),
+            (
+                "hot",
+                all.iter().map(|r| r.hotspot_slowdown_pct()).collect(),
+            ),
         ],
         42,
     );
     println!("{table}");
     println!("{chart}");
-    append_summary("Figure 4: slowdown (%)", &format!("{table}
-{chart}"));
+    append_summary(
+        "Figure 4: slowdown (%)",
+        &format!(
+            "{table}
+{chart}"
+        ),
+    );
 }

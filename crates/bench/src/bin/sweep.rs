@@ -6,7 +6,9 @@ use ace_core::{run_with_manager, AceConfig, FixedManager, NullManager, RunConfig
 use ace_sim::SizeLevel;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "jess".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "jess".to_string());
     let program = ace_workloads::preset(&name).expect("preset");
     let cfg = RunConfig::default();
     let base = run_with_manager(&program, &cfg, &mut NullManager).unwrap();

@@ -10,17 +10,24 @@ fn main() {
 
     // New-phase identification: hotspot = hot_threshold invocations
     // (measured as % of execution); BBV = at least one sampling interval.
-    let hs_ident = mean(all.iter().map(|r| r.hotspot.table4.identification_latency_pct));
+    let hs_ident = mean(
+        all.iter()
+            .map(|r| r.hotspot.table4.identification_latency_pct),
+    );
     // Tuning latency: configurations tested per tuned unit.
     let hs_trials: f64 = mean(all.iter().map(|r| {
         let h = &r.hotspot_report;
         let tuned = h.tuned_hotspots.max(1);
         (h.l1d.tunings + h.l2.tunings) as f64 / tuned as f64
     }));
-    let bbv_trials: f64 = mean(all.iter().filter(|r| r.bbv_report.tuned_phases > 0).map(|r| {
-        let b = &r.bbv_report;
-        b.tunings as f64 / b.tuned_phases.max(1) as f64
-    }));
+    let bbv_trials: f64 = mean(
+        all.iter()
+            .filter(|r| r.bbv_report.tuned_phases > 0)
+            .map(|r| {
+                let b = &r.bbv_report;
+                b.tunings as f64 / b.tuned_phases.max(1) as f64
+            }),
+    );
 
     println!("Table 1: identification and tuning latency comparison (measured)\n");
     let rows = vec![
@@ -40,5 +47,8 @@ fn main() {
             format!("{hs_trials:.1} per tuned hotspot (of 4 decoupled)"),
         ],
     ];
-    println!("{}", format_table(&["metric", "BBV (temporal)", "DO-based (hotspot)"], &rows));
+    println!(
+        "{}",
+        format_table(&["metric", "BBV (temporal)", "DO-based (hotspot)"], &rows)
+    );
 }

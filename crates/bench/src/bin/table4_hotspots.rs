@@ -26,7 +26,15 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["bench", "dyn instr", "hotspots", "avg size", "in hotspots", "invocs", "ident lat"],
+            &[
+                "bench",
+                "dyn instr",
+                "hotspots",
+                "avg size",
+                "in hotspots",
+                "invocs",
+                "ident lat"
+            ],
             &rows
         )
     );

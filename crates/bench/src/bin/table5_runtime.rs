@@ -2,11 +2,16 @@
 //! hotspot counts per CU class, tuned fractions, per-/inter-hotspot IPC
 //! CoVs; BBV phase counts, tuned phases, % of intervals in tuned phases,
 //! per-/inter-phase IPC CoVs.
+//!
+//! Accepts `--telemetry <path>` to stream decision events as JSONL (see
+//! `run_all`); cached results emit no events, so use `ACE_FRESH=1` for a
+//! complete trace.
 
-use ace_bench::{format_table, load_or_run_all};
+use ace_bench::{format_table, load_or_run_all_with, print_telemetry_summary, telemetry_from_args};
 
 fn main() {
-    let all = load_or_run_all();
+    let telemetry = telemetry_from_args();
+    let all = load_or_run_all_with(&telemetry);
 
     println!("Table 5 (hotspot scheme)");
     println!("(paper: 85-141 hotspots, 81-94% tuned, per-hotspot CoV 5-10%, inter 43-52%)\n");
@@ -27,7 +32,16 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["bench", "L1D hs", "L2 hs", "total hs", "tuned", "tuned %", "per-hs CoV", "inter-hs CoV"],
+            &[
+                "bench",
+                "L1D hs",
+                "L2 hs",
+                "total hs",
+                "tuned",
+                "tuned %",
+                "per-hs CoV",
+                "inter-hs CoV"
+            ],
             &rows
         )
     );
@@ -50,8 +64,17 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["bench", "phases", "tuned", "tuned intervals", "per-ph CoV", "inter-ph CoV"],
+            &[
+                "bench",
+                "phases",
+                "tuned",
+                "tuned intervals",
+                "per-ph CoV",
+                "inter-ph CoV"
+            ],
             &rows
         )
     );
+
+    print_telemetry_summary(&telemetry);
 }

@@ -1,10 +1,15 @@
 //! **Table 6** — Tunings, reconfigurations, and coverage of the hotspot
 //! and BBV schemes, per configurable unit.
+//!
+//! Accepts `--telemetry <path>` to stream decision events as JSONL (see
+//! `run_all`); cached results emit no events, so use `ACE_FRESH=1` for a
+//! complete trace.
 
-use ace_bench::{format_table, load_or_run_all};
+use ace_bench::{format_table, load_or_run_all_with, print_telemetry_summary, telemetry_from_args};
 
 fn main() {
-    let all = load_or_run_all();
+    let telemetry = telemetry_from_args();
+    let all = load_or_run_all_with(&telemetry);
 
     println!("Table 6 (hotspot scheme): per-CU tunings / reconfigs / coverage");
     println!("(paper: L1D tunings 218-506, reconfigs 2.6K-48K, coverage 71-93%;");
@@ -26,7 +31,15 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["bench", "L1D tunings", "L1D reconfigs", "L1D cov", "L2 tunings", "L2 reconfigs", "L2 cov"],
+            &[
+                "bench",
+                "L1D tunings",
+                "L1D reconfigs",
+                "L1D cov",
+                "L2 tunings",
+                "L2 reconfigs",
+                "L2 cov"
+            ],
             &rows
         )
     );
@@ -40,12 +53,20 @@ fn main() {
             r.workload.clone(),
             format!("{}", b.tunings),
             format!("{}", b.reconfigs),
-            format!("{:.1}%", 100.0 * b.covered_instr as f64 / r.bbv.instret as f64),
+            format!(
+                "{:.1}%",
+                100.0 * b.covered_instr as f64 / r.bbv.instret as f64
+            ),
             format!("{}", b.misattributed_trials),
         ]);
     }
     println!(
         "{}",
-        format_table(&["bench", "tunings", "reconfigs", "coverage", "discarded"], &rows)
+        format_table(
+            &["bench", "tunings", "reconfigs", "coverage", "discarded"],
+            &rows
+        )
     );
+
+    print_telemetry_summary(&telemetry);
 }

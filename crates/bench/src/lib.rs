@@ -20,6 +20,7 @@ use ace_core::{
     HotspotManagerConfig, HotspotReport, NullManager, RunConfig, RunRecord,
 };
 use ace_energy::EnergyModel;
+use ace_telemetry::Telemetry;
 use ace_workloads::PRESET_NAMES;
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
@@ -90,9 +91,22 @@ pub fn standard_run_config() -> RunConfig {
 /// Panics if `name` is not one of [`PRESET_NAMES`] (the Table 2 machine
 /// configuration itself is statically valid).
 pub fn run_workload(name: &str) -> SchemeResults {
-    let program = ace_workloads::preset(name)
-        .unwrap_or_else(|| panic!("unknown workload {name}"));
-    let cfg = standard_run_config();
+    run_workload_with(name, &Telemetry::off())
+}
+
+/// [`run_workload`] with an observability handle: all three scheme runs
+/// share it, so the event stream interleaves baseline promotions with the
+/// adaptive managers' decisions.
+///
+/// # Panics
+///
+/// Panics if `name` is not one of [`PRESET_NAMES`].
+pub fn run_workload_with(name: &str, telemetry: &Telemetry) -> SchemeResults {
+    let program = ace_workloads::preset(name).unwrap_or_else(|| panic!("unknown workload {name}"));
+    let cfg = RunConfig {
+        telemetry: telemetry.clone(),
+        ..standard_run_config()
+    };
     let model = EnergyModel::default_180nm();
 
     let baseline = run_with_manager(&program, &cfg, &mut NullManager).expect("baseline run");
@@ -130,13 +144,20 @@ fn cache_path(name: &str) -> PathBuf {
 /// Loads cached results for `name`, or runs and caches them. Set
 /// `ACE_FRESH=1` to force re-running.
 pub fn load_or_run(name: &str) -> SchemeResults {
+    load_or_run_with(name, &Telemetry::off())
+}
+
+/// [`load_or_run`] with an observability handle. A cache hit returns the
+/// stored record without re-running, so it emits no events; set
+/// `ACE_FRESH=1` to force fresh (and therefore fully traced) runs.
+pub fn load_or_run_with(name: &str, telemetry: &Telemetry) -> SchemeResults {
     let path = cache_path(name);
     if std::env::var("ACE_FRESH").is_err() {
         if let Some(cached) = try_load(&path) {
             return cached;
         }
     }
-    let results = run_workload(name);
+    let results = run_workload_with(name, telemetry);
     if let Err(e) = save(&path, &results) {
         eprintln!("warning: could not cache {}: {e}", path.display());
     }
@@ -158,13 +179,56 @@ fn save(path: &Path, results: &SchemeResults) -> std::io::Result<()> {
 
 /// Runs (or loads) all seven workloads, in parallel across workloads.
 pub fn load_or_run_all() -> Vec<SchemeResults> {
+    load_or_run_all_with(&Telemetry::off())
+}
+
+/// [`load_or_run_all`] with an observability handle shared by every
+/// worker thread (the sinks are internally synchronised).
+pub fn load_or_run_all_with(telemetry: &Telemetry) -> Vec<SchemeResults> {
     std::thread::scope(|scope| {
         let handles: Vec<_> = PRESET_NAMES
             .iter()
-            .map(|name| scope.spawn(move || load_or_run(name)))
+            .map(|name| scope.spawn(move || load_or_run_with(name, telemetry)))
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect()
     })
+}
+
+/// Parses the shared `--telemetry <path>` CLI flag: returns a JSONL-file
+/// handle when present, [`Telemetry::off`] otherwise. Exits with a
+/// message if the path cannot be created. Cached results skip their runs
+/// and therefore their events — combine with `ACE_FRESH=1` for a full
+/// trace.
+pub fn telemetry_from_args() -> Telemetry {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--telemetry" {
+            let Some(path) = args.next() else {
+                eprintln!("--telemetry requires a file path");
+                std::process::exit(2);
+            };
+            match Telemetry::jsonl(&path) {
+                Ok(tel) => return tel,
+                Err(e) => {
+                    eprintln!("cannot open telemetry file {path}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    Telemetry::off()
+}
+
+/// Flushes and prints the telemetry summary (event counts + metrics) to
+/// stderr when the handle is enabled; silent otherwise.
+pub fn print_telemetry_summary(telemetry: &Telemetry) {
+    if telemetry.is_enabled() {
+        telemetry.flush();
+        eprint!("{}", telemetry.summary());
+    }
 }
 
 /// Formats a row-major table with a header, aligning columns.
@@ -216,8 +280,7 @@ pub fn bar_chart(labels: &[&str], series: &[(&str, Vec<f64>)], width: usize) -> 
         for (j, (name, values)) in series.iter().enumerate() {
             let v = values.get(i).copied().unwrap_or(0.0);
             let cols = ((v.abs() / max) * width as f64).round() as usize;
-            let bar: String = std::iter::repeat_n(if j == 0 { '█' } else { '▒' }, cols)
-                .collect();
+            let bar: String = std::iter::repeat_n(if j == 0 { '█' } else { '▒' }, cols).collect();
             let sign = if v < 0.0 { "-" } else { "" };
             out.push_str(&format!(
                 "{:>label_w$} {:<name_w$} |{sign}{bar} {v:.1}
@@ -236,23 +299,34 @@ pub fn append_summary(section: &str, body: &str) {
     let _ = std::fs::create_dir_all(results_dir());
     let mut text = std::fs::read_to_string(&path).unwrap_or_default();
     // Replace an existing section of the same name, else append.
-    let header = format!("## {section}
-");
+    let header = format!(
+        "## {section}
+"
+    );
     if let Some(start) = text.find(&header) {
         let rest = &text[start + header.len()..];
-        let end = rest.find("
-## ").map(|e| start + header.len() + e + 1).unwrap_or(text.len());
+        let end = rest
+            .find(
+                "
+## ",
+            )
+            .map(|e| start + header.len() + e + 1)
+            .unwrap_or(text.len());
         text.replace_range(start..end, "");
     }
     text.push_str(&header);
-    text.push_str("
+    text.push_str(
+        "
 ```text
-");
+",
+    );
     text.push_str(body.trim_end());
-    text.push_str("
+    text.push_str(
+        "
 ```
 
-");
+",
+    );
     let _ = std::fs::write(&path, text);
 }
 
@@ -299,7 +373,10 @@ mod tests {
         assert!(chart.contains("db"));
         assert!(chart.contains("jess"));
         assert!(chart.contains("40.0"));
-        assert!(chart.contains("-▒ 5.0") || chart.contains("-5.0"), "{chart}");
+        assert!(
+            chart.contains("-▒ 5.0") || chart.contains("-5.0"),
+            "{chart}"
+        );
         // The largest value spans the full width (second series uses ▒).
         let max_line = chart.lines().find(|l| l.contains("40.0")).unwrap();
         assert_eq!(max_line.matches('▒').count(), 20);

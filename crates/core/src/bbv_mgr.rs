@@ -19,6 +19,7 @@ use crate::tuner::ConfigTuner;
 use ace_energy::EnergyModel;
 use ace_phase::{BbvConfig, BbvDetector, PhaseId, StabilityStats};
 use ace_sim::{Block, Machine, OnlineStats};
+use ace_telemetry::{Event, ReconfigCause, Scope, Telemetry};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the BBV manager.
@@ -41,7 +42,10 @@ pub struct BbvManagerConfig {
 impl Default for BbvManagerConfig {
     fn default() -> Self {
         BbvManagerConfig {
-            bbv: BbvConfig { interval_instr: 1_000_200, ..BbvConfig::default() },
+            bbv: BbvConfig {
+                interval_instr: 1_000_200,
+                ..BbvConfig::default()
+            },
             perf_threshold: 0.02,
             use_predictor: false,
         }
@@ -120,6 +124,7 @@ pub struct BbvAceManager {
     next_boundary: u64,
     plan: Plan,
     report: BbvReport,
+    tel: Telemetry,
 }
 
 impl BbvAceManager {
@@ -137,6 +142,7 @@ impl BbvAceManager {
             next_boundary: 0,
             plan: Plan::Idle,
             report: BbvReport::default(),
+            tel: Telemetry::off(),
         }
     }
 
@@ -145,33 +151,62 @@ impl BbvAceManager {
         &self.config
     }
 
-    fn tuner_mut(&mut self, phase: PhaseId) -> &mut ConfigTuner {
+    fn tuner_mut(&mut self, phase: PhaseId, instret: u64) -> &mut ConfigTuner {
         let idx = phase.0 as usize;
+        let created = self.tuners.len() <= idx;
         while self.tuners.len() <= idx {
-            self.tuners.push(ConfigTuner::new(combined_list(), self.config.perf_threshold));
+            self.tuners.push(ConfigTuner::new(
+                combined_list(),
+                self.config.perf_threshold,
+            ));
             self.warmups.push(1);
             self.phase_ipc.push(OnlineStats::new());
+        }
+        if created {
+            let configs = self.tuners[idx].list_len() as u32;
+            self.tel.emit(|| Event::TuningStarted {
+                scope: Scope::Phase { phase: phase.0 },
+                configs,
+                instret,
+            });
         }
         &mut self.tuners[idx]
     }
 
     fn end_interval(&mut self, machine: &mut Machine) {
         // 1. Measure the interval that just finished.
-        let measurement = self.probe.take().and_then(|p| p.finish(machine, &self.model));
+        let measurement = self
+            .probe
+            .take()
+            .and_then(|p| p.finish(machine, &self.model));
         let outcome = self.detector.end_interval();
         self.report.intervals += 1;
 
         if let Some(m) = measurement {
             // Per-phase IPC statistics for Table 5.
-            let _ = self.tuner_mut(outcome.phase); // ensure slots exist
+            let _ = self.tuner_mut(outcome.phase, machine.instret()); // ensure slots exist
             self.phase_ipc[outcome.phase.0 as usize].push(m.ipc);
+            let interval_index = self.report.intervals - 1;
+            self.tel.emit(|| Event::IntervalSample {
+                phase: outcome.phase.0,
+                index: interval_index,
+                ipc: m.ipc,
+                epi_nj: m.epi_nj,
+                stable: outcome.continues_previous,
+                instret: machine.instret(),
+            });
 
             match self.plan {
                 Plan::Trial(predicted) => {
                     if predicted == outcome.phase {
                         let tuner = &mut self.tuners[predicted.0 as usize];
                         if !tuner.is_done() {
-                            tuner.record(m);
+                            tuner.record_traced(
+                                m,
+                                &self.tel,
+                                Scope::Phase { phase: predicted.0 },
+                                machine.instret(),
+                            );
                             self.report.tunings += 1;
                         }
                     } else {
@@ -181,7 +216,12 @@ impl BbvAceManager {
                         // cannot linger across foreign phases.
                         self.report.misattributed_trials += 1;
                         let mut applied = 0;
-                        let _ = crate::cu::AceConfig::baseline().request(machine, &mut applied);
+                        let _ = crate::cu::AceConfig::baseline().request_traced(
+                            machine,
+                            &mut applied,
+                            &self.tel,
+                            ReconfigCause::Reset,
+                        );
                     }
                 }
                 Plan::Apply(predicted) => {
@@ -199,11 +239,11 @@ impl BbvAceManager {
         // interval identification latency of Table 1); *tuning* trials
         // additionally require the phase to be stable.
         self.plan = Plan::Idle;
-        let _ = self.tuner_mut(outcome.phase); // ensure slots exist
+        let _ = self.tuner_mut(outcome.phase, machine.instret()); // ensure slots exist
         let idx = outcome.phase.0 as usize;
         if let Some(best) = self.tuners[idx].best() {
             let mut applied = 0;
-            let ok = best.request(machine, &mut applied);
+            let ok = best.request_traced(machine, &mut applied, &self.tel, ReconfigCause::Apply);
             self.report.reconfigs += applied;
             if ok && best.in_effect(machine) {
                 self.plan = Plan::Apply(outcome.phase);
@@ -215,7 +255,12 @@ impl BbvAceManager {
                 self.warmups[idx] -= 1;
                 if let Some(reference) = self.tuners[idx].next_trial() {
                     let mut applied = 0;
-                    let _ = reference.request(machine, &mut applied);
+                    let _ = reference.request_traced(
+                        machine,
+                        &mut applied,
+                        &self.tel,
+                        ReconfigCause::Trial,
+                    );
                 }
             } else if let Some(trial) = self.tuners[idx].next_trial() {
                 // L1D-only transitions are cheap (the window refills from
@@ -225,7 +270,8 @@ impl BbvAceManager {
                 // and the following stable interval measures it.
                 let l2_before = machine.level(ace_sim::CuKind::L2);
                 let mut applied = 0;
-                let ok = trial.request(machine, &mut applied);
+                let ok =
+                    trial.request_traced(machine, &mut applied, &self.tel, ReconfigCause::Trial);
                 let l2_changed = machine.level(ace_sim::CuKind::L2) != l2_before;
                 if ok && !l2_changed {
                     self.plan = Plan::Trial(outcome.phase);
@@ -245,11 +291,14 @@ impl BbvAceManager {
             self.predictor.observe(outcome.phase);
             if let Some(next) = self.predictor.predict() {
                 if next != outcome.phase {
-                    if let Some(best) =
-                        self.tuners.get(next.0 as usize).and_then(|t| t.best())
-                    {
+                    if let Some(best) = self.tuners.get(next.0 as usize).and_then(|t| t.best()) {
                         let mut applied = 0;
-                        let ok = best.request(machine, &mut applied);
+                        let ok = best.request_traced(
+                            machine,
+                            &mut applied,
+                            &self.tel,
+                            ReconfigCause::Apply,
+                        );
                         self.report.reconfigs += applied;
                         if ok && best.in_effect(machine) {
                             self.plan = Plan::Apply(next);
@@ -270,7 +319,9 @@ impl BbvAceManager {
 
     /// Per-phase tuner states with mean interval IPC (diagnostics).
     pub fn tuner_states(&self) -> impl Iterator<Item = (&ConfigTuner, f64)> {
-        self.tuners.iter().zip(self.phase_ipc.iter().map(|s| s.mean()))
+        self.tuners
+            .iter()
+            .zip(self.phase_ipc.iter().map(|s| s.mean()))
     }
 
     /// Builds the end-of-run report.
@@ -290,7 +341,11 @@ impl BbvAceManager {
                 means.push(s.mean());
             }
         }
-        r.per_phase_ipc_cov = if cov_n > 0 { cov_sum / cov_n as f64 } else { 0.0 };
+        r.per_phase_ipc_cov = if cov_n > 0 {
+            cov_sum / cov_n as f64
+        } else {
+            0.0
+        };
         r.inter_phase_ipc_cov = means.cov();
         r.stability = self.detector.stability();
         r.predictions = self.predictor.stats().predictions;
@@ -300,6 +355,10 @@ impl BbvAceManager {
 }
 
 impl AceManager for BbvAceManager {
+    fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.tel = telemetry;
+    }
+
     fn on_start(&mut self, machine: &mut Machine) {
         self.probe = Some(Probe::arm(machine, &self.model));
         self.next_boundary = machine.instret() + self.config.bbv.interval_instr;
@@ -325,7 +384,10 @@ mod tests {
             pc,
             ninstr,
             accesses: vec![MemAccess::load(addr)],
-            branch: Some(BranchEvent { pc: pc + 56, taken: true }),
+            branch: Some(BranchEvent {
+                pc: pc + 56,
+                taken: true,
+            }),
         }
     }
 
@@ -337,10 +399,14 @@ mod tests {
         let mut cfg = MachineConfig::table2();
         cfg.l1d_reconfig_interval = 10_000;
         cfg.l2_reconfig_interval = 100_000;
-        let mut machine = Machine::new(cfg).unwrap();
+        let mut machine =
+            Machine::new(cfg).expect("Table 2 with scaled guard intervals is a valid config");
         let mut mgr = BbvAceManager::new(
             BbvManagerConfig {
-                bbv: BbvConfig { interval_instr: 100_100, ..BbvConfig::default() },
+                bbv: BbvConfig {
+                    interval_instr: 100_100,
+                    ..BbvConfig::default()
+                },
                 ..BbvManagerConfig::default()
             },
             EnergyModel::default_180nm(),
@@ -377,10 +443,19 @@ mod tests {
         let r = mgr.report();
         assert_eq!(r.tuned_phases, 1);
         // 2 KB working set: the tuned configuration shrinks the L1D.
-        let tuned = mgr.tuners.iter().find(|t| t.is_done()).unwrap();
-        let best = tuned.best().unwrap();
+        let tuned = mgr
+            .tuners
+            .iter()
+            .find(|t| t.is_done())
+            .expect("report counted a tuned phase, so one tuner must be done");
+        let best = tuned
+            .best()
+            .expect("a finished tuner always has a selection");
+        let l1d = best
+            .l1d
+            .expect("combined-list selections always assign the L1D");
         assert!(
-            best.l1d.unwrap() > ace_sim::SizeLevel::LARGEST,
+            l1d > ace_sim::SizeLevel::LARGEST,
             "expected a smaller L1D, got {best}"
         );
         let _ = machine;

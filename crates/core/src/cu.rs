@@ -7,8 +7,14 @@
 //! versus the 16-entry combinatorial list a coupled tuner must walk.
 
 use ace_sim::{CuKind, Machine, ReconfigOutcome, SizeLevel, NUM_SIZE_LEVELS};
+use ace_telemetry::{Cu, Event, ReconfigCause, Telemetry};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Bucket bounds (cycles) for the reconfiguration-latency histogram: the
+/// flush penalty ranges from zero (clean upsize) to a full dirty-cache
+/// writeback.
+const RECONFIG_LATENCY_BOUNDS: &[f64] = &[0.0, 100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0];
 
 /// A (partial) assignment of size levels to the configurable units.
 ///
@@ -47,22 +53,35 @@ impl AceConfig {
 
     /// A configuration touching only the L1D cache.
     pub fn l1d_only(level: SizeLevel) -> AceConfig {
-        AceConfig { l1d: Some(level), ..AceConfig::default() }
+        AceConfig {
+            l1d: Some(level),
+            ..AceConfig::default()
+        }
     }
 
     /// A configuration touching only the L2 cache.
     pub fn l2_only(level: SizeLevel) -> AceConfig {
-        AceConfig { l2: Some(level), ..AceConfig::default() }
+        AceConfig {
+            l2: Some(level),
+            ..AceConfig::default()
+        }
     }
 
     /// A configuration touching only the instruction window.
     pub fn window_only(level: SizeLevel) -> AceConfig {
-        AceConfig { window: Some(level), ..AceConfig::default() }
+        AceConfig {
+            window: Some(level),
+            ..AceConfig::default()
+        }
     }
 
     /// A full configuration of the paper's two cache units.
     pub fn both(l1d: SizeLevel, l2: SizeLevel) -> AceConfig {
-        AceConfig { l1d: Some(l1d), l2: Some(l2), window: None }
+        AceConfig {
+            l1d: Some(l1d),
+            l2: Some(l2),
+            window: None,
+        }
     }
 
     /// The baseline (largest) full configuration.
@@ -78,24 +97,51 @@ impl AceConfig {
     /// `applied` is incremented for each unit whose control register
     /// actually changed (the "reconfigurations" column of Table 6).
     pub fn request(&self, machine: &mut Machine, applied: &mut u64) -> bool {
+        self.request_traced(machine, applied, &Telemetry::off(), ReconfigCause::Apply)
+    }
+
+    /// Like [`AceConfig::request`], but emits one [`Event::Reconfigured`]
+    /// per unit whose control register actually changed, tagged with
+    /// `cause`, and records the resize's cycle cost and writeback volume
+    /// in the `reconfig_latency_cycles` / `reconfig_dirty_lines`
+    /// histograms.
+    pub fn request_traced(
+        &self,
+        machine: &mut Machine,
+        applied: &mut u64,
+        tel: &Telemetry,
+        cause: ReconfigCause,
+    ) -> bool {
         let mut ok = true;
-        if let Some(level) = self.l1d {
-            match machine.request_resize(CuKind::L1d, level) {
-                ReconfigOutcome::Applied(_) => *applied += 1,
-                ReconfigOutcome::Unchanged => {}
-                ReconfigOutcome::TooSoon { .. } => ok = false,
-            }
-        }
-        if let Some(level) = self.l2 {
-            match machine.request_resize(CuKind::L2, level) {
-                ReconfigOutcome::Applied(_) => *applied += 1,
-                ReconfigOutcome::Unchanged => {}
-                ReconfigOutcome::TooSoon { .. } => ok = false,
-            }
-        }
-        if let Some(level) = self.window {
-            match machine.request_resize(CuKind::Window, level) {
-                ReconfigOutcome::Applied(_) => *applied += 1,
+        // Same unit order as the untraced path: L1D, L2, window.
+        let units = [
+            (CuKind::L1d, Cu::L1d, self.l1d),
+            (CuKind::L2, Cu::L2, self.l2),
+            (CuKind::Window, Cu::Window, self.window),
+        ];
+        for (kind, cu, level) in units {
+            let Some(level) = level else { continue };
+            let from = machine.level(kind).index() as u8;
+            let cycles_before = machine.cycles();
+            match machine.request_resize(kind, level) {
+                ReconfigOutcome::Applied(flush) => {
+                    *applied += 1;
+                    tel.emit(|| Event::Reconfigured {
+                        cu,
+                        from,
+                        to: level.index() as u8,
+                        cause,
+                        cycle: machine.cycles(),
+                    });
+                    if let Some(metrics) = tel.metrics() {
+                        metrics
+                            .histogram("reconfig_latency_cycles", RECONFIG_LATENCY_BOUNDS)
+                            .record((machine.cycles() - cycles_before) as f64);
+                        metrics
+                            .histogram("reconfig_dirty_lines", RECONFIG_LATENCY_BOUNDS)
+                            .record(flush.dirty_lines as f64);
+                    }
+                }
                 ReconfigOutcome::Unchanged => {}
                 ReconfigOutcome::TooSoon { .. } => ok = false,
             }
@@ -108,7 +154,9 @@ impl AceConfig {
     pub fn in_effect(&self, machine: &Machine) -> bool {
         self.l1d.is_none_or(|l| machine.level(CuKind::L1d) == l)
             && self.l2.is_none_or(|l| machine.level(CuKind::L2) == l)
-            && self.window.is_none_or(|l| machine.level(CuKind::Window) == l)
+            && self
+                .window
+                .is_none_or(|l| machine.level(CuKind::Window) == l)
     }
 }
 
@@ -174,7 +222,10 @@ mod tests {
         assert_eq!(single_cu_list(CuKind::L2).len(), 4);
         assert_eq!(combined_list().len(), 16);
         assert_eq!(combined_list()[0], AceConfig::baseline());
-        assert_eq!(single_cu_list(CuKind::L1d)[0], AceConfig::l1d_only(SizeLevel::LARGEST));
+        assert_eq!(
+            single_cu_list(CuKind::L1d)[0],
+            AceConfig::l1d_only(SizeLevel::LARGEST)
+        );
     }
 
     #[test]
@@ -210,8 +261,14 @@ mod tests {
     #[test]
     fn display_forms() {
         assert_eq!(AceConfig::baseline().to_string(), "L1D=L0,L2=L0");
-        assert_eq!(AceConfig::l1d_only(SizeLevel::new(3).unwrap()).to_string(), "L1D=L3");
-        assert_eq!(AceConfig::window_only(SizeLevel::new(1).unwrap()).to_string(), "WIN=L1");
+        assert_eq!(
+            AceConfig::l1d_only(SizeLevel::new(3).unwrap()).to_string(),
+            "L1D=L3"
+        );
+        assert_eq!(
+            AceConfig::window_only(SizeLevel::new(1).unwrap()).to_string(),
+            "WIN=L1"
+        );
         assert_eq!(AceConfig::default().to_string(), "-");
     }
 

@@ -10,6 +10,7 @@ use crate::manager::AceManager;
 use ace_energy::{EnergyBreakdown, EnergyModel};
 use ace_runtime::{DoConfig, DoStats, DoSystem, Table4Row};
 use ace_sim::{Block, ConfigError, Machine, MachineConfig, MachineCounters};
+use ace_telemetry::Telemetry;
 use ace_workloads::{Executor, Program, Step};
 use serde::{Deserialize, Serialize};
 
@@ -26,6 +27,10 @@ pub struct RunConfig {
     pub instruction_limit: Option<u64>,
     /// Overrides the program's own executor seed (sensitivity studies).
     pub workload_seed: Option<u64>,
+    /// Observability handle handed to the DO system and the manager.
+    /// Defaults to [`Telemetry::off`], which costs one never-taken branch
+    /// per decision point.
+    pub telemetry: Telemetry,
 }
 
 /// The outcome of one run.
@@ -101,6 +106,9 @@ pub fn run_with_manager<M: AceManager>(
 ) -> Result<RunRecord, ConfigError> {
     let mut machine = Machine::new(cfg.machine.clone())?;
     let mut dos = DoSystem::new(program, cfg.do_config.clone());
+    dos.set_telemetry(cfg.telemetry.clone());
+    manager.set_telemetry(cfg.telemetry.clone());
+    let _run_timer = cfg.telemetry.metrics().map(|m| m.timer("run_wall_ms"));
     let mut exec = match cfg.workload_seed {
         Some(seed) => Executor::with_seed(program, seed),
         None => Executor::new(program),
@@ -173,6 +181,9 @@ pub fn run_threaded<M: AceManager>(
     assert!(!entries.is_empty(), "need at least one thread entry");
     let mut machine = Machine::new(cfg.machine.clone())?;
     let mut dos = DoSystem::new(program, cfg.do_config.clone());
+    dos.set_telemetry(cfg.telemetry.clone());
+    manager.set_telemetry(cfg.telemetry.clone());
+    let _run_timer = cfg.telemetry.metrics().map(|m| m.timer("run_wall_ms"));
     let threads: Vec<_> = entries
         .iter()
         .enumerate()
@@ -241,7 +252,10 @@ mod tests {
     use ace_sim::SizeLevel;
 
     fn small_cfg(limit: u64) -> RunConfig {
-        RunConfig { instruction_limit: Some(limit), ..RunConfig::default() }
+        RunConfig {
+            instruction_limit: Some(limit),
+            ..RunConfig::default()
+        }
     }
 
     #[test]
@@ -280,8 +294,16 @@ mod tests {
             "L1D saving {:.3}",
             r.l1d_saving_vs(&base)
         );
-        assert!(r.l2_saving_vs(&base) > 0.3, "L2 saving {:.3}", r.l2_saving_vs(&base));
-        assert!(r.slowdown_vs(&base) < 0.10, "slowdown {:.3}", r.slowdown_vs(&base));
+        assert!(
+            r.l2_saving_vs(&base) > 0.3,
+            "L2 saving {:.3}",
+            r.l2_saving_vs(&base)
+        );
+        assert!(
+            r.slowdown_vs(&base) < 0.10,
+            "slowdown {:.3}",
+            r.slowdown_vs(&base)
+        );
     }
 
     #[test]

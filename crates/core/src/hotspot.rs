@@ -20,6 +20,7 @@ use crate::tuner::ConfigTuner;
 use ace_energy::EnergyModel;
 use ace_runtime::{DoEvent, HotspotClass};
 use ace_sim::{Block, CuKind, Machine, OnlineStats};
+use ace_telemetry::{Event, Histogram, ReconfigCause, Scope, Telemetry};
 use ace_workloads::MethodId;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -159,6 +160,36 @@ pub struct HotspotAceManager {
     /// prediction skips tuning entirely and applies the predicted setting
     /// from its first instrumented invocation.
     predictions: HashMap<MethodId, AceConfig>,
+    tel: Telemetry,
+    /// Histogram handles resolved once at `set_telemetry` so the per-exit
+    /// path never touches the registry lock.
+    hs_metrics: Option<HsMetrics>,
+}
+
+/// Pre-resolved metric handles for the hotspot-exit path.
+#[derive(Debug, Clone)]
+struct HsMetrics {
+    /// Per-invocation dynamic instruction counts (paper: 50 K–500 K is the
+    /// L1D-adaptable band, larger is L2-adaptable).
+    invocation_instr: Histogram,
+    /// Per-invocation cache energy per instruction (nanojoules).
+    invocation_epi_nj: Histogram,
+}
+
+impl HsMetrics {
+    fn resolve(tel: &Telemetry) -> Option<HsMetrics> {
+        let metrics = tel.metrics()?;
+        Some(HsMetrics {
+            invocation_instr: metrics.histogram(
+                "hotspot_invocation_instr",
+                &[1e3, 1e4, 5e4, 1e5, 5e5, 1e6, 1e7, 1e8],
+            ),
+            invocation_epi_nj: metrics.histogram(
+                "hotspot_invocation_epi_nj",
+                &[0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0],
+            ),
+        })
+    }
 }
 
 impl HotspotAceManager {
@@ -175,6 +206,8 @@ impl HotspotAceManager {
             trial_changes: 0,
             small_seen: 0,
             predictions: HashMap::new(),
+            tel: Telemetry::off(),
+            hs_metrics: None,
         }
     }
 
@@ -220,10 +253,26 @@ impl HotspotAceManager {
         // A predicted configuration (restricted to this hotspot's CU class)
         // eliminates the tuning process entirely.
         let predicted = self.predictions.get(&method).map(|p| match class {
-            HotspotClass::L2 => AceConfig { l2: p.l2, ..AceConfig::default() },
-            HotspotClass::Window => AceConfig { window: p.window, ..AceConfig::default() },
-            _ => AceConfig { l1d: p.l1d, ..AceConfig::default() },
+            HotspotClass::L2 => AceConfig {
+                l2: p.l2,
+                ..AceConfig::default()
+            },
+            HotspotClass::Window => AceConfig {
+                window: p.window,
+                ..AceConfig::default()
+            },
+            _ => AceConfig {
+                l1d: p.l1d,
+                ..AceConfig::default()
+            },
         });
+        let tel = self.tel.clone();
+        let is_new = !self.states.contains_key(&method);
+        let configs = if predicted.is_some() {
+            1
+        } else {
+            list.len() as u32
+        };
         let state = self.states.entry(method).or_insert_with(|| HsState {
             class,
             tuner: match predicted {
@@ -239,6 +288,13 @@ impl HotspotAceManager {
             retunings: 0,
             covered_instr: 0,
         });
+        if is_new {
+            tel.emit(|| Event::TuningStarted {
+                scope: Scope::Hotspot { method: method.0 },
+                configs,
+                instret: machine.instret(),
+            });
+        }
 
         state.pending = Pending::Idle;
         state.covered = false;
@@ -246,7 +302,7 @@ impl HotspotAceManager {
         if let Some(best) = state.tuner.best() {
             // Configuration code: set the chosen configuration.
             let mut applied = 0;
-            let ok = best.request(machine, &mut applied);
+            let ok = best.request_traced(machine, &mut applied, &tel, ReconfigCause::Apply);
             state.covered = ok && best.in_effect(machine);
             state.invocations_after_tuned += 1;
             if state.invocations_after_tuned.is_multiple_of(sample_period) {
@@ -265,7 +321,7 @@ impl HotspotAceManager {
             // back-to-back invocations, so the next invocation measures the
             // configuration's steady behavior.
             let mut applied = 0;
-            let ok = trial.request(machine, &mut applied);
+            let ok = trial.request_traced(machine, &mut applied, &tel, ReconfigCause::Trial);
             self.trial_changes += applied;
             if ok && applied == 0 {
                 state.pending = Pending::Trial;
@@ -288,19 +344,31 @@ impl HotspotAceManager {
         let perf_threshold = self.config.perf_threshold;
         let decouple_list = self.list_for(class);
         let model = self.model;
-        let Some(state) = self.states.get_mut(&method) else { return };
-        let Some(probe) = state.probe.take() else { return };
-        let Some(m) = probe.finish(machine, &model) else { return };
+        let tel = self.tel.clone();
+        let Some(state) = self.states.get_mut(&method) else {
+            return;
+        };
+        let Some(probe) = state.probe.take() else {
+            return;
+        };
+        let Some(m) = probe.finish(machine, &model) else {
+            return;
+        };
 
         state.ipc_stats.push(m.ipc);
         if state.covered {
             state.covered_instr += m.instr;
         }
+        if let Some(hm) = &self.hs_metrics {
+            hm.invocation_instr.record(m.instr as f64);
+            hm.invocation_epi_nj.record(m.epi_nj);
+        }
 
+        let scope = Scope::Hotspot { method: method.0 };
         let mut tunings = 0;
         match state.pending {
             Pending::Trial => {
-                state.tuner.record(m);
+                state.tuner.record_traced(m, &tel, scope, machine.instret());
                 tunings = 1;
                 if state.tuner.is_done() {
                     state.tuned_ipc = state.tuner.best_measurement().map(|bm| bm.ipc);
@@ -311,11 +379,22 @@ impl HotspotAceManager {
                     let drift = (m.ipc - tuned).abs() / tuned;
                     if drift > retune_threshold {
                         // Behavior changed: discard the selection, re-tune.
+                        let configs = decouple_list.len() as u32;
                         state.tuner = ConfigTuner::new(decouple_list, perf_threshold);
                         state.tuned_ipc = None;
                         state.invocations_after_tuned = 0;
                         state.retunings += 1;
                         self.retunings += 1;
+                        tel.emit(|| Event::DriftRetune {
+                            scope,
+                            drift,
+                            instret: machine.instret(),
+                        });
+                        tel.emit(|| Event::TuningStarted {
+                            scope,
+                            configs,
+                            instret: machine.instret(),
+                        });
                     }
                 }
             }
@@ -361,8 +440,10 @@ impl HotspotAceManager {
             }
             match state.class {
                 HotspotClass::Window => {
-                    report.window.covered_instr =
-                        report.window.covered_instr.saturating_add(state.covered_instr)
+                    report.window.covered_instr = report
+                        .window
+                        .covered_instr
+                        .saturating_add(state.covered_instr)
                 }
                 HotspotClass::L2 => {
                     report.l2.covered_instr =
@@ -376,7 +457,11 @@ impl HotspotAceManager {
         }
         // `covered_instr` in stats_l1d/stats_l2 was never filled globally;
         // it is assembled from the per-state counters above.
-        report.per_hotspot_ipc_cov = if cov_n > 0 { cov_sum / cov_n as f64 } else { 0.0 };
+        report.per_hotspot_ipc_cov = if cov_n > 0 {
+            cov_sum / cov_n as f64
+        } else {
+            0.0
+        };
         report.inter_hotspot_ipc_cov = means.cov();
         report
     }
@@ -394,7 +479,14 @@ impl HotspotAceManager {
         &self,
     ) -> impl Iterator<Item = (MethodId, HotspotClass, &ConfigTuner, f64, f64, u64)> {
         self.states.iter().map(|(m, s)| {
-            (*m, s.class, &s.tuner, s.ipc_stats.mean(), s.ipc_stats.cov(), s.ipc_stats.count())
+            (
+                *m,
+                s.class,
+                &s.tuner,
+                s.ipc_stats.mean(),
+                s.ipc_stats.cov(),
+                s.ipc_stats.count(),
+            )
         })
     }
 
@@ -405,13 +497,19 @@ impl HotspotAceManager {
 }
 
 impl AceManager for HotspotAceManager {
+    fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.hs_metrics = HsMetrics::resolve(&telemetry);
+        self.tel = telemetry;
+    }
+
     fn on_event(&mut self, event: DoEvent, machine: &mut Machine) {
         match event {
             DoEvent::HotspotEnter { method, class } => self.handle_enter(method, class, machine),
-            DoEvent::HotspotExit { method, class, .. } => {
-                self.handle_exit(method, class, machine)
-            }
-            DoEvent::HotspotClassified { class: HotspotClass::TooSmall, .. } => {
+            DoEvent::HotspotExit { method, class, .. } => self.handle_exit(method, class, machine),
+            DoEvent::HotspotClassified {
+                class: HotspotClass::TooSmall,
+                ..
+            } => {
                 self.small_seen += 1;
             }
             DoEvent::HotspotClassified { .. } | DoEvent::None => {}
@@ -442,7 +540,10 @@ mod tests {
         assert_eq!(mgr.list_for(HotspotClass::L1d).len(), 4);
         assert_eq!(mgr.list_for(HotspotClass::L2).len(), 4);
         let coupled = HotspotAceManager::new(
-            HotspotManagerConfig { decouple: false, ..Default::default() },
+            HotspotManagerConfig {
+                decouple: false,
+                ..Default::default()
+            },
             EnergyModel::default_180nm(),
         );
         assert_eq!(coupled.list_for(HotspotClass::L1d).len(), 16);

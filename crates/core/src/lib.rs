@@ -58,6 +58,6 @@ pub use cu::{combined_list, single_cu_list, AceConfig};
 pub use driver::{run_threaded, run_with_manager, RunConfig, RunRecord};
 pub use hotspot::{CuSchemeStats, HotspotAceManager, HotspotManagerConfig, HotspotReport};
 pub use manager::{AceManager, FixedManager, NullManager};
-pub use positional_mgr::{PositionalAceManager, PositionalManagerConfig, PositionalReport};
 pub use measure::{Measurement, Probe};
+pub use positional_mgr::{PositionalAceManager, PositionalManagerConfig, PositionalReport};
 pub use tuner::ConfigTuner;

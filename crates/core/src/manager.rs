@@ -18,6 +18,13 @@ use ace_sim::{Block, Machine};
 /// All methods default to no-ops so a manager only implements the hooks
 /// its scheme needs.
 pub trait AceManager {
+    /// Hands the manager the run's telemetry handle before
+    /// [`AceManager::on_start`]. Managers that emit decision events store
+    /// it; the default implementation drops it.
+    fn set_telemetry(&mut self, telemetry: ace_telemetry::Telemetry) {
+        let _ = telemetry;
+    }
+
     /// Called once before the first instruction.
     fn on_start(&mut self, machine: &mut Machine) {
         let _ = machine;

@@ -107,7 +107,10 @@ mod tests {
         let mut epis = Vec::new();
         for level in [0u8, 3] {
             let mut m = Machine::new(MachineConfig::table2()).unwrap();
-            m.apply_resize(ace_sim::CuKind::L1d, ace_sim::SizeLevel::new(level).unwrap());
+            m.apply_resize(
+                ace_sim::CuKind::L1d,
+                ace_sim::SizeLevel::new(level).unwrap(),
+            );
             m.apply_resize(ace_sim::CuKind::L2, ace_sim::SizeLevel::new(level).unwrap());
             let probe = Probe::arm(&m, &model);
             for _ in 0..2000 {
@@ -122,6 +125,9 @@ mod tests {
             }
             epis.push(probe.finish(&m, &model).unwrap().epi_nj);
         }
-        assert!(epis[1] < epis[0], "tiny working set: small config cheaper {epis:?}");
+        assert!(
+            epis[1] < epis[0],
+            "tiny working set: small config cheaper {epis:?}"
+        );
     }
 }

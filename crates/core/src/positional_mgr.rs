@@ -23,6 +23,7 @@ use crate::tuner::ConfigTuner;
 use ace_energy::EnergyModel;
 use ace_phase::{PositionalConfig, PositionalDetector};
 use ace_sim::{Machine, OnlineStats};
+use ace_telemetry::{Event, ReconfigCause, Scope, Telemetry};
 use ace_workloads::MethodId;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -107,6 +108,7 @@ pub struct PositionalAceManager {
     states: HashMap<MethodId, ProcState>,
     reconfigs: u64,
     tunings: u64,
+    tel: Telemetry,
 }
 
 impl PositionalAceManager {
@@ -123,6 +125,7 @@ impl PositionalAceManager {
             states: HashMap::new(),
             reconfigs: 0,
             tunings: 0,
+            tel: Telemetry::off(),
         }
     }
 
@@ -147,17 +150,27 @@ impl PositionalAceManager {
                 cov_n += 1;
             }
         }
-        r.per_proc_ipc_cov = if cov_n > 0 { cov_sum / cov_n as f64 } else { 0.0 };
+        r.per_proc_ipc_cov = if cov_n > 0 {
+            cov_sum / cov_n as f64
+        } else {
+            0.0
+        };
         r
     }
 }
 
 impl AceManager for PositionalAceManager {
+    fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.tel = telemetry;
+    }
+
     fn on_method_enter(&mut self, method: MethodId, machine: &mut Machine) {
         if !self.detector.is_large(method) {
             return;
         }
         let threshold = self.config.perf_threshold;
+        let tel = self.tel.clone();
+        let is_new = !self.states.contains_key(&method);
         let state = self.states.entry(method).or_insert_with(|| ProcState {
             tuner: ConfigTuner::new(combined_list(), threshold),
             pending: Pending::Idle,
@@ -167,18 +180,26 @@ impl AceManager for PositionalAceManager {
             applications: 0,
             ipc_stats: OnlineStats::new(),
         });
+        if is_new {
+            let configs = state.tuner.list_len() as u32;
+            tel.emit(|| Event::TuningStarted {
+                scope: Scope::Procedure { method: method.0 },
+                configs,
+                instret: machine.instret(),
+            });
+        }
         state.pending = Pending::Idle;
         state.covered = false;
 
         if let Some(best) = state.tuner.best() {
             let mut applied = 0;
-            let ok = best.request(machine, &mut applied);
+            let ok = best.request_traced(machine, &mut applied, &tel, ReconfigCause::Apply);
             state.covered = ok && best.in_effect(machine);
             state.applications += 1;
             self.reconfigs += applied;
         } else if let Some(trial) = state.tuner.next_trial() {
             let mut applied = 0;
-            let ok = trial.request(machine, &mut applied);
+            let ok = trial.request_traced(machine, &mut applied, &tel, ReconfigCause::Trial);
             if ok && applied == 0 {
                 state.pending = Pending::Trial;
             }
@@ -193,15 +214,26 @@ impl AceManager for PositionalAceManager {
         // are discovered in the first place).
         self.detector.on_exit(method, invocation_instr);
 
-        let Some(state) = self.states.get_mut(&method) else { return };
-        let Some(probe) = state.probe.take() else { return };
-        let Some(m) = probe.finish(machine, &self.model) else { return };
+        let Some(state) = self.states.get_mut(&method) else {
+            return;
+        };
+        let Some(probe) = state.probe.take() else {
+            return;
+        };
+        let Some(m) = probe.finish(machine, &self.model) else {
+            return;
+        };
         state.ipc_stats.push(m.ipc);
         if state.covered {
             state.covered_instr += m.instr;
         }
         if state.pending == Pending::Trial && !state.tuner.is_done() {
-            state.tuner.record(m);
+            state.tuner.record_traced(
+                m,
+                &self.tel,
+                Scope::Procedure { method: method.0 },
+                machine.instret(),
+            );
             self.tunings += 1;
         }
         state.pending = Pending::Idle;
@@ -215,7 +247,10 @@ mod tests {
     use crate::manager::NullManager;
 
     fn limited(limit: u64) -> RunConfig {
-        RunConfig { instruction_limit: Some(limit), ..RunConfig::default() }
+        RunConfig {
+            instruction_limit: Some(limit),
+            ..RunConfig::default()
+        }
     }
 
     #[test]
@@ -229,7 +264,11 @@ mod tests {
         let _ = run_with_manager(&program, &limited(40_000_000), &mut mgr).unwrap();
         let r = mgr.report();
         // jess's two stage methods exceed the 500K cutoff.
-        assert!(r.large_procedures >= 2, "large procedures {}", r.large_procedures);
+        assert!(
+            r.large_procedures >= 2,
+            "large procedures {}",
+            r.large_procedures
+        );
         assert!(r.tunings > 0);
     }
 
@@ -243,17 +282,11 @@ mod tests {
         let model = EnergyModel::default_180nm();
         let base = run_with_manager(&program, &cfg, &mut NullManager).unwrap();
 
-        let mut pos = PositionalAceManager::new(
-            &program,
-            PositionalManagerConfig::default(),
-            model,
-        );
+        let mut pos =
+            PositionalAceManager::new(&program, PositionalManagerConfig::default(), model);
         let r_pos = run_with_manager(&program, &cfg, &mut pos).unwrap();
 
-        let mut hs = crate::HotspotAceManager::new(
-            crate::HotspotManagerConfig::default(),
-            model,
-        );
+        let mut hs = crate::HotspotAceManager::new(crate::HotspotManagerConfig::default(), model);
         let r_hs = run_with_manager(&program, &cfg, &mut hs).unwrap();
 
         let sav_pos = 1.0 - r_pos.energy.total_nj() / base.energy.total_nj();

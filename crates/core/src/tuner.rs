@@ -13,6 +13,7 @@
 
 use crate::cu::AceConfig;
 use crate::measure::Measurement;
+use ace_telemetry::{Event, Scope, Telemetry};
 use serde::{Deserialize, Serialize};
 
 /// A configuration-list tuner.
@@ -112,9 +113,9 @@ impl ConfigTuner {
         assert!(!self.is_done(), "tuning already finished");
         self.measurements[self.next_idx] = Some(m);
         self.trials += 1;
-        let violates = self.reference_ipc().is_some_and(|base| {
-            m.ipc < base * (1.0 - self.perf_threshold) && self.next_idx > 0
-        });
+        let violates = self
+            .reference_ipc()
+            .is_some_and(|base| m.ipc < base * (1.0 - self.perf_threshold) && self.next_idx > 0);
         if violates {
             self.violated.push(self.configs[self.next_idx]);
         }
@@ -122,6 +123,39 @@ impl ConfigTuner {
         self.skip_pruned();
         if self.next_idx >= self.configs.len() {
             self.finalize();
+        }
+    }
+
+    /// Like [`ConfigTuner::record`], but emits [`Event::TuningStep`] — and
+    /// [`Event::TuningConverged`] when this measurement completes the
+    /// episode — attributed to `scope` and stamped with `instret`.
+    ///
+    /// Telemetry rides alongside the state machine rather than inside it
+    /// so the tuner stays a plain comparable/serialisable value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after tuning finished (same as
+    /// [`ConfigTuner::record`]).
+    pub fn record_traced(&mut self, m: Measurement, tel: &Telemetry, scope: Scope, instret: u64) {
+        let trial = self.next_idx as u32;
+        self.record(m);
+        tel.emit(|| Event::TuningStep {
+            scope,
+            trial,
+            ipc: m.ipc,
+            epi_nj: m.epi_nj,
+            instret,
+        });
+        if self.is_done() {
+            let best = self.best_measurement();
+            tel.emit(|| Event::TuningConverged {
+                scope,
+                trials: self.trials,
+                ipc: best.map_or(0.0, |b| b.ipc),
+                epi_nj: best.map_or(0.0, |b| b.epi_nj),
+                instret,
+            });
         }
     }
 
@@ -199,7 +233,11 @@ mod tests {
     use ace_sim::{CuKind, SizeLevel};
 
     fn meas(ipc: f64, epi: f64) -> Measurement {
-        Measurement { instr: 100_000, ipc, epi_nj: epi }
+        Measurement {
+            instr: 100_000,
+            ipc,
+            epi_nj: epi,
+        }
     }
 
     #[test]
@@ -219,7 +257,10 @@ mod tests {
             t.record(m);
         }
         assert!(t.is_done());
-        assert_eq!(t.best().unwrap(), AceConfig::l1d_only(SizeLevel::new(2).unwrap()));
+        assert_eq!(
+            t.best().unwrap(),
+            AceConfig::l1d_only(SizeLevel::new(2).unwrap())
+        );
         assert_eq!(t.trials(), 4);
     }
 
@@ -275,7 +316,10 @@ mod tests {
         t.record(meas(2.0, 1.0));
         t.record(meas(2.0, 0.7));
         t.finalize();
-        assert_eq!(t.best().unwrap(), AceConfig::l1d_only(SizeLevel::new(1).unwrap()));
+        assert_eq!(
+            t.best().unwrap(),
+            AceConfig::l1d_only(SizeLevel::new(1).unwrap())
+        );
         assert!(t.best_measurement().unwrap().epi_nj == 0.7);
     }
 

@@ -19,7 +19,10 @@ fn machine() -> Machine {
 fn manager(use_predictor: bool) -> BbvAceManager {
     BbvAceManager::new(
         BbvManagerConfig {
-            bbv: BbvConfig { interval_instr: 100_100, ..BbvConfig::default() },
+            bbv: BbvConfig {
+                interval_instr: 100_100,
+                ..BbvConfig::default()
+            },
             use_predictor,
             ..BbvManagerConfig::default()
         },
@@ -61,7 +64,10 @@ fn recurring_phase_reapplies_its_configuration() {
     let after_tuning = mgr.report();
     assert_eq!(after_tuning.tuned_phases, 1, "phase 0 tuned");
     let chosen_l1d = m.level(CuKind::L1d);
-    assert!(chosen_l1d > SizeLevel::LARGEST, "tiny working set shrinks the L1D");
+    assert!(
+        chosen_l1d > SizeLevel::LARGEST,
+        "tiny working set shrinks the L1D"
+    );
 
     // A foreign phase disturbs the configuration...
     for _ in 0..4 {
@@ -114,7 +120,11 @@ fn predictor_accelerates_periodic_recurrence() {
             let _ = cycle;
         }
         let r = mgr.report();
-        (r.predictions, r.prediction_accuracy, r.intervals_in_tuned_phases)
+        (
+            r.predictions,
+            r.prediction_accuracy,
+            r.intervals_in_tuned_phases,
+        )
     };
     let (p_off, _, _) = run_pattern(false);
     let (p_on, acc, covered_on) = run_pattern(true);
@@ -134,7 +144,11 @@ fn interval_accounting_matches_execution() {
     }
     let r = mgr.report();
     // 25 driven intervals, boundaries at >= 100_100 instructions.
-    assert!((24..=26).contains(&r.intervals), "intervals {}", r.intervals);
+    assert!(
+        (24..=26).contains(&r.intervals),
+        "intervals {}",
+        r.intervals
+    );
     assert_eq!(r.stability.total_intervals, r.intervals);
     assert!(r.covered_instr <= m.instret());
 }

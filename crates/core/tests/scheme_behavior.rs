@@ -3,8 +3,7 @@
 //! degenerate inputs that a full workload run would not isolate.
 
 use ace_core::{
-    run_with_manager, AceManager, HotspotAceManager, HotspotManagerConfig, NullManager,
-    RunConfig,
+    run_with_manager, AceManager, HotspotAceManager, HotspotManagerConfig, NullManager, RunConfig,
 };
 use ace_energy::EnergyModel;
 use ace_runtime::{DoEvent, HotspotClass};
@@ -52,7 +51,13 @@ fn invoke<F: FnMut(&mut Machine)>(
     method: MethodId,
     mut body: F,
 ) {
-    mgr.on_event(DoEvent::HotspotEnter { method, class: HotspotClass::L1d }, machine);
+    mgr.on_event(
+        DoEvent::HotspotEnter {
+            method,
+            class: HotspotClass::L1d,
+        },
+        machine,
+    );
     let start = machine.instret();
     body(machine);
     mgr.on_event(
@@ -90,7 +95,9 @@ fn sampling_detects_drift_and_retunes() {
     // notice the IPC drift and restart tuning.
     let mut cursor = 0u64;
     for _ in 0..24 {
-        invoke(&mut mgr, &mut machine, m, |mach| run_slow(mach, 150_000, &mut cursor));
+        invoke(&mut mgr, &mut machine, m, |mach| {
+            run_slow(mach, 150_000, &mut cursor)
+        });
     }
     assert!(
         mgr.report().retunings >= 1,
@@ -114,20 +121,36 @@ fn stable_behavior_never_retunes() {
     for _ in 0..64 {
         invoke(&mut mgr, &mut machine, m, |mach| run_fast(mach, 150_000));
     }
-    assert_eq!(mgr.report().retunings, 0, "steady hotspots re-tune rarely (here never)");
+    assert_eq!(
+        mgr.report().retunings,
+        0,
+        "steady hotspots re-tune rarely (here never)"
+    );
 }
 
 #[test]
 fn too_small_hotspots_are_ignored() {
     let mut machine = Machine::new(MachineConfig::table2()).unwrap();
-    let mut mgr =
-        HotspotAceManager::new(HotspotManagerConfig::default(), EnergyModel::default_180nm());
+    let mut mgr = HotspotAceManager::new(
+        HotspotManagerConfig::default(),
+        EnergyModel::default_180nm(),
+    );
     let m = MethodId(1);
     for _ in 0..10 {
-        mgr.on_event(DoEvent::HotspotEnter { method: m, class: HotspotClass::TooSmall }, &mut machine);
+        mgr.on_event(
+            DoEvent::HotspotEnter {
+                method: m,
+                class: HotspotClass::TooSmall,
+            },
+            &mut machine,
+        );
         run_fast(&mut machine, 5_000);
         mgr.on_event(
-            DoEvent::HotspotExit { method: m, class: HotspotClass::TooSmall, invocation_instr: 5_000 },
+            DoEvent::HotspotExit {
+                method: m,
+                class: HotspotClass::TooSmall,
+                invocation_instr: 5_000,
+            },
             &mut machine,
         );
     }
@@ -141,8 +164,10 @@ fn empty_invocations_do_not_poison_tuning() {
     // Exit immediately after enter (zero instructions): the probe yields
     // no measurement and the tuner must not advance.
     let mut machine = Machine::new(MachineConfig::table2()).unwrap();
-    let mut mgr =
-        HotspotAceManager::new(HotspotManagerConfig::default(), EnergyModel::default_180nm());
+    let mut mgr = HotspotAceManager::new(
+        HotspotManagerConfig::default(),
+        EnergyModel::default_180nm(),
+    );
     let m = MethodId(2);
     for _ in 0..8 {
         invoke(&mut mgr, &mut machine, m, |_| {});
@@ -163,7 +188,13 @@ fn single_method_program_runs_every_scheme() {
     let mut b = ProgramBuilder::new("mono", 5);
     let region = b.alloc_region(2048);
     let pat = b.add_pattern(MemPattern::resident(region, 2048));
-    let main = b.add_method("main", vec![Stmt::Compute { ninstr: 3_000_000, pattern: pat }]);
+    let main = b.add_method(
+        "main",
+        vec![Stmt::Compute {
+            ninstr: 3_000_000,
+            pattern: pat,
+        }],
+    );
     let program = b.entry(main).build().unwrap();
     let cfg = RunConfig::default();
 
@@ -171,12 +202,17 @@ fn single_method_program_runs_every_scheme() {
     assert!(base.instret >= 2_500_000);
     // main is invoked once: never promoted, so the adaptive scheme changes
     // nothing — but it must not crash or mis-handle the lone exit.
-    let mut mgr =
-        HotspotAceManager::new(HotspotManagerConfig::default(), EnergyModel::default_180nm());
+    let mut mgr = HotspotAceManager::new(
+        HotspotManagerConfig::default(),
+        EnergyModel::default_180nm(),
+    );
     let r = run_with_manager(&program, &cfg, &mut mgr).unwrap();
     assert_eq!(r.table4.hotspots, 0);
     assert_eq!(mgr.tracked_hotspots(), 0);
-    assert!((r.ipc - base.ipc).abs() < 1e-9, "nothing adapted, nothing changed");
+    assert!(
+        (r.ipc - base.ipc).abs() < 1e-9,
+        "nothing adapted, nothing changed"
+    );
 }
 
 #[test]
@@ -185,8 +221,10 @@ fn tuning_respects_the_hardware_guard() {
     // below the 100 K guard: the second hotspot's trials must not thrash
     // the configuration (the guard rejects; the manager just waits).
     let mut machine = Machine::new(MachineConfig::table2()).unwrap();
-    let mut mgr =
-        HotspotAceManager::new(HotspotManagerConfig::default(), EnergyModel::default_180nm());
+    let mut mgr = HotspotAceManager::new(
+        HotspotManagerConfig::default(),
+        EnergyModel::default_180nm(),
+    );
     for round in 0..60 {
         let m = MethodId(round % 2);
         invoke(&mut mgr, &mut machine, m, |mach| run_fast(mach, 30_000));
@@ -195,14 +233,20 @@ fn tuning_respects_the_hardware_guard() {
     // panics and trials only complete on legal reconfigurations.
     let c = machine.counters();
     let total_resizes: u64 = c.l1d.resizes.iter().sum();
-    assert!(total_resizes <= 1 + machine.instret() / 100_000, "guard bounds the resize rate");
+    assert!(
+        total_resizes <= 1 + machine.instret() / 100_000,
+        "guard bounds the resize rate"
+    );
 }
 
 #[test]
 fn threaded_run_is_deterministic_and_balanced() {
     use ace_core::run_threaded;
     let (program, entries) = ace_workloads::mtrt_threaded();
-    let cfg = RunConfig { instruction_limit: Some(8_000_000), ..RunConfig::default() };
+    let cfg = RunConfig {
+        instruction_limit: Some(8_000_000),
+        ..RunConfig::default()
+    };
     let a = run_threaded(&program, &entries, 500_000, &cfg, &mut NullManager).unwrap();
     let b = run_threaded(&program, &entries, 500_000, &cfg, &mut NullManager).unwrap();
     assert_eq!(a.counters, b.counters, "threaded runs are deterministic");
@@ -215,8 +259,10 @@ fn threaded_run_detects_hotspots_in_both_threads() {
     use ace_core::run_threaded;
     let (program, entries) = ace_workloads::mtrt_threaded();
     let cfg = RunConfig::default();
-    let mut mgr =
-        HotspotAceManager::new(HotspotManagerConfig::default(), EnergyModel::default_180nm());
+    let mut mgr = HotspotAceManager::new(
+        HotspotManagerConfig::default(),
+        EnergyModel::default_180nm(),
+    );
     let r = run_threaded(&program, &entries, 1_000_000, &cfg, &mut mgr).unwrap();
     // Both threads contribute hotspots (their method names are disjoint).
     let mut t0 = 0;
@@ -235,7 +281,10 @@ fn threaded_run_detects_hotspots_in_both_threads() {
 fn quantum_size_bounds_thread_blending() {
     use ace_core::run_threaded;
     let (program, entries) = ace_workloads::mtrt_threaded();
-    let cfg = RunConfig { instruction_limit: Some(20_000_000), ..RunConfig::default() };
+    let cfg = RunConfig {
+        instruction_limit: Some(20_000_000),
+        ..RunConfig::default()
+    };
     // Tiny quanta blend threads into every measurement window; huge quanta
     // approach back-to-back execution. Both must run to completion with
     // consistent totals.

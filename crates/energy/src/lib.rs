@@ -173,7 +173,11 @@ impl WindowEnergyParams {
     /// 180 nm-era defaults: ≈0.25 nJ per issued instruction and ≈100 mW of
     /// wakeup/select/ROB clock power at 64 entries.
     pub fn default_180nm() -> WindowEnergyParams {
-        WindowEnergyParams { issue_nj_max: 0.25, issue_alpha: 0.7, leak_nj_per_cycle_max: 0.10 }
+        WindowEnergyParams {
+            issue_nj_max: 0.25,
+            issue_alpha: 0.7,
+            leak_nj_per_cycle_max: 0.10,
+        }
     }
 }
 
@@ -346,8 +350,7 @@ mod tests {
     fn leakage_scales_linearly() {
         let p = EnergyModel::default_180nm().l2;
         assert!(
-            (p.leak_nj_per_cycle(SizeLevel::LARGEST)
-                / p.leak_nj_per_cycle(SizeLevel::SMALLEST)
+            (p.leak_nj_per_cycle(SizeLevel::LARGEST) / p.leak_nj_per_cycle(SizeLevel::SMALLEST)
                 - 8.0)
                 .abs()
                 < 1e-9
@@ -377,9 +380,7 @@ mod tests {
         let model = EnergyModel::default_180nm();
         let c = run_fixed(1, 2, 5);
         let b = model.breakdown(&c);
-        assert!(
-            (b.l1d_nj - (b.l1d_dynamic_nj + b.l1d_leak_nj + b.l1d_reconfig_nj)).abs() < 1e-6
-        );
+        assert!((b.l1d_nj - (b.l1d_dynamic_nj + b.l1d_leak_nj + b.l1d_reconfig_nj)).abs() < 1e-6);
         assert!((b.l2_nj - (b.l2_dynamic_nj + b.l2_leak_nj + b.l2_reconfig_nj)).abs() < 1e-6);
         assert!((b.total_nj() - b.l1d_nj - b.l2_nj).abs() < 1e-6);
     }
@@ -387,7 +388,9 @@ mod tests {
     #[test]
     fn empty_snapshot_has_infinite_epi() {
         let model = EnergyModel::default_180nm();
-        assert!(model.energy_per_instruction(&MachineCounters::default()).is_infinite());
+        assert!(model
+            .energy_per_instruction(&MachineCounters::default())
+            .is_infinite());
     }
 
     #[test]

@@ -80,7 +80,10 @@ pub fn chip_energy(
     let rest = counters.instret as f64 * proc.core_nj_per_instr
         + counters.l1i.total_accesses() as f64 * proc.fetch_nj_per_access
         + counters.cycles as f64 * proc.uncore_nj_per_cycle;
-    ChipEnergy { configurable_nj: configurable.total_nj(), rest_nj: rest }
+    ChipEnergy {
+        configurable_nj: configurable.total_nj(),
+        rest_nj: rest,
+    }
 }
 
 /// Energy-delay product (nJ · cycles), the metric that penalizes saving
@@ -134,7 +137,10 @@ mod tests {
         let e_small = chip_energy(&model, &proc, &small);
         let e_large = chip_energy(&model, &proc, &large);
         let ratio = e_large.rest_nj / e_small.rest_nj;
-        assert!((3.2..4.8).contains(&ratio), "4x work ~ 4x rest energy, got {ratio:.2}");
+        assert!(
+            (3.2..4.8).contains(&ratio),
+            "4x work ~ 4x rest energy, got {ratio:.2}"
+        );
     }
 
     #[test]

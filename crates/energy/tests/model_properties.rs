@@ -7,14 +7,14 @@ use ace_sim::{Block, CuKind, Machine, MachineConfig, MemAccess, SizeLevel};
 use proptest::prelude::*;
 
 fn arb_cache_params() -> impl Strategy<Value = CacheEnergyParams> {
-    (0.01f64..10.0, 0.1f64..1.0, 0.0f64..1.0, 0.0f64..10.0).prop_map(
-        |(access, alpha, leak, wb)| CacheEnergyParams {
+    (0.01f64..10.0, 0.1f64..1.0, 0.0f64..1.0, 0.0f64..10.0).prop_map(|(access, alpha, leak, wb)| {
+        CacheEnergyParams {
             access_nj_max: access,
             access_alpha: alpha,
             leak_nj_per_cycle_max: leak,
             writeback_nj: wb,
-        },
-    )
+        }
+    })
 }
 
 proptest! {

@@ -39,7 +39,11 @@ pub struct BbvConfig {
 
 impl Default for BbvConfig {
     fn default() -> Self {
-        BbvConfig { interval_instr: 1_000_000, buckets: 128, distance_threshold: 1.1 }
+        BbvConfig {
+            interval_instr: 1_000_000,
+            buckets: 128,
+            distance_threshold: 1.1,
+        }
     }
 }
 
@@ -168,7 +172,12 @@ impl BbvDetector {
         let continues_previous = self.last_phase == Some(phase);
         self.last_phase = Some(phase);
         self.history.push(phase);
-        IntervalOutcome { phase, is_new, continues_previous, distance }
+        IntervalOutcome {
+            phase,
+            is_new,
+            continues_previous,
+            distance,
+        }
     }
 
     /// Number of distinct phases seen so far.

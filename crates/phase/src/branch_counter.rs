@@ -22,7 +22,9 @@ pub struct BranchCounterConfig {
 
 impl Default for BranchCounterConfig {
     fn default() -> Self {
-        BranchCounterConfig { delta_threshold: 0.05 }
+        BranchCounterConfig {
+            delta_threshold: 0.05,
+        }
     }
 }
 
@@ -63,7 +65,10 @@ pub struct BranchCounterDetector {
 impl BranchCounterDetector {
     /// Creates a detector.
     pub fn new(config: BranchCounterConfig) -> BranchCounterDetector {
-        BranchCounterDetector { config, ..BranchCounterDetector::default() }
+        BranchCounterDetector {
+            config,
+            ..BranchCounterDetector::default()
+        }
     }
 
     /// Adds `n` conditional branches to the current interval.
@@ -89,7 +94,11 @@ impl BranchCounterDetector {
             self.stable_intervals += 1;
         }
         self.previous = Some(branches);
-        BranchCounterOutcome { same_phase, branches, delta }
+        BranchCounterOutcome {
+            same_phase,
+            branches,
+            delta,
+        }
     }
 
     /// Fraction of intervals whose branch count matched their predecessor.

@@ -24,7 +24,10 @@ pub struct PositionalConfig {
 
 impl Default for PositionalConfig {
     fn default() -> Self {
-        PositionalConfig { large_procedure_instr: 500_000, observe_invocations: 2 }
+        PositionalConfig {
+            large_procedure_instr: 500_000,
+            observe_invocations: 2,
+        }
     }
 }
 
@@ -60,7 +63,10 @@ pub struct PositionalDetector {
 impl PositionalDetector {
     /// Creates a detector for a program with `method_count` procedures.
     pub fn new(method_count: usize, config: PositionalConfig) -> PositionalDetector {
-        PositionalDetector { config, procs: vec![ProcState::default(); method_count] }
+        PositionalDetector {
+            config,
+            procs: vec![ProcState::default(); method_count],
+        }
     }
 
     /// Records a completed invocation of `m` with the given inclusive size;
@@ -123,7 +129,10 @@ mod tests {
     fn decision_is_one_shot() {
         let mut d = PositionalDetector::new(2, PositionalConfig::default());
         assert!(!d.on_exit(MethodId(1), 600_000), "still observing");
-        assert!(d.on_exit(MethodId(1), 600_000), "second observation decides");
+        assert!(
+            d.on_exit(MethodId(1), 600_000),
+            "second observation decides"
+        );
         assert!(!d.on_exit(MethodId(1), 600_000), "already decided");
         assert!(d.is_large(MethodId(1)));
     }

@@ -106,7 +106,10 @@ impl PhasePredictor {
     /// Panics if `confidence` is not within `(0, 1]`.
     pub fn new(confidence: f64) -> PhasePredictor {
         assert!(confidence > 0.0 && confidence <= 1.0, "confidence in (0,1]");
-        PhasePredictor { confidence, ..PhasePredictor::default() }
+        PhasePredictor {
+            confidence,
+            ..PhasePredictor::default()
+        }
     }
 
     /// Accuracy statistics.

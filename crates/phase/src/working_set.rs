@@ -24,7 +24,11 @@ pub struct WorkingSetConfig {
 
 impl Default for WorkingSetConfig {
     fn default() -> Self {
-        WorkingSetConfig { signature_bits: 1024, granule_bytes: 64, delta_threshold: 0.5 }
+        WorkingSetConfig {
+            signature_bits: 1024,
+            granule_bytes: 64,
+            delta_threshold: 0.5,
+        }
     }
 }
 
@@ -36,7 +40,9 @@ pub struct Signature {
 
 impl Signature {
     fn new(nbits: usize) -> Signature {
-        Signature { bits: vec![0; nbits / 64] }
+        Signature {
+            bits: vec![0; nbits / 64],
+        }
     }
 
     fn set(&mut self, hash: u64) {
@@ -115,7 +121,10 @@ impl WorkingSetDetector {
             config.signature_bits >= 64 && config.signature_bits.is_multiple_of(64),
             "signature bits must be a positive multiple of 64"
         );
-        assert!(config.granule_bytes.is_power_of_two(), "granule must be a power of two");
+        assert!(
+            config.granule_bytes.is_power_of_two(),
+            "granule must be a power of two"
+        );
         WorkingSetDetector {
             current: Signature::new(config.signature_bits),
             previous: None,
@@ -146,7 +155,11 @@ impl WorkingSetDetector {
         std::mem::swap(&mut finished, &mut self.current);
         self.previous = Some(finished);
         self.current.clear();
-        WsOutcome { same_phase, distance, population }
+        WsOutcome {
+            same_phase,
+            distance,
+            population,
+        }
     }
 }
 
@@ -198,7 +211,10 @@ mod tests {
             d.note_access(a);
         }
         let large = d.end_interval().population;
-        assert!(large > small * 4, "larger set, more bits: {small} vs {large}");
+        assert!(
+            large > small * 4,
+            "larger set, more bits: {small} vs {large}"
+        );
     }
 
     #[test]

@@ -3,8 +3,8 @@
 //! phases, and their failure modes must match the literature's.
 
 use ace_phase::{
-    BbvConfig, BbvDetector, BranchCounterConfig, BranchCounterDetector, PhaseId,
-    PhasePredictor, WorkingSetConfig, WorkingSetDetector,
+    BbvConfig, BbvDetector, BranchCounterConfig, BranchCounterDetector, PhaseId, PhasePredictor,
+    WorkingSetConfig, WorkingSetDetector,
 };
 
 /// Feeds one interval of "phase k" behavior into a BBV detector: a
@@ -47,7 +47,10 @@ fn bbv_separates_many_phases() {
             bbv_interval(&mut d, phase, 4);
             let out = d.end_interval();
             if round > 0 {
-                assert!(!out.is_new, "phase {phase} must be recognized on recurrence");
+                assert!(
+                    !out.is_new,
+                    "phase {phase} must be recognized on recurrence"
+                );
             }
         }
     }
@@ -76,7 +79,10 @@ fn predictor_learns_the_planted_periodicity() {
     }
     assert!(issued > 10, "issued {issued}");
     let acc = correct as f64 / issued as f64;
-    assert!(acc > 0.9, "bucket-aligned periodic pattern should predict well, got {acc:.2}");
+    assert!(
+        acc > 0.9,
+        "bucket-aligned periodic pattern should predict well, got {acc:.2}"
+    );
 }
 
 #[test]
@@ -127,5 +133,8 @@ fn branch_counter_misses_what_bbv_catches() {
         }
     }
     assert!(bbv_ids[0] != bbv_ids[2], "BBV separates the phases");
-    assert!(bc_stable_at_switch >= 8, "branch counter sees no change at switches");
+    assert!(
+        bc_stable_at_switch >= 8,
+        "branch counter sees no change at switches"
+    );
 }

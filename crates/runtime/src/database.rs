@@ -108,7 +108,9 @@ pub struct DoDatabase {
 impl DoDatabase {
     /// Creates a database for `method_count` methods.
     pub fn new(method_count: usize) -> DoDatabase {
-        DoDatabase { entries: vec![MethodEntry::default(); method_count] }
+        DoDatabase {
+            entries: vec![MethodEntry::default(); method_count],
+        }
     }
 
     /// The entry for `m`.
@@ -132,12 +134,18 @@ impl DoDatabase {
 
     /// Iterates over `(MethodId, entry)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (MethodId, &MethodEntry)> {
-        self.entries.iter().enumerate().map(|(i, e)| (MethodId(i as u32), e))
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (MethodId(i as u32), e))
     }
 
     /// Number of classified hotspots of `class`.
     pub fn count_class(&self, class: HotspotClass) -> usize {
-        self.entries.iter().filter(|e| e.class() == Some(class)).count()
+        self.entries
+            .iter()
+            .filter(|e| e.class() == Some(class))
+            .count()
     }
 
     /// All classified hotspots.

@@ -64,7 +64,10 @@ impl DoConfig {
     /// matches the window's reconfiguration interval, per the paper's
     /// size-class rule).
     pub fn with_window() -> DoConfig {
-        DoConfig { window_hotspot_range: Some((5_000, 50_000)), ..DoConfig::default() }
+        DoConfig {
+            window_hotspot_range: Some((5_000, 50_000)),
+            ..DoConfig::default()
+        }
     }
 }
 
@@ -191,6 +194,7 @@ pub struct DoSystem<'p> {
     /// Machine instret at the previous boundary event.
     last_event_instret: u64,
     stats: DoStats,
+    telemetry: ace_telemetry::Telemetry,
 }
 
 impl<'p> DoSystem<'p> {
@@ -204,7 +208,16 @@ impl<'p> DoSystem<'p> {
             current: 0,
             last_event_instret: 0,
             stats: DoStats::default(),
+            telemetry: ace_telemetry::Telemetry::off(),
         }
+    }
+
+    /// Installs the run's telemetry handle; promotions emit
+    /// [`ace_telemetry::Event::HotspotPromoted`] through it. The run
+    /// drivers call this — embedders that drive [`DoSystem::on_enter`]
+    /// directly may too.
+    pub fn set_telemetry(&mut self, telemetry: ace_telemetry::Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Attributes pending instructions to the outgoing thread and makes
@@ -269,6 +282,13 @@ impl<'p> DoSystem<'p> {
             machine.add_overhead_cycles(cost);
             self.stats.jit_compilations += 1;
             self.stats.jit_cycles += cost;
+            let invocations = entry.invocations;
+            self.telemetry
+                .emit(|| ace_telemetry::Event::HotspotPromoted {
+                    method: m.0,
+                    invocations,
+                    instret: now,
+                });
         }
 
         let hot = entry.is_hot();
@@ -283,7 +303,10 @@ impl<'p> DoSystem<'p> {
             stack.cold_depth += 1;
         }
         match class {
-            Some(c) => DoEvent::HotspotEnter { method: m, class: c },
+            Some(c) => DoEvent::HotspotEnter {
+                method: m,
+                class: c,
+            },
             None => DoEvent::None,
         }
     }
@@ -322,13 +345,19 @@ impl<'p> DoSystem<'p> {
                     entry.avg_size = avg;
                     let class = self.config.classify(avg);
                     entry.state = MethodState::Hot(class);
-                    return DoEvent::HotspotClassified { method: m, class, avg_size: avg };
+                    return DoEvent::HotspotClassified {
+                        method: m,
+                        class,
+                        avg_size: avg,
+                    };
                 }
                 DoEvent::None
             }
-            MethodState::Hot(class) if was_hot => {
-                DoEvent::HotspotExit { method: m, class, invocation_instr }
-            }
+            MethodState::Hot(class) if was_hot => DoEvent::HotspotExit {
+                method: m,
+                class,
+                invocation_instr,
+            },
             // Classified while this invocation was in flight: report
             // nothing (its entry was not instrumented).
             MethodState::Hot(_) => DoEvent::None,
@@ -417,8 +446,20 @@ mod tests {
     fn leaf_program(leaf_instr: u64, calls: u32) -> Program {
         let mut b = ProgramBuilder::new("t", 17);
         let pat = b.add_pattern(MemPattern::resident(0x1_0000, 4096));
-        let leaf = b.add_method("leaf", vec![Stmt::Compute { ninstr: leaf_instr, pattern: pat }]);
-        let main = b.add_method("main", vec![Stmt::Call { callee: leaf, count: calls }]);
+        let leaf = b.add_method(
+            "leaf",
+            vec![Stmt::Compute {
+                ninstr: leaf_instr,
+                pattern: pat,
+            }],
+        );
+        let main = b.add_method(
+            "main",
+            vec![Stmt::Call {
+                callee: leaf,
+                count: calls,
+            }],
+        );
         b.entry(main).build().unwrap()
     }
 
@@ -440,19 +481,46 @@ mod tests {
         // leaf ~1K => TooSmall; a 120K wrapper => L1d; stage 1M => L2.
         let mut b = ProgramBuilder::new("t", 23);
         let pat = b.add_pattern(MemPattern::resident(0x1_0000, 4096));
-        let leaf = b.add_method("leaf", vec![Stmt::Compute { ninstr: 1_000, pattern: pat }]);
+        let leaf = b.add_method(
+            "leaf",
+            vec![Stmt::Compute {
+                ninstr: 1_000,
+                pattern: pat,
+            }],
+        );
         let child = b.add_method(
             "child",
             vec![
-                Stmt::Compute { ninstr: 20_000, pattern: pat },
-                Stmt::Call { callee: leaf, count: 100 },
+                Stmt::Compute {
+                    ninstr: 20_000,
+                    pattern: pat,
+                },
+                Stmt::Call {
+                    callee: leaf,
+                    count: 100,
+                },
             ],
         );
-        let stage = b.add_method("stage", vec![Stmt::Call { callee: child, count: 9 }]);
-        let main = b.add_method("main", vec![Stmt::Call { callee: stage, count: 40 }]);
+        let stage = b.add_method(
+            "stage",
+            vec![Stmt::Call {
+                callee: child,
+                count: 9,
+            }],
+        );
+        let main = b.add_method(
+            "main",
+            vec![Stmt::Call {
+                callee: stage,
+                count: 40,
+            }],
+        );
         let p = b.entry(main).build().unwrap();
         let (dos, _, _) = drive(&p, DoConfig::default(), u64::MAX);
-        assert_eq!(dos.database().entry(leaf).class(), Some(HotspotClass::TooSmall));
+        assert_eq!(
+            dos.database().entry(leaf).class(),
+            Some(HotspotClass::TooSmall)
+        );
         assert_eq!(dos.database().entry(child).class(), Some(HotspotClass::L1d));
         assert_eq!(dos.database().entry(stage).class(), Some(HotspotClass::L2));
     }
@@ -485,7 +553,9 @@ mod tests {
                     }
                 }
                 Step::Exit(m) => match dos.on_exit(m, &mut machine) {
-                    DoEvent::HotspotExit { invocation_instr, .. } => {
+                    DoEvent::HotspotExit {
+                        invocation_instr, ..
+                    } => {
                         exits += 1;
                         assert!(invocation_instr > 1_000);
                     }
@@ -535,15 +605,32 @@ mod tests {
             "L2 hotspots: {}",
             dos.database().count_class(HotspotClass::L2)
         );
-        assert!(row.pct_code_in_hotspots > 60.0, "coverage {}", row.pct_code_in_hotspots);
+        assert!(
+            row.pct_code_in_hotspots > 60.0,
+            "coverage {}",
+            row.pct_code_in_hotspots
+        );
     }
 
     #[test]
     fn higher_threshold_slower_identification() {
         let p = leaf_program(5_000, 200);
-        let (fast, _, t1) = drive(&p, DoConfig { hot_threshold: 5, ..DoConfig::default() }, u64::MAX);
-        let (slow, _, t2) =
-            drive(&p, DoConfig { hot_threshold: 50, ..DoConfig::default() }, u64::MAX);
+        let (fast, _, t1) = drive(
+            &p,
+            DoConfig {
+                hot_threshold: 5,
+                ..DoConfig::default()
+            },
+            u64::MAX,
+        );
+        let (slow, _, t2) = drive(
+            &p,
+            DoConfig {
+                hot_threshold: 50,
+                ..DoConfig::default()
+            },
+            u64::MAX,
+        );
         let f = fast.table4_summary(t1).identification_latency_pct;
         let s = slow.table4_summary(t2).identification_latency_pct;
         assert!(s > f, "threshold 50 ({s}) must identify later than 5 ({f})");

@@ -35,15 +35,26 @@ fn chain_program(depth: u32, fanout: u32, leaf_instr: u64) -> (Program, Vec<Meth
     let region = b.alloc_region(4096);
     let pat = b.add_pattern(MemPattern::resident(region, 4096));
     let mut ids = Vec::new();
-    let mut callee =
-        b.add_method("level0", vec![Stmt::Compute { ninstr: leaf_instr, pattern: pat }]);
+    let mut callee = b.add_method(
+        "level0",
+        vec![Stmt::Compute {
+            ninstr: leaf_instr,
+            pattern: pat,
+        }],
+    );
     ids.push(callee);
     for d in 1..depth {
         callee = b.add_method(
             format!("level{d}"),
             vec![
-                Stmt::Compute { ninstr: 200, pattern: pat },
-                Stmt::Call { callee, count: fanout },
+                Stmt::Compute {
+                    ninstr: 200,
+                    pattern: pat,
+                },
+                Stmt::Call {
+                    callee,
+                    count: fanout,
+                },
             ],
         );
         ids.push(callee);
@@ -61,23 +72,44 @@ fn deep_nesting_classifies_every_level() {
     let (dos, _m) = drive(&program, DoConfig::with_window(), None);
     // level0: 2K -> TooSmall at default window range start 5K... it is
     // below the window class: TooSmall.
-    assert_eq!(dos.database().entry(ids[0]).class(), Some(HotspotClass::TooSmall));
+    assert_eq!(
+        dos.database().entry(ids[0]).class(),
+        Some(HotspotClass::TooSmall)
+    );
     // level1: ~6.2K -> Window class.
-    assert_eq!(dos.database().entry(ids[1]).class(), Some(HotspotClass::Window));
+    assert_eq!(
+        dos.database().entry(ids[1]).class(),
+        Some(HotspotClass::Window)
+    );
     // level3: ~57K -> L1d. level4: ~170K -> L1d. level5: ~515K -> L2.
-    assert_eq!(dos.database().entry(ids[3]).class(), Some(HotspotClass::L1d));
-    assert_eq!(dos.database().entry(ids[4]).class(), Some(HotspotClass::L1d));
+    assert_eq!(
+        dos.database().entry(ids[3]).class(),
+        Some(HotspotClass::L1d)
+    );
+    assert_eq!(
+        dos.database().entry(ids[4]).class(),
+        Some(HotspotClass::L1d)
+    );
     assert_eq!(dos.database().entry(ids[5]).class(), Some(HotspotClass::L2));
     // main runs once: cold forever.
-    assert_eq!(dos.database().entry(*ids.last().unwrap()).state, MethodState::Cold);
+    assert_eq!(
+        dos.database().entry(*ids.last().unwrap()).state,
+        MethodState::Cold
+    );
 }
 
 #[test]
 fn without_window_class_small_methods_stay_small() {
     let (program, ids) = chain_program(6, 3, 2_000);
     let (dos, _m) = drive(&program, DoConfig::default(), None);
-    assert_eq!(dos.database().entry(ids[1]).class(), Some(HotspotClass::TooSmall));
-    assert_eq!(dos.database().entry(ids[2]).class(), Some(HotspotClass::TooSmall));
+    assert_eq!(
+        dos.database().entry(ids[1]).class(),
+        Some(HotspotClass::TooSmall)
+    );
+    assert_eq!(
+        dos.database().entry(ids[2]).class(),
+        Some(HotspotClass::TooSmall)
+    );
 }
 
 #[test]
@@ -105,15 +137,33 @@ fn caller_and_callee_promote_together() {
     let mut b = ProgramBuilder::new("pair", 3);
     let region = b.alloc_region(2048);
     let pat = b.add_pattern(MemPattern::resident(region, 2048));
-    let inner = b.add_method("inner", vec![Stmt::Compute { ninstr: 30_000, pattern: pat }]);
+    let inner = b.add_method(
+        "inner",
+        vec![Stmt::Compute {
+            ninstr: 30_000,
+            pattern: pat,
+        }],
+    );
     let outer = b.add_method(
         "outer",
         vec![
-            Stmt::Compute { ninstr: 30_000, pattern: pat },
-            Stmt::Call { callee: inner, count: 2 },
+            Stmt::Compute {
+                ninstr: 30_000,
+                pattern: pat,
+            },
+            Stmt::Call {
+                callee: inner,
+                count: 2,
+            },
         ],
     );
-    let main = b.add_method("main", vec![Stmt::Call { callee: outer, count: 40 }]);
+    let main = b.add_method(
+        "main",
+        vec![Stmt::Call {
+            callee: outer,
+            count: 40,
+        }],
+    );
     let program = b.entry(main).build().unwrap();
     let (dos, _m) = drive(&program, DoConfig::default(), None);
     let inner_e = dos.database().entry(inner);
@@ -128,8 +178,20 @@ fn classification_event_fires_exactly_once() {
     let mut b = ProgramBuilder::new("once", 9);
     let region = b.alloc_region(1024);
     let pat = b.add_pattern(MemPattern::resident(region, 1024));
-    let leaf = b.add_method("leaf", vec![Stmt::Compute { ninstr: 60_000, pattern: pat }]);
-    let main = b.add_method("main", vec![Stmt::Call { callee: leaf, count: 30 }]);
+    let leaf = b.add_method(
+        "leaf",
+        vec![Stmt::Compute {
+            ninstr: 60_000,
+            pattern: pat,
+        }],
+    );
+    let main = b.add_method(
+        "main",
+        vec![Stmt::Call {
+            callee: leaf,
+            count: 30,
+        }],
+    );
     let program = b.entry(main).build().unwrap();
 
     let mut machine = Machine::new(MachineConfig::table2()).unwrap();
@@ -147,8 +209,11 @@ fn classification_event_fires_exactly_once() {
                 }
             }
             Step::Exit(m) => {
-                if let DoEvent::HotspotClassified { method, class, avg_size } =
-                    dos.on_exit(m, &mut machine)
+                if let DoEvent::HotspotClassified {
+                    method,
+                    class,
+                    avg_size,
+                } = dos.on_exit(m, &mut machine)
                 {
                     classified += 1;
                     assert_eq!(method, leaf);

@@ -138,7 +138,11 @@ mod tests {
         for _ in 0..100 {
             bp.predict_and_update(0x1000, true);
         }
-        assert_eq!(bp.stats().mispredicts, before, "steady branch never mispredicts");
+        assert_eq!(
+            bp.stats().mispredicts,
+            before,
+            "steady branch never mispredicts"
+        );
     }
 
     #[test]
@@ -155,7 +159,10 @@ mod tests {
             bp.predict_and_update(0x2000, taken);
         }
         let late = bp.stats().mispredicts - warm;
-        assert!(late < 20, "gshare captures T/NT alternation, got {late} late misses");
+        assert!(
+            late < 20,
+            "gshare captures T/NT alternation, got {late} late misses"
+        );
     }
 
     #[test]
@@ -165,7 +172,9 @@ mod tests {
         let mut x = 0x12345678u64;
         let mut taken_count = 0u64;
         for _ in 0..10_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let taken = (x >> 63) != 0;
             taken_count += taken as u64;
             bp.predict_and_update(0x3000, taken);
@@ -191,7 +200,10 @@ mod tests {
                 bp.predict_and_update(pc, i % 2 == 0);
             }
         }
-        assert!(bp.stats().mispredicts - warm <= 8, "biased branches stay learned");
+        assert!(
+            bp.stats().mispredicts - warm <= 8,
+            "biased branches stay learned"
+        );
     }
 
     #[test]

@@ -217,7 +217,10 @@ impl Cache {
             if line.valid && line.tag == tag {
                 line.lru = self.tick;
                 line.dirty |= is_store;
-                return AccessOutcome { hit: true, writeback: None };
+                return AccessOutcome {
+                    hit: true,
+                    writeback: None,
+                };
             }
         }
 
@@ -248,7 +251,10 @@ impl Cache {
         if writeback.is_some() {
             self.stats.writebacks[lvl] += 1;
         }
-        AccessOutcome { hit: false, writeback }
+        AccessOutcome {
+            hit: false,
+            writeback,
+        }
     }
 
     /// Probes for residency without updating LRU state or statistics.
@@ -339,7 +345,10 @@ impl Cache {
     /// Number of currently dirty lines (test/diagnostic helper).
     pub fn dirty_lines(&self) -> u64 {
         let in_use = (self.sets * self.geom.ways) as usize;
-        self.lines[..in_use].iter().filter(|l| l.valid && l.dirty).count() as u64
+        self.lines[..in_use]
+            .iter()
+            .filter(|l| l.valid && l.dirty)
+            .count() as u64
     }
 }
 
@@ -406,7 +415,7 @@ mod tests {
     #[test]
     fn shrink_evicts_only_disabled_sets() {
         let mut c = small(); // 64 sets at level 0; 16 sets at level 2.
-        // Lines in surviving sets 0..3 and in disabled sets 20..22.
+                             // Lines in surviving sets 0..3 and in disabled sets 20..22.
         c.access(0, true);
         c.access(64, false);
         c.access(20 * 64, true);
@@ -430,8 +439,8 @@ mod tests {
     fn grow_evicts_remapped_lines_only() {
         let mut c = small();
         c.resize(SizeLevel::new(2).unwrap()); // 16 sets
-        // Two lines sharing set 0 at 16 sets: line 0 (set 0 at 64 sets too)
-        // and line 16 (set 16 at 64 sets: remapped on grow).
+                                              // Two lines sharing set 0 at 16 sets: line 0 (set 0 at 64 sets too)
+                                              // and line 16 (set 16 at 64 sets: remapped on grow).
         c.access(0, true);
         c.access(16 * 64, true);
         let report = c.resize(SizeLevel::LARGEST);
@@ -453,7 +462,7 @@ mod tests {
     #[test]
     fn shrink_reduces_capacity_behaviorally() {
         let mut c = small(); // 8 KB
-        // Touch a 4 KB working set: fits at level 0.
+                             // Touch a 4 KB working set: fits at level 0.
         for a in (0..4096).step_by(64) {
             c.access(a, false);
         }

@@ -126,14 +126,18 @@ impl CacheGeometry {
         }
         let line = self.ways as u64 * self.block_bytes as u64;
         if !self.size_bytes.is_multiple_of(line) {
-            return Err(ConfigError::new("capacity must be a multiple of ways * block size"));
+            return Err(ConfigError::new(
+                "capacity must be a multiple of ways * block size",
+            ));
         }
         let sets = self.max_sets();
         if !sets.is_power_of_two() {
             return Err(ConfigError::new("set count must be a power of two"));
         }
         if (sets >> (NUM_SIZE_LEVELS - 1)) == 0 {
-            return Err(ConfigError::new("cache too small to support all size levels"));
+            return Err(ConfigError::new(
+                "cache too small to support all size levels",
+            ));
         }
         Ok(())
     }
@@ -283,7 +287,9 @@ impl MachineConfig {
             return Err(ConfigError::new("page size must be a power of two"));
         }
         if self.dtlb_entries == 0 || !self.dtlb_entries.is_multiple_of(16) {
-            return Err(ConfigError::new("DTLB entries must be a nonzero multiple of 16"));
+            return Err(ConfigError::new(
+                "DTLB entries must be a nonzero multiple of 16",
+            ));
         }
         if self.miss_exposure_pct > 100
             || self.l2_hit_exposure_pct > 100
@@ -295,10 +301,14 @@ impl MachineConfig {
             || self.l2_reconfig_interval == 0
             || self.window_reconfig_interval == 0
         {
-            return Err(ConfigError::new("reconfiguration intervals must be nonzero"));
+            return Err(ConfigError::new(
+                "reconfiguration intervals must be nonzero",
+            ));
         }
         if self.window_entries == 0 || (self.window_entries >> (NUM_SIZE_LEVELS - 1)) == 0 {
-            return Err(ConfigError::new("window too small to support all size levels"));
+            return Err(ConfigError::new(
+                "window too small to support all size levels",
+            ));
         }
         if self.window_exposure_permille.iter().any(|&m| m < 1000) {
             return Err(ConfigError::new(

@@ -77,7 +77,10 @@ pub enum ReconfigOutcome {
 impl ReconfigOutcome {
     /// `true` if the configuration now equals the requested one.
     pub fn in_effect(&self) -> bool {
-        matches!(self, ReconfigOutcome::Applied(_) | ReconfigOutcome::Unchanged)
+        matches!(
+            self,
+            ReconfigOutcome::Applied(_) | ReconfigOutcome::Unchanged
+        )
     }
 }
 
@@ -370,7 +373,9 @@ impl Machine {
             let interval = self.reconfig_interval(cu);
             if now < last + interval {
                 self.counters.guard_rejections += 1;
-                return ReconfigOutcome::TooSoon { remaining: last + interval - now };
+                return ReconfigOutcome::TooSoon {
+                    remaining: last + interval - now,
+                };
             }
         }
         self.last_reconfig[idx] = Some(now);
@@ -421,9 +426,7 @@ impl Machine {
             CuKind::L2 => 2,
         };
         match self.last_reconfig[idx] {
-            Some(last) => {
-                (last + self.reconfig_interval(cu)).saturating_sub(self.counters.instret)
-            }
+            Some(last) => (last + self.reconfig_interval(cu)).saturating_sub(self.counters.instret),
             None => 0,
         }
     }
@@ -439,7 +442,12 @@ mod tests {
     }
 
     fn block(pc: u64, ninstr: u32, accesses: Vec<MemAccess>) -> Block {
-        Block { pc, ninstr, accesses, branch: None }
+        Block {
+            pc,
+            ninstr,
+            accesses,
+            branch: None,
+        }
     }
 
     #[test]
@@ -467,9 +475,18 @@ mod tests {
         for i in 0..1000u64 {
             misses.push(MemAccess::load(0x100_0000 + i * 4096));
         }
-        m.exec_block(&Block { pc: 0x400, ninstr: 8, accesses: misses, branch: None });
+        m.exec_block(&Block {
+            pc: 0x400,
+            ninstr: 8,
+            accesses: misses,
+            branch: None,
+        });
         let d = m.counters().delta_since(&before);
-        assert!(d.cycles > 1000, "misses must stall, got {} cycles", d.cycles);
+        assert!(
+            d.cycles > 1000,
+            "misses must stall, got {} cycles",
+            d.cycles
+        );
         assert!(d.l2.total_misses() > 900);
     }
 
@@ -487,7 +504,10 @@ mod tests {
                 pc: 0x400,
                 ninstr: 4,
                 accesses: vec![],
-                branch: Some(BranchEvent { pc: 0x800 + (i % 64) * 4, taken }),
+                branch: Some(BranchEvent {
+                    pc: 0x800 + (i % 64) * 4,
+                    taken,
+                }),
             };
             m.exec_block(&b);
             base += 1;
@@ -503,17 +523,26 @@ mod tests {
     fn guard_blocks_rapid_reconfiguration() {
         let mut m = machine();
         let l1 = SizeLevel::new(1).unwrap();
-        assert!(matches!(m.request_resize(CuKind::L1d, l1), ReconfigOutcome::Applied(_)));
+        assert!(matches!(
+            m.request_resize(CuKind::L1d, l1),
+            ReconfigOutcome::Applied(_)
+        ));
         // Immediately asking again (different level) is too soon.
         let l2 = SizeLevel::new(2).unwrap();
-        assert!(matches!(m.request_resize(CuKind::L1d, l2), ReconfigOutcome::TooSoon { .. }));
+        assert!(matches!(
+            m.request_resize(CuKind::L1d, l2),
+            ReconfigOutcome::TooSoon { .. }
+        ));
         assert_eq!(m.counters().guard_rejections, 1);
         // Retire 100K instructions, then it works.
         let b = block(0x400, 1000, vec![]);
         for _ in 0..100 {
             m.exec_block(&b);
         }
-        assert!(matches!(m.request_resize(CuKind::L1d, l2), ReconfigOutcome::Applied(_)));
+        assert!(matches!(
+            m.request_resize(CuKind::L1d, l2),
+            ReconfigOutcome::Applied(_)
+        ));
         assert_eq!(m.level(CuKind::L1d), l2);
     }
 
@@ -600,7 +629,9 @@ mod tests {
     fn window_resize_is_cheap_and_guarded() {
         let mut m = machine();
         let out = m.request_resize(CuKind::Window, SizeLevel::SMALLEST);
-        assert!(matches!(out, ReconfigOutcome::Applied(report) if report == FlushReport::default()));
+        assert!(
+            matches!(out, ReconfigOutcome::Applied(report) if report == FlushReport::default())
+        );
         assert_eq!(m.level(CuKind::Window), SizeLevel::SMALLEST);
         assert!(m.cycles() > 0, "pipeline drain charged");
         // Guard: 5K instructions between window changes.
@@ -611,7 +642,9 @@ mod tests {
         for _ in 0..6 {
             m.exec_block(&block(0x400, 1000, vec![]));
         }
-        assert!(m.request_resize(CuKind::Window, SizeLevel::LARGEST).in_effect());
+        assert!(m
+            .request_resize(CuKind::Window, SizeLevel::LARGEST)
+            .in_effect());
     }
 
     #[test]

@@ -74,10 +74,16 @@ impl Tlb {
     /// Panics if `entries` is not a positive multiple of 16 with a
     /// power-of-two set count, or if `page_bytes` is not a power of two.
     pub fn new(entries: u32, page_bytes: u64) -> Tlb {
-        assert!(entries > 0 && entries.is_multiple_of(TLB_WAYS), "entries must be a multiple of 16");
+        assert!(
+            entries > 0 && entries.is_multiple_of(TLB_WAYS),
+            "entries must be a multiple of 16"
+        );
         let sets = entries / TLB_WAYS;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
-        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
         Tlb {
             entries: vec![Entry::default(); entries as usize],
             sets,
@@ -119,7 +125,11 @@ impl Tlb {
                 victim = i;
             }
         }
-        slots[victim] = Entry { page, lru: self.tick, valid: true };
+        slots[victim] = Entry {
+            page,
+            lru: self.tick,
+            valid: true,
+        };
         false
     }
 }

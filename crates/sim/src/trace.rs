@@ -21,12 +21,18 @@ pub struct MemAccess {
 impl MemAccess {
     /// A load from `addr`.
     pub fn load(addr: u64) -> MemAccess {
-        MemAccess { addr, is_store: false }
+        MemAccess {
+            addr,
+            is_store: false,
+        }
     }
 
     /// A store to `addr`.
     pub fn store(addr: u64) -> MemAccess {
-        MemAccess { addr, is_store: true }
+        MemAccess {
+            addr,
+            is_store: true,
+        }
     }
 }
 
@@ -168,8 +174,16 @@ mod tests {
     #[test]
     fn slice_source_replays_in_order() {
         let trace = vec![
-            Block { pc: 1, ninstr: 4, ..Block::default() },
-            Block { pc: 2, ninstr: 6, ..Block::default() },
+            Block {
+                pc: 1,
+                ninstr: 4,
+                ..Block::default()
+            },
+            Block {
+                pc: 2,
+                ninstr: 6,
+                ..Block::default()
+            },
         ];
         let mut src = SliceSource::new(&trace);
         let mut buf = Block::default();
@@ -189,7 +203,11 @@ mod tests {
 
     #[test]
     fn block_source_through_references() {
-        let trace = vec![Block { pc: 7, ninstr: 1, ..Block::default() }];
+        let trace = vec![Block {
+            pc: 7,
+            ninstr: 1,
+            ..Block::default()
+        }];
         let mut src = SliceSource::new(&trace);
         let mut by_ref: &mut SliceSource = &mut src;
         let mut buf = Block::default();

@@ -81,7 +81,11 @@ impl TraceWriter {
         let mut buf = BytesMut::with_capacity(64 * 1024);
         buf.put_slice(MAGIC);
         buf.put_u32_le(VERSION);
-        TraceWriter { buf, blocks: 0, instructions: 0 }
+        TraceWriter {
+            buf,
+            blocks: 0,
+            instructions: 0,
+        }
     }
 
     /// Appends one block.
@@ -164,7 +168,10 @@ impl TraceReader {
         if data.get_u32_le() != VERSION {
             return Err(TraceFormatError::new("unsupported version"));
         }
-        Ok(TraceReader { data, finished: false })
+        Ok(TraceReader {
+            data,
+            finished: false,
+        })
     }
 
     /// Decodes the next block into `out`; `Ok(false)` at end of trace.
@@ -240,14 +247,25 @@ mod tests {
                 pc: 0x400,
                 ninstr: 32,
                 accesses: vec![MemAccess::load(0x1000), MemAccess::store(0x1040)],
-                branch: Some(BranchEvent { pc: 0x47c, taken: true }),
+                branch: Some(BranchEvent {
+                    pc: 0x47c,
+                    taken: true,
+                }),
             },
-            Block { pc: 0x500, ninstr: 7, accesses: vec![], branch: None },
+            Block {
+                pc: 0x500,
+                ninstr: 7,
+                accesses: vec![],
+                branch: None,
+            },
             Block {
                 pc: 0x600,
                 ninstr: 90,
                 accesses: (0..20).map(|i| MemAccess::load(0x2000 + i * 8)).collect(),
-                branch: Some(BranchEvent { pc: 0x6f0, taken: false }),
+                branch: Some(BranchEvent {
+                    pc: 0x6f0,
+                    taken: false,
+                }),
             },
         ]
     }
@@ -276,7 +294,11 @@ mod tests {
     #[test]
     fn record_trace_respects_limit() {
         let blocks = vec![
-            Block { pc: 1, ninstr: 40, ..Block::default() };
+            Block {
+                pc: 1,
+                ninstr: 40,
+                ..Block::default()
+            };
             100
         ];
         let mut src = SliceSource::new(&blocks);

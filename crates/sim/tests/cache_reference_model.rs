@@ -46,7 +46,12 @@ impl ReferenceCache {
 }
 
 fn geom() -> CacheGeometry {
-    CacheGeometry { size_bytes: 4 * 1024, ways: 2, block_bytes: 64, hit_latency: 1 }
+    CacheGeometry {
+        size_bytes: 4 * 1024,
+        ways: 2,
+        block_bytes: 64,
+        hit_latency: 1,
+    }
 }
 
 proptest! {

@@ -1,0 +1,274 @@
+//! Typed decision events emitted by the adaptive managers.
+//!
+//! Every event is `Copy` and carries only architectural counters
+//! (`instret`, `cycle`) rather than wall-clock timestamps, so two runs with
+//! identical seeds produce byte-identical event streams. That determinism
+//! is load-bearing: the regression tests diff whole streams.
+
+use serde::{Deserialize, Serialize};
+
+/// A configurable unit of the modeled machine (paper Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Cu {
+    /// The instruction-window CU.
+    Window,
+    /// The configurable L1 data cache.
+    L1d,
+    /// The configurable unified L2 cache.
+    L2,
+}
+
+impl Cu {
+    /// Short lowercase name used in summaries.
+    pub fn name(self) -> &'static str {
+        match self {
+            Cu::Window => "window",
+            Cu::L1d => "l1d",
+            Cu::L2 => "l2",
+        }
+    }
+}
+
+/// The program region a tuning episode is attached to, one variant per
+/// adaptation scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scope {
+    /// A promoted hotspot method (the paper's DO-driven scheme).
+    Hotspot {
+        /// Method id of the hotspot.
+        method: u32,
+    },
+    /// A BBV phase (the temporal baseline).
+    Phase {
+        /// Phase id assigned by the BBV classifier.
+        phase: u32,
+    },
+    /// A large procedure (the positional baseline).
+    Procedure {
+        /// Method id of the procedure.
+        method: u32,
+    },
+}
+
+/// Why a reconfiguration request was issued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReconfigCause {
+    /// Switching to the next trial configuration of a tuning episode.
+    Trial,
+    /// Applying a converged best configuration.
+    Apply,
+    /// Resetting to the baseline (e.g. after a misattributed interval).
+    Reset,
+}
+
+impl ReconfigCause {
+    /// Short lowercase name used in summaries.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReconfigCause::Trial => "trial",
+            ReconfigCause::Apply => "apply",
+            ReconfigCause::Reset => "reset",
+        }
+    }
+}
+
+/// One decision made by the DO system or an ACE manager.
+///
+/// Variants are ordered roughly by lifecycle: a method is promoted, a
+/// tuning episode starts, steps through trials, converges, and the chosen
+/// configuration is applied (emitting [`Event::Reconfigured`]); drift may
+/// later trigger a retune. [`Event::IntervalSample`] is the temporal
+/// scheme's per-interval heartbeat.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// The DO system promoted a method to hotspot status.
+    HotspotPromoted {
+        /// Promoted method id.
+        method: u32,
+        /// Invocation count at promotion time.
+        invocations: u64,
+        /// Retired-instruction counter at promotion time.
+        instret: u64,
+    },
+    /// A tuning episode began for a scope.
+    TuningStarted {
+        /// What is being tuned.
+        scope: Scope,
+        /// Number of candidate configurations the episode will try.
+        configs: u32,
+        /// Retired-instruction counter when the episode began.
+        instret: u64,
+    },
+    /// One trial configuration of a tuning episode was measured.
+    TuningStep {
+        /// What is being tuned.
+        scope: Scope,
+        /// Zero-based index of the trial that was just measured.
+        trial: u32,
+        /// Measured instructions per cycle under the trial configuration.
+        ipc: f64,
+        /// Measured energy per instruction (nanojoules) under the trial.
+        epi_nj: f64,
+        /// Retired-instruction counter when the measurement completed.
+        instret: u64,
+    },
+    /// A tuning episode finished and picked its best configuration.
+    TuningConverged {
+        /// What was tuned.
+        scope: Scope,
+        /// Number of trials the episode measured.
+        trials: u32,
+        /// IPC of the winning configuration.
+        ipc: f64,
+        /// Energy per instruction (nanojoules) of the winning configuration.
+        epi_nj: f64,
+        /// Retired-instruction counter at convergence.
+        instret: u64,
+    },
+    /// A CU actually changed size.
+    Reconfigured {
+        /// Which configurable unit resized.
+        cu: Cu,
+        /// Size-level index before the resize (0 = largest).
+        from: u8,
+        /// Size-level index after the resize.
+        to: u8,
+        /// Why the request was issued.
+        cause: ReconfigCause,
+        /// Cycle counter after the resize (includes the flush penalty).
+        cycle: u64,
+    },
+    /// Behaviour drifted past the retune threshold; the scope's tuning
+    /// state was discarded and a fresh episode scheduled.
+    DriftRetune {
+        /// The scope being retuned.
+        scope: Scope,
+        /// Relative IPC drift that tripped the threshold.
+        drift: f64,
+        /// Retired-instruction counter at the decision.
+        instret: u64,
+    },
+    /// One fixed-length interval of the temporal (BBV) scheme.
+    IntervalSample {
+        /// Phase id the interval was classified into.
+        phase: u32,
+        /// Zero-based interval index within the run.
+        index: u64,
+        /// Measured IPC over the interval.
+        ipc: f64,
+        /// Measured energy per instruction (nanojoules) over the interval.
+        epi_nj: f64,
+        /// Whether the interval continued the previous phase.
+        stable: bool,
+        /// Retired-instruction counter at the interval boundary.
+        instret: u64,
+    },
+}
+
+/// Discriminant-only view of [`Event`], used for per-kind counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// [`Event::HotspotPromoted`]
+    HotspotPromoted,
+    /// [`Event::TuningStarted`]
+    TuningStarted,
+    /// [`Event::TuningStep`]
+    TuningStep,
+    /// [`Event::TuningConverged`]
+    TuningConverged,
+    /// [`Event::Reconfigured`]
+    Reconfigured,
+    /// [`Event::DriftRetune`]
+    DriftRetune,
+    /// [`Event::IntervalSample`]
+    IntervalSample,
+}
+
+impl EventKind {
+    /// All kinds, in declaration order (matches [`EventKind::index`]).
+    pub const ALL: [EventKind; Event::NUM_KINDS] = [
+        EventKind::HotspotPromoted,
+        EventKind::TuningStarted,
+        EventKind::TuningStep,
+        EventKind::TuningConverged,
+        EventKind::Reconfigured,
+        EventKind::DriftRetune,
+        EventKind::IntervalSample,
+    ];
+
+    /// Stable index in `0..Event::NUM_KINDS`.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The variant name as it appears in the JSONL encoding.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::HotspotPromoted => "HotspotPromoted",
+            EventKind::TuningStarted => "TuningStarted",
+            EventKind::TuningStep => "TuningStep",
+            EventKind::TuningConverged => "TuningConverged",
+            EventKind::Reconfigured => "Reconfigured",
+            EventKind::DriftRetune => "DriftRetune",
+            EventKind::IntervalSample => "IntervalSample",
+        }
+    }
+}
+
+impl Event {
+    /// Number of event kinds (length of per-kind counter arrays).
+    pub const NUM_KINDS: usize = 7;
+
+    /// The discriminant of this event.
+    pub fn kind(&self) -> EventKind {
+        match self {
+            Event::HotspotPromoted { .. } => EventKind::HotspotPromoted,
+            Event::TuningStarted { .. } => EventKind::TuningStarted,
+            Event::TuningStep { .. } => EventKind::TuningStep,
+            Event::TuningConverged { .. } => EventKind::TuningConverged,
+            Event::Reconfigured { .. } => EventKind::Reconfigured,
+            Event::DriftRetune { .. } => EventKind::DriftRetune,
+            Event::IntervalSample { .. } => EventKind::IntervalSample,
+        }
+    }
+
+    /// The retired-instruction or cycle counter the event is stamped with,
+    /// used to order mixed streams in the timeline example.
+    pub fn timestamp(&self) -> u64 {
+        match *self {
+            Event::HotspotPromoted { instret, .. }
+            | Event::TuningStarted { instret, .. }
+            | Event::TuningStep { instret, .. }
+            | Event::TuningConverged { instret, .. }
+            | Event::DriftRetune { instret, .. }
+            | Event::IntervalSample { instret, .. } => instret,
+            Event::Reconfigured { cycle, .. } => cycle,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_indices_match_all_order() {
+        for (i, kind) in EventKind::ALL.iter().enumerate() {
+            assert_eq!(kind.index(), i);
+        }
+    }
+
+    #[test]
+    fn events_report_their_kind() {
+        let ev = Event::Reconfigured {
+            cu: Cu::L1d,
+            from: 0,
+            to: 2,
+            cause: ReconfigCause::Apply,
+            cycle: 123,
+        };
+        assert_eq!(ev.kind(), EventKind::Reconfigured);
+        assert_eq!(ev.kind().name(), "Reconfigured");
+        assert_eq!(ev.timestamp(), 123);
+    }
+}

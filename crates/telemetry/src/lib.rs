@@ -1,0 +1,250 @@
+//! # ace-telemetry — observability for the ACE reproduction
+//!
+//! Decision-event log, metrics registry, and scoped timers for the
+//! adaptive managers in `ace-core` and the DO system in `ace-runtime`.
+//! The design goal is **zero overhead when off**: a disabled
+//! [`Telemetry`] handle is a `None` (one word), [`Telemetry::emit`] takes
+//! a closure so disabled call sites never even construct the [`Event`],
+//! and the whole emission path inlines away.
+//!
+//! Three pieces:
+//!
+//! | piece | type | use |
+//! |---|---|---|
+//! | event log | [`Event`] + [`Sink`] | what/why/when of every adaptation decision |
+//! | metrics | [`Metrics`] | counters, gauges, fixed-bucket histograms |
+//! | timers | [`ScopedTimer`] | wall-clock profiling of harness phases |
+//!
+//! Events carry only architectural counters (`instret`, `cycle`), never
+//! wall-clock time, so identically seeded runs emit byte-identical
+//! streams. Wall-clock time lives exclusively in the metrics registry.
+//!
+//! ## Example
+//!
+//! ```
+//! use ace_telemetry::{Cu, Event, ReconfigCause, Telemetry};
+//!
+//! // Capture the last 1024 events in memory.
+//! let (tel, ring) = Telemetry::ring(1024);
+//! tel.emit(|| Event::Reconfigured {
+//!     cu: Cu::L1d,
+//!     from: 0,
+//!     to: 2,
+//!     cause: ReconfigCause::Apply,
+//!     cycle: 12_345,
+//! });
+//! tel.metrics().unwrap().counter("demo").inc();
+//! assert_eq!(ring.snapshot().len(), 1);
+//!
+//! // A disabled handle costs one branch; the closure never runs.
+//! let off = Telemetry::off();
+//! off.emit(|| unreachable!("not constructed when telemetry is off"));
+//! ```
+//!
+//! To trace a real run, put a handle in `ace_core::RunConfig::telemetry`
+//! (see the repository README's *Observability* section and
+//! `examples/telemetry_trace.rs`), or pass `--telemetry <path>` to the
+//! bench binaries for a JSONL file.
+
+// The ring buffer needs `unsafe` (seqlock over an UnsafeCell); everything
+// else in the workspace forbids it, so the unsafety is quarantined here.
+#![warn(missing_docs)]
+
+mod event;
+mod metrics;
+mod ring;
+mod sink;
+
+pub use event::{Cu, Event, EventKind, ReconfigCause, Scope};
+pub use metrics::{Counter, Gauge, Histogram, Metrics, ScopedTimer};
+pub use ring::RingBufferSink;
+pub use sink::{JsonlSink, NullSink, Sink};
+
+use std::fmt;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct Inner {
+    sink: Box<dyn Sink>,
+    metrics: Metrics,
+    counts: [AtomicU64; Event::NUM_KINDS],
+}
+
+/// Cheap-to-clone handle threaded through the run drivers and managers.
+///
+/// Internally an `Option<Arc<_>>`: disabled handles ([`Telemetry::off`],
+/// also the `Default`) are a single `None` word and make every
+/// [`Telemetry::emit`] a predictable not-taken branch. Enabled handles
+/// share one sink, one [`Metrics`] registry, and per-kind event counts
+/// across all clones.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Telemetry {
+    /// The disabled handle. Emission is a no-op; the event closure is
+    /// never called.
+    pub fn off() -> Telemetry {
+        Telemetry { inner: None }
+    }
+
+    /// Enables telemetry with an arbitrary sink.
+    pub fn new(sink: impl Sink + 'static) -> Telemetry {
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                sink: Box::new(sink),
+                metrics: Metrics::default(),
+                counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            })),
+        }
+    }
+
+    /// Enables telemetry with a [`NullSink`]: events are counted and
+    /// metrics collected, but nothing is stored or written.
+    pub fn counting() -> Telemetry {
+        Telemetry::new(NullSink)
+    }
+
+    /// Enables telemetry with a [`RingBufferSink`] keeping the last
+    /// `capacity` events; returns the sink too so the caller can
+    /// [`RingBufferSink::snapshot`] it later.
+    pub fn ring(capacity: usize) -> (Telemetry, Arc<RingBufferSink>) {
+        let ring = Arc::new(RingBufferSink::new(capacity));
+        (Telemetry::new(Arc::clone(&ring)), ring)
+    }
+
+    /// Enables telemetry writing JSONL to `path` (truncated on open).
+    pub fn jsonl(path: impl AsRef<Path>) -> io::Result<Telemetry> {
+        Ok(Telemetry::new(JsonlSink::create(path)?))
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Records the event produced by `f`, if enabled.
+    ///
+    /// The closure runs only when telemetry is on, so call sites may
+    /// compute event fields (e.g. read machine counters) inside it
+    /// without penalising disabled runs.
+    #[inline]
+    pub fn emit(&self, f: impl FnOnce() -> Event) {
+        if let Some(inner) = &self.inner {
+            let event = f();
+            inner.counts[event.kind().index()].fetch_add(1, Ordering::Relaxed);
+            inner.sink.record(&event);
+        }
+    }
+
+    /// The shared metrics registry, or `None` when disabled.
+    pub fn metrics(&self) -> Option<&Metrics> {
+        self.inner.as_ref().map(|i| &i.metrics)
+    }
+
+    /// How many events of `kind` have been emitted through this handle
+    /// (and its clones). Zero when disabled.
+    pub fn count(&self, kind: EventKind) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.counts[kind.index()].load(Ordering::Relaxed))
+    }
+
+    /// Total events emitted across all kinds. Zero when disabled.
+    pub fn total_events(&self) -> u64 {
+        EventKind::ALL.iter().map(|&k| self.count(k)).sum()
+    }
+
+    /// Flushes the sink (a no-op for memory sinks).
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            inner.sink.flush();
+        }
+    }
+
+    /// Multi-line human-readable summary: per-kind event counts followed
+    /// by the metrics dump. Intended for the bench binaries' `--telemetry`
+    /// output.
+    pub fn summary(&self) -> String {
+        let Some(inner) = &self.inner else {
+            return "telemetry: off\n".to_string();
+        };
+        let mut out = String::from("telemetry events:\n");
+        if self.total_events() == 0 {
+            out.push_str("  (none emitted — cached or untraced runs produce no events)\n");
+        }
+        for kind in EventKind::ALL {
+            let n = inner.counts[kind.index()].load(Ordering::Relaxed);
+            if n > 0 {
+                out.push_str(&format!("  {:<32} {n}\n", kind.name()));
+            }
+        }
+        let metrics = inner.metrics.summary();
+        if !metrics.is_empty() {
+            out.push_str("telemetry metrics:\n");
+            out.push_str(&metrics);
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            None => f.write_str("Telemetry(off)"),
+            Some(_) => write!(f, "Telemetry(on, {} events)", self.total_events()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_handle_never_runs_closure() {
+        let tel = Telemetry::off();
+        tel.emit(|| unreachable!("closure must not run when off"));
+        assert!(!tel.is_enabled());
+        assert_eq!(tel.total_events(), 0);
+        assert!(tel.metrics().is_none());
+        assert_eq!(tel.summary(), "telemetry: off\n");
+    }
+
+    #[test]
+    fn counts_are_shared_across_clones() {
+        let (tel, ring) = Telemetry::ring(16);
+        let clone = tel.clone();
+        tel.emit(|| Event::TuningStarted {
+            scope: Scope::Hotspot { method: 1 },
+            configs: 10,
+            instret: 100,
+        });
+        clone.emit(|| Event::TuningConverged {
+            scope: Scope::Hotspot { method: 1 },
+            trials: 10,
+            ipc: 1.0,
+            epi_nj: 0.4,
+            instret: 900,
+        });
+        assert_eq!(tel.count(EventKind::TuningStarted), 1);
+        assert_eq!(tel.count(EventKind::TuningConverged), 1);
+        assert_eq!(clone.total_events(), 2);
+        assert_eq!(ring.snapshot().len(), 2);
+        let summary = tel.summary();
+        assert!(summary.contains("TuningStarted"));
+        assert!(summary.contains("TuningConverged"));
+    }
+
+    #[test]
+    fn metrics_live_on_the_shared_handle() {
+        let tel = Telemetry::counting();
+        let clone = tel.clone();
+        tel.metrics().unwrap().counter("reconfigs").add(3);
+        assert_eq!(clone.metrics().unwrap().counter("reconfigs").get(), 3);
+        assert!(tel.summary().contains("reconfigs"));
+    }
+}

@@ -1,0 +1,325 @@
+//! Metrics registry: named counters, gauges, and fixed-bucket histograms.
+//!
+//! Handles returned by the registry are cheap `Arc` clones over atomics,
+//! so hot paths look a metric up once (at `set_telemetry` time) and then
+//! update it without touching the registry lock again. All updates use
+//! relaxed atomics — metrics are monotonic aggregates, not synchronisation.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+/// Adds `v` to an `f64` stored as bits in an `AtomicU64`.
+fn add_f64(cell: &AtomicU64, v: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(cur) + v).to_bits();
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// Monotonically increasing integer metric.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins floating-point metric.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Overwrites the value.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value (0.0 before the first `set`).
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    /// Upper-inclusive bucket bounds, strictly increasing.
+    bounds: Vec<f64>,
+    /// `bounds.len() + 1` buckets; the last one is the overflow bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+}
+
+/// Fixed-bucket histogram.
+///
+/// A sample `v` lands in the first bucket whose bound satisfies
+/// `v <= bound`; samples above the last bound land in the overflow
+/// bucket. Bounds are fixed at registration, so merging and comparing
+/// histograms across runs is trivial.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Histogram {
+        let bounds: Vec<f64> = bounds.to_vec();
+        debug_assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let buckets = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Histogram(Arc::new(HistogramCore {
+            bounds,
+            buckets,
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0),
+        }))
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: f64) {
+        let core = &*self.0;
+        let idx = core.bounds.partition_point(|&b| b < v);
+        core.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        core.count.fetch_add(1, Ordering::Relaxed);
+        add_f64(&core.sum_bits, v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.0.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Mean of recorded samples, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() / n as f64
+        }
+    }
+
+    /// The upper-inclusive bucket bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.0.bounds
+    }
+
+    /// Per-bucket counts; the final entry is the overflow bucket.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// Records wall-clock milliseconds into a histogram when dropped.
+///
+/// Wall-clock durations are deliberately confined to the metrics side:
+/// they never enter the event stream, which must stay deterministic.
+#[derive(Debug)]
+pub struct ScopedTimer {
+    hist: Histogram,
+    start: Instant,
+    armed: bool,
+}
+
+impl ScopedTimer {
+    /// Stops the timer early and returns the elapsed milliseconds.
+    pub fn stop(mut self) -> f64 {
+        self.armed = false;
+        let ms = self.start.elapsed().as_secs_f64() * 1e3;
+        self.hist.record(ms);
+        ms
+    }
+}
+
+impl Drop for ScopedTimer {
+    fn drop(&mut self) {
+        if self.armed {
+            self.hist.record(self.start.elapsed().as_secs_f64() * 1e3);
+        }
+    }
+}
+
+/// Default timer buckets: 0.01 ms to ~10 min, quarter-decade spacing.
+fn timer_bounds() -> Vec<f64> {
+    let mut out = Vec::new();
+    let mut b = 0.01;
+    while b < 1e6 {
+        out.push(b);
+        b *= 10f64.powf(0.25);
+    }
+    out
+}
+
+/// Named metric registry shared by everything holding a
+/// [`crate::Telemetry`] handle.
+///
+/// Lookups are name-keyed and idempotent: asking for an existing metric
+/// returns a handle to the same underlying atomics.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    counters: RwLock<BTreeMap<String, Counter>>,
+    gauges: RwLock<BTreeMap<String, Gauge>>,
+    histograms: RwLock<BTreeMap<String, Histogram>>,
+}
+
+impl Metrics {
+    /// Returns (registering if needed) the counter called `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        if let Some(c) = self.counters.read().expect("metrics lock").get(name) {
+            return c.clone();
+        }
+        self.counters
+            .write()
+            .expect("metrics lock")
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Returns (registering if needed) the gauge called `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if let Some(g) = self.gauges.read().expect("metrics lock").get(name) {
+            return g.clone();
+        }
+        self.gauges
+            .write()
+            .expect("metrics lock")
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Returns (registering if needed) the histogram called `name`.
+    ///
+    /// The first registration fixes the bucket bounds; later callers get
+    /// the existing histogram regardless of the bounds they pass.
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Histogram {
+        if let Some(h) = self.histograms.read().expect("metrics lock").get(name) {
+            return h.clone();
+        }
+        self.histograms
+            .write()
+            .expect("metrics lock")
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds))
+            .clone()
+    }
+
+    /// Starts a scoped wall-clock timer feeding the histogram `name`
+    /// (milliseconds, default decade-spaced bounds).
+    pub fn timer(&self, name: &str) -> ScopedTimer {
+        ScopedTimer {
+            hist: self.histogram(name, &timer_bounds()),
+            start: Instant::now(),
+            armed: true,
+        }
+    }
+
+    /// Human-readable dump of every registered metric, sorted by name.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for (name, c) in self.counters.read().expect("metrics lock").iter() {
+            let _ = writeln!(out, "  counter   {name:<32} {}", c.get());
+        }
+        for (name, g) in self.gauges.read().expect("metrics lock").iter() {
+            let _ = writeln!(out, "  gauge     {name:<32} {:.4}", g.get());
+        }
+        for (name, h) in self.histograms.read().expect("metrics lock").iter() {
+            let _ = writeln!(
+                out,
+                "  histogram {name:<32} n={} mean={:.3} sum={:.3}",
+                h.count(),
+                h.mean(),
+                h.sum()
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_round_trip() {
+        let m = Metrics::default();
+        let c = m.counter("reconfigs");
+        c.inc();
+        c.add(4);
+        assert_eq!(m.counter("reconfigs").get(), 5);
+        let g = m.gauge("ipc");
+        g.set(1.25);
+        assert_eq!(m.gauge("ipc").get(), 1.25);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_upper_inclusive() {
+        let m = Metrics::default();
+        let h = m.histogram("lat", &[1.0, 10.0, 100.0]);
+        // Exactly on a bound -> that bucket; just above -> next bucket.
+        h.record(1.0);
+        h.record(1.0000001);
+        h.record(10.0);
+        h.record(100.0);
+        h.record(100.0001); // overflow
+        h.record(0.5);
+        assert_eq!(h.bucket_counts(), vec![2, 2, 1, 1]);
+        assert_eq!(h.count(), 6);
+        assert!((h.sum() - (1.0 + 1.0000001 + 10.0 + 100.0 + 100.0001 + 0.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_handles_are_shared() {
+        let m = Metrics::default();
+        let a = m.histogram("x", &[1.0]);
+        let b = m.histogram("x", &[5.0, 6.0]); // bounds of first registration win
+        a.record(0.5);
+        b.record(2.0);
+        assert_eq!(a.bucket_counts(), vec![1, 1]);
+        assert_eq!(b.bounds(), &[1.0]);
+    }
+
+    #[test]
+    fn scoped_timer_records_on_drop_and_stop() {
+        let m = Metrics::default();
+        {
+            let _t = m.timer("io_ms");
+        }
+        let ms = m.timer("io_ms").stop();
+        assert!(ms >= 0.0);
+        assert!(m.timer("io_ms").stop() >= 0.0);
+        // Three samples: one drop, two explicit stops.
+        let h = m.histogram("io_ms", &[]);
+        assert_eq!(h.count(), 3);
+    }
+}

@@ -155,7 +155,9 @@ impl ProgramBuilder {
     /// Returns [`BuildError`] if no entry was set or validation fails
     /// (dangling method/pattern references, empty computes, …).
     pub fn build(&self) -> Result<Program, BuildError> {
-        let entry = self.entry.ok_or_else(|| BuildError { msg: "no entry method".into() })?;
+        let entry = self.entry.ok_or_else(|| BuildError {
+            msg: "no entry method".into(),
+        })?;
         let mut methods = self.methods.clone();
         for (m, body) in methods.iter_mut().zip(&self.bodies) {
             let mut ops = Vec::new();
@@ -202,8 +204,20 @@ mod tests {
     fn code_pcs_distinct_per_method() {
         let mut b = ProgramBuilder::new("t", 0);
         let pat = b.add_pattern(MemPattern::resident(0, 64));
-        let m1 = b.add_method("a", vec![Stmt::Compute { ninstr: 500, pattern: pat }]);
-        let m2 = b.add_method("b", vec![Stmt::Compute { ninstr: 500, pattern: pat }]);
+        let m1 = b.add_method(
+            "a",
+            vec![Stmt::Compute {
+                ninstr: 500,
+                pattern: pat,
+            }],
+        );
+        let m2 = b.add_method(
+            "b",
+            vec![Stmt::Compute {
+                ninstr: 500,
+                pattern: pat,
+            }],
+        );
         let p = b.entry(m2).build().unwrap();
         let a = p.method(m1);
         let bm = p.method(m2);
@@ -213,7 +227,13 @@ mod tests {
     #[test]
     fn dangling_callee_rejected() {
         let mut b = ProgramBuilder::new("t", 0);
-        let m = b.add_method("a", vec![Stmt::Call { callee: MethodId(99), count: 1 }]);
+        let m = b.add_method(
+            "a",
+            vec![Stmt::Call {
+                callee: MethodId(99),
+                count: 1,
+            }],
+        );
         let err = b.entry(m).build().unwrap_err();
         assert!(err.to_string().contains("bad callee"), "{err}");
     }
@@ -222,7 +242,13 @@ mod tests {
     fn owned_patterns_tracked() {
         let mut b = ProgramBuilder::new("t", 0);
         let pat = b.add_pattern(MemPattern::resident(0, 64));
-        let m = b.add_method("a", vec![Stmt::Compute { ninstr: 10, pattern: pat }]);
+        let m = b.add_method(
+            "a",
+            vec![Stmt::Compute {
+                ninstr: 10,
+                pattern: pat,
+            }],
+        );
         b.own_pattern(m, pat);
         let p = b.entry(m).build().unwrap();
         assert_eq!(p.owned_patterns(m), &[pat]);
@@ -232,8 +258,20 @@ mod tests {
     fn default_block_count_scales_with_body() {
         let mut b = ProgramBuilder::new("t", 0);
         let pat = b.add_pattern(MemPattern::resident(0, 64));
-        let tiny = b.add_method("tiny", vec![Stmt::Compute { ninstr: 10, pattern: pat }]);
-        let big = b.add_method("big", vec![Stmt::Compute { ninstr: 100_000, pattern: pat }]);
+        let tiny = b.add_method(
+            "tiny",
+            vec![Stmt::Compute {
+                ninstr: 10,
+                pattern: pat,
+            }],
+        );
+        let big = b.add_method(
+            "big",
+            vec![Stmt::Compute {
+                ninstr: 100_000,
+                pattern: pat,
+            }],
+        );
         let p = b.entry(big).build().unwrap();
         assert_eq!(p.method(tiny).code_blocks, 2);
         assert_eq!(p.method(big).code_blocks, 12, "clamped at 12");

@@ -57,7 +57,10 @@ impl Frame {
         Frame {
             method,
             ip: 0,
-            loops: [LoopState { start_ip: 0, remaining: 0 }; MAX_LOOP_DEPTH],
+            loops: [LoopState {
+                start_ip: 0,
+                remaining: 0,
+            }; MAX_LOOP_DEPTH],
             loop_depth: 0,
             compute_left: 0,
             pattern: PatternId(0),
@@ -217,8 +220,10 @@ impl<'p> Executor<'p> {
                             (frame.loop_depth as usize) < MAX_LOOP_DEPTH,
                             "loop nesting exceeded"
                         );
-                        frame.loops[frame.loop_depth as usize] =
-                            LoopState { start_ip: frame.ip, remaining: iters };
+                        frame.loops[frame.loop_depth as usize] = LoopState {
+                            start_ip: frame.ip,
+                            remaining: iters,
+                        };
                         frame.loop_depth += 1;
                         frame.ip += 1;
                     }
@@ -283,9 +288,11 @@ impl<'p> Executor<'p> {
                     cursor.pos += stride as u64;
                     off
                 }
-                Walk::Skewed { hot_bytes_pct, hot_refs_pct } => {
-                    let hot_bytes =
-                        (pat.working_set * hot_bytes_pct as u64 / 100).max(64);
+                Walk::Skewed {
+                    hot_bytes_pct,
+                    hot_refs_pct,
+                } => {
+                    let hot_bytes = (pat.working_set * hot_bytes_pct as u64 / 100).max(64);
                     if self.rng.chance(hot_refs_pct) {
                         self.rng.below(hot_bytes)
                     } else {
@@ -349,12 +356,24 @@ mod tests {
     fn simple_program() -> crate::ir::Program {
         let mut b = ProgramBuilder::new("t", 3);
         let pat = b.add_pattern(MemPattern::resident(0x1_0000, 4096));
-        let leaf = b.add_method("leaf", vec![Stmt::Compute { ninstr: 1_000, pattern: pat }]);
+        let leaf = b.add_method(
+            "leaf",
+            vec![Stmt::Compute {
+                ninstr: 1_000,
+                pattern: pat,
+            }],
+        );
         let main = b.add_method(
             "main",
             vec![
-                Stmt::Compute { ninstr: 500, pattern: pat },
-                Stmt::Call { callee: leaf, count: 3 },
+                Stmt::Compute {
+                    ninstr: 500,
+                    pattern: pat,
+                },
+                Stmt::Call {
+                    callee: leaf,
+                    count: 3,
+                },
             ],
         );
         b.own_pattern(leaf, pat);
@@ -434,8 +453,20 @@ mod tests {
     fn instruction_limit_unwinds_cleanly() {
         let mut b = ProgramBuilder::new("t", 3);
         let pat = b.add_pattern(MemPattern::resident(0x1_0000, 4096));
-        let leaf = b.add_method("leaf", vec![Stmt::Compute { ninstr: 10_000, pattern: pat }]);
-        let main = b.add_method("main", vec![Stmt::Call { callee: leaf, count: 1000 }]);
+        let leaf = b.add_method(
+            "leaf",
+            vec![Stmt::Compute {
+                ninstr: 10_000,
+                pattern: pat,
+            }],
+        );
+        let main = b.add_method(
+            "main",
+            vec![Stmt::Call {
+                callee: leaf,
+                count: 1000,
+            }],
+        );
         let p = b.entry(main).build().unwrap();
         let mut exec = Executor::new(&p);
         exec.set_instruction_limit(50_000);
@@ -460,7 +491,13 @@ mod tests {
         let ws = 8192;
         let mut b = ProgramBuilder::new("t", 9);
         let pat = b.add_pattern(MemPattern::random(base, ws));
-        let m = b.add_method("m", vec![Stmt::Compute { ninstr: 50_000, pattern: pat }]);
+        let m = b.add_method(
+            "m",
+            vec![Stmt::Compute {
+                ninstr: 50_000,
+                pattern: pat,
+            }],
+        );
         let p = b.entry(m).build().unwrap();
         let mut exec = Executor::new(&p);
         let mut buf = Block::default();
@@ -483,9 +520,21 @@ mod tests {
         let mut pat = MemPattern::resident(base, 1 << 20);
         pat.reset_on_entry = true;
         let pid = b.add_pattern(pat);
-        let leaf = b.add_method("leaf", vec![Stmt::Compute { ninstr: 1_000, pattern: pid }]);
+        let leaf = b.add_method(
+            "leaf",
+            vec![Stmt::Compute {
+                ninstr: 1_000,
+                pattern: pid,
+            }],
+        );
         b.own_pattern(leaf, pid);
-        let main = b.add_method("main", vec![Stmt::Call { callee: leaf, count: 5 }]);
+        let main = b.add_method(
+            "main",
+            vec![Stmt::Call {
+                callee: leaf,
+                count: 5,
+            }],
+        );
         let p = b.entry(main).build().unwrap();
         let mut exec = Executor::new(&p);
         let mut buf = Block::default();

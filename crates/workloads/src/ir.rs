@@ -121,7 +121,14 @@ impl Program {
         entry: MethodId,
         seed: u64,
     ) -> Program {
-        Program { name, methods, patterns, owned_patterns, entry, seed }
+        Program {
+            name,
+            methods,
+            patterns,
+            owned_patterns,
+            entry,
+            seed,
+        }
     }
 
     /// The program's name (e.g. `"db"`).
@@ -263,7 +270,9 @@ impl Program {
         let mut stack: Vec<u64> = Vec::new();
         while ip < m.ops.len() {
             match m.ops[ip] {
-                Op::Compute { ninstr, .. } => total = total.saturating_add(ninstr.saturating_mul(mult)),
+                Op::Compute { ninstr, .. } => {
+                    total = total.saturating_add(ninstr.saturating_mul(mult))
+                }
                 Op::Call { callee } => {
                     let inner = self.static_size_depth(callee, depth + 1);
                     total = total.saturating_add(inner.saturating_mul(mult));
@@ -292,14 +301,20 @@ pub(crate) fn compile_body(stmts: &[Stmt], ops: &mut Vec<Op>) {
     for stmt in stmts {
         match stmt {
             Stmt::Compute { ninstr, pattern } => {
-                ops.push(Op::Compute { ninstr: *ninstr, pattern: *pattern });
+                ops.push(Op::Compute {
+                    ninstr: *ninstr,
+                    pattern: *pattern,
+                });
             }
             Stmt::Call { callee, count } => {
                 if *count == 1 {
                     ops.push(Op::Call { callee: *callee });
                 } else if *count > 1 {
                     let start = ops.len() as u32;
-                    ops.push(Op::LoopStart { iters: *count, end: 0 });
+                    ops.push(Op::LoopStart {
+                        iters: *count,
+                        end: 0,
+                    });
                     ops.push(Op::Call { callee: *callee });
                     let end = ops.len() as u32 + 1;
                     ops.push(Op::LoopEnd { start });
@@ -310,7 +325,10 @@ pub(crate) fn compile_body(stmts: &[Stmt], ops: &mut Vec<Op>) {
             }
             Stmt::Loop { count, body } => {
                 let start = ops.len() as u32;
-                ops.push(Op::LoopStart { iters: *count, end: 0 });
+                ops.push(Op::LoopStart {
+                    iters: *count,
+                    end: 0,
+                });
                 compile_body(body, ops);
                 let end = ops.len() as u32 + 1;
                 ops.push(Op::LoopEnd { start });
@@ -333,7 +351,10 @@ mod tests {
         compile_body(
             &[Stmt::Loop {
                 count: 3,
-                body: vec![Stmt::Compute { ninstr: 10, pattern: PatternId(0) }],
+                body: vec![Stmt::Compute {
+                    ninstr: 10,
+                    pattern: PatternId(0),
+                }],
             }],
             &mut ops,
         );
@@ -341,7 +362,10 @@ mod tests {
             ops,
             vec![
                 Op::LoopStart { iters: 3, end: 3 },
-                Op::Compute { ninstr: 10, pattern: PatternId(0) },
+                Op::Compute {
+                    ninstr: 10,
+                    pattern: PatternId(0)
+                },
                 Op::LoopEnd { start: 0 },
             ]
         );
@@ -350,14 +374,42 @@ mod tests {
     #[test]
     fn compile_multi_call_becomes_loop() {
         let mut ops = Vec::new();
-        compile_body(&[Stmt::Call { callee: MethodId(5), count: 4 }], &mut ops);
+        compile_body(
+            &[Stmt::Call {
+                callee: MethodId(5),
+                count: 4,
+            }],
+            &mut ops,
+        );
         assert!(matches!(ops[0], Op::LoopStart { iters: 4, .. }));
-        assert!(matches!(ops[1], Op::Call { callee: MethodId(5) }));
+        assert!(matches!(
+            ops[1],
+            Op::Call {
+                callee: MethodId(5)
+            }
+        ));
         let mut ops1 = Vec::new();
-        compile_body(&[Stmt::Call { callee: MethodId(5), count: 1 }], &mut ops1);
-        assert_eq!(ops1, vec![Op::Call { callee: MethodId(5) }]);
+        compile_body(
+            &[Stmt::Call {
+                callee: MethodId(5),
+                count: 1,
+            }],
+            &mut ops1,
+        );
+        assert_eq!(
+            ops1,
+            vec![Op::Call {
+                callee: MethodId(5)
+            }]
+        );
         let mut ops0 = Vec::new();
-        compile_body(&[Stmt::Call { callee: MethodId(5), count: 0 }], &mut ops0);
+        compile_body(
+            &[Stmt::Call {
+                callee: MethodId(5),
+                count: 0,
+            }],
+            &mut ops0,
+        );
         assert!(ops0.is_empty(), "zero-count call compiles away");
     }
 
@@ -365,15 +417,36 @@ mod tests {
     fn static_size_follows_calls_and_loops() {
         let mut b = ProgramBuilder::new("t", 1);
         let pat = b.add_pattern(crate::MemPattern::resident(0x1000, 4096));
-        let leaf = b.add_method("leaf", vec![Stmt::Compute { ninstr: 100, pattern: pat }]);
+        let leaf = b.add_method(
+            "leaf",
+            vec![Stmt::Compute {
+                ninstr: 100,
+                pattern: pat,
+            }],
+        );
         let mid = b.add_method(
             "mid",
             vec![
-                Stmt::Compute { ninstr: 50, pattern: pat },
-                Stmt::Loop { count: 3, body: vec![Stmt::Call { callee: leaf, count: 2 }] },
+                Stmt::Compute {
+                    ninstr: 50,
+                    pattern: pat,
+                },
+                Stmt::Loop {
+                    count: 3,
+                    body: vec![Stmt::Call {
+                        callee: leaf,
+                        count: 2,
+                    }],
+                },
             ],
         );
-        let main = b.add_method("main", vec![Stmt::Call { callee: mid, count: 1 }]);
+        let main = b.add_method(
+            "main",
+            vec![Stmt::Call {
+                callee: mid,
+                count: 1,
+            }],
+        );
         let p = b.entry(main).build().unwrap();
         assert_eq!(p.static_size(leaf), 100);
         assert_eq!(p.static_size(mid), 50 + 3 * 2 * 100);
@@ -384,7 +457,13 @@ mod tests {
     fn validate_catches_missing_return() {
         let mut b = ProgramBuilder::new("t", 1);
         let pat = b.add_pattern(crate::MemPattern::resident(0, 64));
-        let m = b.add_method("m", vec![Stmt::Compute { ninstr: 1, pattern: pat }]);
+        let m = b.add_method(
+            "m",
+            vec![Stmt::Compute {
+                ninstr: 1,
+                pattern: pat,
+            }],
+        );
         let mut p = b.entry(m).build().unwrap();
         // Corrupt it.
         p = {
@@ -410,15 +489,24 @@ mod tests {
             "m",
             vec![Stmt::Loop {
                 count: 0,
-                body: vec![Stmt::Compute { ninstr: 1000, pattern: pat }],
+                body: vec![Stmt::Compute {
+                    ninstr: 1000,
+                    pattern: pat,
+                }],
             }],
         );
         // Needs at least one real instruction to be valid work; add one.
         let m2 = b.add_method(
             "m2",
             vec![
-                Stmt::Call { callee: m, count: 1 },
-                Stmt::Compute { ninstr: 7, pattern: pat },
+                Stmt::Call {
+                    callee: m,
+                    count: 1,
+                },
+                Stmt::Compute {
+                    ninstr: 7,
+                    pattern: pat,
+                },
             ],
         );
         let p = b.entry(m2).build().unwrap();

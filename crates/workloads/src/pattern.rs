@@ -117,7 +117,10 @@ impl MemPattern {
         MemPattern {
             base,
             working_set,
-            walk: Walk::Skewed { hot_bytes_pct: 25, hot_refs_pct: 75 },
+            walk: Walk::Skewed {
+                hot_bytes_pct: 25,
+                hot_refs_pct: 75,
+            },
             refs_per_kinstr: 300,
             store_pct: 20,
             taken_pct: 90,
@@ -148,9 +151,10 @@ impl MemPattern {
             Walk::Strided { stride } | Walk::Streaming { stride } if stride == 0 => {
                 Err("stride must be nonzero")
             }
-            Walk::Skewed { hot_bytes_pct, hot_refs_pct }
-                if hot_bytes_pct == 0 || hot_bytes_pct > 100 || hot_refs_pct > 100 =>
-            {
+            Walk::Skewed {
+                hot_bytes_pct,
+                hot_refs_pct,
+            } if hot_bytes_pct == 0 || hot_bytes_pct > 100 || hot_refs_pct > 100 => {
                 Err("skew percentages must be in range")
             }
             _ => Ok(()),
@@ -210,7 +214,10 @@ mod tests {
 
     #[test]
     fn cursor_reset() {
-        let mut c = PatternCursor { pos: 100, ref_residue: 7 };
+        let mut c = PatternCursor {
+            pos: 100,
+            ref_residue: 7,
+        };
         c.reset();
         assert_eq!(c.pos, 0);
         assert_eq!(c.ref_residue, 7, "residue survives reset");

@@ -35,8 +35,7 @@ use crate::rng::DetRng;
 use serde::{Deserialize, Serialize};
 
 /// Names of the seven presets, in the paper's order.
-pub const PRESET_NAMES: [&str; 7] =
-    ["compress", "db", "jack", "javac", "jess", "mpeg", "mtrt"];
+pub const PRESET_NAMES: [&str; 7] = ["compress", "db", "jack", "javac", "jess", "mpeg", "mtrt"];
 
 /// Specification of one child kernel population within a stage.
 ///
@@ -147,10 +146,7 @@ impl StageSpec {
         let c = &self.children;
         let child_mean = (c.instr.0 + c.instr.1) / 2;
         self.stream_instr
-            + self.inner_iters as u64
-                * c.total() as u64
-                * self.child_calls as u64
-                * child_mean
+            + self.inner_iters as u64 * c.total() as u64 * self.child_calls as u64 * child_mean
     }
 }
 
@@ -232,7 +228,10 @@ pub fn build_spec(spec: &WorkloadSpec) -> Result<Program, BuildError> {
             let walk = if crng.chance(cspec.random_pct) {
                 Walk::Random
             } else {
-                Walk::Skewed { hot_bytes_pct: 25, hot_refs_pct: 75 }
+                Walk::Skewed {
+                    hot_bytes_pct: 25,
+                    hot_refs_pct: 75,
+                }
             };
             let child_pat = b.add_pattern(MemPattern {
                 base: region,
@@ -252,8 +251,7 @@ pub fn build_spec(spec: &WorkloadSpec) -> Result<Program, BuildError> {
             for li in 0..nleaves {
                 let lrng = &mut crng.fork(200 + li as u64);
                 let leaf_size = lrng.range(cspec.leaf_instr.0, cspec.leaf_instr.1);
-                let lws = log_uniform(lrng, cspec.leaf_ws_bytes.0, cspec.leaf_ws_bytes.1)
-                    .max(128);
+                let lws = log_uniform(lrng, cspec.leaf_ws_bytes.0, cspec.leaf_ws_bytes.1).max(128);
                 let lbase = b.alloc_region(lws);
                 let leaf_pat = b.add_pattern(MemPattern {
                     base: lbase,
@@ -267,7 +265,10 @@ pub fn build_spec(spec: &WorkloadSpec) -> Result<Program, BuildError> {
                 });
                 let leaf = b.add_method(
                     format!("{}::c{}::leaf{}", stage.name, ci, li),
-                    vec![Stmt::Compute { ninstr: leaf_size, pattern: leaf_pat }],
+                    vec![Stmt::Compute {
+                        ninstr: leaf_size,
+                        pattern: leaf_pat,
+                    }],
                 );
                 b.own_pattern(leaf, leaf_pat);
                 leaf_ids.push(leaf);
@@ -291,24 +292,39 @@ pub fn build_spec(spec: &WorkloadSpec) -> Result<Program, BuildError> {
             let quarter = (own / 4).max(2);
             let work_in = b.add_method(
                 format!("{}::child{}::work_in", stage.name, ci),
-                vec![Stmt::Compute { ninstr: quarter, pattern: child_pat }],
+                vec![Stmt::Compute {
+                    ninstr: quarter,
+                    pattern: child_pat,
+                }],
             );
             let work_out = b.add_method(
                 format!("{}::child{}::work_out", stage.name, ci),
-                vec![Stmt::Compute { ninstr: (own - 2 * quarter).max(2) / 2, pattern: child_pat }],
+                vec![Stmt::Compute {
+                    ninstr: (own - 2 * quarter).max(2) / 2,
+                    pattern: child_pat,
+                }],
             );
 
-            let mut body = vec![Stmt::Call { callee: work_in, count: 2 }];
+            let mut body = vec![Stmt::Call {
+                callee: work_in,
+                count: 2,
+            }];
             if rounds > 0 && !leaf_ids.is_empty() {
                 body.push(Stmt::Loop {
                     count: rounds,
                     body: leaf_ids
                         .iter()
-                        .map(|&l| Stmt::Call { callee: l, count: 2 })
+                        .map(|&l| Stmt::Call {
+                            callee: l,
+                            count: 2,
+                        })
                         .collect(),
                 });
             }
-            body.push(Stmt::Call { callee: work_out, count: 2 });
+            body.push(Stmt::Call {
+                callee: work_out,
+                count: 2,
+            });
             let child = b.add_method(format!("{}::child{}", stage.name, ci), body);
             b.own_pattern(child, child_pat);
             child_ids.push(child);
@@ -342,7 +358,10 @@ pub fn build_spec(spec: &WorkloadSpec) -> Result<Program, BuildError> {
 
         let inner_body: Vec<Stmt> = child_ids
             .iter()
-            .map(|&c| Stmt::Call { callee: c, count: stage.child_calls })
+            .map(|&c| Stmt::Call {
+                callee: c,
+                count: stage.child_calls,
+            })
             .collect();
 
         // The stage's streaming work lives in its own methods, sized like
@@ -356,36 +375,63 @@ pub fn build_spec(spec: &WorkloadSpec) -> Result<Program, BuildError> {
         let post = (stage.stream_instr * 3 / 10).max(1);
         let scan_in = b.add_method(
             format!("{}::scan_in", stage.name),
-            vec![Stmt::Compute { ninstr: pre, pattern: stream_pat }],
+            vec![Stmt::Compute {
+                ninstr: pre,
+                pattern: stream_pat,
+            }],
         );
         let scan_out = b.add_method(
             format!("{}::scan_out", stage.name),
-            vec![Stmt::Compute { ninstr: post, pattern: stream_pat }],
+            vec![Stmt::Compute {
+                ninstr: post,
+                pattern: stream_pat,
+            }],
         );
 
         if stage.flat {
             // Inline into main: kernels and scans adapt the L1D, but no
             // method wraps the stage, so there is no L2 hotspot here.
-            main_body.push(Stmt::Call { callee: scan_in, count: 2 });
+            main_body.push(Stmt::Call {
+                callee: scan_in,
+                count: 2,
+            });
             main_body.push(Stmt::Loop {
                 count: stage.calls_per_outer * stage.inner_iters,
                 body: inner_body,
             });
-            main_body.push(Stmt::Call { callee: scan_out, count: 2 });
+            main_body.push(Stmt::Call {
+                callee: scan_out,
+                count: 2,
+            });
         } else {
             let body = vec![
-                Stmt::Call { callee: scan_in, count: 2 },
-                Stmt::Loop { count: stage.inner_iters, body: inner_body },
-                Stmt::Call { callee: scan_out, count: 2 },
+                Stmt::Call {
+                    callee: scan_in,
+                    count: 2,
+                },
+                Stmt::Loop {
+                    count: stage.inner_iters,
+                    body: inner_body,
+                },
+                Stmt::Call {
+                    callee: scan_out,
+                    count: 2,
+                },
             ];
             let stage_m = b.add_method(format!("stage::{}", stage.name), body);
-            main_body.push(Stmt::Call { callee: stage_m, count: stage.calls_per_outer });
+            main_body.push(Stmt::Call {
+                callee: stage_m,
+                count: stage.calls_per_outer,
+            });
         }
     }
 
     let main = b.add_method(
         "main",
-        vec![Stmt::Loop { count: spec.outer_iters, body: main_body }],
+        vec![Stmt::Loop {
+            count: spec.outer_iters,
+            body: main_body,
+        }],
     );
     b.entry(main);
     b.build()
@@ -437,13 +483,20 @@ pub fn mtrt_threaded() -> (Program, [MethodId; 2]) {
         for ci in 0..cspec.total() {
             let crng = &mut srng.fork(100 + ci as u64);
             let child_size = crng.range(cspec.instr.0, cspec.instr.1);
-            let ws_range = if ci < cspec.count { cspec.ws_bytes } else { cspec.large_ws_bytes };
+            let ws_range = if ci < cspec.count {
+                cspec.ws_bytes
+            } else {
+                cspec.large_ws_bytes
+            };
             let ws = log_uniform(crng, ws_range.0, ws_range.1).max(256);
             let region = b.alloc_region(ws);
             let child_pat = b.add_pattern(MemPattern {
                 base: region,
                 working_set: ws,
-                walk: Walk::Skewed { hot_bytes_pct: 25, hot_refs_pct: 75 },
+                walk: Walk::Skewed {
+                    hot_bytes_pct: 25,
+                    hot_refs_pct: 75,
+                },
                 refs_per_kinstr: cspec.refs_per_kinstr,
                 store_pct: 20,
                 taken_pct: cspec.taken_pct,
@@ -452,7 +505,10 @@ pub fn mtrt_threaded() -> (Program, [MethodId; 2]) {
             });
             let child = b.add_method(
                 format!("t{ti}::trace{ci}"),
-                vec![Stmt::Compute { ninstr: child_size, pattern: child_pat }],
+                vec![Stmt::Compute {
+                    ninstr: child_size,
+                    pattern: child_pat,
+                }],
             );
             b.own_pattern(child, child_pat);
             child_ids.push(child);
@@ -482,19 +538,31 @@ pub fn mtrt_threaded() -> (Program, [MethodId; 2]) {
         });
         let scan = b.add_method(
             format!("t{ti}::scene_walk"),
-            vec![Stmt::Compute { ninstr: stage.stream_instr / 2, pattern: scene_pat }],
+            vec![Stmt::Compute {
+                ninstr: stage.stream_instr / 2,
+                pattern: scene_pat,
+            }],
         );
         // One rendered frame = a scene walk plus the trace kernels: an
         // L2-hotspot-sized method invoked once per loop iteration, so the
         // thread has the full hotspot hierarchy (frame > traces).
         let frame = {
-            let mut body = vec![Stmt::Call { callee: scan, count: 2 }];
-            body.extend(child_ids.iter().map(|&c| Stmt::Call { callee: c, count: 2 }));
+            let mut body = vec![Stmt::Call {
+                callee: scan,
+                count: 2,
+            }];
+            body.extend(child_ids.iter().map(|&c| Stmt::Call {
+                callee: c,
+                count: 2,
+            }));
             b.add_method(format!("t{ti}::frame"), body)
         };
         thread_body.push(Stmt::Loop {
             count: spec.outer_iters * stage.calls_per_outer,
-            body: vec![Stmt::Call { callee: frame, count: 1 }],
+            body: vec![Stmt::Call {
+                callee: frame,
+                count: 1,
+            }],
         });
         let main = b.add_method(format!("t{ti}::main"), thread_body);
         entries.push(main);
@@ -519,7 +587,10 @@ pub fn preset(name: &str) -> Option<Program> {
 
 /// Builds all seven presets in the paper's order.
 pub fn all_presets() -> Vec<Program> {
-    PRESET_NAMES.iter().map(|n| preset(n).expect("known preset")).collect()
+    PRESET_NAMES
+        .iter()
+        .map(|n| preset(n).expect("known preset"))
+        .collect()
 }
 
 /// `check`: a miniature functionality test (see [`preset_spec`]): one
@@ -745,10 +816,7 @@ fn jack_spec() -> WorkloadSpec {
 /// pass-specific working sets — the heaviest phase churn of the suite (the
 /// paper's BBV tuned-interval coverage bottoms out at 40 % here).
 fn javac_spec() -> WorkloadSpec {
-    let pass = |name: &str,
-                ws: (u64, u64),
-                large: (u64, u64),
-                random_pct: u32| StageSpec {
+    let pass = |name: &str, ws: (u64, u64), large: (u64, u64), random_pct: u32| StageSpec {
         name: name.into(),
         calls_per_outer: 2,
         inner_iters: 1,
@@ -919,7 +987,6 @@ fn mtrt_spec() -> WorkloadSpec {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -929,7 +996,12 @@ mod tests {
     fn all_presets_build_and_validate() {
         for p in all_presets() {
             p.validate().unwrap();
-            assert!(p.method_count() > 20, "{} has {} methods", p.name(), p.method_count());
+            assert!(
+                p.method_count() > 20,
+                "{} has {} methods",
+                p.name(),
+                p.method_count()
+            );
         }
     }
 
@@ -1030,7 +1102,10 @@ mod tests {
         assert!(spec.stages.iter().any(|s| s.flat));
         let p = spec.build().unwrap();
         // Flat stage children exist as methods but no stage wrapper for b.
-        assert!(p.methods().iter().any(|m| m.name.starts_with("render_b::child")));
+        assert!(p
+            .methods()
+            .iter()
+            .any(|m| m.name.starts_with("render_b::child")));
         assert!(!p.methods().iter().any(|m| m.name == "stage::render_b"));
     }
 }

@@ -190,10 +190,34 @@ mod tests {
         let p1 = b.add_pattern(MemPattern::resident(r1, 4096));
         let r2 = b.alloc_region(4096);
         let p2 = b.add_pattern(MemPattern::resident(r2, 4096));
-        let work_a = b.add_method("work_a", vec![Stmt::Compute { ninstr: 20_000, pattern: p1 }]);
-        let main_a = b.add_method("main_a", vec![Stmt::Call { callee: work_a, count: 10 }]);
-        let work_b = b.add_method("work_b", vec![Stmt::Compute { ninstr: 20_000, pattern: p2 }]);
-        let main_b = b.add_method("main_b", vec![Stmt::Call { callee: work_b, count: 10 }]);
+        let work_a = b.add_method(
+            "work_a",
+            vec![Stmt::Compute {
+                ninstr: 20_000,
+                pattern: p1,
+            }],
+        );
+        let main_a = b.add_method(
+            "main_a",
+            vec![Stmt::Call {
+                callee: work_a,
+                count: 10,
+            }],
+        );
+        let work_b = b.add_method(
+            "work_b",
+            vec![Stmt::Compute {
+                ninstr: 20_000,
+                pattern: p2,
+            }],
+        );
+        let main_b = b.add_method(
+            "main_b",
+            vec![Stmt::Call {
+                callee: work_b,
+                count: 10,
+            }],
+        );
         let program = b.entry(main_a).build().unwrap();
         (program, main_a, main_b)
     }
@@ -240,10 +264,7 @@ mod tests {
         let (program, ea, _) = two_entry_program();
         let solo = Executor::with_entry(&program, ea, 1).measure();
 
-        let mut mt = ThreadedExecutor::new(
-            vec![Executor::with_entry(&program, ea, 1)],
-            10_000,
-        );
+        let mut mt = ThreadedExecutor::new(vec![Executor::with_entry(&program, ea, 1)], 10_000);
         let mut buf = Block::default();
         let mut total = 0u64;
         loop {
@@ -262,8 +283,20 @@ mod tests {
         let mut b = ProgramBuilder::new("uneven", 5);
         let r = b.alloc_region(1024);
         let p = b.add_pattern(MemPattern::resident(r, 1024));
-        let short = b.add_method("short", vec![Stmt::Compute { ninstr: 5_000, pattern: p }]);
-        let long = b.add_method("long", vec![Stmt::Compute { ninstr: 500_000, pattern: p }]);
+        let short = b.add_method(
+            "short",
+            vec![Stmt::Compute {
+                ninstr: 5_000,
+                pattern: p,
+            }],
+        );
+        let long = b.add_method(
+            "long",
+            vec![Stmt::Compute {
+                ninstr: 500_000,
+                pattern: p,
+            }],
+        );
         let program = b.entry(long).build().unwrap();
         let threads = vec![
             Executor::with_entry(&program, short, 1),

@@ -75,7 +75,11 @@ fn kernels_are_l1d_hotspot_sized() {
                 kernels += 1;
             }
         }
-        assert!(kernels >= 6, "{}: only {kernels} kernels observed", program.name());
+        assert!(
+            kernels >= 6,
+            "{}: only {kernels} kernels observed",
+            program.name()
+        );
     }
 }
 
@@ -116,7 +120,10 @@ fn kernels_recur_in_pairs() {
         }
     }
     assert!(pairs > 20, "kernel pairs: {pairs}");
-    assert!(singles <= pairs / 10, "unpaired kernels: {singles} vs {pairs} pairs");
+    assert!(
+        singles <= pairs / 10,
+        "unpaired kernels: {singles} vs {pairs} pairs"
+    );
 }
 
 #[test]
@@ -173,7 +180,10 @@ fn per_benchmark_flavor_holds() {
             .map(|p| p.working_set)
             .max()
             .unwrap();
-        assert!(db_max < other_max, "db ({db_max}) must be smaller than {name} ({other_max})");
+        assert!(
+            db_max < other_max,
+            "db ({db_max}) must be smaller than {name} ({other_max})"
+        );
     }
 
     // mpeg: the most predictable branches.

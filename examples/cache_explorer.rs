@@ -11,13 +11,19 @@ use ace::sim::SizeLevel;
 use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "mpeg".to_string());
-    let program = ace::workloads::preset(&name)
-        .ok_or_else(|| format!("unknown workload {name:?}"))?;
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "mpeg".to_string());
+    let program =
+        ace::workloads::preset(&name).ok_or_else(|| format!("unknown workload {name:?}"))?;
     let cfg = RunConfig::default();
 
     let base = run_with_manager(&program, &cfg, &mut NullManager)?;
-    println!("{name}: baseline IPC {:.3}, cache energy {:.2} mJ", base.ipc, base.energy.total_nj() / 1e6);
+    println!(
+        "{name}: baseline IPC {:.3}, cache energy {:.2} mJ",
+        base.ipc,
+        base.energy.total_nj() / 1e6
+    );
     println!();
     println!("L1D\\L2    1MB          512KB        256KB        128KB");
 

@@ -7,16 +7,18 @@
 //! ```
 
 use ace::core::{
-    run_with_manager, BbvAceManager, BbvManagerConfig, HotspotAceManager,
-    HotspotManagerConfig, NullManager, RunConfig,
+    run_with_manager, BbvAceManager, BbvManagerConfig, HotspotAceManager, HotspotManagerConfig,
+    NullManager, RunConfig,
 };
 use ace::energy::EnergyModel;
 use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "jess".to_string());
-    let program = ace::workloads::preset(&name)
-        .ok_or_else(|| format!("unknown workload {name:?}"))?;
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "jess".to_string());
+    let program =
+        ace::workloads::preset(&name).ok_or_else(|| format!("unknown workload {name:?}"))?;
     let cfg = RunConfig::default();
     let model = EnergyModel::default_180nm();
 
@@ -30,7 +32,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     let hs_run = run_with_manager(&program, &cfg, &mut hs)?;
     let hs_report = hs.report();
 
-    println!("workload {name}: {} instructions, baseline IPC {:.3}", baseline.instret, baseline.ipc);
+    println!(
+        "workload {name}: {} instructions, baseline IPC {:.3}",
+        baseline.instret, baseline.ipc
+    );
     println!();
     println!("{:<26} {:>10} {:>10}", "", "BBV", "hotspot");
     let rows: Vec<(&str, f64, f64)> = vec![

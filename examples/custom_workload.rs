@@ -39,28 +39,60 @@ fn main() -> Result<(), Box<dyn Error>> {
         ..MemPattern::streaming(frame_region, 200 << 10)
     });
 
-    let blur = b.add_method("blur", vec![Stmt::Compute { ninstr: 140_000, pattern: stencil }]);
+    let blur = b.add_method(
+        "blur",
+        vec![Stmt::Compute {
+            ninstr: 140_000,
+            pattern: stencil,
+        }],
+    );
     b.own_pattern(blur, stencil);
-    let histogram =
-        b.add_method("histogram", vec![Stmt::Compute { ninstr: 140_000, pattern: table }]);
+    let histogram = b.add_method(
+        "histogram",
+        vec![Stmt::Compute {
+            ninstr: 140_000,
+            pattern: table,
+        }],
+    );
     b.own_pattern(histogram, table);
-    let sweep = b.add_method("sweep", vec![Stmt::Compute { ninstr: 120_000, pattern: frame }]);
+    let sweep = b.add_method(
+        "sweep",
+        vec![Stmt::Compute {
+            ninstr: 120_000,
+            pattern: frame,
+        }],
+    );
 
     // One frame: sweep the buffer, then alternate the kernels.
     let frame_m = b.add_method(
         "frame",
         vec![
-            Stmt::Call { callee: sweep, count: 2 },
+            Stmt::Call {
+                callee: sweep,
+                count: 2,
+            },
             Stmt::Loop {
                 count: 3,
                 body: vec![
-                    Stmt::Call { callee: blur, count: 2 },
-                    Stmt::Call { callee: histogram, count: 2 },
+                    Stmt::Call {
+                        callee: blur,
+                        count: 2,
+                    },
+                    Stmt::Call {
+                        callee: histogram,
+                        count: 2,
+                    },
                 ],
             },
         ],
     );
-    let main = b.add_method("main", vec![Stmt::Call { callee: frame_m, count: 40 }]);
+    let main = b.add_method(
+        "main",
+        vec![Stmt::Call {
+            callee: frame_m,
+            count: 40,
+        }],
+    );
     let program = b.entry(main).build()?;
 
     println!(
@@ -72,8 +104,10 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     let cfg = RunConfig::default();
     let baseline = run_with_manager(&program, &cfg, &mut NullManager)?;
-    let mut mgr =
-        HotspotAceManager::new(HotspotManagerConfig::default(), EnergyModel::default_180nm());
+    let mut mgr = HotspotAceManager::new(
+        HotspotManagerConfig::default(),
+        EnergyModel::default_180nm(),
+    );
     let adaptive = run_with_manager(&program, &cfg, &mut mgr)?;
 
     println!();

@@ -13,9 +13,11 @@ use ace::workloads::{Executor, Step};
 use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "compress".to_string());
-    let program = ace::workloads::preset(&name)
-        .ok_or_else(|| format!("unknown workload {name:?}"))?;
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "compress".to_string());
+    let program =
+        ace::workloads::preset(&name).ok_or_else(|| format!("unknown workload {name:?}"))?;
 
     // Pass 1: pure phase detection over the block stream.
     let mut detector = BbvDetector::new(BbvConfig::default());

@@ -13,10 +13,18 @@ use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "db".to_string());
-    let program = ace::workloads::preset(&name)
-        .ok_or_else(|| format!("unknown workload {name:?}; try one of {:?}", ace::workloads::PRESET_NAMES))?;
+    let program = ace::workloads::preset(&name).ok_or_else(|| {
+        format!(
+            "unknown workload {name:?}; try one of {:?}",
+            ace::workloads::PRESET_NAMES
+        )
+    })?;
 
-    println!("workload: {} ({} methods)", program.name(), program.method_count());
+    println!(
+        "workload: {} ({} methods)",
+        program.name(),
+        program.method_count()
+    );
     let cfg = RunConfig::default();
 
     // Baseline: both configurable caches pinned at their largest sizes.
@@ -29,8 +37,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
 
     // The paper's scheme: hotspot-boundary adaptation with CU decoupling.
-    let mut manager =
-        HotspotAceManager::new(HotspotManagerConfig::default(), EnergyModel::default_180nm());
+    let mut manager = HotspotAceManager::new(
+        HotspotManagerConfig::default(),
+        EnergyModel::default_180nm(),
+    );
     let adaptive = run_with_manager(&program, &cfg, &mut manager)?;
     let report = manager.report();
 
@@ -60,6 +70,9 @@ fn main() -> Result<(), Box<dyn Error>> {
         report.l2.tunings,
         report.l2.reconfigs,
     );
-    println!("slowdown:          {:>5.2}%", 100.0 * adaptive.slowdown_vs(&baseline));
+    println!(
+        "slowdown:          {:>5.2}%",
+        100.0 * adaptive.slowdown_vs(&baseline)
+    );
     Ok(())
 }

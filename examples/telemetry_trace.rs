@@ -1,0 +1,63 @@
+//! Prints the reconfiguration timeline of a `compress` run.
+//!
+//! Runs the hotspot scheme with an in-memory ring-buffer sink attached,
+//! then walks the captured decision events and prints every cache/window
+//! resize in cycle order, followed by the event-count summary.
+//!
+//! ```text
+//! cargo run --release --example telemetry_trace
+//! ```
+
+use ace::core::{run_with_manager, HotspotAceManager, HotspotManagerConfig, RunConfig};
+use ace::energy::EnergyModel;
+use ace::telemetry::{Event, Telemetry};
+
+fn main() -> Result<(), ace::sim::ConfigError> {
+    let program = ace::workloads::preset("compress").expect("compress is a built-in preset");
+    let (telemetry, ring) = Telemetry::ring(65_536);
+    let cfg = RunConfig {
+        instruction_limit: Some(60_000_000),
+        telemetry: telemetry.clone(),
+        ..RunConfig::default()
+    };
+    let mut mgr = HotspotAceManager::new(
+        HotspotManagerConfig::default(),
+        EnergyModel::default_180nm(),
+    );
+    let record = run_with_manager(&program, &cfg, &mut mgr)?;
+
+    let mut events = ring.snapshot();
+    events.sort_by_key(Event::timestamp);
+
+    println!(
+        "reconfiguration timeline ({} events captured):",
+        events.len()
+    );
+    println!("{:>14}  {:-^7}  transition", "cycle", "unit");
+    for event in &events {
+        if let Event::Reconfigured {
+            cu,
+            from,
+            to,
+            cause,
+            cycle,
+        } = event
+        {
+            println!(
+                "{cycle:>14}  {:^7}  level {from} -> {to} ({})",
+                cu.name(),
+                cause.name()
+            );
+        }
+    }
+
+    println!();
+    println!(
+        "run: {} instructions, {:.3} IPC, {:.2} uJ total",
+        record.instret,
+        record.ipc,
+        record.energy.total_nj() / 1_000.0
+    );
+    print!("{}", telemetry.summary());
+    Ok(())
+}

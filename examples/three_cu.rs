@@ -15,13 +15,18 @@ use ace::runtime::DoConfig;
 use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "mpeg".to_string());
-    let program = ace::workloads::preset(&name)
-        .ok_or_else(|| format!("unknown workload {name:?}"))?;
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "mpeg".to_string());
+    let program =
+        ace::workloads::preset(&name).ok_or_else(|| format!("unknown workload {name:?}"))?;
     let model = EnergyModel::default_180nm_with_window();
 
     // Two-CU run (the paper's evaluation), window powered but not adapted.
-    let cfg2 = RunConfig { energy: model, ..RunConfig::default() };
+    let cfg2 = RunConfig {
+        energy: model,
+        ..RunConfig::default()
+    };
     let base = run_with_manager(&program, &cfg2, &mut NullManager)?;
     let mut two = HotspotAceManager::new(HotspotManagerConfig::default(), model);
     let r2 = run_with_manager(&program, &cfg2, &mut two)?;
@@ -36,7 +41,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     let r3 = run_with_manager(&program, &cfg3, &mut three)?;
     let rep = three.report();
 
-    println!("workload {name}: baseline energy {:.2} mJ (window included)", base.energy.total_nj() / 1e6);
+    println!(
+        "workload {name}: baseline energy {:.2} mJ (window included)",
+        base.energy.total_nj() / 1e6
+    );
     println!();
     println!(
         "two CUs  : saves {:>5.1}% at {:.2}% slowdown",
@@ -66,7 +74,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!();
     println!(
         "multi-grain adaptation: the window reconfigures {}x as often as the L2",
-        if rep.l2.reconfigs > 0 { rep.window.reconfigs / rep.l2.reconfigs.max(1) } else { rep.window.reconfigs },
+        if rep.l2.reconfigs > 0 {
+            rep.window.reconfigs / rep.l2.reconfigs.max(1)
+        } else {
+            rep.window.reconfigs
+        },
     );
     Ok(())
 }

@@ -13,14 +13,16 @@ use bytes::Bytes;
 use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "compress".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "compress".to_string());
     let limit: u64 = std::env::args()
         .nth(2)
         .map(|s| s.parse())
         .transpose()?
         .unwrap_or(5_000_000);
-    let program = ace::workloads::preset(&name)
-        .ok_or_else(|| format!("unknown workload {name:?}"))?;
+    let program =
+        ace::workloads::preset(&name).ok_or_else(|| format!("unknown workload {name:?}"))?;
 
     // Record.
     let mut exec = Executor::new(&program);
@@ -65,7 +67,11 @@ fn main() -> Result<(), Box<dyn Error>> {
         emitted += buf.ninstr as u64;
         live.exec_block(&buf);
     }
-    assert_eq!(live.counters(), machine.counters(), "replay must match live execution");
+    assert_eq!(
+        live.counters(),
+        machine.counters(),
+        "replay must match live execution"
+    );
     println!("replay matches live execution bit-for-bit");
     std::fs::remove_file(&path).ok();
     Ok(())

@@ -11,9 +11,9 @@
 //! ```
 
 use ace::core::{
-    run_with_manager, AceConfig, BbvAceManager, BbvManagerConfig, FixedManager,
-    HotspotAceManager, HotspotManagerConfig, NullManager, PositionalAceManager,
-    PositionalManagerConfig, RunConfig, RunRecord,
+    run_with_manager, AceConfig, BbvAceManager, BbvManagerConfig, FixedManager, HotspotAceManager,
+    HotspotManagerConfig, NullManager, PositionalAceManager, PositionalManagerConfig, RunConfig,
+    RunRecord,
 };
 use ace::energy::EnergyModel;
 use ace::sim::{record_trace, Block, BlockSource, Machine, MachineConfig, SizeLevel, TraceReader};
@@ -58,7 +58,10 @@ fn print_usage() {
 }
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 fn load_program(name: &str) -> Result<Program, Box<dyn Error>> {
@@ -67,7 +70,10 @@ fn load_program(name: &str) -> Result<Program, Box<dyn Error>> {
 }
 
 fn cmd_list() -> Result<(), Box<dyn Error>> {
-    println!("{:<10} {:>8} {:>8} {:>14}", "workload", "methods", "stages", "est. instr");
+    println!(
+        "{:<10} {:>8} {:>8} {:>14}",
+        "workload", "methods", "stages", "est. instr"
+    );
     for name in PRESET_NAMES {
         let spec = ace::workloads::preset_spec(name).expect("known preset");
         let program = spec.build()?;
@@ -101,7 +107,9 @@ fn summarize(label: &str, record: &RunRecord, baseline: Option<&RunRecord>) {
 }
 
 fn cmd_run(args: &[String]) -> Result<(), Box<dyn Error>> {
-    let name = args.first().ok_or("usage: ace run <workload> [--scheme S] [--limit N]")?;
+    let name = args
+        .first()
+        .ok_or("usage: ace run <workload> [--scheme S] [--limit N]")?;
     let program = load_program(name)?;
     let scheme = flag_value(args, "--scheme").unwrap_or_else(|| "hotspot".to_string());
     let mut cfg = RunConfig::default();
@@ -183,9 +191,16 @@ fn cmd_sweep(args: &[String]) -> Result<(), Box<dyn Error>> {
 }
 
 fn cmd_trace(args: &[String]) -> Result<(), Box<dyn Error>> {
-    let name = args.first().ok_or("usage: ace trace <workload> <file> [--limit N]")?;
-    let path = args.get(1).ok_or("usage: ace trace <workload> <file> [--limit N]")?;
-    let limit: u64 = flag_value(args, "--limit").map(|s| s.parse()).transpose()?.unwrap_or(10_000_000);
+    let name = args
+        .first()
+        .ok_or("usage: ace trace <workload> <file> [--limit N]")?;
+    let path = args
+        .get(1)
+        .ok_or("usage: ace trace <workload> <file> [--limit N]")?;
+    let limit: u64 = flag_value(args, "--limit")
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(10_000_000);
     let program = load_program(name)?;
     let mut exec = Executor::new(&program);
     let trace = record_trace(&mut exec, limit);
@@ -211,7 +226,10 @@ fn cmd_replay(args: &[String]) -> Result<(), Box<dyn Error>> {
     let c = machine.counters();
     println!(
         "{}: {} instructions, {} cycles, IPC {:.3}",
-        path, c.instret, c.cycles, c.ipc()
+        path,
+        c.instret,
+        c.cycles,
+        c.ipc()
     );
     println!(
         "L1D miss {:.2}%  L2 miss {:.2}%  mispredict {:.2}%  DTLB miss {:.3}%",

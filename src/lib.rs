@@ -11,6 +11,7 @@
 //! | [`runtime`] | dynamic-optimization-system (JVM) model |
 //! | [`phase`] | BBV / working-set / positional phase detectors |
 //! | [`core`] | the paper's ACE management framework + baselines |
+//! | [`telemetry`] | decision-event log, metrics, timers (zero-cost when off) |
 //!
 //! See the repository's `README.md` for a walkthrough, `DESIGN.md` for the
 //! system inventory, and `EXPERIMENTS.md` for paper-versus-measured results.
@@ -42,4 +43,5 @@ pub use ace_energy as energy;
 pub use ace_phase as phase;
 pub use ace_runtime as runtime;
 pub use ace_sim as sim;
+pub use ace_telemetry as telemetry;
 pub use ace_workloads as workloads;

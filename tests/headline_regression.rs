@@ -11,8 +11,8 @@
 //! records — so calibration drift fails loudly instead of silently.
 
 use ace::core::{
-    run_with_manager, BbvAceManager, BbvManagerConfig, HotspotAceManager,
-    HotspotManagerConfig, NullManager, RunConfig,
+    run_with_manager, BbvAceManager, BbvManagerConfig, HotspotAceManager, HotspotManagerConfig,
+    NullManager, RunConfig,
 };
 use ace::energy::EnergyModel;
 
@@ -61,11 +61,27 @@ fn headline_shape_holds_on_every_workload() {
             bbv.l1d_saving
         );
         // Substantial hotspot savings everywhere.
-        assert!(hs.l1d_saving > 30.0, "{name}: hotspot L1D saving {:.1}", hs.l1d_saving);
-        assert!(hs.l2_saving > 10.0, "{name}: hotspot L2 saving {:.1}", hs.l2_saving);
+        assert!(
+            hs.l1d_saving > 30.0,
+            "{name}: hotspot L1D saving {:.1}",
+            hs.l1d_saving
+        );
+        assert!(
+            hs.l2_saving > 10.0,
+            "{name}: hotspot L2 saving {:.1}",
+            hs.l2_saving
+        );
         // Slowdowns stay in the low single digits (Fig 4 band).
-        assert!(hs.slowdown < 6.0, "{name}: hotspot slowdown {:.2}", hs.slowdown);
-        assert!(bbv.slowdown < 10.0, "{name}: BBV slowdown {:.2}", bbv.slowdown);
+        assert!(
+            hs.slowdown < 6.0,
+            "{name}: hotspot slowdown {:.2}",
+            hs.slowdown
+        );
+        assert!(
+            bbv.slowdown < 10.0,
+            "{name}: BBV slowdown {:.2}",
+            bbv.slowdown
+        );
 
         bbv_l1d.push(bbv.l1d_saving);
         hs_l1d.push(hs.l1d_saving);
@@ -82,7 +98,11 @@ fn headline_shape_holds_on_every_workload() {
     assert!(avg(&hs_l1d) > avg(&bbv_l1d) + 15.0, "the Fig 3a gap");
     assert!(avg(&hs_l2) > avg(&bbv_l2), "the Fig 3b ordering");
     assert!(avg(&hs_slow) < avg(&bbv_slow), "the Fig 4 ordering");
-    assert!(avg(&hs_slow) < 3.5, "avg hotspot slowdown {:.2}", avg(&hs_slow));
+    assert!(
+        avg(&hs_slow) < 3.5,
+        "avg hotspot slowdown {:.2}",
+        avg(&hs_slow)
+    );
 }
 
 #[test]

@@ -5,14 +5,17 @@
 //! `crates/bench`.
 
 use ace::core::{
-    run_with_manager, AceConfig, BbvAceManager, BbvManagerConfig, FixedManager,
-    HotspotAceManager, HotspotManagerConfig, NullManager, RunConfig,
+    run_with_manager, AceConfig, BbvAceManager, BbvManagerConfig, FixedManager, HotspotAceManager,
+    HotspotManagerConfig, NullManager, RunConfig,
 };
 use ace::energy::EnergyModel;
 use ace::sim::SizeLevel;
 
 fn limited(limit: u64) -> RunConfig {
-    RunConfig { instruction_limit: Some(limit), ..RunConfig::default() }
+    RunConfig {
+        instruction_limit: Some(limit),
+        ..RunConfig::default()
+    }
 }
 
 #[test]
@@ -22,7 +25,11 @@ fn every_preset_runs_under_every_scheme() {
         let program = ace::workloads::preset(name).unwrap();
         let cfg = limited(2_000_000);
         let base = run_with_manager(&program, &cfg, &mut NullManager).unwrap();
-        assert!(base.ipc > 1.0 && base.ipc <= 4.0, "{name}: baseline ipc {}", base.ipc);
+        assert!(
+            base.ipc > 1.0 && base.ipc <= 4.0,
+            "{name}: baseline ipc {}",
+            base.ipc
+        );
         assert!(base.energy.total_nj() > 0.0);
 
         let mut bbv = BbvAceManager::new(BbvManagerConfig::default(), model);
@@ -56,17 +63,27 @@ fn hotspot_scheme_saves_energy_on_db() {
     let program = ace::workloads::preset("db").unwrap();
     let cfg = limited(30_000_000);
     let base = run_with_manager(&program, &cfg, &mut NullManager).unwrap();
-    let mut mgr =
-        HotspotAceManager::new(HotspotManagerConfig::default(), EnergyModel::default_180nm());
+    let mut mgr = HotspotAceManager::new(
+        HotspotManagerConfig::default(),
+        EnergyModel::default_180nm(),
+    );
     let run = run_with_manager(&program, &cfg, &mut mgr).unwrap();
     assert!(
         run.l1d_saving_vs(&base) > 0.25,
         "db L1D saving {:.3} too small",
         run.l1d_saving_vs(&base)
     );
-    assert!(run.slowdown_vs(&base) < 0.08, "slowdown {:.3}", run.slowdown_vs(&base));
+    assert!(
+        run.slowdown_vs(&base) < 0.08,
+        "slowdown {:.3}",
+        run.slowdown_vs(&base)
+    );
     let report = mgr.report();
-    assert!(report.l1d_hotspots >= 5, "L1D hotspots {}", report.l1d_hotspots);
+    assert!(
+        report.l1d_hotspots >= 5,
+        "L1D hotspots {}",
+        report.l1d_hotspots
+    );
     assert!(report.tuned_fraction() > 0.5);
 }
 
@@ -74,8 +91,10 @@ fn hotspot_scheme_saves_energy_on_db() {
 fn detection_statistics_are_consistent() {
     let program = ace::workloads::preset("compress").unwrap();
     let cfg = limited(20_000_000);
-    let mut mgr =
-        HotspotAceManager::new(HotspotManagerConfig::default(), EnergyModel::default_180nm());
+    let mut mgr = HotspotAceManager::new(
+        HotspotManagerConfig::default(),
+        EnergyModel::default_180nm(),
+    );
     let run = run_with_manager(&program, &cfg, &mut mgr).unwrap();
     let report = mgr.report();
 
@@ -128,7 +147,10 @@ fn decoupling_outperforms_coupled_tuning() {
     let mut on = HotspotAceManager::new(HotspotManagerConfig::default(), model);
     let r_on = run_with_manager(&program, &cfg, &mut on).unwrap();
     let mut off = HotspotAceManager::new(
-        HotspotManagerConfig { decouple: false, ..HotspotManagerConfig::default() },
+        HotspotManagerConfig {
+            decouple: false,
+            ..HotspotManagerConfig::default()
+        },
         model,
     );
     let r_off = run_with_manager(&program, &cfg, &mut off).unwrap();
@@ -142,10 +164,14 @@ fn decoupling_outperforms_coupled_tuning() {
     // Coupled tuning needs more trials per tuned hotspot.
     let rep_on = on.report();
     let rep_off = off.report();
-    let per_on = (rep_on.l1d.tunings + rep_on.l2.tunings) as f64 / rep_on.tuned_hotspots.max(1) as f64;
+    let per_on =
+        (rep_on.l1d.tunings + rep_on.l2.tunings) as f64 / rep_on.tuned_hotspots.max(1) as f64;
     let per_off =
         (rep_off.l1d.tunings + rep_off.l2.tunings) as f64 / rep_off.tuned_hotspots.max(1) as f64;
-    assert!(per_off > per_on, "coupled {per_off:.1} vs decoupled {per_on:.1} trials/hotspot");
+    assert!(
+        per_off > per_on,
+        "coupled {per_off:.1} vs decoupled {per_on:.1} trials/hotspot"
+    );
 }
 
 #[test]
@@ -158,7 +184,10 @@ fn guard_rejections_only_without_decoupling() {
     let mut on = HotspotAceManager::new(HotspotManagerConfig::default(), model);
     let r_on = run_with_manager(&program, &cfg, &mut on).unwrap();
     let mut off = HotspotAceManager::new(
-        HotspotManagerConfig { decouple: false, ..HotspotManagerConfig::default() },
+        HotspotManagerConfig {
+            decouple: false,
+            ..HotspotManagerConfig::default()
+        },
         model,
     );
     let r_off = run_with_manager(&program, &cfg, &mut off).unwrap();
@@ -185,6 +214,10 @@ fn prediction_extension_eliminates_tuning() {
     }
     let _ = run_with_manager(&program, &cfg, &mut mgr).unwrap();
     let report = mgr.report();
-    assert_eq!(report.l1d.tunings + report.l2.tunings, 0, "predictions skip trials");
+    assert_eq!(
+        report.l1d.tunings + report.l2.tunings,
+        0,
+        "predictions skip trials"
+    );
     assert!(report.l1d.reconfigs > 0, "predicted configs are applied");
 }

@@ -10,7 +10,12 @@ use ace::workloads::{DetRng, Executor, MemPattern, ProgramBuilder, Step, Stmt};
 use proptest::prelude::*;
 
 fn small_geom() -> CacheGeometry {
-    CacheGeometry { size_bytes: 8 * 1024, ways: 2, block_bytes: 64, hit_latency: 1 }
+    CacheGeometry {
+        size_bytes: 8 * 1024,
+        ways: 2,
+        block_bytes: 64,
+        hit_latency: 1,
+    }
 }
 
 proptest! {

@@ -1,0 +1,171 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the `criterion_group!`/`criterion_main!`/`benchmark_group` API the
+//! workspace's benches are written against, but replaces the statistical
+//! engine with a simple calibrated timing loop: each benchmark is warmed
+//! up, run for a fixed wall-clock budget, and reported as mean ns/iter
+//! (plus throughput when configured). Good enough for relative comparisons
+//! in this offline environment; not a confidence-interval estimator.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    measure_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            measure_budget: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== group: {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            throughput: None,
+        }
+    }
+}
+
+/// Per-element/byte scaling applied to reported results.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the work-per-iteration used for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Accepted for API compatibility; the timing loop is budget-based.
+    pub fn sample_size(&mut self, _n: usize) {}
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, budget: Duration) {
+        self.criterion.measure_budget = budget;
+    }
+
+    /// Runs one benchmark and prints its mean time per iteration.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut bencher = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+
+        // Warm-up / calibration pass.
+        bencher.iters = 0;
+        bencher.elapsed = Duration::ZERO;
+        f(&mut bencher);
+        let warm = bencher.ns_per_iter();
+
+        // Measurement: run enough batches to fill the budget.
+        let budget = self.criterion.measure_budget;
+        let mut total_iters = 0u64;
+        let mut total_time = Duration::ZERO;
+        while total_time < budget {
+            bencher.iters = 0;
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            total_iters += bencher.iters;
+            total_time += bencher.elapsed;
+            if bencher.iters == 0 {
+                break;
+            }
+        }
+
+        let ns = if total_iters > 0 {
+            total_time.as_nanos() as f64 / total_iters as f64
+        } else {
+            warm
+        };
+        match self.throughput {
+            Some(Throughput::Elements(n)) if ns > 0.0 => {
+                let rate = n as f64 * 1e9 / ns;
+                println!("{name:<32} {ns:>12.1} ns/iter  ({rate:.2e} elem/s)");
+            }
+            Some(Throughput::Bytes(n)) if ns > 0.0 => {
+                let rate = n as f64 * 1e9 / ns;
+                println!("{name:<32} {ns:>12.1} ns/iter  ({rate:.2e} B/s)");
+            }
+            _ => println!("{name:<32} {ns:>12.1} ns/iter"),
+        }
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Timing handle passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated executions of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Grow the batch until it is long enough to time reliably.
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let t = start.elapsed();
+            self.iters += batch;
+            self.elapsed += t;
+            if t > Duration::from_micros(200) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 4;
+        }
+    }
+
+    fn ns_per_iter(&self) -> f64 {
+        if self.iters == 0 {
+            0.0
+        } else {
+            self.elapsed.as_nanos() as f64 / self.iters as f64
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,500 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the strategy combinators and the `proptest!` macro surface
+//! this workspace uses, backed by a deterministic SplitMix64 generator
+//! seeded from the test name — every run explores the same inputs, which
+//! suits a repository whose experiments are all reproducibility-keyed.
+//! There is no shrinking: a failing case reports the assertion message
+//! and the case index instead of a minimized input.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+pub mod test_runner {
+    //! Runner configuration, error type, and the deterministic RNG.
+
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` generated inputs.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// A failed property assertion.
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Creates a failure carrying `msg`.
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+
+    /// Deterministic SplitMix64 generator.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator directly.
+        pub fn new(seed: u64) -> TestRng {
+            TestRng { state: seed }
+        }
+
+        /// Seeds the generator from a test name (FNV-1a hash).
+        pub fn from_name(name: &str) -> TestRng {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng::new(h)
+        }
+
+        /// Next raw 64-bit output.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`; `n` must be non-zero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0, "empty range");
+            // Multiply-shift reduction; bias is irrelevant for test generation.
+            ((self.next_u64() as u128 * n as u128) >> 64) as u64
+        }
+
+        /// Uniform value in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+pub mod strategy {
+    //! The [`Strategy`] trait and basic combinators.
+
+    use super::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Strategy that always yields a clone of its value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+}
+
+use strategy::Strategy;
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as u64)
+                    .checked_sub(self.start as u64)
+                    .filter(|&s| s > 0)
+                    .expect("empty integer range strategy");
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+impl_int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as i64).wrapping_sub(self.start as i64);
+                assert!(span > 0, "empty integer range strategy");
+                self.start.wrapping_add(rng.below(span as u64) as $t)
+            }
+        }
+    )*};
+}
+impl_signed_range_strategy!(i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+}
+
+pub mod arbitrary {
+    //! The [`Arbitrary`] trait behind `any::<T>()`.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use super::PhantomData;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary {
+        /// Generates an arbitrary value of this type.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategy produced by [`any`].
+    #[derive(Debug, Clone)]
+    pub struct Any<A>(pub(crate) PhantomData<A>);
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+        fn generate(&self, rng: &mut TestRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `A`.
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Element-count specification for collection strategies.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_incl: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                min: n,
+                max_incl: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.end > r.start, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_incl: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                min: *r.start(),
+                max_incl: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy generating `Vec`s of a given element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max_incl - self.size.min) as u64 + 1;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A `Vec` strategy with `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod option {
+    //! Option strategies (`of`).
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Strategy generating `Option`s of an inner strategy.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            // Roughly 1 in 4 None, matching proptest's default weighting
+            // closely enough for coverage purposes.
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+
+    /// Strategy yielding `None` sometimes and `Some(inner)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// panicking) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {
+        $crate::prop_assert!(
+            $lhs == $rhs,
+            "assertion failed: {} == {}",
+            stringify!($lhs),
+            stringify!($rhs)
+        )
+    };
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {
+        $crate::prop_assert!($lhs == $rhs, $($fmt)+)
+    };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {
+        $crate::prop_assert!(
+            $lhs != $rhs,
+            "assertion failed: {} != {}",
+            stringify!($lhs),
+            stringify!($rhs)
+        )
+    };
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {
+        $crate::prop_assert!($lhs != $rhs, $($fmt)+)
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { .. }`
+/// becomes a `#[test]` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@body ($cfg) $($rest)*);
+    };
+    (@body ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+            let __strategies = ($($strat,)+);
+            for __case in 0..__config.cases {
+                let ($($arg,)+) =
+                    $crate::strategy::Strategy::generate(&__strategies, &mut __rng);
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = __outcome {
+                    panic!("property {} failed at case {}: {}", stringify!($name), __case, e);
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@body ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respected(x in 3u64..10, y in -5i64..5, f in 0.25f64..0.75) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn vec_sizes_respected(
+            v in prop::collection::vec(0u32..100, 2..6),
+            exact in prop::collection::vec(any::<bool>(), 4),
+            opt in prop::option::of(0u8..4),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert_eq!(exact.len(), 4);
+            if let Some(x) = opt {
+                prop_assert!(x < 4);
+            }
+        }
+
+        #[test]
+        fn map_applies(sum in (0u64..10, 0u64..10).prop_map(|(a, b)| a + b)) {
+            prop_assert!(sum < 19, "sum {} out of range", sum);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec(0u64..1000, 5..20);
+        let mut r1 = crate::test_runner::TestRng::from_name("det");
+        let mut r2 = crate::test_runner::TestRng::from_name("det");
+        assert_eq!(strat.generate(&mut r1), strat.generate(&mut r2));
+    }
+}

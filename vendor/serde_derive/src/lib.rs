@@ -1,0 +1,560 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace vendors a minimal `serde` whose `Serialize`/`Deserialize`
+//! traits convert through a single self-describing [`serde::Value`] tree.
+//! This crate derives those traits for the shapes the workspace actually
+//! uses, parsing the item with nothing but the std `proc_macro` API:
+//!
+//! * structs with named fields (honouring `#[serde(default)]` and
+//!   `#[serde(skip)]`),
+//! * tuple structs (newtypes serialize transparently, wider tuples as
+//!   arrays),
+//! * unit structs,
+//! * enums with unit, newtype, tuple, and struct variants (externally
+//!   tagged, like real serde's default representation).
+//!
+//! Generics are intentionally unsupported: the workspace derives these
+//! traits only on concrete types, and an explicit compile error beats a
+//! subtly wrong impl.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Field of a named struct or struct variant.
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: missing key deserializes via `Default`.
+    default: bool,
+    /// `#[serde(skip)]`: never serialized, always defaulted.
+    skip: bool,
+}
+
+/// One enum variant.
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    /// Tuple variant with `n` fields; `n == 1` is a transparent newtype.
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+/// Parsed derive input.
+struct Input {
+    name: String,
+    kind: InputKind,
+}
+
+enum InputKind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(item) => gen_serialize(&item)
+            .parse()
+            .expect("generated Serialize impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .expect("generated Deserialize impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg)
+        .parse()
+        .expect("compile_error parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Cursor {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Consumes leading attributes, returning the `serde(...)` markers seen.
+    fn take_attrs(&mut self) -> (bool, bool) {
+        let (mut default, mut skip) = (false, false);
+        loop {
+            match self.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    self.next();
+                    if let Some(TokenTree::Group(g)) = self.next() {
+                        let (d, s) = scan_serde_attr(&g.stream());
+                        default |= d;
+                        skip |= s;
+                    }
+                }
+                _ => return (default, skip),
+            }
+        }
+    }
+
+    /// Consumes `pub`, `pub(crate)`, `pub(in ...)` if present.
+    fn skip_vis(&mut self) {
+        if matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    /// Consumes type tokens up to (not including) a top-level comma,
+    /// tracking `<...>` nesting so `HashMap<K, V>` stays intact.
+    fn skip_type(&mut self) {
+        let mut angle: i32 = 0;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return,
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+/// Looks for `serde(default)` / `serde(skip)` inside one attribute body.
+fn scan_serde_attr(stream: &TokenStream) -> (bool, bool) {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return (false, false),
+    }
+    let (mut default, mut skip) = (false, false);
+    if let Some(TokenTree::Group(g)) = tokens.get(1) {
+        for t in g.stream() {
+            if let TokenTree::Ident(i) = t {
+                match i.to_string().as_str() {
+                    "default" => default = true,
+                    "skip" => skip = true,
+                    other => panic!("unsupported serde attribute `{other}` (vendored derive)"),
+                }
+            }
+        }
+    }
+    (default, skip)
+}
+
+fn parse(input: TokenStream) -> Result<Input, String> {
+    let mut c = Cursor::new(input);
+    // Skip outer attributes and visibility to reach `struct` / `enum`.
+    loop {
+        c.take_attrs();
+        c.skip_vis();
+        match c.next() {
+            Some(TokenTree::Ident(i)) => {
+                let kw = i.to_string();
+                if kw == "struct" || kw == "enum" {
+                    let name = match c.next() {
+                        Some(TokenTree::Ident(n)) => n.to_string(),
+                        other => return Err(format!("expected type name, got {other:?}")),
+                    };
+                    if matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+                        return Err(format!(
+                            "vendored serde derive does not support generic type `{name}`"
+                        ));
+                    }
+                    let kind = if kw == "struct" {
+                        parse_struct_body(&mut c)?
+                    } else {
+                        parse_enum_body(&mut c, &name)?
+                    };
+                    return Ok(Input { name, kind });
+                }
+                // `union`, or stray tokens: keep scanning.
+                if kw == "union" {
+                    return Err("vendored serde derive does not support unions".into());
+                }
+            }
+            Some(_) => {}
+            None => return Err("no struct or enum found in derive input".into()),
+        }
+    }
+}
+
+fn parse_struct_body(c: &mut Cursor) -> Result<InputKind, String> {
+    match c.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Ok(InputKind::NamedStruct(parse_named_fields(g.stream())?))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Ok(InputKind::TupleStruct(count_tuple_fields(g.stream())))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(InputKind::UnitStruct),
+        other => Err(format!("unexpected struct body: {other:?}")),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        let (default, skip) = c.take_attrs();
+        c.skip_vis();
+        let name = match c.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field `{name}`, got {other:?}")),
+        }
+        c.skip_type();
+        c.next(); // the comma, if any
+        fields.push(Field {
+            name,
+            default,
+            skip,
+        });
+    }
+    Ok(fields)
+}
+
+/// Counts top-level comma-separated fields of a tuple struct/variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut c = Cursor::new(stream);
+    let mut n = 0;
+    while !c.at_end() {
+        c.take_attrs();
+        c.skip_vis();
+        if c.at_end() {
+            break;
+        }
+        c.skip_type();
+        c.next(); // comma
+        n += 1;
+    }
+    n
+}
+
+fn parse_enum_body(c: &mut Cursor, enum_name: &str) -> Result<InputKind, String> {
+    let group = match c.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        other => {
+            return Err(format!(
+                "expected enum body for `{enum_name}`, got {other:?}"
+            ))
+        }
+    };
+    let mut vc = Cursor::new(group.stream());
+    let mut variants = Vec::new();
+    while !vc.at_end() {
+        vc.take_attrs();
+        let name = match vc.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        let kind = match vc.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                vc.next();
+                VariantKind::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                vc.next();
+                VariantKind::Named(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        match vc.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err(format!(
+                    "vendored serde derive does not support discriminants ({enum_name}::{name})"
+                ));
+            }
+            _ => {}
+        }
+        vc.next(); // comma
+        variants.push(Variant { name, kind });
+    }
+    Ok(InputKind::Enum(variants))
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Input) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        InputKind::NamedStruct(fields) => {
+            let mut s = String::from(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n",
+            );
+            for f in fields.iter().filter(|f| !f.skip) {
+                s.push_str(&format!(
+                    "__fields.push((::std::string::String::from(\"{0}\"), \
+                     ::serde::Serialize::to_value(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            s.push_str("::serde::Value::Object(__fields)");
+            s
+        }
+        InputKind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        InputKind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        InputKind::UnitStruct => "::serde::Value::Null".to_string(),
+        InputKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{v}(__f0) => ::serde::Value::Object(::std::vec![\
+                         (::std::string::String::from(\"{v}\"), \
+                         ::serde::Serialize::to_value(__f0))]),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let vals: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v}({b}) => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from(\"{v}\"), \
+                             ::serde::Value::Array(::std::vec![{vals}]))]),\n",
+                            v = v.name,
+                            b = binds.join(", "),
+                            vals = vals.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{0}\"), \
+                                     ::serde::Serialize::to_value({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {b} }} => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from(\"{v}\"), \
+                             ::serde::Value::Object(::std::vec![{p}]))]),\n",
+                            v = v.name,
+                            b = binds.join(", "),
+                            p = pushes.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Input) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        InputKind::NamedStruct(fields) => {
+            let mut s = format!(
+                "let __obj = __v.as_object().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected object for {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{\n"
+            );
+            for f in fields {
+                if f.skip {
+                    s.push_str(&format!(
+                        "{}: ::std::default::Default::default(),\n",
+                        f.name
+                    ));
+                    continue;
+                }
+                let missing = if f.default {
+                    "::std::default::Default::default()".to_string()
+                } else {
+                    format!(
+                        "return ::std::result::Result::Err(::serde::Error::custom(\
+                         \"missing field `{}` in {name}\"))",
+                        f.name
+                    )
+                };
+                s.push_str(&format!(
+                    "{0}: match ::serde::find_field(__obj, \"{0}\") {{\n\
+                     ::std::option::Option::Some(__fv) => ::serde::Deserialize::from_value(__fv)?,\n\
+                     ::std::option::Option::None => {{ {missing} }},\n}},\n",
+                    f.name
+                ));
+            }
+            s.push_str("})");
+            s
+        }
+        InputKind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        InputKind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                .collect();
+            format!(
+                "let __a = __v.as_array().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected array for {name}\"))?;\n\
+                 if __a.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::Error::custom(\"wrong tuple arity for {name}\")); }}\n\
+                 ::std::result::Result::Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        InputKind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        InputKind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                            v = v.name
+                        ));
+                        // Also accept the tagged-with-null form.
+                        tagged_arms.push_str(&format!(
+                            "\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                            v = v.name
+                        ));
+                    }
+                    VariantKind::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::from_value(__inner)?)),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{v}\" => {{\n\
+                             let __a = __inner.as_array().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected array for {name}::{v}\"))?;\n\
+                             if __a.len() != {n} {{ return ::std::result::Result::Err(\
+                             ::serde::Error::custom(\"wrong arity for {name}::{v}\")); }}\n\
+                             ::std::result::Result::Ok({name}::{v}({items}))\n}},\n",
+                            v = v.name,
+                            items = items.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let mut inner = format!(
+                            "let __obj = __inner.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected object for {name}::{v}\"))?;\n\
+                             ::std::result::Result::Ok({name}::{v} {{\n",
+                            v = v.name
+                        );
+                        for f in fields {
+                            if f.skip {
+                                inner.push_str(&format!(
+                                    "{}: ::std::default::Default::default(),\n",
+                                    f.name
+                                ));
+                                continue;
+                            }
+                            let missing = if f.default {
+                                "::std::default::Default::default()".to_string()
+                            } else {
+                                format!(
+                                    "return ::std::result::Result::Err(::serde::Error::custom(\
+                                     \"missing field `{f}` in {name}::{v}\"))",
+                                    f = f.name,
+                                    v = v.name
+                                )
+                            };
+                            inner.push_str(&format!(
+                                "{0}: match ::serde::find_field(__obj, \"{0}\") {{\n\
+                                 ::std::option::Option::Some(__fv) => \
+                                 ::serde::Deserialize::from_value(__fv)?,\n\
+                                 ::std::option::Option::None => {{ {missing} }},\n}},\n",
+                                f.name
+                            ));
+                        }
+                        inner.push_str("})");
+                        tagged_arms.push_str(&format!("\"{v}\" => {{\n{inner}\n}},\n", v = v.name));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(&::std::format!(\
+                 \"unknown {name} variant {{__other}}\"))),\n}},\n\
+                 ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__pairs[0];\n\
+                 match __tag.as_str() {{\n{tagged_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(&::std::format!(\
+                 \"unknown {name} variant {{__other}}\"))),\n}}\n}},\n\
+                 _ => ::std::result::Result::Err(::serde::Error::custom(\
+                 \"expected string or single-key object for {name}\")),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
