@@ -3,8 +3,7 @@
 //! simulated machine's performance.
 
 use ace_core::{
-    run_with_manager, single_cu_list, ConfigTuner, HotspotAceManager, HotspotManagerConfig,
-    Measurement, NullManager, RunConfig,
+    single_cu_list, ConfigTuner, Experiment, HotspotAceManager, HotspotManagerConfig, Measurement,
 };
 use ace_energy::EnergyModel;
 use ace_phase::{BbvConfig, BbvDetector, WorkingSetConfig, WorkingSetDetector};
@@ -175,12 +174,15 @@ fn bench_end_to_end(c: &mut Criterion) {
     let mut group = c.benchmark_group("end_to_end");
     group.sample_size(10);
     let program = preset("db").unwrap();
-    let cfg = RunConfig {
-        instruction_limit: Some(5_000_000),
-        ..RunConfig::default()
-    };
     group.bench_function("baseline_5M", |b| {
-        b.iter(|| black_box(run_with_manager(&program, &cfg, &mut NullManager).unwrap()))
+        b.iter(|| {
+            black_box(
+                Experiment::program(program.clone())
+                    .instruction_limit(5_000_000)
+                    .run()
+                    .unwrap(),
+            )
+        })
     });
     group.bench_function("hotspot_managed_5M", |b| {
         b.iter(|| {
@@ -188,7 +190,12 @@ fn bench_end_to_end(c: &mut Criterion) {
                 HotspotManagerConfig::default(),
                 EnergyModel::default_180nm(),
             );
-            black_box(run_with_manager(&program, &cfg, &mut mgr).unwrap())
+            black_box(
+                Experiment::program(program.clone())
+                    .instruction_limit(5_000_000)
+                    .run_with(&mut mgr)
+                    .unwrap(),
+            )
         })
     });
     group.finish();

@@ -1,90 +1,9 @@
-//! **Ablation: CU decoupling** (Section 3.2's central claim).
+//! **Ablation** — CU decoupling on vs off.
 //!
-//! Runs the hotspot scheme twice per workload: with CU decoupling (each
-//! hotspot tunes only the CU matching its size: 4 configurations) and
-//! without (every adaptable hotspot walks all 16 combinatorial
-//! configurations, with small hotspots' L2 requests mostly bouncing off
-//! the 1 M-instruction hardware guard).
+//! One-line wrapper over the library entry point in
+//! `ace_bench::experiments`; accepts `--telemetry <path>`. See
+//! `run_all` to regenerate everything on the parallel engine.
 
-use ace_bench::{format_table, mean, standard_run_config};
-use ace_core::{run_with_manager, HotspotAceManager, HotspotManagerConfig, NullManager};
-use ace_energy::EnergyModel;
-use ace_workloads::PRESET_NAMES;
-
-fn main() {
-    let cfg = standard_run_config();
-    let model = EnergyModel::default_180nm();
-    let mut rows = Vec::new();
-    let mut agg: Vec<(f64, f64, f64, f64)> = Vec::new();
-
-    for name in PRESET_NAMES {
-        let program = ace_workloads::preset(name).unwrap();
-        let base = run_with_manager(&program, &cfg, &mut NullManager).unwrap();
-
-        let run_one = |decouple: bool| {
-            let mut mgr = HotspotAceManager::new(
-                HotspotManagerConfig {
-                    decouple,
-                    ..HotspotManagerConfig::default()
-                },
-                model,
-            );
-            let r = run_with_manager(&program, &cfg, &mut mgr).unwrap();
-            let rep = mgr.report();
-            (
-                100.0 * (1.0 - r.energy.total_nj() / base.energy.total_nj()),
-                100.0 * r.slowdown_vs(&base),
-                100.0 * rep.tuned_fraction(),
-                (rep.l1d.tunings + rep.l2.tunings) as f64,
-                r.counters.guard_rejections,
-            )
-        };
-        let (s_on, sl_on, t_on, tr_on, _) = run_one(true);
-        let (s_off, sl_off, t_off, tr_off, rej_off) = run_one(false);
-        agg.push((s_on, s_off, sl_on, sl_off));
-        rows.push(vec![
-            name.to_string(),
-            format!("{s_on:.1}"),
-            format!("{s_off:.1}"),
-            format!("{sl_on:.2}"),
-            format!("{sl_off:.2}"),
-            format!("{t_on:.0}%"),
-            format!("{t_off:.0}%"),
-            format!("{tr_on:.0}"),
-            format!("{tr_off:.0}"),
-            format!("{rej_off}"),
-        ]);
-    }
-    rows.push(vec![
-        "avg".into(),
-        format!("{:.1}", mean(agg.iter().map(|a| a.0))),
-        format!("{:.1}", mean(agg.iter().map(|a| a.1))),
-        format!("{:.2}", mean(agg.iter().map(|a| a.2))),
-        format!("{:.2}", mean(agg.iter().map(|a| a.3))),
-        String::new(),
-        String::new(),
-        String::new(),
-        String::new(),
-        String::new(),
-    ]);
-    println!("Ablation: CU decoupling on vs off (total cache energy saving %, slowdown %,");
-    println!("tuned hotspot fraction, configuration trials, guard rejections)\n");
-    println!(
-        "{}",
-        format_table(
-            &[
-                "bench",
-                "savON",
-                "savOFF",
-                "slowON",
-                "slowOFF",
-                "tunedON",
-                "tunedOFF",
-                "trialsON",
-                "trialsOFF",
-                "rejOFF"
-            ],
-            &rows
-        )
-    );
+fn main() -> std::process::ExitCode {
+    ace_bench::experiments::cli_main("ablation_decoupling")
 }

@@ -1,68 +1,9 @@
-//! **Robustness: energy-model sensitivity.**
+//! **Robustness** — energy-model sensitivity.
 //!
-//! The energy parameters are calibrated to 180 nm-era numbers, but the
-//! paper's *conclusion* — hotspot adaptation beats interval adaptation —
-//! should not hinge on those constants. This experiment scales the idle
-//! (leakage + clock) power of both caches by 0.25x–4x and re-runs the
-//! comparison: the tuners see the changed objective and re-decide, so this
-//! is a true end-to-end sensitivity study, not a re-pricing of one run.
+//! One-line wrapper over the library entry point in
+//! `ace_bench::experiments`; accepts `--telemetry <path>`. See
+//! `run_all` to regenerate everything on the parallel engine.
 
-use ace_bench::{format_table, mean, standard_run_config};
-use ace_core::{
-    run_with_manager, BbvAceManager, BbvManagerConfig, HotspotAceManager, HotspotManagerConfig,
-    NullManager,
-};
-use ace_energy::EnergyModel;
-use ace_workloads::PRESET_NAMES;
-
-fn main() {
-    println!("Robustness: idle-power scaling sweep (averages over the 7 workloads)\n");
-    let mut rows = Vec::new();
-    for scale in [0.25f64, 0.5, 1.0, 2.0, 4.0] {
-        let mut model = EnergyModel::default_180nm();
-        model.l1d.leak_nj_per_cycle_max *= scale;
-        model.l2.leak_nj_per_cycle_max *= scale;
-        let mut bbv_sav = Vec::new();
-        let mut hot_sav = Vec::new();
-        let mut hot_slow = Vec::new();
-        for name in PRESET_NAMES {
-            let program = ace_workloads::preset(name).unwrap();
-            let mut cfg = standard_run_config();
-            cfg.energy = model;
-            let base = run_with_manager(&program, &cfg, &mut NullManager).unwrap();
-            let mut b = BbvAceManager::new(BbvManagerConfig::default(), model);
-            let rb = run_with_manager(&program, &cfg, &mut b).unwrap();
-            let mut h = HotspotAceManager::new(HotspotManagerConfig::default(), model);
-            let rh = run_with_manager(&program, &cfg, &mut h).unwrap();
-            bbv_sav.push(100.0 * (1.0 - rb.energy.total_nj() / base.energy.total_nj()));
-            hot_sav.push(100.0 * (1.0 - rh.energy.total_nj() / base.energy.total_nj()));
-            hot_slow.push(100.0 * rh.slowdown_vs(&base));
-        }
-        rows.push(vec![
-            format!("{scale}x"),
-            format!("{:.1}", mean(bbv_sav.iter().copied())),
-            format!("{:.1}", mean(hot_sav.iter().copied())),
-            format!(
-                "{}",
-                hot_sav.iter().zip(&bbv_sav).filter(|(h, b)| h > b).count()
-            ),
-            format!("{:.2}", mean(hot_slow.iter().copied())),
-        ]);
-    }
-    println!(
-        "{}",
-        format_table(
-            &[
-                "idle power",
-                "BBV sav%",
-                "hotspot sav%",
-                "hotspot wins (of 7)",
-                "hot slow%"
-            ],
-            &rows
-        )
-    );
-    println!("\nThe ordering (hotspot > BBV) must hold across the whole sweep; the");
-    println!("absolute savings legitimately grow with idle power, since downsizing");
-    println!("an idle structure is exactly what adaptation monetizes.");
+fn main() -> std::process::ExitCode {
+    ace_bench::experiments::cli_main("ablation_energy_model")
 }

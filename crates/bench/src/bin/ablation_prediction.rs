@@ -1,134 +1,9 @@
-//! **Extension: configuration prediction** (Section 6 future work).
+//! **Extension** — JIT configuration prediction.
 //!
-//! "One could use the JIT compiler … to provide a good estimate for the
-//! resource configuration required for this hotspot through appropriate
-//! code analysis. Such a feature could potentially completely eliminate
-//! the tuning latency and overhead."
-//!
-//! Here the "code analysis" reads each method's declared memory patterns
-//! (the synthetic stand-in for pointer/loop analysis), sizes its resident
-//! working set, and predicts the smallest cache level that holds it. The
-//! predicted configuration is installed at classification with zero tuning
-//! latency; the normal tuned scheme is the comparison point.
+//! One-line wrapper over the library entry point in
+//! `ace_bench::experiments`; accepts `--telemetry <path>`. See
+//! `run_all` to regenerate everything on the parallel engine.
 
-use ace_bench::{format_table, mean, standard_run_config};
-use ace_core::{run_with_manager, AceConfig, HotspotAceManager, HotspotManagerConfig, NullManager};
-use ace_energy::EnergyModel;
-use ace_sim::SizeLevel;
-use ace_workloads::{MethodId, Op, Program, PRESET_NAMES};
-
-/// Resident bytes a method touches per invocation, following calls.
-fn resident_bytes(p: &Program, m: MethodId, depth: u32) -> u64 {
-    if depth > 32 {
-        return 0;
-    }
-    let mut total = 0;
-    for op in &p.method(m).ops {
-        match *op {
-            Op::Compute { pattern, .. } => {
-                let pat = p.pattern(pattern);
-                if pat.reset_on_entry {
-                    total += pat.working_set;
-                }
-            }
-            Op::Call { callee } => total += resident_bytes(p, callee, depth + 1),
-            _ => {}
-        }
-    }
-    total
-}
-
-/// Smallest level of `max_bytes` geometry holding `bytes` with headroom.
-fn level_for(bytes: u64, max_bytes: u64) -> SizeLevel {
-    for idx in (0..4u8).rev() {
-        let level = SizeLevel::new(idx).unwrap();
-        if (max_bytes >> idx) * 4 / 5 >= bytes {
-            return level;
-        }
-    }
-    SizeLevel::LARGEST
-}
-
-fn main() {
-    let model = EnergyModel::default_180nm();
-    let cfg = standard_run_config();
-    println!("Extension: JIT configuration prediction vs runtime tuning\n");
-    let mut rows = Vec::new();
-    let mut agg = Vec::new();
-    for name in PRESET_NAMES {
-        let program = ace_workloads::preset(name).unwrap();
-        let base = run_with_manager(&program, &cfg, &mut NullManager).unwrap();
-
-        let mut tuned = HotspotAceManager::new(HotspotManagerConfig::default(), model);
-        let tuned_run = run_with_manager(&program, &cfg, &mut tuned).unwrap();
-
-        let mut predicted = HotspotAceManager::new(HotspotManagerConfig::default(), model);
-        for id in 0..program.method_count() as u32 {
-            let m = MethodId(id);
-            let bytes = resident_bytes(&program, m, 0);
-            // The L2 prediction covers the whole program footprint; the
-            // analysis approximates it with the largest streamed region.
-            let l2_bytes: u64 = program
-                .patterns()
-                .iter()
-                .filter(|p| !p.reset_on_entry)
-                .map(|p| p.working_set)
-                .max()
-                .unwrap_or(0)
-                + bytes;
-            predicted.set_prediction(
-                m,
-                AceConfig {
-                    l1d: Some(level_for(bytes, 64 << 10)),
-                    l2: Some(level_for(l2_bytes * 3 / 2, 1024 << 10)),
-                    window: None,
-                },
-            );
-        }
-        let pred_run = run_with_manager(&program, &cfg, &mut predicted).unwrap();
-        let pred_rep = predicted.report();
-        let tuned_rep = tuned.report();
-
-        let t_sav = 100.0 * (1.0 - tuned_run.energy.total_nj() / base.energy.total_nj());
-        let p_sav = 100.0 * (1.0 - pred_run.energy.total_nj() / base.energy.total_nj());
-        agg.push((
-            t_sav,
-            p_sav,
-            100.0 * tuned_run.slowdown_vs(&base),
-            100.0 * pred_run.slowdown_vs(&base),
-        ));
-        rows.push(vec![
-            name.to_string(),
-            format!("{t_sav:.1}"),
-            format!("{p_sav:.1}"),
-            format!("{:.2}", 100.0 * tuned_run.slowdown_vs(&base)),
-            format!("{:.2}", 100.0 * pred_run.slowdown_vs(&base)),
-            format!("{}", tuned_rep.l1d.tunings + tuned_rep.l2.tunings),
-            format!("{}", pred_rep.l1d.tunings + pred_rep.l2.tunings),
-        ]);
-    }
-    rows.push(vec![
-        "avg".into(),
-        format!("{:.1}", mean(agg.iter().map(|a| a.0))),
-        format!("{:.1}", mean(agg.iter().map(|a| a.1))),
-        format!("{:.2}", mean(agg.iter().map(|a| a.2))),
-        format!("{:.2}", mean(agg.iter().map(|a| a.3))),
-        String::new(),
-        String::new(),
-    ]);
-    println!(
-        "{}",
-        format_table(
-            &[
-                "bench",
-                "tuned sav%",
-                "pred sav%",
-                "tuned slow%",
-                "pred slow%",
-                "tuned trials",
-                "pred trials"
-            ],
-            &rows
-        )
-    );
+fn main() -> std::process::ExitCode {
+    ace_bench::experiments::cli_main("ablation_prediction")
 }

@@ -1,72 +1,9 @@
-//! **Robustness: seed sensitivity.**
+//! **Robustness** — executor-seed sensitivity.
 //!
-//! The workloads are synthetic, so a fair question is whether the headline
-//! result is an artifact of one particular random stream. This experiment
-//! re-runs the hotspot scheme on every workload under several executor
-//! seeds (which perturb invocation sizes, loop counts, access addresses,
-//! and branch outcomes) and reports the spread.
+//! One-line wrapper over the library entry point in
+//! `ace_bench::experiments`; accepts `--telemetry <path>`. See
+//! `run_all` to regenerate everything on the parallel engine.
 
-use ace_bench::{format_table, mean, standard_run_config};
-use ace_core::{run_with_manager, HotspotAceManager, HotspotManagerConfig, NullManager};
-use ace_energy::EnergyModel;
-use ace_sim::OnlineStats;
-use ace_workloads::PRESET_NAMES;
-
-fn main() {
-    let model = EnergyModel::default_180nm();
-    let seeds = [0u64, 0x5EED_0001, 0x5EED_0002, 0x5EED_0003];
-    let mut rows = Vec::new();
-    let mut grand = Vec::new();
-    for name in PRESET_NAMES {
-        let program = ace_workloads::preset(name).unwrap();
-        let mut savings = OnlineStats::new();
-        let mut slowdowns = OnlineStats::new();
-        for (i, &seed) in seeds.iter().enumerate() {
-            let mut cfg = standard_run_config();
-            cfg.energy = model;
-            if i > 0 {
-                cfg.workload_seed = Some(seed);
-            }
-            let base = run_with_manager(&program, &cfg, &mut NullManager).unwrap();
-            let mut mgr = HotspotAceManager::new(HotspotManagerConfig::default(), model);
-            let r = run_with_manager(&program, &cfg, &mut mgr).unwrap();
-            savings.push(100.0 * (1.0 - r.energy.total_nj() / base.energy.total_nj()));
-            slowdowns.push(100.0 * r.slowdown_vs(&base));
-        }
-        grand.push(savings.mean());
-        rows.push(vec![
-            name.to_string(),
-            format!("{:.1}", savings.mean()),
-            format!("{:.1}", savings.min()),
-            format!("{:.1}", savings.max()),
-            format!("{:.2}", savings.population_stddev()),
-            format!("{:.2}", slowdowns.mean()),
-            format!("{:.2}", slowdowns.max()),
-        ]);
-    }
-    rows.push(vec![
-        "avg".into(),
-        format!("{:.1}", mean(grand)),
-        String::new(),
-        String::new(),
-        String::new(),
-        String::new(),
-        String::new(),
-    ]);
-    println!("Robustness: hotspot-scheme total energy saving across 4 executor seeds\n");
-    println!(
-        "{}",
-        format_table(
-            &[
-                "bench",
-                "sav mean%",
-                "min",
-                "max",
-                "stddev",
-                "slow mean%",
-                "slow max%"
-            ],
-            &rows
-        )
-    );
+fn main() -> std::process::ExitCode {
+    ace_bench::experiments::cli_main("ablation_seeds")
 }

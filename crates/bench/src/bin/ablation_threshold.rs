@@ -1,52 +1,9 @@
-//! **Ablation: hot_threshold** (Section 5.1).
+//! **Ablation** — hot_threshold sweep.
 //!
-//! Sweeps the DO system's promotion threshold and reports the hotspot
-//! identification latency (Table 4's last row) against the energy the
-//! scheme still captures: late identification wastes execution at the
-//! full-size configuration.
+//! One-line wrapper over the library entry point in
+//! `ace_bench::experiments`; accepts `--telemetry <path>`. See
+//! `run_all` to regenerate everything on the parallel engine.
 
-use ace_bench::{format_table, standard_run_config};
-use ace_core::{run_with_manager, HotspotAceManager, HotspotManagerConfig, NullManager};
-use ace_energy::EnergyModel;
-
-fn main() {
-    let model = EnergyModel::default_180nm();
-    println!("Ablation: hot_threshold sweep (identification latency vs captured savings)\n");
-    for name in ["compress", "javac"] {
-        let program = ace_workloads::preset(name).unwrap();
-        let base = run_with_manager(&program, &standard_run_config(), &mut NullManager).unwrap();
-        let mut rows = Vec::new();
-        for threshold in [2u32, 5, 10, 20, 40] {
-            let mut cfg = standard_run_config();
-            cfg.do_config.hot_threshold = threshold;
-            let mut mgr = HotspotAceManager::new(HotspotManagerConfig::default(), model);
-            let r = run_with_manager(&program, &cfg, &mut mgr).unwrap();
-            let rep = mgr.report();
-            rows.push(vec![
-                format!("{threshold}"),
-                format!("{}", r.table4.hotspots),
-                format!("{:.2}%", r.table4.identification_latency_pct),
-                format!("{:.1}%", 100.0 * rep.tuned_fraction()),
-                format!("{:.1}", 100.0 * r.l1d_saving_vs(&base)),
-                format!("{:.1}", 100.0 * r.l2_saving_vs(&base)),
-                format!("{:.2}", 100.0 * r.slowdown_vs(&base)),
-            ]);
-        }
-        println!("{name}:");
-        println!(
-            "{}",
-            format_table(
-                &[
-                    "threshold",
-                    "hotspots",
-                    "ident lat",
-                    "tuned",
-                    "L1D sav%",
-                    "L2 sav%",
-                    "slow%"
-                ],
-                &rows
-            )
-        );
-    }
+fn main() -> std::process::ExitCode {
+    ace_bench::experiments::cli_main("ablation_threshold")
 }

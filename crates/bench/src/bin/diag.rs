@@ -2,7 +2,7 @@
 //! and energy composition for one workload. Not part of the paper's
 //! tables; used to understand and calibrate the reproduction.
 
-use ace_core::{run_with_manager, HotspotAceManager, HotspotManagerConfig, NullManager, RunConfig};
+use ace_core::{Experiment, HotspotAceManager, HotspotManagerConfig};
 use ace_energy::EnergyModel;
 
 fn main() {
@@ -10,12 +10,13 @@ fn main() {
         .nth(1)
         .unwrap_or_else(|| "jess".to_string());
     let program = ace_workloads::preset(&name).expect("preset");
-    let cfg = RunConfig::default();
     let model = EnergyModel::default_180nm();
 
-    let base = run_with_manager(&program, &cfg, &mut NullManager).unwrap();
+    let base = Experiment::program(program.clone()).run().unwrap();
     let mut mgr = HotspotAceManager::new(HotspotManagerConfig::default(), model);
-    let hot = run_with_manager(&program, &cfg, &mut mgr).unwrap();
+    let hot = Experiment::program(program.clone())
+        .run_with(&mut mgr)
+        .unwrap();
 
     println!(
         "== {name}: baseline ipc {:.3}, hotspot ipc {:.3} (slowdown {:.2}%)",

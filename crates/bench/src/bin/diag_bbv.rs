@@ -1,16 +1,16 @@
 //! Diagnostic: BBV phase history and per-phase tuner state for one workload.
 
-use ace_core::{run_with_manager, BbvAceManager, BbvManagerConfig, RunConfig};
+use ace_core::{BbvAceManager, BbvManagerConfig, Experiment};
 use ace_energy::EnergyModel;
 
 fn main() {
     let name = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "compress".to_string());
-    let program = ace_workloads::preset(&name).expect("preset");
-    let cfg = RunConfig::default();
     let mut mgr = BbvAceManager::new(BbvManagerConfig::default(), EnergyModel::default_180nm());
-    let _ = run_with_manager(&program, &cfg, &mut mgr).unwrap();
+    let _ = Experiment::preset(name.as_str())
+        .run_with(&mut mgr)
+        .expect("preset run");
     let r = mgr.report();
     println!(
         "{name}: phases {} tuned {} stable {:.0}% tunings {} misattributed {}",

@@ -1,60 +1,9 @@
-//! **Extension: chip-level context.**
+//! **Extension** — chip-level context.
 //!
-//! The paper reports cache energy in isolation; this experiment embeds the
-//! cache savings in a whole-processor power model and reports chip-level
-//! energy and energy-delay — the sanity check that the schemes' slowdowns
-//! do not eat their savings once the rest of the chip (which burns power
-//! for every extra cycle) is priced in.
+//! One-line wrapper over the library entry point in
+//! `ace_bench::experiments`; accepts `--telemetry <path>`. See
+//! `run_all` to regenerate everything on the parallel engine.
 
-use ace_bench::{format_table, load_or_run_all, mean};
-use ace_energy::{chip_energy, energy_delay, EnergyModel, ProcessorEnergyParams};
-
-fn main() {
-    let all = load_or_run_all();
-    let model = EnergyModel::default_180nm();
-    let proc = ProcessorEnergyParams::default_180nm();
-    let mut rows = Vec::new();
-    let mut agg: Vec<[f64; 3]> = Vec::new();
-    for r in &all {
-        let base = chip_energy(&model, &proc, &r.baseline.counters);
-        let bbv = chip_energy(&model, &proc, &r.bbv.counters);
-        let hot = chip_energy(&model, &proc, &r.hotspot.counters);
-        let chip_sav_bbv = 100.0 * (1.0 - bbv.total_nj() / base.total_nj());
-        let chip_sav_hot = 100.0 * (1.0 - hot.total_nj() / base.total_nj());
-        let ed_base = energy_delay(&base, r.baseline.cycles);
-        let ed_hot = energy_delay(&hot, r.hotspot.cycles);
-        let ed_sav = 100.0 * (1.0 - ed_hot / ed_base);
-        agg.push([chip_sav_bbv, chip_sav_hot, ed_sav]);
-        rows.push(vec![
-            r.workload.clone(),
-            format!("{:.1}%", 100.0 * base.configurable_share()),
-            format!("{chip_sav_bbv:.2}"),
-            format!("{chip_sav_hot:.2}"),
-            format!("{ed_sav:.2}"),
-        ]);
-    }
-    rows.push(vec![
-        "avg".into(),
-        String::new(),
-        format!("{:.2}", mean(agg.iter().map(|a| a[0]))),
-        format!("{:.2}", mean(agg.iter().map(|a| a[1]))),
-        format!("{:.2}", mean(agg.iter().map(|a| a[2]))),
-    ]);
-    println!("Extension: chip-level context (configurable caches inside a whole-");
-    println!("processor power model; energy-delay uses total chip energy x cycles)\n");
-    println!(
-        "{}",
-        format_table(
-            &[
-                "bench",
-                "cache share",
-                "chip sav BBV%",
-                "chip sav hot%",
-                "E*D sav hot%"
-            ],
-            &rows
-        )
-    );
-    println!("A positive E*D column means the hotspot scheme's savings survive its");
-    println!("slowdown even when every extra cycle is charged to the whole chip.");
+fn main() -> std::process::ExitCode {
+    ace_bench::experiments::cli_main("ext_chip_context")
 }

@@ -1,114 +1,9 @@
-//! **Extension: full scheme comparison** (Section 3.5's qualitative
-//! argument, quantified).
+//! **Extension** — full scheme comparison.
 //!
-//! Five points per workload: the non-adaptive baseline, the original
-//! positional scheme (large-procedure boundaries, no DO system), the BBV
-//! temporal scheme as evaluated in the paper, BBV *with* the next-phase
-//! predictor the paper leaves out, and the DO-based hotspot scheme.
+//! One-line wrapper over the library entry point in
+//! `ace_bench::experiments`; accepts `--telemetry <path>`. See
+//! `run_all` to regenerate everything on the parallel engine.
 
-use ace_bench::{format_table, mean, standard_run_config};
-use ace_core::{
-    run_with_manager, BbvAceManager, BbvManagerConfig, HotspotAceManager, HotspotManagerConfig,
-    NullManager, PositionalAceManager, PositionalManagerConfig,
-};
-use ace_energy::EnergyModel;
-use ace_workloads::PRESET_NAMES;
-
-fn main() {
-    let cfg = standard_run_config();
-    let model = EnergyModel::default_180nm();
-    let mut rows = Vec::new();
-    let mut agg: Vec<[f64; 8]> = Vec::new();
-
-    for name in PRESET_NAMES {
-        let program = ace_workloads::preset(name).unwrap();
-        let base = run_with_manager(&program, &cfg, &mut NullManager).unwrap();
-        let sav =
-            |r: &ace_core::RunRecord| 100.0 * (1.0 - r.energy.total_nj() / base.energy.total_nj());
-        let slow = |r: &ace_core::RunRecord| 100.0 * r.slowdown_vs(&base);
-
-        let mut pos =
-            PositionalAceManager::new(&program, PositionalManagerConfig::default(), model);
-        let r_pos = run_with_manager(&program, &cfg, &mut pos).unwrap();
-
-        let mut bbv = BbvAceManager::new(BbvManagerConfig::default(), model);
-        let r_bbv = run_with_manager(&program, &cfg, &mut bbv).unwrap();
-
-        let mut bbv_pred = BbvAceManager::new(
-            BbvManagerConfig {
-                use_predictor: true,
-                ..BbvManagerConfig::default()
-            },
-            model,
-        );
-        let r_pred = run_with_manager(&program, &cfg, &mut bbv_pred).unwrap();
-        let pred_report = bbv_pred.report();
-
-        let mut hs = HotspotAceManager::new(HotspotManagerConfig::default(), model);
-        let r_hs = run_with_manager(&program, &cfg, &mut hs).unwrap();
-
-        agg.push([
-            sav(&r_pos),
-            slow(&r_pos),
-            sav(&r_bbv),
-            slow(&r_bbv),
-            sav(&r_pred),
-            slow(&r_pred),
-            sav(&r_hs),
-            slow(&r_hs),
-        ]);
-        rows.push(vec![
-            name.to_string(),
-            format!("{:.1}/{:.1}", sav(&r_pos), slow(&r_pos)),
-            format!("{:.1}/{:.1}", sav(&r_bbv), slow(&r_bbv)),
-            format!("{:.1}/{:.1}", sav(&r_pred), slow(&r_pred)),
-            format!("{:.1}/{:.1}", sav(&r_hs), slow(&r_hs)),
-            format!(
-                "{} ({:.0}%)",
-                pred_report.predictions,
-                100.0 * pred_report.prediction_accuracy
-            ),
-        ]);
-    }
-    rows.push(vec![
-        "avg".into(),
-        format!(
-            "{:.1}/{:.1}",
-            mean(agg.iter().map(|a| a[0])),
-            mean(agg.iter().map(|a| a[1]))
-        ),
-        format!(
-            "{:.1}/{:.1}",
-            mean(agg.iter().map(|a| a[2])),
-            mean(agg.iter().map(|a| a[3]))
-        ),
-        format!(
-            "{:.1}/{:.1}",
-            mean(agg.iter().map(|a| a[4])),
-            mean(agg.iter().map(|a| a[5]))
-        ),
-        format!(
-            "{:.1}/{:.1}",
-            mean(agg.iter().map(|a| a[6])),
-            mean(agg.iter().map(|a| a[7]))
-        ),
-        String::new(),
-    ]);
-    println!("Extension: scheme comparison (total cache energy saving % / slowdown %)");
-    println!("positional = Huang et al. large-procedure boundaries (no DO system);");
-    println!("BBV+pred adds the RLE-Markov next-phase predictor the paper omits\n");
-    println!(
-        "{}",
-        format_table(
-            &[
-                "bench",
-                "positional",
-                "BBV",
-                "BBV+pred",
-                "hotspot",
-                "predictions (acc)"
-            ],
-            &rows
-        )
-    );
+fn main() -> std::process::ExitCode {
+    ace_bench::experiments::cli_main("ext_schemes")
 }

@@ -1,60 +1,9 @@
-//! **Figure 1** — Distribution of stable vs transitional BBV phases of the
-//! SPECjvm98 workloads (a phase is stable if it lasts two or more
-//! successive 1 M-instruction sampling intervals).
+//! **Figure 1** — stable vs transitional BBV phases.
+//!
+//! One-line wrapper over the library entry point in
+//! `ace_bench::experiments`; accepts `--telemetry <path>`. See
+//! `run_all` to regenerate everything on the parallel engine.
 
-use ace_bench::{append_summary, bar_chart, format_table, load_or_run_all, mean};
-
-fn main() {
-    let all = load_or_run_all();
-    let mut rows = Vec::new();
-    for r in &all {
-        let s = &r.bbv_report.stability;
-        rows.push(vec![
-            r.workload.clone(),
-            format!("{}", s.total_intervals),
-            format!("{:.1}", 100.0 * s.stable_fraction()),
-            format!("{:.1}", 100.0 * (1.0 - s.stable_fraction())),
-        ]);
-    }
-    rows.push(vec![
-        "avg".into(),
-        String::new(),
-        format!(
-            "{:.1}",
-            mean(
-                all.iter()
-                    .map(|r| 100.0 * r.bbv_report.stability.stable_fraction())
-            )
-        ),
-        format!(
-            "{:.1}",
-            mean(
-                all.iter()
-                    .map(|r| 100.0 * (1.0 - r.bbv_report.stability.stable_fraction()))
-            )
-        ),
-    ]);
-    println!("Figure 1: distribution of stable/transitional BBV phase intervals");
-    println!("(paper: stable 60-95% per benchmark, ~70-76% average)\n");
-    let table = format_table(&["bench", "intervals", "stable %", "transitional %"], &rows);
-    let labels: Vec<&str> = all.iter().map(|r| r.workload.as_str()).collect();
-    let chart = bar_chart(
-        &labels,
-        &[(
-            "stable",
-            all.iter()
-                .map(|r| 100.0 * r.bbv_report.stability.stable_fraction())
-                .collect(),
-        )],
-        50,
-    );
-    println!("{table}");
-    println!("{chart}");
-    append_summary(
-        "Figure 1: stable BBV phase intervals (%)",
-        &format!(
-            "{table}
-{chart}"
-        ),
-    );
+fn main() -> std::process::ExitCode {
+    ace_bench::experiments::cli_main("fig1_phase_stability")
 }

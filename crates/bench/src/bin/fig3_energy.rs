@@ -1,87 +1,9 @@
-//! **Figure 3** — L1D (a) and L2 (b) cache energy reduction of the BBV and
-//! hotspot schemes over the full-size baseline.
+//! **Figure 3** — L1D/L2 cache energy reduction.
+//!
+//! One-line wrapper over the library entry point in
+//! `ace_bench::experiments`; accepts `--telemetry <path>`. See
+//! `run_all` to regenerate everything on the parallel engine.
 
-use ace_bench::{append_summary, bar_chart, format_table, load_or_run_all, mean};
-
-fn main() {
-    let all = load_or_run_all();
-
-    println!("Figure 3(a): L1D cache energy reduction vs baseline (%)");
-    println!("(paper: BBV avg 32%, hotspot avg 47%, hotspot wins every benchmark,");
-    println!(" db the largest hotspot saving at 66%)\n");
-    let mut rows = Vec::new();
-    for r in &all {
-        rows.push(vec![
-            r.workload.clone(),
-            format!("{:.1}", r.bbv_l1d_saving_pct()),
-            format!("{:.1}", r.hotspot_l1d_saving_pct()),
-        ]);
-    }
-    rows.push(vec![
-        "avg".into(),
-        format!("{:.1}", mean(all.iter().map(|r| r.bbv_l1d_saving_pct()))),
-        format!(
-            "{:.1}",
-            mean(all.iter().map(|r| r.hotspot_l1d_saving_pct()))
-        ),
-    ]);
-    let table_a = format_table(&["bench", "BBV", "hotspot"], &rows);
-    let labels: Vec<&str> = all.iter().map(|r| r.workload.as_str()).collect();
-    let chart_a = bar_chart(
-        &labels,
-        &[
-            ("BBV", all.iter().map(|r| r.bbv_l1d_saving_pct()).collect()),
-            (
-                "hot",
-                all.iter().map(|r| r.hotspot_l1d_saving_pct()).collect(),
-            ),
-        ],
-        42,
-    );
-    println!("{table_a}");
-    println!("{chart_a}");
-    append_summary(
-        "Figure 3(a): L1D energy reduction (%)",
-        &format!(
-            "{table_a}
-{chart_a}"
-        ),
-    );
-
-    println!("Figure 3(b): L2 cache energy reduction vs baseline (%)");
-    println!("(paper: BBV avg 52%, hotspot avg 58%, BBV ahead only on jack and mtrt)\n");
-    let mut rows = Vec::new();
-    for r in &all {
-        rows.push(vec![
-            r.workload.clone(),
-            format!("{:.1}", r.bbv_l2_saving_pct()),
-            format!("{:.1}", r.hotspot_l2_saving_pct()),
-        ]);
-    }
-    rows.push(vec![
-        "avg".into(),
-        format!("{:.1}", mean(all.iter().map(|r| r.bbv_l2_saving_pct()))),
-        format!("{:.1}", mean(all.iter().map(|r| r.hotspot_l2_saving_pct()))),
-    ]);
-    let table_b = format_table(&["bench", "BBV", "hotspot"], &rows);
-    let chart_b = bar_chart(
-        &labels,
-        &[
-            ("BBV", all.iter().map(|r| r.bbv_l2_saving_pct()).collect()),
-            (
-                "hot",
-                all.iter().map(|r| r.hotspot_l2_saving_pct()).collect(),
-            ),
-        ],
-        42,
-    );
-    println!("{table_b}");
-    println!("{chart_b}");
-    append_summary(
-        "Figure 3(b): L2 energy reduction (%)",
-        &format!(
-            "{table_b}
-{chart_b}"
-        ),
-    );
+fn main() -> std::process::ExitCode {
+    ace_bench::experiments::cli_main("fig3_energy")
 }

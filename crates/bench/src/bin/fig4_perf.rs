@@ -1,45 +1,9 @@
-//! **Figure 4** — Performance degradation of the adaptation schemes over
-//! the non-adaptive baseline.
+//! **Figure 4** — performance degradation vs baseline.
+//!
+//! One-line wrapper over the library entry point in
+//! `ace_bench::experiments`; accepts `--telemetry <path>`. See
+//! `run_all` to regenerate everything on the parallel engine.
 
-use ace_bench::{append_summary, bar_chart, format_table, load_or_run_all, mean};
-
-fn main() {
-    let all = load_or_run_all();
-    println!("Figure 4: slowdown vs baseline (%)");
-    println!("(paper: BBV 1.34-2.38% avg 1.87%; hotspot 0.4-2.47% avg 1.56%)\n");
-    let mut rows = Vec::new();
-    for r in &all {
-        rows.push(vec![
-            r.workload.clone(),
-            format!("{:.2}", r.bbv_slowdown_pct()),
-            format!("{:.2}", r.hotspot_slowdown_pct()),
-        ]);
-    }
-    rows.push(vec![
-        "avg".into(),
-        format!("{:.2}", mean(all.iter().map(|r| r.bbv_slowdown_pct()))),
-        format!("{:.2}", mean(all.iter().map(|r| r.hotspot_slowdown_pct()))),
-    ]);
-    let table = format_table(&["bench", "BBV", "hotspot"], &rows);
-    let labels: Vec<&str> = all.iter().map(|r| r.workload.as_str()).collect();
-    let chart = bar_chart(
-        &labels,
-        &[
-            ("BBV", all.iter().map(|r| r.bbv_slowdown_pct()).collect()),
-            (
-                "hot",
-                all.iter().map(|r| r.hotspot_slowdown_pct()).collect(),
-            ),
-        ],
-        42,
-    );
-    println!("{table}");
-    println!("{chart}");
-    append_summary(
-        "Figure 4: slowdown (%)",
-        &format!(
-            "{table}
-{chart}"
-        ),
-    );
+fn main() -> std::process::ExitCode {
+    ace_bench::experiments::cli_main("fig4_perf")
 }

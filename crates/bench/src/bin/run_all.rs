@@ -1,68 +1,85 @@
-//! Regenerates every experiment: runs all seven workloads under the three
-//! schemes (results are cached under `results/`), prints the headline
-//! summary, and then executes every sibling experiment binary, saving each
-//! one's output under `results/<name>.txt`.
+//! Regenerates every experiment on the parallel engine: runs all seven
+//! workloads under the three schemes (results are content-address-cached
+//! under `results/`), prints the headline summary, then schedules every
+//! registered sibling experiment as a job, saving each one's output under
+//! `results/<name>.txt` and its sections into `results/SUMMARY.md`.
 //!
-//! Pass `--headline-only` to skip the sibling binaries, and
-//! `--telemetry <path>` to stream decision events (tuning, reconfiguration,
-//! promotion) as JSONL and print a summary at the end. Cached results skip
-//! their runs, so combine with `ACE_FRESH=1` for a complete trace.
+//! Flags:
+//!
+//! * `--jobs <N>` — worker-pool width (default: `ACE_JOBS` or the
+//!   machine's available parallelism). Output is byte-identical at any
+//!   width.
+//! * `--fresh` — ignore cached results and re-run everything.
+//! * `--headline-only` — skip the sibling experiments.
+//! * `--telemetry <path>` — stream decision events (tuning,
+//!   reconfiguration, promotion) as JSONL and print a summary at the end.
+//!   Cached results skip their runs, so combine with `--fresh` for a
+//!   complete trace.
+//!
+//! Any failing experiment is reported at the end and the process exits
+//! nonzero.
 
+use ace_bench::experiments::{commit_report, ExpCtx, Report, REGISTRY};
 use ace_bench::{
-    format_table, load_or_run_all_with, mean, print_telemetry_summary, results_dir,
-    telemetry_from_args,
+    default_jobs, format_table, mean, print_telemetry_summary, results_dir, run_jobs,
+    telemetry_from_args, ExperimentSet, Job,
 };
+use std::process::ExitCode;
 
-/// Every sibling experiment regenerated by a full run, in report order.
-const EXPERIMENTS: &[&str] = &[
-    "fig1_phase_stability",
-    "table1_latency",
-    "table4_hotspots",
-    "table5_runtime",
-    "table6_tuning",
-    "fig3_energy",
-    "fig4_perf",
-    "ablation_decoupling",
-    "ablation_threshold",
-    "ablation_interval",
-    "ablation_prediction",
-    "ablation_seeds",
-    "ablation_energy_model",
-    "ext_schemes",
-    "ext_window",
-    "ext_detectors",
-    "ext_chip_context",
-    "ext_threads",
-];
-
-fn run_siblings() {
-    let Ok(me) = std::env::current_exe() else {
-        return;
-    };
-    let Some(dir) = me.parent() else { return };
-    let _ = std::fs::create_dir_all(results_dir());
-    for name in EXPERIMENTS {
-        let bin = dir.join(name);
-        let started = std::time::Instant::now();
-        match std::process::Command::new(&bin).output() {
-            Ok(out) if out.status.success() => {
-                let path = results_dir().join(format!("{name}.txt"));
-                let _ = std::fs::write(&path, &out.stdout);
-                eprintln!(
-                    "  {name:<24} ok ({:.1}s) -> {}",
-                    started.elapsed().as_secs_f32(),
-                    path.display()
-                );
-            }
-            Ok(out) => eprintln!("  {name:<24} FAILED (status {})", out.status),
-            Err(e) => eprintln!("  {name:<24} not run ({e})"),
-        }
-    }
+struct Args {
+    jobs: usize,
+    fresh: bool,
+    headline_only: bool,
 }
 
-fn main() {
+fn parse_args() -> Args {
+    let mut args = Args {
+        jobs: default_jobs(),
+        fresh: false,
+        headline_only: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--jobs" => {
+                let value = it.next().and_then(|v| v.parse::<usize>().ok());
+                match value {
+                    Some(n) if n > 0 => args.jobs = n,
+                    _ => {
+                        eprintln!("--jobs requires a positive integer");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--fresh" => args.fresh = true,
+            "--headline-only" => args.headline_only = true,
+            "--telemetry" => {
+                it.next(); // handled by telemetry_from_args
+            }
+            other => {
+                eprintln!("unknown flag {other}; see the run_all docs");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
     let telemetry = telemetry_from_args();
-    let all = load_or_run_all_with(&telemetry);
+
+    let all = match ExperimentSet::all_presets()
+        .fresh(args.fresh)
+        .telemetry(&telemetry)
+        .run_parallel(args.jobs)
+    {
+        Ok(all) => all,
+        Err(e) => {
+            eprintln!("headline runs failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     let mut rows = Vec::new();
     for r in &all {
@@ -144,11 +161,58 @@ fn main() {
         )
     );
 
+    let mut failed = Vec::new();
+    if !args.headline_only {
+        eprintln!(
+            "regenerating every experiment artifact ({} jobs):",
+            args.jobs
+        );
+        let pool: Vec<Job<Report>> = REGISTRY
+            .iter()
+            .map(|def| {
+                let run = def.run;
+                Job::new(def.name, move |tel| {
+                    run(&ExpCtx {
+                        telemetry: tel.clone(),
+                    })
+                })
+            })
+            .collect();
+        let _ = std::fs::create_dir_all(results_dir());
+        for outcome in run_jobs(pool, args.jobs, &telemetry) {
+            match outcome.result {
+                Ok(report) => {
+                    let path = results_dir().join(format!("{}.txt", report.name));
+                    if let Err(e) = std::fs::write(&path, &report.text) {
+                        eprintln!("  {:<24} cannot write {}: {e}", report.name, path.display());
+                    }
+                    commit_report(&report);
+                    eprintln!(
+                        "  {:<24} ok ({:.1}s) -> {}",
+                        report.name,
+                        outcome.wall.as_secs_f32(),
+                        path.display()
+                    );
+                }
+                Err(e) => {
+                    eprintln!("  {:<24} FAILED: {e}", outcome.key);
+                    failed.push(outcome.key);
+                }
+            }
+        }
+        eprintln!("done; see results/ and results/SUMMARY.md");
+    }
+
     print_telemetry_summary(&telemetry);
 
-    if !std::env::args().any(|a| a == "--headline-only") {
-        eprintln!("regenerating every experiment artifact:");
-        run_siblings();
-        eprintln!("done; see results/ and results/SUMMARY.md");
+    if failed.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "{} experiment(s) failed: {}",
+            failed.len(),
+            failed.join(", ")
+        );
+        ExitCode::FAILURE
     }
 }

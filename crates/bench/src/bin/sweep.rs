@@ -2,24 +2,22 @@
 //! configurations (the static oracle grid). Prints IPC and per-cache
 //! energy for each point.
 
-use ace_core::{run_with_manager, AceConfig, FixedManager, NullManager, RunConfig};
+use ace_core::{AceConfig, Experiment, Scheme};
 use ace_sim::SizeLevel;
 
 fn main() {
     let name = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "jess".to_string());
-    let program = ace_workloads::preset(&name).expect("preset");
-    let cfg = RunConfig::default();
-    let base = run_with_manager(&program, &cfg, &mut NullManager).unwrap();
+    let base = Experiment::preset(name.as_str()).run().expect("preset");
     println!("{name}: baseline ipc {:.4}", base.ipc);
     for l1d in 0..4u8 {
         for l2 in 0..4u8 {
-            let mut mgr = FixedManager::new(AceConfig::both(
-                SizeLevel::new(l1d).unwrap(),
-                SizeLevel::new(l2).unwrap(),
-            ));
-            let r = run_with_manager(&program, &cfg, &mut mgr).unwrap();
+            let fixed = AceConfig::both(SizeLevel::new(l1d).unwrap(), SizeLevel::new(l2).unwrap());
+            let r = Experiment::preset(name.as_str())
+                .scheme(Scheme::Fixed(fixed))
+                .run()
+                .unwrap();
             println!(
                 "L1D={l1d} L2={l2}: ipc {:.4} (slow {:+.2}%)  E_l1d {:.3e} ({:+.1}%)  E_l2 {:.3e} ({:+.1}%)  l1dMiss% {:.2}  l2Miss% {:.2}",
                 r.ipc,

@@ -1,41 +1,9 @@
-//! **Table 4** — Runtime hotspot characteristics of the SPECjvm98
-//! workloads: dynamic instruction count, number of hotspots, average
-//! hotspot size, % of code in hotspots, average invocations per hotspot,
-//! and hotspot identification latency as % of total execution.
+//! **Table 4** — runtime hotspot characteristics.
+//!
+//! One-line wrapper over the library entry point in
+//! `ace_bench::experiments`; accepts `--telemetry <path>`. See
+//! `run_all` to regenerate everything on the parallel engine.
 
-use ace_bench::{format_table, load_or_run_all};
-
-fn main() {
-    let all = load_or_run_all();
-    let mut rows = Vec::new();
-    for r in &all {
-        let t = &r.hotspot.table4;
-        rows.push(vec![
-            r.workload.clone(),
-            format!("{:.2e}", t.dynamic_instr as f64),
-            format!("{}", t.hotspots),
-            format!("{}", t.avg_hotspot_size),
-            format!("{:.2}%", t.pct_code_in_hotspots),
-            format!("{:.0}", t.avg_invocations),
-            format!("{:.2}%", t.identification_latency_pct),
-        ]);
-    }
-    println!("Table 4: runtime hotspot characteristics");
-    println!("(paper at ~100x scale: 5-11e9 instr, 299-685 hotspots, sizes 15-82K,");
-    println!(" >99% code in hotspots, 823-13091 invocations, latency 0.2-3.7%)\n");
-    println!(
-        "{}",
-        format_table(
-            &[
-                "bench",
-                "dyn instr",
-                "hotspots",
-                "avg size",
-                "in hotspots",
-                "invocs",
-                "ident lat"
-            ],
-            &rows
-        )
-    );
+fn main() -> std::process::ExitCode {
+    ace_bench::experiments::cli_main("table4_hotspots")
 }

@@ -1,80 +1,9 @@
-//! **Table 5** — Runtime characteristics of the hotspot and BBV schemes:
-//! hotspot counts per CU class, tuned fractions, per-/inter-hotspot IPC
-//! CoVs; BBV phase counts, tuned phases, % of intervals in tuned phases,
-//! per-/inter-phase IPC CoVs.
+//! **Table 5** — hotspot/BBV runtime characteristics.
 //!
-//! Accepts `--telemetry <path>` to stream decision events as JSONL (see
-//! `run_all`); cached results emit no events, so use `ACE_FRESH=1` for a
-//! complete trace.
+//! One-line wrapper over the library entry point in
+//! `ace_bench::experiments`; accepts `--telemetry <path>`. See
+//! `run_all` to regenerate everything on the parallel engine.
 
-use ace_bench::{format_table, load_or_run_all_with, print_telemetry_summary, telemetry_from_args};
-
-fn main() {
-    let telemetry = telemetry_from_args();
-    let all = load_or_run_all_with(&telemetry);
-
-    println!("Table 5 (hotspot scheme)");
-    println!("(paper: 85-141 hotspots, 81-94% tuned, per-hotspot CoV 5-10%, inter 43-52%)\n");
-    let mut rows = Vec::new();
-    for r in &all {
-        let h = &r.hotspot_report;
-        rows.push(vec![
-            r.workload.clone(),
-            format!("{}", h.l1d_hotspots),
-            format!("{}", h.l2_hotspots),
-            format!("{}", h.l1d_hotspots + h.l2_hotspots + h.small_hotspots),
-            format!("{}", h.tuned_hotspots),
-            format!("{:.1}%", 100.0 * h.tuned_fraction()),
-            format!("{:.2}%", 100.0 * h.per_hotspot_ipc_cov),
-            format!("{:.2}%", 100.0 * h.inter_hotspot_ipc_cov),
-        ]);
-    }
-    println!(
-        "{}",
-        format_table(
-            &[
-                "bench",
-                "L1D hs",
-                "L2 hs",
-                "total hs",
-                "tuned",
-                "tuned %",
-                "per-hs CoV",
-                "inter-hs CoV"
-            ],
-            &rows
-        )
-    );
-
-    println!("Table 5 (BBV scheme)");
-    println!("(paper: 50-84 phases, 13-35 tuned, 40-93% of intervals in tuned phases,");
-    println!(" per-phase CoV 4-9%, inter-phase 20-38%)\n");
-    let mut rows = Vec::new();
-    for r in &all {
-        let b = &r.bbv_report;
-        rows.push(vec![
-            r.workload.clone(),
-            format!("{}", b.phases),
-            format!("{}", b.tuned_phases),
-            format!("{:.1}%", 100.0 * b.tuned_interval_fraction()),
-            format!("{:.2}%", 100.0 * b.per_phase_ipc_cov),
-            format!("{:.2}%", 100.0 * b.inter_phase_ipc_cov),
-        ]);
-    }
-    println!(
-        "{}",
-        format_table(
-            &[
-                "bench",
-                "phases",
-                "tuned",
-                "tuned intervals",
-                "per-ph CoV",
-                "inter-ph CoV"
-            ],
-            &rows
-        )
-    );
-
-    print_telemetry_summary(&telemetry);
+fn main() -> std::process::ExitCode {
+    ace_bench::experiments::cli_main("table5_runtime")
 }

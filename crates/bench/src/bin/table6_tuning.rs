@@ -1,72 +1,9 @@
-//! **Table 6** — Tunings, reconfigurations, and coverage of the hotspot
-//! and BBV schemes, per configurable unit.
+//! **Table 6** — tunings, reconfigurations, and coverage.
 //!
-//! Accepts `--telemetry <path>` to stream decision events as JSONL (see
-//! `run_all`); cached results emit no events, so use `ACE_FRESH=1` for a
-//! complete trace.
+//! One-line wrapper over the library entry point in
+//! `ace_bench::experiments`; accepts `--telemetry <path>`. See
+//! `run_all` to regenerate everything on the parallel engine.
 
-use ace_bench::{format_table, load_or_run_all_with, print_telemetry_summary, telemetry_from_args};
-
-fn main() {
-    let telemetry = telemetry_from_args();
-    let all = load_or_run_all_with(&telemetry);
-
-    println!("Table 6 (hotspot scheme): per-CU tunings / reconfigs / coverage");
-    println!("(paper: L1D tunings 218-506, reconfigs 2.6K-48K, coverage 71-93%;");
-    println!(" L2 tunings 21-130, reconfigs 396-8514, coverage 57-96%)\n");
-    let mut rows = Vec::new();
-    for r in &all {
-        let h = &r.hotspot_report;
-        let instr = r.hotspot.instret as f64;
-        rows.push(vec![
-            r.workload.clone(),
-            format!("{}", h.l1d.tunings),
-            format!("{}", h.l1d.reconfigs),
-            format!("{:.1}%", 100.0 * h.l1d.covered_instr as f64 / instr),
-            format!("{}", h.l2.tunings),
-            format!("{}", h.l2.reconfigs),
-            format!("{:.1}%", 100.0 * h.l2.covered_instr as f64 / instr),
-        ]);
-    }
-    println!(
-        "{}",
-        format_table(
-            &[
-                "bench",
-                "L1D tunings",
-                "L1D reconfigs",
-                "L1D cov",
-                "L2 tunings",
-                "L2 reconfigs",
-                "L2 cov"
-            ],
-            &rows
-        )
-    );
-
-    println!("Table 6 (BBV scheme): tunings / reconfigs / coverage");
-    println!("(paper: tunings 368-711, reconfigs 192-2018, coverage 48-98%)\n");
-    let mut rows = Vec::new();
-    for r in &all {
-        let b = &r.bbv_report;
-        rows.push(vec![
-            r.workload.clone(),
-            format!("{}", b.tunings),
-            format!("{}", b.reconfigs),
-            format!(
-                "{:.1}%",
-                100.0 * b.covered_instr as f64 / r.bbv.instret as f64
-            ),
-            format!("{}", b.misattributed_trials),
-        ]);
-    }
-    println!(
-        "{}",
-        format_table(
-            &["bench", "tunings", "reconfigs", "coverage", "discarded"],
-            &rows
-        )
-    );
-
-    print_telemetry_summary(&telemetry);
+fn main() -> std::process::ExitCode {
+    ace_bench::experiments::cli_main("table6_tuning")
 }

@@ -1,0 +1,106 @@
+//! **Ablation: CU decoupling** (Section 3.2's central claim).
+//!
+//! Runs the hotspot scheme twice per workload: with CU decoupling (each
+//! hotspot tunes only the CU matching its size: 4 configurations) and
+//! without (every adaptable hotspot walks all 16 combinatorial
+//! configurations, with small hotspots' L2 requests mostly bouncing off
+//! the 1 M-instruction hardware guard).
+
+use super::{outln, ExpCtx, Report};
+use crate::{format_table, mean, BenchResult};
+use ace_core::{Experiment, HotspotAceManager, HotspotManagerConfig, RunConfig};
+use ace_energy::EnergyModel;
+use ace_workloads::PRESET_NAMES;
+
+pub(super) fn run(ctx: &ExpCtx) -> BenchResult<Report> {
+    let mut report = Report::new("ablation_decoupling");
+    let cfg = RunConfig::default();
+    let model = EnergyModel::default_180nm();
+    let mut rows = Vec::new();
+    let mut agg: Vec<(f64, f64, f64, f64)> = Vec::new();
+
+    for name in PRESET_NAMES {
+        let base = Experiment::preset(name)
+            .config(cfg.clone())
+            .telemetry(&ctx.telemetry)
+            .run()?;
+
+        let run_one = |decouple: bool| -> BenchResult<(f64, f64, f64, f64, u64)> {
+            let mut mgr = HotspotAceManager::new(
+                HotspotManagerConfig {
+                    decouple,
+                    ..HotspotManagerConfig::default()
+                },
+                model,
+            );
+            let r = Experiment::preset(name)
+                .config(cfg.clone())
+                .telemetry(&ctx.telemetry)
+                .run_with(&mut mgr)?;
+            let rep = mgr.report();
+            Ok((
+                100.0 * (1.0 - r.energy.total_nj() / base.energy.total_nj()),
+                100.0 * r.slowdown_vs(&base),
+                100.0 * rep.tuned_fraction(),
+                (rep.l1d.tunings + rep.l2.tunings) as f64,
+                r.counters.guard_rejections,
+            ))
+        };
+        let (s_on, sl_on, t_on, tr_on, _) = run_one(true)?;
+        let (s_off, sl_off, t_off, tr_off, rej_off) = run_one(false)?;
+        agg.push((s_on, s_off, sl_on, sl_off));
+        rows.push(vec![
+            name.to_string(),
+            format!("{s_on:.1}"),
+            format!("{s_off:.1}"),
+            format!("{sl_on:.2}"),
+            format!("{sl_off:.2}"),
+            format!("{t_on:.0}%"),
+            format!("{t_off:.0}%"),
+            format!("{tr_on:.0}"),
+            format!("{tr_off:.0}"),
+            format!("{rej_off}"),
+        ]);
+    }
+    rows.push(vec![
+        "avg".into(),
+        format!("{:.1}", mean(agg.iter().map(|a| a.0))),
+        format!("{:.1}", mean(agg.iter().map(|a| a.1))),
+        format!("{:.2}", mean(agg.iter().map(|a| a.2))),
+        format!("{:.2}", mean(agg.iter().map(|a| a.3))),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+    ]);
+    let out = &mut report.text;
+    outln!(
+        out,
+        "Ablation: CU decoupling on vs off (total cache energy saving %, slowdown %,"
+    );
+    outln!(
+        out,
+        "tuned hotspot fraction, configuration trials, guard rejections)\n"
+    );
+    outln!(
+        out,
+        "{}",
+        format_table(
+            &[
+                "bench",
+                "savON",
+                "savOFF",
+                "slowON",
+                "slowOFF",
+                "tunedON",
+                "tunedOFF",
+                "trialsON",
+                "trialsOFF",
+                "rejOFF"
+            ],
+            &rows
+        )
+    );
+    Ok(report)
+}

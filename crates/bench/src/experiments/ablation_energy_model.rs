@@ -1,0 +1,94 @@
+//! **Robustness: energy-model sensitivity.**
+//!
+//! The energy parameters are calibrated to 180 nm-era numbers, but the
+//! paper's *conclusion* — hotspot adaptation beats interval adaptation —
+//! should not hinge on those constants. This experiment scales the idle
+//! (leakage + clock) power of both caches by 0.25x–4x and re-runs the
+//! comparison: the tuners see the changed objective and re-decide, so this
+//! is a true end-to-end sensitivity study, not a re-pricing of one run.
+
+use super::{outln, ExpCtx, Report};
+use crate::{format_table, mean, BenchResult};
+use ace_core::{
+    BbvAceManager, BbvManagerConfig, Experiment, HotspotAceManager, HotspotManagerConfig, RunConfig,
+};
+use ace_energy::EnergyModel;
+use ace_workloads::PRESET_NAMES;
+
+pub(super) fn run(ctx: &ExpCtx) -> BenchResult<Report> {
+    let mut report = Report::new("ablation_energy_model");
+    let out = &mut report.text;
+    outln!(
+        out,
+        "Robustness: idle-power scaling sweep (averages over the 7 workloads)\n"
+    );
+    let mut rows = Vec::new();
+    for scale in [0.25f64, 0.5, 1.0, 2.0, 4.0] {
+        let mut model = EnergyModel::default_180nm();
+        model.l1d.leak_nj_per_cycle_max *= scale;
+        model.l2.leak_nj_per_cycle_max *= scale;
+        let mut bbv_sav = Vec::new();
+        let mut hot_sav = Vec::new();
+        let mut hot_slow = Vec::new();
+        for name in PRESET_NAMES {
+            let cfg = RunConfig {
+                energy: model,
+                ..RunConfig::default()
+            };
+            let base = Experiment::preset(name)
+                .config(cfg.clone())
+                .telemetry(&ctx.telemetry)
+                .run()?;
+            let mut b = BbvAceManager::new(BbvManagerConfig::default(), model);
+            let rb = Experiment::preset(name)
+                .config(cfg.clone())
+                .telemetry(&ctx.telemetry)
+                .run_with(&mut b)?;
+            let mut h = HotspotAceManager::new(HotspotManagerConfig::default(), model);
+            let rh = Experiment::preset(name)
+                .config(cfg)
+                .telemetry(&ctx.telemetry)
+                .run_with(&mut h)?;
+            bbv_sav.push(100.0 * (1.0 - rb.energy.total_nj() / base.energy.total_nj()));
+            hot_sav.push(100.0 * (1.0 - rh.energy.total_nj() / base.energy.total_nj()));
+            hot_slow.push(100.0 * rh.slowdown_vs(&base));
+        }
+        rows.push(vec![
+            format!("{scale}x"),
+            format!("{:.1}", mean(bbv_sav.iter().copied())),
+            format!("{:.1}", mean(hot_sav.iter().copied())),
+            format!(
+                "{}",
+                hot_sav.iter().zip(&bbv_sav).filter(|(h, b)| h > b).count()
+            ),
+            format!("{:.2}", mean(hot_slow.iter().copied())),
+        ]);
+    }
+    outln!(
+        out,
+        "{}",
+        format_table(
+            &[
+                "idle power",
+                "BBV sav%",
+                "hotspot sav%",
+                "hotspot wins (of 7)",
+                "hot slow%"
+            ],
+            &rows
+        )
+    );
+    outln!(
+        out,
+        "\nThe ordering (hotspot > BBV) must hold across the whole sweep; the"
+    );
+    outln!(
+        out,
+        "absolute savings legitimately grow with idle power, since downsizing"
+    );
+    outln!(
+        out,
+        "an idle structure is exactly what adaptation monetizes."
+    );
+    Ok(report)
+}

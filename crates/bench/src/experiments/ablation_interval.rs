@@ -1,0 +1,81 @@
+//! **Ablation: BBV sampling interval** (Section 2.3 / 3.2.1).
+//!
+//! Sweeps the BBV sampling interval. The paper pins it to the L2's 1 M-
+//! instruction reconfiguration interval: shorter intervals are rejected by
+//! the hardware guard (L2 trials bounce), longer ones blur phases and slow
+//! tuning — the "all CUs adapt at the pace of the slowest" limitation that
+//! motivates CU decoupling.
+
+use super::{outln, ExpCtx, Report};
+use crate::{format_table, mean, BenchResult};
+use ace_core::{BbvAceManager, BbvManagerConfig, Experiment, RunConfig};
+use ace_energy::EnergyModel;
+use ace_phase::BbvConfig;
+use ace_workloads::PRESET_NAMES;
+
+pub(super) fn run(ctx: &ExpCtx) -> BenchResult<Report> {
+    let mut report = Report::new("ablation_interval");
+    let model = EnergyModel::default_180nm();
+    let out = &mut report.text;
+    outln!(
+        out,
+        "Ablation: BBV sampling interval sweep (averages over the 7 workloads)\n"
+    );
+    let mut rows = Vec::new();
+    for interval in [250_200u64, 500_200, 1_000_200, 2_000_200, 4_000_200] {
+        let mut stats = Vec::new();
+        for name in PRESET_NAMES {
+            let cfg = RunConfig::default();
+            let base = Experiment::preset(name)
+                .config(cfg.clone())
+                .telemetry(&ctx.telemetry)
+                .run()?;
+            let mut mgr = BbvAceManager::new(
+                BbvManagerConfig {
+                    bbv: BbvConfig {
+                        interval_instr: interval,
+                        ..BbvConfig::default()
+                    },
+                    ..BbvManagerConfig::default()
+                },
+                model,
+            );
+            let r = Experiment::preset(name)
+                .config(cfg)
+                .telemetry(&ctx.telemetry)
+                .run_with(&mut mgr)?;
+            let rep = mgr.report();
+            stats.push((
+                100.0 * rep.stability.stable_fraction(),
+                rep.tuned_phases as f64,
+                100.0 * (1.0 - r.energy.total_nj() / base.energy.total_nj()),
+                100.0 * r.slowdown_vs(&base),
+                r.counters.guard_rejections as f64,
+            ));
+        }
+        rows.push(vec![
+            format!("{:.2}M", interval as f64 / 1e6),
+            format!("{:.0}%", mean(stats.iter().map(|s| s.0))),
+            format!("{:.1}", mean(stats.iter().map(|s| s.1))),
+            format!("{:.1}", mean(stats.iter().map(|s| s.2))),
+            format!("{:.2}", mean(stats.iter().map(|s| s.3))),
+            format!("{:.0}", mean(stats.iter().map(|s| s.4))),
+        ]);
+    }
+    outln!(
+        out,
+        "{}",
+        format_table(
+            &[
+                "interval",
+                "stable",
+                "tuned phases",
+                "energy sav%",
+                "slow%",
+                "guard rej"
+            ],
+            &rows
+        )
+    );
+    Ok(report)
+}

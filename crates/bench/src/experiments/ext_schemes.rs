@@ -1,0 +1,135 @@
+//! **Extension: full scheme comparison** (Section 3.5's qualitative
+//! argument, quantified).
+//!
+//! Five points per workload: the non-adaptive baseline, the original
+//! positional scheme (large-procedure boundaries, no DO system), the BBV
+//! temporal scheme as evaluated in the paper, BBV *with* the next-phase
+//! predictor the paper leaves out, and the DO-based hotspot scheme.
+
+use super::{outln, ExpCtx, Report};
+use crate::{format_table, mean, BenchResult};
+use ace_core::{
+    BbvAceManager, BbvManagerConfig, Experiment, HotspotAceManager, HotspotManagerConfig,
+    PositionalAceManager, PositionalManagerConfig,
+};
+use ace_energy::EnergyModel;
+use ace_workloads::PRESET_NAMES;
+
+pub(super) fn run(ctx: &ExpCtx) -> BenchResult<Report> {
+    let mut report = Report::new("ext_schemes");
+    let model = EnergyModel::default_180nm();
+    let mut rows = Vec::new();
+    let mut agg: Vec<[f64; 8]> = Vec::new();
+
+    for name in PRESET_NAMES {
+        let program = ace_workloads::preset(name).unwrap();
+        let base = Experiment::preset(name).telemetry(&ctx.telemetry).run()?;
+        let sav =
+            |r: &ace_core::RunRecord| 100.0 * (1.0 - r.energy.total_nj() / base.energy.total_nj());
+        let slow = |r: &ace_core::RunRecord| 100.0 * r.slowdown_vs(&base);
+
+        let mut pos =
+            PositionalAceManager::new(&program, PositionalManagerConfig::default(), model);
+        let r_pos = Experiment::preset(name)
+            .telemetry(&ctx.telemetry)
+            .run_with(&mut pos)?;
+
+        let mut bbv = BbvAceManager::new(BbvManagerConfig::default(), model);
+        let r_bbv = Experiment::preset(name)
+            .telemetry(&ctx.telemetry)
+            .run_with(&mut bbv)?;
+
+        let mut bbv_pred = BbvAceManager::new(
+            BbvManagerConfig {
+                use_predictor: true,
+                ..BbvManagerConfig::default()
+            },
+            model,
+        );
+        let r_pred = Experiment::preset(name)
+            .telemetry(&ctx.telemetry)
+            .run_with(&mut bbv_pred)?;
+        let pred_report = bbv_pred.report();
+
+        let mut hs = HotspotAceManager::new(HotspotManagerConfig::default(), model);
+        let r_hs = Experiment::preset(name)
+            .telemetry(&ctx.telemetry)
+            .run_with(&mut hs)?;
+
+        agg.push([
+            sav(&r_pos),
+            slow(&r_pos),
+            sav(&r_bbv),
+            slow(&r_bbv),
+            sav(&r_pred),
+            slow(&r_pred),
+            sav(&r_hs),
+            slow(&r_hs),
+        ]);
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.1}/{:.1}", sav(&r_pos), slow(&r_pos)),
+            format!("{:.1}/{:.1}", sav(&r_bbv), slow(&r_bbv)),
+            format!("{:.1}/{:.1}", sav(&r_pred), slow(&r_pred)),
+            format!("{:.1}/{:.1}", sav(&r_hs), slow(&r_hs)),
+            format!(
+                "{} ({:.0}%)",
+                pred_report.predictions,
+                100.0 * pred_report.prediction_accuracy
+            ),
+        ]);
+    }
+    rows.push(vec![
+        "avg".into(),
+        format!(
+            "{:.1}/{:.1}",
+            mean(agg.iter().map(|a| a[0])),
+            mean(agg.iter().map(|a| a[1]))
+        ),
+        format!(
+            "{:.1}/{:.1}",
+            mean(agg.iter().map(|a| a[2])),
+            mean(agg.iter().map(|a| a[3]))
+        ),
+        format!(
+            "{:.1}/{:.1}",
+            mean(agg.iter().map(|a| a[4])),
+            mean(agg.iter().map(|a| a[5]))
+        ),
+        format!(
+            "{:.1}/{:.1}",
+            mean(agg.iter().map(|a| a[6])),
+            mean(agg.iter().map(|a| a[7]))
+        ),
+        String::new(),
+    ]);
+    let out = &mut report.text;
+    outln!(
+        out,
+        "Extension: scheme comparison (total cache energy saving % / slowdown %)"
+    );
+    outln!(
+        out,
+        "positional = Huang et al. large-procedure boundaries (no DO system);"
+    );
+    outln!(
+        out,
+        "BBV+pred adds the RLE-Markov next-phase predictor the paper omits\n"
+    );
+    outln!(
+        out,
+        "{}",
+        format_table(
+            &[
+                "bench",
+                "positional",
+                "BBV",
+                "BBV+pred",
+                "hotspot",
+                "predictions (acc)"
+            ],
+            &rows
+        )
+    );
+    Ok(report)
+}

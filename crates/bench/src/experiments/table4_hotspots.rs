@@ -1,0 +1,52 @@
+//! **Table 4** — Runtime hotspot characteristics of the SPECjvm98
+//! workloads: dynamic instruction count, number of hotspots, average
+//! hotspot size, % of code in hotspots, average invocations per hotspot,
+//! and hotspot identification latency as % of total execution.
+
+use super::{outln, ExpCtx, Report};
+use crate::{format_table, BenchResult};
+
+pub(super) fn run(ctx: &ExpCtx) -> BenchResult<Report> {
+    let all = ctx.headline()?;
+    let mut report = Report::new("table4_hotspots");
+    let out = &mut report.text;
+    let mut rows = Vec::new();
+    for r in &all {
+        let t = &r.hotspot.table4;
+        rows.push(vec![
+            r.workload.clone(),
+            format!("{:.2e}", t.dynamic_instr as f64),
+            format!("{}", t.hotspots),
+            format!("{}", t.avg_hotspot_size),
+            format!("{:.2}%", t.pct_code_in_hotspots),
+            format!("{:.0}", t.avg_invocations),
+            format!("{:.2}%", t.identification_latency_pct),
+        ]);
+    }
+    outln!(out, "Table 4: runtime hotspot characteristics");
+    outln!(
+        out,
+        "(paper at ~100x scale: 5-11e9 instr, 299-685 hotspots, sizes 15-82K,"
+    );
+    outln!(
+        out,
+        " >99% code in hotspots, 823-13091 invocations, latency 0.2-3.7%)\n"
+    );
+    outln!(
+        out,
+        "{}",
+        format_table(
+            &[
+                "bench",
+                "dyn instr",
+                "hotspots",
+                "avg size",
+                "in hotspots",
+                "invocs",
+                "ident lat"
+            ],
+            &rows
+        )
+    );
+    Ok(report)
+}

@@ -1,0 +1,85 @@
+//! **Table 5** — Runtime characteristics of the hotspot and BBV schemes:
+//! hotspot counts per CU class, tuned fractions, per-/inter-hotspot IPC
+//! CoVs; BBV phase counts, tuned phases, % of intervals in tuned phases,
+//! per-/inter-phase IPC CoVs.
+
+use super::{outln, ExpCtx, Report};
+use crate::{format_table, BenchResult};
+
+pub(super) fn run(ctx: &ExpCtx) -> BenchResult<Report> {
+    let all = ctx.headline()?;
+    let mut report = Report::new("table5_runtime");
+    let out = &mut report.text;
+
+    outln!(out, "Table 5 (hotspot scheme)");
+    outln!(
+        out,
+        "(paper: 85-141 hotspots, 81-94% tuned, per-hotspot CoV 5-10%, inter 43-52%)\n"
+    );
+    let mut rows = Vec::new();
+    for r in &all {
+        let h = &r.hotspot_report;
+        rows.push(vec![
+            r.workload.clone(),
+            format!("{}", h.l1d_hotspots),
+            format!("{}", h.l2_hotspots),
+            format!("{}", h.l1d_hotspots + h.l2_hotspots + h.small_hotspots),
+            format!("{}", h.tuned_hotspots),
+            format!("{:.1}%", 100.0 * h.tuned_fraction()),
+            format!("{:.2}%", 100.0 * h.per_hotspot_ipc_cov),
+            format!("{:.2}%", 100.0 * h.inter_hotspot_ipc_cov),
+        ]);
+    }
+    outln!(
+        out,
+        "{}",
+        format_table(
+            &[
+                "bench",
+                "L1D hs",
+                "L2 hs",
+                "total hs",
+                "tuned",
+                "tuned %",
+                "per-hs CoV",
+                "inter-hs CoV"
+            ],
+            &rows
+        )
+    );
+
+    outln!(out, "Table 5 (BBV scheme)");
+    outln!(
+        out,
+        "(paper: 50-84 phases, 13-35 tuned, 40-93% of intervals in tuned phases,"
+    );
+    outln!(out, " per-phase CoV 4-9%, inter-phase 20-38%)\n");
+    let mut rows = Vec::new();
+    for r in &all {
+        let b = &r.bbv_report;
+        rows.push(vec![
+            r.workload.clone(),
+            format!("{}", b.phases),
+            format!("{}", b.tuned_phases),
+            format!("{:.1}%", 100.0 * b.tuned_interval_fraction()),
+            format!("{:.2}%", 100.0 * b.per_phase_ipc_cov),
+            format!("{:.2}%", 100.0 * b.inter_phase_ipc_cov),
+        ]);
+    }
+    outln!(
+        out,
+        "{}",
+        format_table(
+            &[
+                "bench",
+                "phases",
+                "tuned",
+                "tuned intervals",
+                "per-ph CoV",
+                "inter-ph CoV"
+            ],
+            &rows
+        )
+    );
+    Ok(report)
+}

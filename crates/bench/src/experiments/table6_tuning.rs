@@ -1,0 +1,83 @@
+//! **Table 6** — Tunings, reconfigurations, and coverage of the hotspot
+//! and BBV schemes, per configurable unit.
+
+use super::{outln, ExpCtx, Report};
+use crate::{format_table, BenchResult};
+
+pub(super) fn run(ctx: &ExpCtx) -> BenchResult<Report> {
+    let all = ctx.headline()?;
+    let mut report = Report::new("table6_tuning");
+    let out = &mut report.text;
+
+    outln!(
+        out,
+        "Table 6 (hotspot scheme): per-CU tunings / reconfigs / coverage"
+    );
+    outln!(
+        out,
+        "(paper: L1D tunings 218-506, reconfigs 2.6K-48K, coverage 71-93%;"
+    );
+    outln!(
+        out,
+        " L2 tunings 21-130, reconfigs 396-8514, coverage 57-96%)\n"
+    );
+    let mut rows = Vec::new();
+    for r in &all {
+        let h = &r.hotspot_report;
+        let instr = r.hotspot.instret as f64;
+        rows.push(vec![
+            r.workload.clone(),
+            format!("{}", h.l1d.tunings),
+            format!("{}", h.l1d.reconfigs),
+            format!("{:.1}%", 100.0 * h.l1d.covered_instr as f64 / instr),
+            format!("{}", h.l2.tunings),
+            format!("{}", h.l2.reconfigs),
+            format!("{:.1}%", 100.0 * h.l2.covered_instr as f64 / instr),
+        ]);
+    }
+    outln!(
+        out,
+        "{}",
+        format_table(
+            &[
+                "bench",
+                "L1D tunings",
+                "L1D reconfigs",
+                "L1D cov",
+                "L2 tunings",
+                "L2 reconfigs",
+                "L2 cov"
+            ],
+            &rows
+        )
+    );
+
+    outln!(out, "Table 6 (BBV scheme): tunings / reconfigs / coverage");
+    outln!(
+        out,
+        "(paper: tunings 368-711, reconfigs 192-2018, coverage 48-98%)\n"
+    );
+    let mut rows = Vec::new();
+    for r in &all {
+        let b = &r.bbv_report;
+        rows.push(vec![
+            r.workload.clone(),
+            format!("{}", b.tunings),
+            format!("{}", b.reconfigs),
+            format!(
+                "{:.1}%",
+                100.0 * b.covered_instr as f64 / r.bbv.instret as f64
+            ),
+            format!("{}", b.misattributed_trials),
+        ]);
+    }
+    outln!(
+        out,
+        "{}",
+        format_table(
+            &["bench", "tunings", "reconfigs", "coverage", "discarded"],
+            &rows
+        )
+    );
+    Ok(report)
+}

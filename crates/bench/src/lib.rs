@@ -1,38 +1,54 @@
-//! # ace-bench — experiment harness
+//! # ace-bench — parallel deterministic experiment harness
 //!
 //! Regenerates every table and figure of the paper's evaluation section.
-//! Each experiment is a binary (see `src/bin/`); this library holds the
-//! shared machinery: running one workload under the three schemes
-//! (non-adaptive baseline, BBV, hotspot), caching results as JSON under
-//! `results/`, and formatting report tables.
+//! Each experiment lives in [`experiments`] as a library entry point (the
+//! binaries under `src/bin/` are one-line wrappers); this library holds
+//! the shared machinery:
+//!
+//! * [`engine`] — the work-stealing job pool every run fans out on,
+//! * [`ExperimentSet`] — the builder running workload presets under the
+//!   three headline schemes with content-addressed result caching,
+//! * table/figure formatting helpers.
 //!
 //! Run everything with:
 //!
 //! ```text
-//! cargo run --release -p ace-bench --bin run_all
+//! cargo run --release -p ace-bench --bin run_all -- --jobs 8
 //! ```
+//!
+//! ## Determinism
+//!
+//! Parallel runs are **byte-identical** to serial ones: jobs are keyed and
+//! merged in submission order, each job traces into its own buffered
+//! telemetry handle which the engine replays in that same order, and
+//! cached results are only written from the ordered merge phase. See
+//! [`engine`] for the recipe.
+//!
+//! ## Caching
+//!
+//! A run's cache file name embeds a hash of everything that determines
+//! its outcome ([`cache_key`]): the workload, the crate version, and the
+//! full run configuration. Change any input and the key changes, so stale
+//! results can never be mistaken for fresh ones; pass `--fresh` (or
+//! [`ExperimentSet::fresh`]) to re-run anyway.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use ace_core::{
-    run_with_manager, BbvAceManager, BbvManagerConfig, BbvReport, HotspotAceManager,
-    HotspotManagerConfig, HotspotReport, NullManager, RunConfig, RunRecord,
-};
-use ace_energy::EnergyModel;
+pub mod engine;
+pub mod experiments;
+
+pub use engine::{default_jobs, run_jobs, BenchError, BenchResult, Job, JobOutcome};
+
+use ace_core::{BbvReport, Experiment, HotspotReport, RunConfig, RunRecord, Scheme, SchemeReport};
 use ace_telemetry::Telemetry;
 use ace_workloads::PRESET_NAMES;
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 
-/// Bump when any change invalidates cached results.
-pub const RESULT_VERSION: u32 = 2;
-
 /// The three runs of one workload plus the scheme reports.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SchemeResults {
-    /// Cache-format version stamp.
-    pub version: u32,
     /// Workload name.
     pub workload: String,
     /// Non-adaptive run (maximum cache sizes).
@@ -79,7 +95,274 @@ impl SchemeResults {
     }
 }
 
+/// The schemes [`ExperimentSet`] runs, in run order.
+pub const HEADLINE_SCHEMES: [Scheme; 3] = [Scheme::Baseline, Scheme::Bbv, Scheme::Hotspot];
+
+/// Builder running a set of preset workloads under the three headline
+/// schemes on the parallel [`engine`], with content-addressed caching.
+///
+/// ```no_run
+/// use ace_bench::{ExperimentSet, HEADLINE_SCHEMES};
+///
+/// let results = ExperimentSet::all_presets()
+///     .schemes(&HEADLINE_SCHEMES)
+///     .run_parallel(4)?;
+/// for r in &results {
+///     println!("{}: {:.1}% L1D saved", r.workload, r.hotspot_l1d_saving_pct());
+/// }
+/// # Ok::<(), ace_bench::BenchError>(())
+/// ```
+#[derive(Clone)]
+pub struct ExperimentSet {
+    presets: Vec<String>,
+    schemes: Vec<Scheme>,
+    base: RunConfig,
+    fresh: bool,
+    telemetry: Telemetry,
+    results_dir: Option<PathBuf>,
+}
+
+impl ExperimentSet {
+    /// A set over all seven paper workloads ([`PRESET_NAMES`]).
+    pub fn all_presets() -> ExperimentSet {
+        ExperimentSet::presets(PRESET_NAMES.iter().copied())
+    }
+
+    /// A set over the given preset names (order is preserved in the
+    /// returned results).
+    pub fn presets<I, S>(names: I) -> ExperimentSet
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        ExperimentSet {
+            presets: names.into_iter().map(Into::into).collect(),
+            schemes: HEADLINE_SCHEMES.to_vec(),
+            base: RunConfig::default(),
+            fresh: false,
+            telemetry: Telemetry::off(),
+            results_dir: None,
+        }
+    }
+
+    /// Selects the schemes to run. [`SchemeResults`] records exactly the
+    /// baseline/BBV/hotspot trio, so the set must equal
+    /// [`HEADLINE_SCHEMES`] (any order) — anything else is rejected at
+    /// [`ExperimentSet::run_parallel`] time.
+    pub fn schemes(mut self, schemes: &[Scheme]) -> ExperimentSet {
+        self.schemes = schemes.to_vec();
+        self
+    }
+
+    /// Base [`RunConfig`] shared by every run (default
+    /// [`RunConfig::default`]). Its telemetry handle is ignored; use
+    /// [`ExperimentSet::telemetry`].
+    pub fn config(mut self, base: RunConfig) -> ExperimentSet {
+        self.base = base;
+        self
+    }
+
+    /// Forces fresh runs even when cached results exist.
+    pub fn fresh(mut self, fresh: bool) -> ExperimentSet {
+        self.fresh = fresh;
+        self
+    }
+
+    /// Attaches an observability handle; traced events and metrics arrive
+    /// in deterministic (workload, scheme) order regardless of the pool
+    /// width. Cache hits skip their runs and therefore emit nothing.
+    pub fn telemetry(mut self, telemetry: &Telemetry) -> ExperimentSet {
+        self.telemetry = telemetry.clone();
+        self
+    }
+
+    /// Overrides the cache directory (default: [`results_dir`], i.e. the
+    /// `ACE_RESULTS_DIR` env var or `results/`).
+    pub fn results_dir(mut self, dir: impl Into<PathBuf>) -> ExperimentSet {
+        self.results_dir = Some(dir.into());
+        self
+    }
+
+    /// [`ExperimentSet::run_parallel`] at [`default_jobs`] width.
+    ///
+    /// # Errors
+    ///
+    /// See [`ExperimentSet::run_parallel`].
+    pub fn run(self) -> BenchResult<Vec<SchemeResults>> {
+        let width = default_jobs();
+        self.run_parallel(width)
+    }
+
+    /// Runs every (workload × scheme) pair as a job on a pool of `jobs`
+    /// workers and returns one [`SchemeResults`] per preset, in preset
+    /// order — byte-identical at any pool width.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown preset names, a scheme set other than
+    /// [`HEADLINE_SCHEMES`], or when any run fails; every job still runs,
+    /// and the error aggregates all failures.
+    pub fn run_parallel(self, jobs: usize) -> BenchResult<Vec<SchemeResults>> {
+        {
+            let mut want: Vec<&str> = HEADLINE_SCHEMES.iter().map(|s| s.name()).collect();
+            let mut got: Vec<&str> = self.schemes.iter().map(|s| s.name()).collect();
+            want.sort_unstable();
+            got.sort_unstable();
+            if got != want {
+                return Err(BenchError::msg(format!(
+                    "ExperimentSet runs exactly the baseline/bbv/hotspot trio \
+                     (SchemeResults records those three runs); got {got:?}"
+                )));
+            }
+        }
+
+        let dir = self.results_dir.clone().unwrap_or_else(results_dir);
+
+        // Phase 1: resolve caches; collect jobs for the misses.
+        let mut cached: Vec<Option<SchemeResults>> = Vec::with_capacity(self.presets.len());
+        let mut pool: Vec<Job<ace_core::SchemeRun>> = Vec::new();
+        for name in &self.presets {
+            let path = dir.join(cache_file_name(name, &self.base));
+            if !self.fresh {
+                if let Some(hit) = try_load(&path) {
+                    cached.push(Some(hit));
+                    continue;
+                }
+            }
+            cached.push(None);
+            for scheme in HEADLINE_SCHEMES {
+                let name = name.clone();
+                let base = self.base.clone();
+                pool.push(Job::new(format!("{name}/{}", scheme.name()), move |tel| {
+                    Ok(Experiment::preset(name)
+                        .config(base)
+                        .scheme(scheme)
+                        .telemetry(tel)
+                        .run_scheme()?)
+                }));
+            }
+        }
+
+        // Phase 2: fan out.
+        let outcomes = run_jobs(pool, jobs, &self.telemetry);
+
+        // Phase 3: merge in preset order; write caches; aggregate errors.
+        let mut outcomes = outcomes.into_iter();
+        let mut results = Vec::with_capacity(self.presets.len());
+        let mut failures: Vec<String> = Vec::new();
+        for (name, hit) in self.presets.iter().zip(cached) {
+            if let Some(hit) = hit {
+                results.push(hit);
+                continue;
+            }
+            let mut runs = Vec::with_capacity(HEADLINE_SCHEMES.len());
+            for _ in HEADLINE_SCHEMES {
+                let outcome = outcomes.next().expect("one outcome per job");
+                match outcome.result {
+                    Ok(run) => runs.push(run),
+                    Err(e) => failures.push(format!("{}: {e}", outcome.key)),
+                }
+            }
+            if runs.len() != HEADLINE_SCHEMES.len() {
+                continue; // failure already recorded
+            }
+            let mut runs = runs.into_iter();
+            let baseline = runs.next().expect("baseline run");
+            let bbv = runs.next().expect("bbv run");
+            let hotspot = runs.next().expect("hotspot run");
+            let (SchemeReport::Bbv(bbv_report), SchemeReport::Hotspot(hotspot_report)) =
+                (bbv.report, hotspot.report)
+            else {
+                unreachable!("scheme order is fixed by HEADLINE_SCHEMES")
+            };
+            let assembled = SchemeResults {
+                workload: name.clone(),
+                baseline: baseline.record,
+                bbv: bbv.record,
+                bbv_report,
+                hotspot: hotspot.record,
+                hotspot_report,
+            };
+            let path = dir.join(cache_file_name(name, &self.base));
+            if let Err(e) = save(&path, &assembled) {
+                eprintln!("warning: could not cache {}: {e}", path.display());
+            }
+            results.push(assembled);
+        }
+        if !failures.is_empty() {
+            return Err(BenchError::msg(failures.join("; ")));
+        }
+        Ok(results)
+    }
+}
+
+/// Directory where cached results live: the `ACE_RESULTS_DIR` env var, or
+/// `results/`.
+pub fn results_dir() -> PathBuf {
+    let root = std::env::var("ACE_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
+    PathBuf::from(root)
+}
+
+/// Everything that determines a run's outcome, serialized into the hash.
+/// Fields are owned because the vendored serde derive does not handle
+/// generic (lifetime-parameterised) structs.
+#[derive(Serialize)]
+struct KeyMaterial {
+    workload: String,
+    crate_version: String,
+    machine: ace_sim::MachineConfig,
+    do_config: ace_runtime::DoConfig,
+    energy: ace_energy::EnergyModel,
+    instruction_limit: Option<u64>,
+    workload_seed: Option<u64>,
+}
+
+/// Content-addressed cache key for one workload's [`SchemeResults`]:
+/// 16 hex digits of FNV-1a over the serialized run inputs (workload name,
+/// crate version, machine/DO/energy configuration, instruction limit,
+/// seed). Two configs differing in any of those fields get different
+/// keys; the telemetry handle does not participate (observability never
+/// changes results).
+pub fn cache_key(workload: &str, cfg: &RunConfig) -> String {
+    let material = KeyMaterial {
+        workload: workload.to_string(),
+        crate_version: env!("CARGO_PKG_VERSION").to_string(),
+        machine: cfg.machine.clone(),
+        do_config: cfg.do_config.clone(),
+        energy: cfg.energy,
+        instruction_limit: cfg.instruction_limit,
+        workload_seed: cfg.workload_seed,
+    };
+    let bytes = serde_json::to_string(&material).expect("key material serializes");
+    // FNV-1a 64, dependency-free and stable across platforms.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x1_0000_01b3);
+    }
+    format!("{hash:016x}")
+}
+
+fn cache_file_name(workload: &str, cfg: &RunConfig) -> String {
+    format!("{workload}-{}.json", cache_key(workload, cfg))
+}
+
+fn try_load(path: &Path) -> Option<SchemeResults> {
+    let data = std::fs::read_to_string(path).ok()?;
+    serde_json::from_str(&data).ok()
+}
+
+fn save(path: &Path, results: &SchemeResults) -> std::io::Result<()> {
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    std::fs::create_dir_all(dir)?;
+    // Atomic publish: a reader (or a concurrent run) never sees a torn file.
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    std::fs::write(&tmp, serde_json::to_string(results).expect("serializable"))?;
+    std::fs::rename(&tmp, path)
+}
+
 /// Standard run configuration used by every experiment.
+#[deprecated(since = "0.2.0", note = "use `RunConfig::default()`")]
 pub fn standard_run_config() -> RunConfig {
     RunConfig::default()
 }
@@ -88,120 +371,106 @@ pub fn standard_run_config() -> RunConfig {
 ///
 /// # Panics
 ///
-/// Panics if `name` is not one of [`PRESET_NAMES`] (the Table 2 machine
-/// configuration itself is statically valid).
+/// Panics if `name` is not one of [`PRESET_NAMES`] or a run fails.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `ExperimentSet::presets([name]).fresh(true).run()`"
+)]
 pub fn run_workload(name: &str) -> SchemeResults {
-    run_workload_with(name, &Telemetry::off())
+    run_workload_impl(name, &Telemetry::off())
 }
 
-/// [`run_workload`] with an observability handle: all three scheme runs
-/// share it, so the event stream interleaves baseline promotions with the
-/// adaptive managers' decisions.
+/// [`run_workload`] with an observability handle.
 ///
 /// # Panics
 ///
-/// Panics if `name` is not one of [`PRESET_NAMES`].
+/// Panics if `name` is not one of [`PRESET_NAMES`] or a run fails.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `ExperimentSet::presets([name]).fresh(true).telemetry(t).run()`"
+)]
 pub fn run_workload_with(name: &str, telemetry: &Telemetry) -> SchemeResults {
-    let program = ace_workloads::preset(name).unwrap_or_else(|| panic!("unknown workload {name}"));
-    let cfg = RunConfig {
-        telemetry: telemetry.clone(),
-        ..standard_run_config()
-    };
-    let model = EnergyModel::default_180nm();
-
-    let baseline = run_with_manager(&program, &cfg, &mut NullManager).expect("baseline run");
-
-    let mut bbv_mgr = BbvAceManager::new(BbvManagerConfig::default(), model);
-    let bbv = run_with_manager(&program, &cfg, &mut bbv_mgr).expect("bbv run");
-    let bbv_report = bbv_mgr.report();
-
-    let mut hs_mgr = HotspotAceManager::new(HotspotManagerConfig::default(), model);
-    let hotspot = run_with_manager(&program, &cfg, &mut hs_mgr).expect("hotspot run");
-    let mut hotspot_report = hs_mgr.report();
-    hotspot_report.guard_rejections = hotspot.counters.guard_rejections;
-
-    SchemeResults {
-        version: RESULT_VERSION,
-        workload: name.to_string(),
-        baseline,
-        bbv,
-        bbv_report,
-        hotspot,
-        hotspot_report,
-    }
+    run_workload_impl(name, telemetry)
 }
 
-/// Directory where cached results live.
-pub fn results_dir() -> PathBuf {
-    let root = std::env::var("ACE_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
-    PathBuf::from(root)
+pub(crate) fn run_workload_impl(name: &str, telemetry: &Telemetry) -> SchemeResults {
+    ExperimentSet::presets([name])
+        .fresh(true)
+        .results_dir(std::env::temp_dir().join(format!("ace-uncached-{}", std::process::id())))
+        .telemetry(telemetry)
+        .run_parallel(1)
+        .unwrap_or_else(|e| panic!("workload {name}: {e}"))
+        .pop()
+        .expect("one workload in, one result out")
 }
 
-fn cache_path(name: &str) -> PathBuf {
-    results_dir().join(format!("{name}.json"))
-}
-
-/// Loads cached results for `name`, or runs and caches them. Set
-/// `ACE_FRESH=1` to force re-running.
+/// Loads cached results for `name`, or runs and caches them.
+///
+/// # Panics
+///
+/// Panics if `name` is not one of [`PRESET_NAMES`] or a run fails.
+#[deprecated(since = "0.2.0", note = "use `ExperimentSet::presets([name]).run()`")]
 pub fn load_or_run(name: &str) -> SchemeResults {
-    load_or_run_with(name, &Telemetry::off())
+    load_or_run_impl(name, &Telemetry::off())
 }
 
 /// [`load_or_run`] with an observability handle. A cache hit returns the
-/// stored record without re-running, so it emits no events; set
-/// `ACE_FRESH=1` to force fresh (and therefore fully traced) runs.
+/// stored record without re-running, so it emits no events.
+///
+/// # Panics
+///
+/// Panics if `name` is not one of [`PRESET_NAMES`] or a run fails.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `ExperimentSet::presets([name]).telemetry(t).run()`"
+)]
 pub fn load_or_run_with(name: &str, telemetry: &Telemetry) -> SchemeResults {
-    let path = cache_path(name);
-    if std::env::var("ACE_FRESH").is_err() {
-        if let Some(cached) = try_load(&path) {
-            return cached;
-        }
-    }
-    let results = run_workload_with(name, telemetry);
-    if let Err(e) = save(&path, &results) {
-        eprintln!("warning: could not cache {}: {e}", path.display());
-    }
-    results
+    load_or_run_impl(name, telemetry)
 }
 
-fn try_load(path: &Path) -> Option<SchemeResults> {
-    let data = std::fs::read_to_string(path).ok()?;
-    let parsed: SchemeResults = serde_json::from_str(&data).ok()?;
-    (parsed.version == RESULT_VERSION).then_some(parsed)
+pub(crate) fn load_or_run_impl(name: &str, telemetry: &Telemetry) -> SchemeResults {
+    ExperimentSet::presets([name])
+        .telemetry(telemetry)
+        .run_parallel(1)
+        .unwrap_or_else(|e| panic!("workload {name}: {e}"))
+        .pop()
+        .expect("one workload in, one result out")
 }
 
-fn save(path: &Path, results: &SchemeResults) -> std::io::Result<()> {
-    if let Some(dir) = path.parent() {
-        std::fs::create_dir_all(dir)?;
-    }
-    std::fs::write(path, serde_json::to_string(results).expect("serializable"))
-}
-
-/// Runs (or loads) all seven workloads, in parallel across workloads.
+/// Runs (or loads) all seven workloads in parallel.
+///
+/// # Panics
+///
+/// Panics if any run fails.
+#[deprecated(since = "0.2.0", note = "use `ExperimentSet::all_presets().run()`")]
 pub fn load_or_run_all() -> Vec<SchemeResults> {
-    load_or_run_all_with(&Telemetry::off())
+    load_or_run_all_impl(&Telemetry::off())
 }
 
-/// [`load_or_run_all`] with an observability handle shared by every
-/// worker thread (the sinks are internally synchronised).
+/// [`load_or_run_all`] with an observability handle.
+///
+/// # Panics
+///
+/// Panics if any run fails.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `ExperimentSet::all_presets().telemetry(t).run()`"
+)]
 pub fn load_or_run_all_with(telemetry: &Telemetry) -> Vec<SchemeResults> {
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = PRESET_NAMES
-            .iter()
-            .map(|name| scope.spawn(move || load_or_run_with(name, telemetry)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker"))
-            .collect()
-    })
+    load_or_run_all_impl(telemetry)
+}
+
+pub(crate) fn load_or_run_all_impl(telemetry: &Telemetry) -> Vec<SchemeResults> {
+    ExperimentSet::all_presets()
+        .telemetry(telemetry)
+        .run()
+        .unwrap_or_else(|e| panic!("headline runs: {e}"))
 }
 
 /// Parses the shared `--telemetry <path>` CLI flag: returns a JSONL-file
 /// handle when present, [`Telemetry::off`] otherwise. Exits with a
 /// message if the path cannot be created. Cached results skip their runs
-/// and therefore their events — combine with `ACE_FRESH=1` for a full
-/// trace.
+/// and therefore their events — combine with `--fresh` for a full trace.
 pub fn telemetry_from_args() -> Telemetry {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -294,6 +563,10 @@ pub fn bar_chart(labels: &[&str], series: &[(&str, Vec<f64>)], width: usize) -> 
 }
 
 /// Appends one experiment's formatted output to `results/SUMMARY.md`.
+///
+/// Not thread-safe (read-modify-write): call it from the ordered merge
+/// phase — e.g. via [`experiments::commit_report`] — never from inside a
+/// job.
 pub fn append_summary(section: &str, body: &str) {
     let path = results_dir().join("SUMMARY.md");
     let _ = std::fs::create_dir_all(results_dir());
@@ -396,5 +669,58 @@ mod tests {
         assert!(text.contains("updated"));
         assert!(text.contains("second"));
         assert_eq!(text.matches("## Alpha").count(), 1);
+    }
+
+    #[test]
+    fn cache_key_tracks_config_fields() {
+        let base = RunConfig::default();
+        let key = cache_key("db", &base);
+        assert_eq!(key.len(), 16);
+        // Identical inputs → identical key.
+        assert_eq!(key, cache_key("db", &RunConfig::default()));
+        // Any varying input → different key.
+        let limited = RunConfig {
+            instruction_limit: Some(1_000_000),
+            ..RunConfig::default()
+        };
+        assert_ne!(key, cache_key("db", &limited));
+        let seeded = RunConfig {
+            workload_seed: Some(7),
+            ..RunConfig::default()
+        };
+        assert_ne!(key, cache_key("db", &seeded));
+        assert_ne!(key, cache_key("jess", &base));
+        // Telemetry is observability, not an input: same key either way.
+        let traced = RunConfig {
+            telemetry: Telemetry::counting(),
+            ..RunConfig::default()
+        };
+        assert_eq!(key, cache_key("db", &traced));
+    }
+
+    #[test]
+    fn scheme_set_must_be_the_headline_trio() {
+        let err = ExperimentSet::presets(["db"])
+            .schemes(&[Scheme::Baseline, Scheme::Positional, Scheme::Hotspot])
+            .run_parallel(1)
+            .unwrap_err();
+        assert!(err.to_string().contains("trio"), "{err}");
+        // Order does not matter, membership does.
+        let reordered = [Scheme::Hotspot, Scheme::Baseline, Scheme::Bbv];
+        assert!(ExperimentSet::presets(Vec::<String>::new())
+            .schemes(&reordered)
+            .run_parallel(1)
+            .is_ok());
+    }
+
+    #[test]
+    fn unknown_preset_fails_with_context() {
+        let dir = std::env::temp_dir().join(format!("ace_unknown_{}", std::process::id()));
+        let err = ExperimentSet::presets(["not-a-workload"])
+            .results_dir(dir.clone())
+            .run_parallel(2)
+            .unwrap_err();
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(err.to_string().contains("not-a-workload"), "{err}");
     }
 }

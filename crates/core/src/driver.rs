@@ -1,8 +1,9 @@
 //! The run driver: couples a workload executor, the DO system, the
 //! simulated machine, and an ACE manager into one complete run.
 //!
-//! Every experiment in the evaluation is one or more calls to
-//! [`run_with_manager`]: the baseline uses [`crate::NullManager`], the
+//! Every experiment in the evaluation is one or more
+//! [`crate::Experiment`] runs through this driver: the baseline uses
+//! [`crate::NullManager`], the
 //! paper's scheme [`crate::HotspotAceManager`], the temporal baseline
 //! [`crate::BbvAceManager`], and the ablations [`crate::FixedManager`].
 
@@ -91,15 +92,27 @@ fn saving(ours: f64, base: f64) -> f64 {
 /// # Examples
 ///
 /// ```
-/// use ace_core::{run_with_manager, NullManager, RunConfig};
-/// let program = ace_workloads::preset("db").unwrap();
-/// let cfg = RunConfig { instruction_limit: Some(1_000_000), ..RunConfig::default() };
-/// let record = run_with_manager(&program, &cfg, &mut NullManager)?;
+/// use ace_core::{Experiment, NullManager};
+/// let record = Experiment::preset("db")
+///     .instruction_limit(1_000_000)
+///     .run_with(&mut NullManager)?;
 /// assert!(record.instret >= 1_000_000);
 /// assert!(record.ipc > 0.0);
-/// # Ok::<(), ace_sim::ConfigError>(())
+/// # Ok::<(), ace_core::ExperimentError>(())
 /// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Experiment::preset(..).run()` / `.run_with(&mut mgr)` instead"
+)]
 pub fn run_with_manager<M: AceManager>(
+    program: &Program,
+    cfg: &RunConfig,
+    manager: &mut M,
+) -> Result<RunRecord, ConfigError> {
+    run_with_manager_impl(program, cfg, manager)
+}
+
+pub(crate) fn run_with_manager_impl<M: AceManager>(
     program: &Program,
     cfg: &RunConfig,
     manager: &mut M,
@@ -169,7 +182,21 @@ pub fn run_with_manager<M: AceManager>(
 /// # Panics
 ///
 /// Panics if `entries` is empty.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Experiment::program(p).threaded(entries, quantum)` instead"
+)]
 pub fn run_threaded<M: AceManager>(
+    program: &Program,
+    entries: &[ace_workloads::MethodId],
+    quantum_instr: u64,
+    cfg: &RunConfig,
+    manager: &mut M,
+) -> Result<RunRecord, ConfigError> {
+    run_threaded_impl(program, entries, quantum_instr, cfg, manager)
+}
+
+pub(crate) fn run_threaded_impl<M: AceManager>(
     program: &Program,
     entries: &[ace_workloads::MethodId],
     quantum_instr: u64,
@@ -261,7 +288,7 @@ mod tests {
     #[test]
     fn baseline_run_produces_sane_record() {
         let p = ace_workloads::preset("compress").unwrap();
-        let r = run_with_manager(&p, &small_cfg(3_000_000), &mut NullManager).unwrap();
+        let r = run_with_manager_impl(&p, &small_cfg(3_000_000), &mut NullManager).unwrap();
         assert!(r.instret >= 3_000_000);
         assert!(r.ipc > 0.5 && r.ipc < 4.0, "ipc {}", r.ipc);
         assert!(r.energy.total_nj() > 0.0);
@@ -271,8 +298,8 @@ mod tests {
     #[test]
     fn deterministic_records() {
         let p = ace_workloads::preset("jess").unwrap();
-        let a = run_with_manager(&p, &small_cfg(2_000_000), &mut NullManager).unwrap();
-        let b = run_with_manager(&p, &small_cfg(2_000_000), &mut NullManager).unwrap();
+        let a = run_with_manager_impl(&p, &small_cfg(2_000_000), &mut NullManager).unwrap();
+        let b = run_with_manager_impl(&p, &small_cfg(2_000_000), &mut NullManager).unwrap();
         assert_eq!(a.instret, b.instret);
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.counters, b.counters);
@@ -283,12 +310,12 @@ mod tests {
         // db's working sets are tiny; pinning small caches must save energy
         // with modest slowdown.
         let p = ace_workloads::preset("db").unwrap();
-        let base = run_with_manager(&p, &small_cfg(5_000_000), &mut NullManager).unwrap();
+        let base = run_with_manager_impl(&p, &small_cfg(5_000_000), &mut NullManager).unwrap();
         let mut small = FixedManager::new(AceConfig::both(
             SizeLevel::new(3).unwrap(),
             SizeLevel::new(2).unwrap(),
         ));
-        let r = run_with_manager(&p, &small_cfg(5_000_000), &mut small).unwrap();
+        let r = run_with_manager_impl(&p, &small_cfg(5_000_000), &mut small).unwrap();
         assert!(
             r.l1d_saving_vs(&base) > 0.3,
             "L1D saving {:.3}",
@@ -309,7 +336,7 @@ mod tests {
     #[test]
     fn slowdown_sign_convention() {
         let p = ace_workloads::preset("db").unwrap();
-        let base = run_with_manager(&p, &small_cfg(1_000_000), &mut NullManager).unwrap();
+        let base = run_with_manager_impl(&p, &small_cfg(1_000_000), &mut NullManager).unwrap();
         assert_eq!(base.slowdown_vs(&base), 0.0);
     }
 }

@@ -1,0 +1,433 @@
+//! The typed run façade: [`Experiment`] builds and executes one measured
+//! run, replacing the old free-function surface (`run_with_manager`,
+//! `run_threaded`).
+//!
+//! An experiment names a workload (a preset or an owned [`Program`]),
+//! picks a [`Scheme`], and layers run options on top of
+//! [`RunConfig::default`]:
+//!
+//! ```
+//! use ace_core::{Experiment, Scheme};
+//!
+//! let record = Experiment::preset("javac")
+//!     .scheme(Scheme::Hotspot)
+//!     .seed(7)
+//!     .instruction_limit(2_000_000)
+//!     .run()?;
+//! assert!(record.instret >= 2_000_000);
+//! # Ok::<(), ace_core::ExperimentError>(())
+//! ```
+//!
+//! [`Experiment::run_scheme`] additionally returns the scheme manager's
+//! report, and [`Experiment::run_with`] accepts any hand-built
+//! [`AceManager`] for ablations that perturb a manager's configuration.
+
+use crate::driver::{run_threaded_impl, run_with_manager_impl, RunConfig, RunRecord};
+use crate::{
+    AceConfig, AceManager, BbvAceManager, BbvManagerConfig, BbvReport, FixedManager,
+    HotspotAceManager, HotspotManagerConfig, HotspotReport, NullManager, PositionalAceManager,
+    PositionalManagerConfig, PositionalReport,
+};
+use ace_energy::EnergyModel;
+use ace_runtime::DoConfig;
+use ace_sim::{ConfigError, MachineConfig};
+use ace_telemetry::Telemetry;
+use ace_workloads::{MethodId, Program};
+use std::fmt;
+
+/// The management scheme an [`Experiment`] runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Scheme {
+    /// Non-adaptive baseline: both caches pinned at their largest sizes.
+    Baseline,
+    /// The paper's DO-based hotspot scheme with CU decoupling.
+    Hotspot,
+    /// The temporal baseline: BBV phases + tune-all-combinations.
+    Bbv,
+    /// Huang et al.'s positional scheme (large-procedure boundaries).
+    Positional,
+    /// A fixed configuration installed at start (static-oracle points).
+    Fixed(AceConfig),
+}
+
+impl Scheme {
+    /// Stable lowercase name, used for job keys and CLI flags.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scheme::Baseline => "baseline",
+            Scheme::Hotspot => "hotspot",
+            Scheme::Bbv => "bbv",
+            Scheme::Positional => "positional",
+            Scheme::Fixed(_) => "fixed",
+        }
+    }
+}
+
+/// The scheme manager's end-of-run report, when the scheme produces one.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum SchemeReport {
+    /// Baseline and fixed schemes have nothing to report.
+    None,
+    /// [`Scheme::Bbv`].
+    Bbv(BbvReport),
+    /// [`Scheme::Hotspot`].
+    Hotspot(HotspotReport),
+    /// [`Scheme::Positional`].
+    Positional(PositionalReport),
+}
+
+impl SchemeReport {
+    /// The BBV report, if this is one.
+    pub fn bbv(&self) -> Option<&BbvReport> {
+        match self {
+            SchemeReport::Bbv(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The hotspot report, if this is one.
+    pub fn hotspot(&self) -> Option<&HotspotReport> {
+        match self {
+            SchemeReport::Hotspot(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The positional report, if this is one.
+    pub fn positional(&self) -> Option<&PositionalReport> {
+        match self {
+            SchemeReport::Positional(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// One completed scheme run: the measured record plus the manager report.
+#[derive(Debug, Clone)]
+pub struct SchemeRun {
+    /// Which scheme ran.
+    pub scheme: Scheme,
+    /// The measured run.
+    pub record: RunRecord,
+    /// The scheme manager's report ([`SchemeReport::None`] for baseline
+    /// and fixed runs).
+    pub report: SchemeReport,
+}
+
+/// Errors surfaced by [`Experiment::run`] and friends.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ExperimentError {
+    /// The preset name is not one of [`ace_workloads::PRESET_NAMES`].
+    UnknownWorkload(String),
+    /// The machine configuration was rejected by the simulator.
+    Machine(ConfigError),
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::UnknownWorkload(name) => write!(
+                f,
+                "unknown workload {name:?}; expected one of {:?}",
+                ace_workloads::PRESET_NAMES
+            ),
+            ExperimentError::Machine(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
+impl From<ConfigError> for ExperimentError {
+    fn from(e: ConfigError) -> ExperimentError {
+        ExperimentError::Machine(e)
+    }
+}
+
+enum Source {
+    Preset(String),
+    Program(Box<Program>),
+}
+
+/// Builder for one measured run.
+pub struct Experiment {
+    source: Source,
+    scheme: Scheme,
+    cfg: RunConfig,
+    model: EnergyModel,
+    threading: Option<(Vec<MethodId>, u64)>,
+}
+
+impl Experiment {
+    /// An experiment over the named preset workload. The name is resolved
+    /// when the experiment runs; unknown names yield
+    /// [`ExperimentError::UnknownWorkload`].
+    pub fn preset(name: impl Into<String>) -> Experiment {
+        Experiment::with_source(Source::Preset(name.into()))
+    }
+
+    /// An experiment over a custom [`Program`] (e.g. one built with
+    /// `ace_workloads::ProgramBuilder`).
+    pub fn program(program: Program) -> Experiment {
+        Experiment::with_source(Source::Program(Box::new(program)))
+    }
+
+    fn with_source(source: Source) -> Experiment {
+        let model = EnergyModel::default_180nm();
+        Experiment {
+            source,
+            scheme: Scheme::Baseline,
+            cfg: RunConfig {
+                energy: model,
+                ..RunConfig::default()
+            },
+            model,
+            threading: None,
+        }
+    }
+
+    /// Selects the management scheme (default [`Scheme::Baseline`]).
+    pub fn scheme(mut self, scheme: Scheme) -> Experiment {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Overrides the workload's own executor seed.
+    pub fn seed(mut self, seed: u64) -> Experiment {
+        self.cfg.workload_seed = Some(seed);
+        self
+    }
+
+    /// Caps the run at `limit` dynamic instructions.
+    pub fn instruction_limit(mut self, limit: u64) -> Experiment {
+        self.cfg.instruction_limit = Some(limit);
+        self
+    }
+
+    /// Attaches an observability handle (cloned; handles share sinks).
+    pub fn telemetry(mut self, telemetry: &Telemetry) -> Experiment {
+        self.cfg.telemetry = telemetry.clone();
+        self
+    }
+
+    /// Overrides the machine configuration (Table 2 by default).
+    pub fn machine(mut self, machine: MachineConfig) -> Experiment {
+        self.cfg.machine = machine;
+        self
+    }
+
+    /// Overrides the DO-system configuration.
+    pub fn do_config(mut self, do_config: DoConfig) -> Experiment {
+        self.cfg.do_config = do_config;
+        self
+    }
+
+    /// Uses `model` both to price the run record and to drive the scheme
+    /// managers' tuning objectives.
+    pub fn energy(mut self, model: EnergyModel) -> Experiment {
+        self.cfg.energy = model;
+        self.model = model;
+        self
+    }
+
+    /// Replaces the whole [`RunConfig`] (options set earlier are lost;
+    /// later builder calls still apply on top).
+    pub fn config(mut self, cfg: RunConfig) -> Experiment {
+        self.model = cfg.energy;
+        self.cfg = cfg;
+        self
+    }
+
+    /// Runs the program time-multiplexed over `entries` (one executor per
+    /// entry method) in `quantum_instr` slices — the threading model of
+    /// the dual-threaded mtrt experiment.
+    pub fn threaded(mut self, entries: &[MethodId], quantum_instr: u64) -> Experiment {
+        self.threading = Some((entries.to_vec(), quantum_instr));
+        self
+    }
+
+    fn resolve(&self) -> Result<Program, ExperimentError> {
+        match &self.source {
+            Source::Preset(name) => ace_workloads::preset(name)
+                .ok_or_else(|| ExperimentError::UnknownWorkload(name.clone())),
+            Source::Program(p) => Ok((**p).clone()),
+        }
+    }
+
+    /// Runs under the selected [`Scheme`] and returns the record alone.
+    ///
+    /// # Errors
+    ///
+    /// [`ExperimentError::UnknownWorkload`] for an unknown preset name,
+    /// [`ExperimentError::Machine`] for an invalid machine configuration.
+    pub fn run(self) -> Result<RunRecord, ExperimentError> {
+        Ok(self.run_scheme()?.record)
+    }
+
+    /// Runs under the selected [`Scheme`] and returns the record plus the
+    /// scheme manager's report.
+    ///
+    /// For [`Scheme::Hotspot`] the report's `guard_rejections` is filled
+    /// in from the machine counters, as the evaluation tables expect.
+    ///
+    /// # Errors
+    ///
+    /// See [`Experiment::run`].
+    pub fn run_scheme(self) -> Result<SchemeRun, ExperimentError> {
+        let scheme = self.scheme;
+        let model = self.model;
+        let program = self.resolve()?;
+        let (record, report) = match scheme {
+            Scheme::Baseline => (self.drive(&program, &mut NullManager)?, SchemeReport::None),
+            Scheme::Fixed(config) => (
+                self.drive(&program, &mut FixedManager::new(config))?,
+                SchemeReport::None,
+            ),
+            Scheme::Hotspot => {
+                let mut mgr = HotspotAceManager::new(HotspotManagerConfig::default(), model);
+                let record = self.drive(&program, &mut mgr)?;
+                let mut report = mgr.report();
+                report.guard_rejections = record.counters.guard_rejections;
+                (record, SchemeReport::Hotspot(report))
+            }
+            Scheme::Bbv => {
+                let mut mgr = BbvAceManager::new(BbvManagerConfig::default(), model);
+                let record = self.drive(&program, &mut mgr)?;
+                let report = mgr.report();
+                (record, SchemeReport::Bbv(report))
+            }
+            Scheme::Positional => {
+                let mut mgr =
+                    PositionalAceManager::new(&program, PositionalManagerConfig::default(), model);
+                let record = self.drive(&program, &mut mgr)?;
+                let report = mgr.report();
+                (record, SchemeReport::Positional(report))
+            }
+        };
+        Ok(SchemeRun {
+            scheme,
+            record,
+            report,
+        })
+    }
+
+    /// Runs under a caller-supplied manager, ignoring the selected scheme
+    /// — the escape hatch for ablations that perturb manager
+    /// configurations.
+    ///
+    /// ```
+    /// use ace_core::{Experiment, FixedManager, AceConfig};
+    ///
+    /// let mut mgr = FixedManager::new(AceConfig::default());
+    /// let record = Experiment::preset("db")
+    ///     .instruction_limit(1_000_000)
+    ///     .run_with(&mut mgr)?;
+    /// assert!(record.ipc > 0.0);
+    /// # Ok::<(), ace_core::ExperimentError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// See [`Experiment::run`].
+    pub fn run_with<M: AceManager>(self, manager: &mut M) -> Result<RunRecord, ExperimentError> {
+        let program = self.resolve()?;
+        self.drive(&program, manager)
+    }
+
+    fn drive<M: AceManager>(
+        &self,
+        program: &Program,
+        manager: &mut M,
+    ) -> Result<RunRecord, ExperimentError> {
+        match &self.threading {
+            Some((entries, quantum)) => Ok(run_threaded_impl(
+                program, entries, *quantum, &self.cfg, manager,
+            )?),
+            None => Ok(run_with_manager_impl(program, &self.cfg, manager)?),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_runs_a_preset() {
+        let r = Experiment::preset("db")
+            .instruction_limit(1_000_000)
+            .run()
+            .unwrap();
+        assert!(r.instret >= 1_000_000);
+        assert_eq!(r.workload, "db");
+    }
+
+    #[test]
+    fn unknown_preset_is_an_error() {
+        let err = Experiment::preset("nope").run().unwrap_err();
+        assert!(matches!(err, ExperimentError::UnknownWorkload(_)));
+        assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn scheme_runs_carry_reports() {
+        let run = Experiment::preset("db")
+            .scheme(Scheme::Hotspot)
+            .instruction_limit(2_000_000)
+            .run_scheme()
+            .unwrap();
+        assert!(run.report.hotspot().is_some());
+        assert!(run.report.bbv().is_none());
+
+        let run = Experiment::preset("db")
+            .scheme(Scheme::Bbv)
+            .instruction_limit(2_000_000)
+            .run_scheme()
+            .unwrap();
+        assert!(run.report.bbv().is_some());
+    }
+
+    #[test]
+    fn builder_matches_the_free_function_path() {
+        let a = Experiment::preset("jess")
+            .instruction_limit(2_000_000)
+            .run()
+            .unwrap();
+        let program = ace_workloads::preset("jess").unwrap();
+        let cfg = RunConfig {
+            instruction_limit: Some(2_000_000),
+            ..RunConfig::default()
+        };
+        let b = run_with_manager_impl(&program, &cfg, &mut NullManager).unwrap();
+        assert_eq!(a.counters, b.counters);
+    }
+
+    #[test]
+    fn seed_changes_the_run() {
+        let a = Experiment::preset("db")
+            .instruction_limit(1_000_000)
+            .run()
+            .unwrap();
+        let b = Experiment::preset("db")
+            .seed(0x5EED)
+            .instruction_limit(1_000_000)
+            .run()
+            .unwrap();
+        assert_ne!(a.counters, b.counters, "a new seed perturbs the stream");
+    }
+
+    #[test]
+    fn threaded_experiment_runs() {
+        let (program, entries) = ace_workloads::mtrt_threaded();
+        let r = Experiment::program(program)
+            .threaded(&entries, 500_000)
+            .instruction_limit(4_000_000)
+            .run()
+            .unwrap();
+        assert!(r.instret >= 4_000_000);
+        assert!(r.workload.contains("2T"));
+    }
+}

@@ -142,7 +142,7 @@ impl HotspotReport {
 
 /// The hotspot-based ACE manager.
 ///
-/// Wire it into [`crate::run_with_manager`]; see the crate-level example.
+/// Wire it into an [`crate::Experiment`]; see the crate-level example.
 #[derive(Debug, Clone)]
 pub struct HotspotAceManager {
     config: HotspotManagerConfig,
@@ -421,7 +421,12 @@ impl HotspotAceManager {
         let mut cov_sum = 0.0;
         let mut cov_n = 0u64;
         let mut means = OnlineStats::new();
-        for state in self.states.values() {
+        // Iterate in MethodId order: float accumulation is not associative,
+        // so HashMap's per-process ordering would make reports differ in
+        // the last ULP between otherwise identical runs.
+        let mut ordered: Vec<(&MethodId, &HsState)> = self.states.iter().collect();
+        ordered.sort_by_key(|(m, _)| m.0);
+        for (_, state) in ordered {
             match state.class {
                 HotspotClass::Window => report.window_hotspots += 1,
                 HotspotClass::L1d => report.l1d_hotspots += 1,

@@ -15,30 +15,22 @@
 //!   configurations.
 //! * [`NullManager`] / [`FixedManager`] — the non-adaptive baseline and
 //!   static oracle points.
-//! * [`run_with_manager`] — the driver tying workload, DO system, machine
-//!   and manager into one measured run.
+//! * [`Experiment`] — the typed builder tying workload, DO system,
+//!   machine and manager into one measured run.
 //!
 //! ## Example: compare the two schemes on one workload
 //!
 //! ```no_run
-//! use ace_core::*;
-//! use ace_energy::EnergyModel;
+//! use ace_core::{Experiment, Scheme};
 //!
-//! let program = ace_workloads::preset("db").unwrap();
-//! let cfg = RunConfig::default();
-//!
-//! let base = run_with_manager(&program, &cfg, &mut NullManager)?;
-//! let mut hotspot = HotspotAceManager::new(
-//!     HotspotManagerConfig::default(),
-//!     EnergyModel::default_180nm(),
-//! );
-//! let ours = run_with_manager(&program, &cfg, &mut hotspot)?;
+//! let base = Experiment::preset("db").run()?;
+//! let ours = Experiment::preset("db").scheme(Scheme::Hotspot).run()?;
 //! println!(
 //!     "L1D energy saving: {:.0}%, slowdown: {:.2}%",
 //!     100.0 * ours.l1d_saving_vs(&base),
 //!     100.0 * ours.slowdown_vs(&base),
 //! );
-//! # Ok::<(), ace_sim::ConfigError>(())
+//! # Ok::<(), ace_core::ExperimentError>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -47,6 +39,7 @@
 mod bbv_mgr;
 mod cu;
 mod driver;
+mod experiment;
 mod hotspot;
 mod manager;
 mod measure;
@@ -55,7 +48,10 @@ mod tuner;
 
 pub use bbv_mgr::{BbvAceManager, BbvManagerConfig, BbvReport};
 pub use cu::{combined_list, single_cu_list, AceConfig};
-pub use driver::{run_threaded, run_with_manager, RunConfig, RunRecord};
+#[allow(deprecated)]
+pub use driver::{run_threaded, run_with_manager};
+pub use driver::{RunConfig, RunRecord};
+pub use experiment::{Experiment, ExperimentError, Scheme, SchemeReport, SchemeRun};
 pub use hotspot::{CuSchemeStats, HotspotAceManager, HotspotManagerConfig, HotspotReport};
 pub use manager::{AceManager, FixedManager, NullManager};
 pub use measure::{Measurement, Probe};

@@ -13,7 +13,7 @@ use crate::cu::AceConfig;
 use ace_runtime::DoEvent;
 use ace_sim::{Block, Machine};
 
-/// Policy hooks invoked by the [`crate::run_with_manager`] driver.
+/// Policy hooks invoked by the run driver (see [`crate::Experiment`]).
 ///
 /// All methods default to no-ops so a manager only implements the hooks
 /// its scheme needs.

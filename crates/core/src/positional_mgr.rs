@@ -88,7 +88,7 @@ pub struct PositionalReport {
 /// # Examples
 ///
 /// ```no_run
-/// use ace_core::{run_with_manager, PositionalAceManager, PositionalManagerConfig, RunConfig};
+/// use ace_core::{Experiment, PositionalAceManager, PositionalManagerConfig};
 /// use ace_energy::EnergyModel;
 /// let program = ace_workloads::preset("jess").unwrap();
 /// let mut mgr = PositionalAceManager::new(
@@ -96,9 +96,9 @@ pub struct PositionalReport {
 ///     PositionalManagerConfig::default(),
 ///     EnergyModel::default_180nm(),
 /// );
-/// let record = run_with_manager(&program, &RunConfig::default(), &mut mgr)?;
+/// let record = Experiment::program(program).run_with(&mut mgr)?;
 /// println!("saved {:.1}%", 100.0 * (1.0 - record.energy.total_nj() / 1.0));
-/// # Ok::<(), ace_sim::ConfigError>(())
+/// # Ok::<(), ace_core::ExperimentError>(())
 /// ```
 #[derive(Debug)]
 pub struct PositionalAceManager {
@@ -139,7 +139,11 @@ impl PositionalAceManager {
         };
         let mut cov_sum = 0.0;
         let mut cov_n = 0u64;
-        for s in self.states.values() {
+        // MethodId order, not HashMap order: float accumulation must not
+        // depend on the per-process hash seed (see HotspotDetection::report).
+        let mut ordered: Vec<(&MethodId, &ProcState)> = self.states.iter().collect();
+        ordered.sort_by_key(|(m, _)| m.0);
+        for (_, s) in ordered {
             if s.tuner.is_done() {
                 r.tuned += 1;
             }
@@ -243,7 +247,7 @@ impl AceManager for PositionalAceManager {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::driver::{run_with_manager, RunConfig};
+    use crate::driver::{run_with_manager_impl as run_with_manager, RunConfig};
     use crate::manager::NullManager;
 
     fn limited(limit: u64) -> RunConfig {

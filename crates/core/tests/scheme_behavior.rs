@@ -3,7 +3,7 @@
 //! degenerate inputs that a full workload run would not isolate.
 
 use ace_core::{
-    run_with_manager, AceManager, HotspotAceManager, HotspotManagerConfig, NullManager, RunConfig,
+    AceManager, Experiment, HotspotAceManager, HotspotManagerConfig, NullManager, RunConfig,
 };
 use ace_energy::EnergyModel;
 use ace_runtime::{DoEvent, HotspotClass};
@@ -198,7 +198,10 @@ fn single_method_program_runs_every_scheme() {
     let program = b.entry(main).build().unwrap();
     let cfg = RunConfig::default();
 
-    let base = run_with_manager(&program, &cfg, &mut NullManager).unwrap();
+    let base = Experiment::program(program.clone())
+        .config(cfg.clone())
+        .run_with(&mut NullManager)
+        .unwrap();
     assert!(base.instret >= 2_500_000);
     // main is invoked once: never promoted, so the adaptive scheme changes
     // nothing — but it must not crash or mis-handle the lone exit.
@@ -206,7 +209,10 @@ fn single_method_program_runs_every_scheme() {
         HotspotManagerConfig::default(),
         EnergyModel::default_180nm(),
     );
-    let r = run_with_manager(&program, &cfg, &mut mgr).unwrap();
+    let r = Experiment::program(program.clone())
+        .config(cfg.clone())
+        .run_with(&mut mgr)
+        .unwrap();
     assert_eq!(r.table4.hotspots, 0);
     assert_eq!(mgr.tracked_hotspots(), 0);
     assert!(
@@ -241,14 +247,21 @@ fn tuning_respects_the_hardware_guard() {
 
 #[test]
 fn threaded_run_is_deterministic_and_balanced() {
-    use ace_core::run_threaded;
     let (program, entries) = ace_workloads::mtrt_threaded();
     let cfg = RunConfig {
         instruction_limit: Some(8_000_000),
         ..RunConfig::default()
     };
-    let a = run_threaded(&program, &entries, 500_000, &cfg, &mut NullManager).unwrap();
-    let b = run_threaded(&program, &entries, 500_000, &cfg, &mut NullManager).unwrap();
+    let a = Experiment::program(program.clone())
+        .config(cfg.clone())
+        .threaded(&entries, 500_000)
+        .run_with(&mut NullManager)
+        .unwrap();
+    let b = Experiment::program(program.clone())
+        .config(cfg.clone())
+        .threaded(&entries, 500_000)
+        .run_with(&mut NullManager)
+        .unwrap();
     assert_eq!(a.counters, b.counters, "threaded runs are deterministic");
     assert!(a.instret >= 8_000_000);
     assert!(a.ipc > 1.0);
@@ -256,14 +269,17 @@ fn threaded_run_is_deterministic_and_balanced() {
 
 #[test]
 fn threaded_run_detects_hotspots_in_both_threads() {
-    use ace_core::run_threaded;
     let (program, entries) = ace_workloads::mtrt_threaded();
     let cfg = RunConfig::default();
     let mut mgr = HotspotAceManager::new(
         HotspotManagerConfig::default(),
         EnergyModel::default_180nm(),
     );
-    let r = run_threaded(&program, &entries, 1_000_000, &cfg, &mut mgr).unwrap();
+    let r = Experiment::program(program.clone())
+        .config(cfg)
+        .threaded(&entries, 1_000_000)
+        .run_with(&mut mgr)
+        .unwrap();
     // Both threads contribute hotspots (their method names are disjoint).
     let mut t0 = 0;
     let mut t1 = 0;
@@ -279,7 +295,6 @@ fn threaded_run_detects_hotspots_in_both_threads() {
 
 #[test]
 fn quantum_size_bounds_thread_blending() {
-    use ace_core::run_threaded;
     let (program, entries) = ace_workloads::mtrt_threaded();
     let cfg = RunConfig {
         instruction_limit: Some(20_000_000),
@@ -288,8 +303,16 @@ fn quantum_size_bounds_thread_blending() {
     // Tiny quanta blend threads into every measurement window; huge quanta
     // approach back-to-back execution. Both must run to completion with
     // consistent totals.
-    let fine = run_threaded(&program, &entries, 100_000, &cfg, &mut NullManager).unwrap();
-    let coarse = run_threaded(&program, &entries, 5_000_000, &cfg, &mut NullManager).unwrap();
+    let fine = Experiment::program(program.clone())
+        .config(cfg.clone())
+        .threaded(&entries, 100_000)
+        .run_with(&mut NullManager)
+        .unwrap();
+    let coarse = Experiment::program(program.clone())
+        .config(cfg.clone())
+        .threaded(&entries, 5_000_000)
+        .run_with(&mut NullManager)
+        .unwrap();
     assert_eq!(fine.instret / 1_000_000, coarse.instret / 1_000_000);
     // Finer multiplexing costs more context switches (drain cycles).
     assert!(fine.cycles > coarse.cycles);

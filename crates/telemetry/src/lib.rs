@@ -58,7 +58,7 @@ mod sink;
 pub use event::{Cu, Event, EventKind, ReconfigCause, Scope};
 pub use metrics::{Counter, Gauge, Histogram, Metrics, ScopedTimer};
 pub use ring::RingBufferSink;
-pub use sink::{JsonlSink, NullSink, Sink};
+pub use sink::{JsonlSink, MemorySink, NullSink, Sink};
 
 use std::fmt;
 use std::io;
@@ -119,6 +119,35 @@ impl Telemetry {
     /// Enables telemetry writing JSONL to `path` (truncated on open).
     pub fn jsonl(path: impl AsRef<Path>) -> io::Result<Telemetry> {
         Ok(Telemetry::new(JsonlSink::create(path)?))
+    }
+
+    /// Enables telemetry buffering every event in memory; returns the sink
+    /// too so the caller can [`MemorySink::drain`] the events later.
+    ///
+    /// This is the per-job handle of the parallel experiment engine: each
+    /// job records into its own buffer, and the parent absorbs the buffers
+    /// in deterministic job order via [`Telemetry::absorb_child`].
+    pub fn buffered() -> (Telemetry, Arc<MemorySink>) {
+        let sink = Arc::new(MemorySink::new());
+        (Telemetry::new(Arc::clone(&sink)), sink)
+    }
+
+    /// Replays `events` into this handle's sink and counts, then folds the
+    /// child's metrics registry into this one. No-op when disabled.
+    ///
+    /// Calling this once per job, in the same order a serial run would
+    /// have executed the jobs, reproduces the serial event stream and
+    /// metric totals exactly (wall-clock timer samples aside).
+    pub fn absorb_child(&self, child: &Telemetry, events: &[Event]) {
+        if !self.is_enabled() {
+            return;
+        }
+        for event in events {
+            self.emit(|| *event);
+        }
+        if let (Some(mine), Some(theirs)) = (self.metrics(), child.metrics()) {
+            mine.absorb(theirs);
+        }
     }
 
     /// Whether this handle records anything.

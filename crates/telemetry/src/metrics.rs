@@ -137,6 +137,18 @@ impl Histogram {
             .map(|b| b.load(Ordering::Relaxed))
             .collect()
     }
+
+    /// Adds another histogram's buckets, count, and sum into this one.
+    /// Both histograms must share the same bounds.
+    pub fn merge_from(&self, other: &Histogram) {
+        debug_assert_eq!(self.bounds(), other.bounds());
+        let core = &*self.0;
+        for (mine, theirs) in core.buckets.iter().zip(other.0.buckets.iter()) {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        core.count.fetch_add(other.count(), Ordering::Relaxed);
+        add_f64(&core.sum_bits, other.sum());
+    }
 }
 
 /// Records wall-clock milliseconds into a histogram when dropped.
@@ -241,6 +253,34 @@ impl Metrics {
             hist: self.histogram(name, &timer_bounds()),
             start: Instant::now(),
             armed: true,
+        }
+    }
+
+    /// Folds another registry into this one: counters add, histograms
+    /// merge bucket-wise, gauges take `other`'s value (last write wins —
+    /// callers absorb in a deterministic order).
+    ///
+    /// Used by the experiment engine to combine the per-job registries of
+    /// a parallel run into the one summary a serial run would have built.
+    pub fn absorb(&self, other: &Metrics) {
+        for (name, c) in other.counters.read().expect("metrics lock").iter() {
+            self.counter(name).add(c.get());
+        }
+        for (name, g) in other.gauges.read().expect("metrics lock").iter() {
+            self.gauge(name).set(g.get());
+        }
+        for (name, h) in other.histograms.read().expect("metrics lock").iter() {
+            let mine = self.histogram(name, h.bounds());
+            if mine.bounds() == h.bounds() {
+                mine.merge_from(h);
+            } else {
+                // Bounds mismatch (first registration wins): preserve the
+                // count and sum by replaying the other side's mean.
+                let (n, mean) = (h.count(), h.mean());
+                for _ in 0..n {
+                    mine.record(mean);
+                }
+            }
         }
     }
 

@@ -47,6 +47,53 @@ impl Sink for NullSink {
     fn record(&self, _event: &Event) {}
 }
 
+/// Unbounded in-memory event buffer.
+///
+/// The experiment engine hands each parallel job its own buffered
+/// [`crate::Telemetry`] handle backed by one of these, then drains the
+/// buffers **in job-key order** into the parent handle, so a parallel run
+/// replays the same event sequence a serial run would have produced.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// Creates an empty buffer.
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// Removes and returns every buffered event, in emission order.
+    pub fn drain(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.events.lock().expect("memory sink poisoned"))
+    }
+
+    /// Copies the buffered events without draining them.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.events.lock().expect("memory sink poisoned").clone()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("memory sink poisoned").len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&self, event: &Event) {
+        self.events
+            .lock()
+            .expect("memory sink poisoned")
+            .push(*event);
+    }
+}
+
 /// Buffered line-per-event JSON writer.
 ///
 /// Each event is serialised with the externally tagged enum encoding, e.g.

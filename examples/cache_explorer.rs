@@ -6,7 +6,7 @@
 //! cargo run --release --example cache_explorer [workload]
 //! ```
 
-use ace::core::{run_with_manager, AceConfig, FixedManager, NullManager, RunConfig};
+use ace::core::{AceConfig, Experiment, Scheme};
 use ace::sim::SizeLevel;
 use std::error::Error;
 
@@ -14,11 +14,8 @@ fn main() -> Result<(), Box<dyn Error>> {
     let name = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "mpeg".to_string());
-    let program =
-        ace::workloads::preset(&name).ok_or_else(|| format!("unknown workload {name:?}"))?;
-    let cfg = RunConfig::default();
 
-    let base = run_with_manager(&program, &cfg, &mut NullManager)?;
+    let base = Experiment::preset(name.as_str()).run()?;
     println!(
         "{name}: baseline IPC {:.3}, cache energy {:.2} mJ",
         base.ipc,
@@ -32,11 +29,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         let l1d_size = 64 >> l1d;
         print!("{l1d_size:>3}KB ");
         for l2 in 0..4u8 {
-            let mut mgr = FixedManager::new(AceConfig::both(
-                SizeLevel::new(l1d).unwrap(),
-                SizeLevel::new(l2).unwrap(),
-            ));
-            let r = run_with_manager(&program, &cfg, &mut mgr)?;
+            let fixed = AceConfig::both(SizeLevel::new(l1d).unwrap(), SizeLevel::new(l2).unwrap());
+            let r = Experiment::preset(name.as_str())
+                .scheme(Scheme::Fixed(fixed))
+                .run()?;
             let saving = 100.0 * (1.0 - r.energy.total_nj() / base.energy.total_nj());
             let slow = 100.0 * r.slowdown_vs(&base);
             // The oracle obeys the same 2% performance bound as the tuners.

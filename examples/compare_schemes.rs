@@ -7,8 +7,7 @@
 //! ```
 
 use ace::core::{
-    run_with_manager, BbvAceManager, BbvManagerConfig, HotspotAceManager, HotspotManagerConfig,
-    NullManager, RunConfig,
+    BbvAceManager, BbvManagerConfig, Experiment, HotspotAceManager, HotspotManagerConfig,
 };
 use ace::energy::EnergyModel;
 use std::error::Error;
@@ -19,17 +18,16 @@ fn main() -> Result<(), Box<dyn Error>> {
         .unwrap_or_else(|| "jess".to_string());
     let program =
         ace::workloads::preset(&name).ok_or_else(|| format!("unknown workload {name:?}"))?;
-    let cfg = RunConfig::default();
     let model = EnergyModel::default_180nm();
 
-    let baseline = run_with_manager(&program, &cfg, &mut NullManager)?;
+    let baseline = Experiment::program(program.clone()).run()?;
 
     let mut bbv = BbvAceManager::new(BbvManagerConfig::default(), model);
-    let bbv_run = run_with_manager(&program, &cfg, &mut bbv)?;
+    let bbv_run = Experiment::program(program.clone()).run_with(&mut bbv)?;
     let bbv_report = bbv.report();
 
     let mut hs = HotspotAceManager::new(HotspotManagerConfig::default(), model);
-    let hs_run = run_with_manager(&program, &cfg, &mut hs)?;
+    let hs_run = Experiment::program(program).run_with(&mut hs)?;
     let hs_report = hs.report();
 
     println!(

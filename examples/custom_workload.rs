@@ -10,9 +10,7 @@
 //! cargo run --release --example custom_workload
 //! ```
 
-use ace::core::{
-    run_with_manager, HotspotAceManager, HotspotManagerConfig, NullManager, RunConfig,
-};
+use ace::core::{Experiment, HotspotAceManager, HotspotManagerConfig};
 use ace::energy::EnergyModel;
 use ace::workloads::{MemPattern, ProgramBuilder, Stmt, Walk};
 use std::error::Error;
@@ -102,13 +100,12 @@ fn main() -> Result<(), Box<dyn Error>> {
         program.static_size(frame_m),
     );
 
-    let cfg = RunConfig::default();
-    let baseline = run_with_manager(&program, &cfg, &mut NullManager)?;
+    let baseline = Experiment::program(program.clone()).run()?;
     let mut mgr = HotspotAceManager::new(
         HotspotManagerConfig::default(),
         EnergyModel::default_180nm(),
     );
-    let adaptive = run_with_manager(&program, &cfg, &mut mgr)?;
+    let adaptive = Experiment::program(program.clone()).run_with(&mut mgr)?;
 
     println!();
     for (method, class, tuner, mean_ipc, _cov, n) in mgr.hotspot_details() {

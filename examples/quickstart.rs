@@ -5,9 +5,7 @@
 //! cargo run --release --example quickstart [workload]
 //! ```
 
-use ace::core::{
-    run_with_manager, HotspotAceManager, HotspotManagerConfig, NullManager, RunConfig,
-};
+use ace::core::{Experiment, HotspotAceManager, HotspotManagerConfig};
 use ace::energy::EnergyModel;
 use std::error::Error;
 
@@ -25,10 +23,9 @@ fn main() -> Result<(), Box<dyn Error>> {
         program.name(),
         program.method_count()
     );
-    let cfg = RunConfig::default();
 
     // Baseline: both configurable caches pinned at their largest sizes.
-    let baseline = run_with_manager(&program, &cfg, &mut NullManager)?;
+    let baseline = Experiment::program(program.clone()).run()?;
     println!(
         "baseline : {:>11} instructions, IPC {:.3}, cache energy {:.2} mJ",
         baseline.instret,
@@ -41,7 +38,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         HotspotManagerConfig::default(),
         EnergyModel::default_180nm(),
     );
-    let adaptive = run_with_manager(&program, &cfg, &mut manager)?;
+    let adaptive = Experiment::program(program).run_with(&mut manager)?;
     let report = manager.report();
 
     println!(

@@ -8,23 +8,20 @@
 //! cargo run --release --example telemetry_trace
 //! ```
 
-use ace::core::{run_with_manager, HotspotAceManager, HotspotManagerConfig, RunConfig};
+use ace::core::{Experiment, ExperimentError, HotspotAceManager, HotspotManagerConfig};
 use ace::energy::EnergyModel;
 use ace::telemetry::{Event, Telemetry};
 
-fn main() -> Result<(), ace::sim::ConfigError> {
-    let program = ace::workloads::preset("compress").expect("compress is a built-in preset");
+fn main() -> Result<(), ExperimentError> {
     let (telemetry, ring) = Telemetry::ring(65_536);
-    let cfg = RunConfig {
-        instruction_limit: Some(60_000_000),
-        telemetry: telemetry.clone(),
-        ..RunConfig::default()
-    };
     let mut mgr = HotspotAceManager::new(
         HotspotManagerConfig::default(),
         EnergyModel::default_180nm(),
     );
-    let record = run_with_manager(&program, &cfg, &mut mgr)?;
+    let record = Experiment::preset("compress")
+        .instruction_limit(60_000_000)
+        .telemetry(&telemetry)
+        .run_with(&mut mgr)?;
 
     let mut events = ring.snapshot();
     events.sort_by_key(Event::timestamp);

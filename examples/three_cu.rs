@@ -7,9 +7,7 @@
 //! cargo run --release --example three_cu [workload]
 //! ```
 
-use ace::core::{
-    run_with_manager, HotspotAceManager, HotspotManagerConfig, NullManager, RunConfig,
-};
+use ace::core::{Experiment, HotspotAceManager, HotspotManagerConfig, RunConfig};
 use ace::energy::EnergyModel;
 use ace::runtime::DoConfig;
 use std::error::Error;
@@ -18,8 +16,6 @@ fn main() -> Result<(), Box<dyn Error>> {
     let name = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "mpeg".to_string());
-    let program =
-        ace::workloads::preset(&name).ok_or_else(|| format!("unknown workload {name:?}"))?;
     let model = EnergyModel::default_180nm_with_window();
 
     // Two-CU run (the paper's evaluation), window powered but not adapted.
@@ -27,9 +23,13 @@ fn main() -> Result<(), Box<dyn Error>> {
         energy: model,
         ..RunConfig::default()
     };
-    let base = run_with_manager(&program, &cfg2, &mut NullManager)?;
+    let base = Experiment::preset(name.as_str())
+        .config(cfg2.clone())
+        .run()?;
     let mut two = HotspotAceManager::new(HotspotManagerConfig::default(), model);
-    let r2 = run_with_manager(&program, &cfg2, &mut two)?;
+    let r2 = Experiment::preset(name.as_str())
+        .config(cfg2)
+        .run_with(&mut two)?;
 
     // Three-CU run: hotspots of 5-50K instructions adapt the window.
     let cfg3 = RunConfig {
@@ -38,7 +38,9 @@ fn main() -> Result<(), Box<dyn Error>> {
         ..RunConfig::default()
     };
     let mut three = HotspotAceManager::new(HotspotManagerConfig::default(), model);
-    let r3 = run_with_manager(&program, &cfg3, &mut three)?;
+    let r3 = Experiment::preset(name.as_str())
+        .config(cfg3)
+        .run_with(&mut three)?;
     let rep = three.report();
 
     println!(

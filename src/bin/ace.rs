@@ -11,9 +11,9 @@
 //! ```
 
 use ace::core::{
-    run_with_manager, AceConfig, BbvAceManager, BbvManagerConfig, FixedManager, HotspotAceManager,
-    HotspotManagerConfig, NullManager, PositionalAceManager, PositionalManagerConfig, RunConfig,
-    RunRecord,
+    AceConfig, BbvAceManager, BbvManagerConfig, Experiment, HotspotAceManager,
+    HotspotManagerConfig, PositionalAceManager, PositionalManagerConfig, RunConfig, RunRecord,
+    Scheme,
 };
 use ace::energy::EnergyModel;
 use ace::sim::{record_trace, Block, BlockSource, Machine, MachineConfig, SizeLevel, TraceReader};
@@ -118,13 +118,17 @@ fn cmd_run(args: &[String]) -> Result<(), Box<dyn Error>> {
     }
     let model = EnergyModel::default_180nm();
 
-    let base = run_with_manager(&program, &cfg, &mut NullManager)?;
+    let base = Experiment::program(program.clone())
+        .config(cfg.clone())
+        .run()?;
     summarize("baseline", &base, None);
     match scheme.as_str() {
         "baseline" => {}
         "hotspot" => {
             let mut mgr = HotspotAceManager::new(HotspotManagerConfig::default(), model);
-            let r = run_with_manager(&program, &cfg, &mut mgr)?;
+            let r = Experiment::program(program.clone())
+                .config(cfg.clone())
+                .run_with(&mut mgr)?;
             summarize("hotspot", &r, Some(&base));
             let rep = mgr.report();
             println!(
@@ -138,7 +142,9 @@ fn cmd_run(args: &[String]) -> Result<(), Box<dyn Error>> {
         }
         "bbv" => {
             let mut mgr = BbvAceManager::new(BbvManagerConfig::default(), model);
-            let r = run_with_manager(&program, &cfg, &mut mgr)?;
+            let r = Experiment::program(program.clone())
+                .config(cfg.clone())
+                .run_with(&mut mgr)?;
             summarize("bbv", &r, Some(&base));
             let rep = mgr.report();
             println!(
@@ -151,7 +157,9 @@ fn cmd_run(args: &[String]) -> Result<(), Box<dyn Error>> {
         "positional" => {
             let mut mgr =
                 PositionalAceManager::new(&program, PositionalManagerConfig::default(), model);
-            let r = run_with_manager(&program, &cfg, &mut mgr)?;
+            let r = Experiment::program(program.clone())
+                .config(cfg.clone())
+                .run_with(&mut mgr)?;
             summarize("positional", &r, Some(&base));
             let rep = mgr.report();
             println!(
@@ -167,18 +175,16 @@ fn cmd_run(args: &[String]) -> Result<(), Box<dyn Error>> {
 fn cmd_sweep(args: &[String]) -> Result<(), Box<dyn Error>> {
     let name = args.first().ok_or("usage: ace sweep <workload>")?;
     let program = load_program(name)?;
-    let cfg = RunConfig::default();
-    let base = run_with_manager(&program, &cfg, &mut NullManager)?;
+    let base = Experiment::program(program.clone()).run()?;
     println!("{name}: energy saving % / slowdown % per fixed configuration");
     println!("L1D\\L2     1MB        512KB       256KB       128KB");
     for l1d in 0..4u8 {
         print!("{:>4}KB", 64 >> l1d);
         for l2 in 0..4u8 {
-            let mut mgr = FixedManager::new(AceConfig::both(
-                SizeLevel::new(l1d).unwrap(),
-                SizeLevel::new(l2).unwrap(),
-            ));
-            let r = run_with_manager(&program, &cfg, &mut mgr)?;
+            let fixed = AceConfig::both(SizeLevel::new(l1d).unwrap(), SizeLevel::new(l2).unwrap());
+            let r = Experiment::program(program.clone())
+                .scheme(Scheme::Fixed(fixed))
+                .run()?;
             print!(
                 "  {:>5.1}/{:<4.1}",
                 100.0 * (1.0 - r.energy.total_nj() / base.energy.total_nj()),

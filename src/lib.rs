@@ -19,20 +19,12 @@
 //! ## Quickstart
 //!
 //! ```no_run
-//! use ace::core::{run_with_manager, HotspotAceManager, HotspotManagerConfig,
-//!                 NullManager, RunConfig};
-//! use ace::energy::EnergyModel;
+//! use ace::core::{Experiment, Scheme};
 //!
-//! let program = ace::workloads::preset("db").unwrap();
-//! let cfg = RunConfig::default();
-//! let baseline = run_with_manager(&program, &cfg, &mut NullManager)?;
-//! let mut mgr = HotspotAceManager::new(
-//!     HotspotManagerConfig::default(),
-//!     EnergyModel::default_180nm(),
-//! );
-//! let adaptive = run_with_manager(&program, &cfg, &mut mgr)?;
+//! let baseline = Experiment::preset("db").run()?;
+//! let adaptive = Experiment::preset("db").scheme(Scheme::Hotspot).run()?;
 //! println!("L1D energy saving: {:.0}%", 100.0 * adaptive.l1d_saving_vs(&baseline));
-//! # Ok::<(), ace::sim::ConfigError>(())
+//! # Ok::<(), ace::core::ExperimentError>(())
 //! ```
 
 #![forbid(unsafe_code)]

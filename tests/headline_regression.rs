@@ -11,8 +11,7 @@
 //! records — so calibration drift fails loudly instead of silently.
 
 use ace::core::{
-    run_with_manager, BbvAceManager, BbvManagerConfig, HotspotAceManager, HotspotManagerConfig,
-    NullManager, RunConfig,
+    BbvAceManager, BbvManagerConfig, Experiment, HotspotAceManager, HotspotManagerConfig,
 };
 use ace::energy::EnergyModel;
 
@@ -23,15 +22,13 @@ struct Outcome {
 }
 
 fn run_pair(name: &str) -> (Outcome, Outcome) {
-    let program = ace::workloads::preset(name).unwrap();
-    let cfg = RunConfig::default();
     let model = EnergyModel::default_180nm();
-    let base = run_with_manager(&program, &cfg, &mut NullManager).unwrap();
+    let base = Experiment::preset(name).run().unwrap();
 
     let mut bbv = BbvAceManager::new(BbvManagerConfig::default(), model);
-    let b = run_with_manager(&program, &cfg, &mut bbv).unwrap();
+    let b = Experiment::preset(name).run_with(&mut bbv).unwrap();
     let mut hs = HotspotAceManager::new(HotspotManagerConfig::default(), model);
-    let h = run_with_manager(&program, &cfg, &mut hs).unwrap();
+    let h = Experiment::preset(name).run_with(&mut hs).unwrap();
 
     let mk = |r: &ace::core::RunRecord| Outcome {
         l1d_saving: 100.0 * r.l1d_saving_vs(&base),

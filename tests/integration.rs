@@ -5,26 +5,21 @@
 //! `crates/bench`.
 
 use ace::core::{
-    run_with_manager, AceConfig, BbvAceManager, BbvManagerConfig, FixedManager, HotspotAceManager,
-    HotspotManagerConfig, NullManager, RunConfig,
+    AceConfig, BbvAceManager, BbvManagerConfig, Experiment, HotspotAceManager,
+    HotspotManagerConfig, Scheme,
 };
 use ace::energy::EnergyModel;
 use ace::sim::SizeLevel;
 
-fn limited(limit: u64) -> RunConfig {
-    RunConfig {
-        instruction_limit: Some(limit),
-        ..RunConfig::default()
-    }
+fn exp(name: &str, limit: u64) -> Experiment {
+    Experiment::preset(name).instruction_limit(limit)
 }
 
 #[test]
 fn every_preset_runs_under_every_scheme() {
     let model = EnergyModel::default_180nm();
     for name in ace::workloads::PRESET_NAMES {
-        let program = ace::workloads::preset(name).unwrap();
-        let cfg = limited(2_000_000);
-        let base = run_with_manager(&program, &cfg, &mut NullManager).unwrap();
+        let base = exp(name, 2_000_000).run().unwrap();
         assert!(
             base.ipc > 1.0 && base.ipc <= 4.0,
             "{name}: baseline ipc {}",
@@ -33,24 +28,22 @@ fn every_preset_runs_under_every_scheme() {
         assert!(base.energy.total_nj() > 0.0);
 
         let mut bbv = BbvAceManager::new(BbvManagerConfig::default(), model);
-        let b = run_with_manager(&program, &cfg, &mut bbv).unwrap();
+        let b = exp(name, 2_000_000).run_with(&mut bbv).unwrap();
         assert_eq!(b.instret, base.instret, "{name}: same instruction stream");
 
         let mut hs = HotspotAceManager::new(HotspotManagerConfig::default(), model);
-        let h = run_with_manager(&program, &cfg, &mut hs).unwrap();
+        let h = exp(name, 2_000_000).run_with(&mut hs).unwrap();
         assert_eq!(h.instret, base.instret);
     }
 }
 
 #[test]
 fn full_pipeline_is_deterministic() {
-    let program = ace::workloads::preset("jess").unwrap();
-    let cfg = limited(3_000_000);
     let model = EnergyModel::default_180nm();
     let mut a_mgr = HotspotAceManager::new(HotspotManagerConfig::default(), model);
-    let a = run_with_manager(&program, &cfg, &mut a_mgr).unwrap();
+    let a = exp("jess", 3_000_000).run_with(&mut a_mgr).unwrap();
     let mut b_mgr = HotspotAceManager::new(HotspotManagerConfig::default(), model);
-    let b = run_with_manager(&program, &cfg, &mut b_mgr).unwrap();
+    let b = exp("jess", 3_000_000).run_with(&mut b_mgr).unwrap();
     assert_eq!(a.cycles, b.cycles);
     assert_eq!(a.counters, b.counters);
     assert_eq!(a_mgr.report(), b_mgr.report());
@@ -60,14 +53,12 @@ fn full_pipeline_is_deterministic() {
 fn hotspot_scheme_saves_energy_on_db() {
     // db's defining property: tiny working sets, so even a short run shows
     // substantial L1D savings once tuning completes.
-    let program = ace::workloads::preset("db").unwrap();
-    let cfg = limited(30_000_000);
-    let base = run_with_manager(&program, &cfg, &mut NullManager).unwrap();
+    let base = exp("db", 30_000_000).run().unwrap();
     let mut mgr = HotspotAceManager::new(
         HotspotManagerConfig::default(),
         EnergyModel::default_180nm(),
     );
-    let run = run_with_manager(&program, &cfg, &mut mgr).unwrap();
+    let run = exp("db", 30_000_000).run_with(&mut mgr).unwrap();
     assert!(
         run.l1d_saving_vs(&base) > 0.25,
         "db L1D saving {:.3} too small",
@@ -89,13 +80,11 @@ fn hotspot_scheme_saves_energy_on_db() {
 
 #[test]
 fn detection_statistics_are_consistent() {
-    let program = ace::workloads::preset("compress").unwrap();
-    let cfg = limited(20_000_000);
     let mut mgr = HotspotAceManager::new(
         HotspotManagerConfig::default(),
         EnergyModel::default_180nm(),
     );
-    let run = run_with_manager(&program, &cfg, &mut mgr).unwrap();
+    let run = exp("compress", 20_000_000).run_with(&mut mgr).unwrap();
     let report = mgr.report();
 
     let t4 = &run.table4;
@@ -109,10 +98,8 @@ fn detection_statistics_are_consistent() {
 
 #[test]
 fn bbv_scheme_reports_are_consistent() {
-    let program = ace::workloads::preset("mpeg").unwrap();
-    let cfg = limited(25_000_000);
     let mut mgr = BbvAceManager::new(BbvManagerConfig::default(), EnergyModel::default_180nm());
-    let run = run_with_manager(&program, &cfg, &mut mgr).unwrap();
+    let run = exp("mpeg", 25_000_000).run_with(&mut mgr).unwrap();
     let report = mgr.report();
 
     assert!(report.intervals >= 20, "intervals {}", report.intervals);
@@ -125,11 +112,14 @@ fn bbv_scheme_reports_are_consistent() {
 
 #[test]
 fn fixed_configurations_trade_energy_for_ipc() {
-    let program = ace::workloads::preset("jess").unwrap();
-    let cfg = limited(5_000_000);
-    let base = run_with_manager(&program, &cfg, &mut NullManager).unwrap();
-    let mut smallest = FixedManager::new(AceConfig::both(SizeLevel::SMALLEST, SizeLevel::SMALLEST));
-    let small = run_with_manager(&program, &cfg, &mut smallest).unwrap();
+    let base = exp("jess", 5_000_000).run().unwrap();
+    let small = exp("jess", 5_000_000)
+        .scheme(Scheme::Fixed(AceConfig::both(
+            SizeLevel::SMALLEST,
+            SizeLevel::SMALLEST,
+        )))
+        .run()
+        .unwrap();
     // The smallest configuration always burns less leakage...
     assert!(small.energy.l1d_leak_nj < base.energy.l1d_leak_nj);
     assert!(small.energy.l2_leak_nj < base.energy.l2_leak_nj);
@@ -139,13 +129,11 @@ fn fixed_configurations_trade_energy_for_ipc() {
 
 #[test]
 fn decoupling_outperforms_coupled_tuning() {
-    let program = ace::workloads::preset("mpeg").unwrap();
-    let cfg = limited(40_000_000);
     let model = EnergyModel::default_180nm();
-    let base = run_with_manager(&program, &cfg, &mut NullManager).unwrap();
+    let base = exp("mpeg", 40_000_000).run().unwrap();
 
     let mut on = HotspotAceManager::new(HotspotManagerConfig::default(), model);
-    let r_on = run_with_manager(&program, &cfg, &mut on).unwrap();
+    let r_on = exp("mpeg", 40_000_000).run_with(&mut on).unwrap();
     let mut off = HotspotAceManager::new(
         HotspotManagerConfig {
             decouple: false,
@@ -153,7 +141,7 @@ fn decoupling_outperforms_coupled_tuning() {
         },
         model,
     );
-    let r_off = run_with_manager(&program, &cfg, &mut off).unwrap();
+    let r_off = exp("mpeg", 40_000_000).run_with(&mut off).unwrap();
 
     let sav_on = 1.0 - r_on.energy.total_nj() / base.energy.total_nj();
     let sav_off = 1.0 - r_off.energy.total_nj() / base.energy.total_nj();
@@ -178,11 +166,9 @@ fn decoupling_outperforms_coupled_tuning() {
 fn guard_rejections_only_without_decoupling() {
     // With decoupling, small hotspots never touch the L2, so the hardware
     // guard is essentially idle; the coupled ablation hammers it.
-    let program = ace::workloads::preset("jess").unwrap();
-    let cfg = limited(20_000_000);
     let model = EnergyModel::default_180nm();
     let mut on = HotspotAceManager::new(HotspotManagerConfig::default(), model);
-    let r_on = run_with_manager(&program, &cfg, &mut on).unwrap();
+    let r_on = exp("jess", 20_000_000).run_with(&mut on).unwrap();
     let mut off = HotspotAceManager::new(
         HotspotManagerConfig {
             decouple: false,
@@ -190,7 +176,7 @@ fn guard_rejections_only_without_decoupling() {
         },
         model,
     );
-    let r_off = run_with_manager(&program, &cfg, &mut off).unwrap();
+    let r_off = exp("jess", 20_000_000).run_with(&mut off).unwrap();
     assert!(
         r_off.counters.guard_rejections > r_on.counters.guard_rejections,
         "coupled {} vs decoupled {}",
@@ -202,7 +188,6 @@ fn guard_rejections_only_without_decoupling() {
 #[test]
 fn prediction_extension_eliminates_tuning() {
     let program = ace::workloads::preset("db").unwrap();
-    let cfg = limited(20_000_000);
     let model = EnergyModel::default_180nm();
     let mut mgr = HotspotAceManager::new(HotspotManagerConfig::default(), model);
     // Predict the smallest L1D and a mid L2 for every method.
@@ -212,7 +197,10 @@ fn prediction_extension_eliminates_tuning() {
             AceConfig::both(SizeLevel::SMALLEST, SizeLevel::new(2).unwrap()),
         );
     }
-    let _ = run_with_manager(&program, &cfg, &mut mgr).unwrap();
+    let _ = Experiment::program(program.clone())
+        .instruction_limit(20_000_000)
+        .run_with(&mut mgr)
+        .unwrap();
     let report = mgr.report();
     assert_eq!(
         report.l1d.tunings + report.l2.tunings,

@@ -2,23 +2,21 @@
 //! deterministic across identical runs, and the decision stream agrees
 //! with the counters the managers report through [`HotspotReport`].
 
-use ace::core::{run_with_manager, HotspotAceManager, HotspotManagerConfig, RunConfig};
+use ace::core::{Experiment, HotspotAceManager, HotspotManagerConfig};
 use ace::energy::EnergyModel;
 use ace::telemetry::{Event, EventKind, ReconfigCause, Telemetry};
 
 fn traced_run(workload: &str, limit: u64) -> (Vec<Event>, ace::core::HotspotReport) {
-    let program = ace::workloads::preset(workload).expect("built-in preset");
     let (telemetry, ring) = Telemetry::ring(1 << 17);
-    let cfg = RunConfig {
-        instruction_limit: Some(limit),
-        telemetry,
-        ..RunConfig::default()
-    };
     let mut mgr = HotspotAceManager::new(
         HotspotManagerConfig::default(),
         EnergyModel::default_180nm(),
     );
-    run_with_manager(&program, &cfg, &mut mgr).expect("valid run");
+    Experiment::preset(workload)
+        .instruction_limit(limit)
+        .telemetry(&telemetry)
+        .run_with(&mut mgr)
+        .expect("valid run");
     (ring.snapshot(), mgr.report())
 }
 
@@ -76,18 +74,16 @@ fn jsonl_sink_captures_a_compress_run() {
     let path = std::env::temp_dir().join(format!("ace_telemetry_{}.jsonl", std::process::id()));
     let _ = std::fs::remove_file(&path);
     {
-        let program = ace::workloads::preset("compress").expect("built-in preset");
         let telemetry = Telemetry::jsonl(&path).expect("temp dir is writable");
-        let cfg = RunConfig {
-            instruction_limit: Some(60_000_000),
-            telemetry: telemetry.clone(),
-            ..RunConfig::default()
-        };
         let mut mgr = HotspotAceManager::new(
             HotspotManagerConfig::default(),
             EnergyModel::default_180nm(),
         );
-        run_with_manager(&program, &cfg, &mut mgr).expect("valid run");
+        Experiment::preset("compress")
+            .instruction_limit(60_000_000)
+            .telemetry(&telemetry)
+            .run_with(&mut mgr)
+            .expect("valid run");
         telemetry.flush();
 
         let text = std::fs::read_to_string(&path).expect("telemetry file exists");

@@ -1,7 +1,7 @@
 //! Offline stand-in for `serde_derive`.
 //!
 //! The workspace vendors a minimal `serde` whose `Serialize`/`Deserialize`
-//! traits convert through a single self-describing [`serde::Value`] tree.
+//! traits convert through a single self-describing `serde::Value` tree.
 //! This crate derives those traits for the shapes the workspace actually
 //! uses, parsing the item with nothing but the std `proc_macro` API:
 //!
