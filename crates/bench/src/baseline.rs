@@ -1,0 +1,177 @@
+//! The perf-baseline file format (`BENCH_run.json`).
+//!
+//! `run_all --bench-out <path>` serializes one [`BenchRun`] per
+//! invocation: one [`BenchEntry`] per headline workload (wall-clock plus
+//! the headline energy/slowdown metrics) and one per sibling experiment
+//! (wall-clock only). CI stores the file as an artifact; a later run can
+//! load both files and compare — the metric fields are deterministic, so
+//! any metric delta is a real behaviour change, while the wall fields
+//! track harness cost over time.
+//!
+//! The format is versioned ([`BenchRun::SCHEMA_VERSION`]) and
+//! append-friendly: readers must ignore entries whose `kind` they do not
+//! know.
+
+use crate::{BenchResult, WorkloadOutcome};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Deterministic headline metrics of one workload (from
+/// [`crate::SchemeResults`]); everything here is schedule- and
+/// machine-independent.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HeadlineMetrics {
+    /// Baseline-run IPC.
+    pub baseline_ipc: f64,
+    /// Hotspot-scheme L1D energy saving vs baseline, percent.
+    pub hotspot_l1d_saving_pct: f64,
+    /// Hotspot-scheme L2 energy saving vs baseline, percent.
+    pub hotspot_l2_saving_pct: f64,
+    /// Hotspot-scheme slowdown vs baseline, percent.
+    pub hotspot_slowdown_pct: f64,
+    /// BBV-scheme L1D energy saving vs baseline, percent.
+    pub bbv_l1d_saving_pct: f64,
+    /// BBV-scheme L2 energy saving vs baseline, percent.
+    pub bbv_l2_saving_pct: f64,
+    /// BBV-scheme slowdown vs baseline, percent.
+    pub bbv_slowdown_pct: f64,
+}
+
+/// One timed unit of `run_all` work.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchEntry {
+    /// Entry kind: `"workload"` or `"experiment"`.
+    pub kind: String,
+    /// Workload preset or experiment name.
+    pub name: String,
+    /// Worker wall-clock in milliseconds (0 for cache hits).
+    pub wall_ms: f64,
+    /// Whether the result came from the content-addressed cache.
+    pub cached: bool,
+    /// Headline metrics — present for workload entries only.
+    pub headline: Option<HeadlineMetrics>,
+}
+
+/// One `run_all` invocation's perf baseline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchRun {
+    /// Format version ([`BenchRun::SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Version of the bench crate that produced the file.
+    pub crate_version: String,
+    /// Worker-pool width the run used.
+    pub jobs: usize,
+    /// One entry per timed unit, in run order.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchRun {
+    /// Current file-format version.
+    pub const SCHEMA_VERSION: u32 = 1;
+
+    /// An empty baseline for a run at `jobs` width.
+    pub fn new(jobs: usize) -> BenchRun {
+        BenchRun {
+            schema_version: BenchRun::SCHEMA_VERSION,
+            crate_version: env!("CARGO_PKG_VERSION").to_string(),
+            jobs,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Appends one headline workload's outcome.
+    pub fn push_workload(&mut self, outcome: &WorkloadOutcome) {
+        let r = &outcome.results;
+        self.entries.push(BenchEntry {
+            kind: "workload".to_string(),
+            name: r.workload.clone(),
+            wall_ms: outcome.wall.as_secs_f64() * 1_000.0,
+            cached: outcome.cached,
+            headline: Some(HeadlineMetrics {
+                baseline_ipc: r.baseline.ipc,
+                hotspot_l1d_saving_pct: r.hotspot_l1d_saving_pct(),
+                hotspot_l2_saving_pct: r.hotspot_l2_saving_pct(),
+                hotspot_slowdown_pct: r.hotspot_slowdown_pct(),
+                bbv_l1d_saving_pct: r.bbv_l1d_saving_pct(),
+                bbv_l2_saving_pct: r.bbv_l2_saving_pct(),
+                bbv_slowdown_pct: r.bbv_slowdown_pct(),
+            }),
+        });
+    }
+
+    /// Appends one sibling experiment's timing.
+    pub fn push_experiment(&mut self, name: &str, wall: std::time::Duration) {
+        self.entries.push(BenchEntry {
+            kind: "experiment".to_string(),
+            name: name.to_string(),
+            wall_ms: wall.as_secs_f64() * 1_000.0,
+            cached: false,
+            headline: None,
+        });
+    }
+
+    /// Writes the baseline as JSON, atomically (temp file + rename).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the parent directory cannot be created or the file
+    /// cannot be written.
+    pub fn write(&self, path: impl AsRef<Path>) -> BenchResult<()> {
+        let path = path.as_ref();
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir)?;
+        }
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        std::fs::write(&tmp, serde_json::to_string(self).expect("serializable"))?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Loads a previously written baseline.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or a file that does not parse as a
+    /// [`BenchRun`].
+    pub fn load(path: impl AsRef<Path>) -> BenchResult<BenchRun> {
+        let path = path.as_ref();
+        let data = std::fs::read_to_string(path)?;
+        serde_json::from_str(&data)
+            .map_err(|e| crate::BenchError::msg(format!("{}: {e}", path.display())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn baseline_round_trips_through_json() {
+        let mut run = BenchRun::new(4);
+        run.push_experiment("sensitivity", Duration::from_millis(1500));
+        let dir = std::env::temp_dir().join(format!("ace_bench_out_{}", std::process::id()));
+        let path = dir.join("BENCH_run.json");
+        run.write(&path).unwrap();
+        let back = BenchRun::load(&path).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(back.schema_version, BenchRun::SCHEMA_VERSION);
+        assert_eq!(back.jobs, 4);
+        assert_eq!(back.entries.len(), 1);
+        assert_eq!(back.entries[0].kind, "experiment");
+        assert_eq!(back.entries[0].name, "sensitivity");
+        assert!((back.entries[0].wall_ms - 1500.0).abs() < 1e-9);
+        assert!(back.entries[0].headline.is_none());
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let dir = std::env::temp_dir().join(format!("ace_bench_bad_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, "not json").unwrap();
+        let err = BenchRun::load(&path).unwrap_err();
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(err.to_string().contains("bad.json"));
+    }
+}

@@ -15,6 +15,9 @@
 //!   reconfiguration, promotion) as JSONL and print a summary at the end.
 //!   Cached results skip their runs, so combine with `--fresh` for a
 //!   complete trace.
+//! * `--bench-out <path>` — write a perf-baseline JSON file
+//!   (`BENCH_run.json`) with one timed entry per headline workload and
+//!   per sibling experiment; see `ace_bench::baseline`.
 //!
 //! Any failing experiment is reported at the end and the process exits
 //! nonzero.
@@ -22,7 +25,7 @@
 use ace_bench::experiments::{commit_report, ExpCtx, Report, REGISTRY};
 use ace_bench::{
     default_jobs, format_table, mean, print_telemetry_summary, results_dir, run_jobs,
-    telemetry_from_args, ExperimentSet, Job,
+    telemetry_from_args, BenchRun, ExperimentSet, Job,
 };
 use std::process::ExitCode;
 
@@ -30,6 +33,7 @@ struct Args {
     jobs: usize,
     fresh: bool,
     headline_only: bool,
+    bench_out: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -37,6 +41,7 @@ fn parse_args() -> Args {
         jobs: default_jobs(),
         fresh: false,
         headline_only: false,
+        bench_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -56,6 +61,13 @@ fn parse_args() -> Args {
             "--telemetry" => {
                 it.next(); // handled by telemetry_from_args
             }
+            "--bench-out" => match it.next() {
+                Some(path) => args.bench_out = Some(path),
+                None => {
+                    eprintln!("--bench-out requires a file path");
+                    std::process::exit(2);
+                }
+            },
             other => {
                 eprintln!("unknown flag {other}; see the run_all docs");
                 std::process::exit(2);
@@ -69,17 +81,22 @@ fn main() -> ExitCode {
     let args = parse_args();
     let telemetry = telemetry_from_args();
 
-    let all = match ExperimentSet::all_presets()
+    let outcomes = match ExperimentSet::all_presets()
         .fresh(args.fresh)
         .telemetry(&telemetry)
-        .run_parallel(args.jobs)
+        .run_detailed(args.jobs)
     {
-        Ok(all) => all,
+        Ok(outcomes) => outcomes,
         Err(e) => {
             eprintln!("headline runs failed: {e}");
             return ExitCode::FAILURE;
         }
     };
+    let mut bench_run = BenchRun::new(args.jobs);
+    for outcome in &outcomes {
+        bench_run.push_workload(outcome);
+    }
+    let all: Vec<_> = outcomes.into_iter().map(|o| o.results).collect();
 
     let mut rows = Vec::new();
     for r in &all {
@@ -180,6 +197,7 @@ fn main() -> ExitCode {
             .collect();
         let _ = std::fs::create_dir_all(results_dir());
         for outcome in run_jobs(pool, args.jobs, &telemetry) {
+            bench_run.push_experiment(&outcome.key, outcome.wall);
             match outcome.result {
                 Ok(report) => {
                     let path = results_dir().join(format!("{}.txt", report.name));
@@ -201,6 +219,19 @@ fn main() -> ExitCode {
             }
         }
         eprintln!("done; see results/ and results/SUMMARY.md");
+    }
+
+    if let Some(path) = &args.bench_out {
+        match bench_run.write(path) {
+            Ok(()) => eprintln!(
+                "wrote perf baseline ({} entries) to {path}",
+                bench_run.entries.len()
+            ),
+            Err(e) => {
+                eprintln!("cannot write bench baseline {path}: {e}");
+                failed.push("--bench-out".to_string());
+            }
+        }
     }
 
     print_telemetry_summary(&telemetry);

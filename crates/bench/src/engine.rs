@@ -111,7 +111,15 @@ pub struct JobOutcome<T> {
     pub result: BenchResult<T>,
     /// Wall-clock time the job spent on its worker.
     pub wall: Duration,
+    /// Time the job sat in the queue before a worker dequeued it.
+    pub queue_wait: Duration,
 }
+
+/// Bucket bounds (milliseconds) for the engine's scheduling histograms.
+/// Spans sub-millisecond dequeues up to minute-long experiment jobs.
+const MS_BUCKETS: [f64; 10] = [
+    1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1_000.0, 5_000.0, 15_000.0, 60_000.0,
+];
 
 /// Worker-pool width: `ACE_JOBS` if set and positive, else the machine's
 /// available parallelism, else 1.
@@ -151,11 +159,13 @@ pub fn run_jobs<T: Send>(
         child: Telemetry,
         events: Vec<ace_telemetry::Event>,
         wall: Duration,
+        queue_wait: Duration,
     }
 
     let queue: Mutex<VecDeque<(usize, Job<T>)>> =
         Mutex::new(jobs.into_iter().enumerate().collect());
     let mut slots: Vec<Option<Done<T>>> = (0..n).map(|_| None).collect();
+    let pool_start = Instant::now();
 
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..width)
@@ -167,6 +177,7 @@ pub fn run_jobs<T: Send>(
                     loop {
                         let next = queue.lock().expect("job queue").pop_front();
                         let Some((index, job)) = next else { break };
+                        let queue_wait = pool_start.elapsed();
                         let (child, buffer) = if parent.is_enabled() {
                             let (tel, sink) = Telemetry::buffered();
                             (tel, Some(sink))
@@ -192,6 +203,7 @@ pub fn run_jobs<T: Send>(
                                 child,
                                 events,
                                 wall,
+                                queue_wait,
                             },
                         ));
                     }
@@ -207,16 +219,29 @@ pub fn run_jobs<T: Send>(
     });
 
     // Merge phase, strictly in submission order: telemetry replay here is
-    // what makes a parallel run byte-identical to a serial one.
+    // what makes a parallel run byte-identical to a serial one. Scheduling
+    // histograms live in the metrics registry (the wall-clock domain), so
+    // recording them here does not perturb the deterministic event stream.
+    let histograms = telemetry.metrics().map(|m| {
+        (
+            m.histogram("engine.job_wall_ms", &MS_BUCKETS),
+            m.histogram("engine.queue_wait_ms", &MS_BUCKETS),
+        )
+    });
     slots
         .into_iter()
         .map(|slot| {
             let done = slot.expect("every job ran");
             telemetry.absorb_child(&done.child, &done.events);
+            if let Some((wall_hist, wait_hist)) = &histograms {
+                wall_hist.record(done.wall.as_secs_f64() * 1_000.0);
+                wait_hist.record(done.queue_wait.as_secs_f64() * 1_000.0);
+            }
             JobOutcome {
                 key: done.key,
                 result: done.result,
                 wall: done.wall,
+                queue_wait: done.queue_wait,
             }
         })
         .collect()
@@ -310,5 +335,31 @@ mod tests {
     #[test]
     fn default_jobs_is_positive() {
         assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn scheduling_histograms_record_one_sample_per_job() {
+        let jobs: Vec<Job<()>> = (0..6)
+            .map(|i| Job::new(format!("j{i}"), |_t| Ok(())))
+            .collect();
+        let tel = Telemetry::counting();
+        let out = run_jobs(jobs, 3, &tel);
+        assert_eq!(out.len(), 6);
+        let metrics = tel.metrics().unwrap();
+        let wall = metrics.histogram("engine.job_wall_ms", &MS_BUCKETS);
+        let wait = metrics.histogram("engine.queue_wait_ms", &MS_BUCKETS);
+        assert_eq!(wall.count(), 6);
+        assert_eq!(wait.count(), 6);
+        // Queue wait is measured from pool start, so it is monotone in
+        // dequeue order and the sum must cover every sample.
+        assert!(wait.sum() >= 0.0);
+    }
+
+    #[test]
+    fn disabled_telemetry_records_no_histograms() {
+        let jobs: Vec<Job<()>> = vec![Job::new("solo", |_t| Ok(()))];
+        let out = run_jobs(jobs, 1, &Telemetry::off());
+        assert!(out[0].result.is_ok());
+        assert!(out[0].wall >= Duration::ZERO);
     }
 }

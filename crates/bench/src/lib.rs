@@ -35,9 +35,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod engine;
 pub mod experiments;
 
+pub use baseline::{BenchEntry, BenchRun, HeadlineMetrics};
 pub use engine::{default_jobs, run_jobs, BenchError, BenchResult, Job, JobOutcome};
 
 use ace_core::{BbvReport, Experiment, HotspotReport, RunConfig, RunRecord, Scheme, SchemeReport};
@@ -45,6 +47,7 @@ use ace_telemetry::Telemetry;
 use ace_workloads::PRESET_NAMES;
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 /// The three runs of one workload plus the scheme reports.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -97,6 +100,19 @@ impl SchemeResults {
 
 /// The schemes [`ExperimentSet`] runs, in run order.
 pub const HEADLINE_SCHEMES: [Scheme; 3] = [Scheme::Baseline, Scheme::Bbv, Scheme::Hotspot];
+
+/// One workload's results plus how they were obtained — the unit of the
+/// perf-baseline pipeline (`run_all --bench-out`).
+#[derive(Debug, Clone)]
+pub struct WorkloadOutcome {
+    /// The three scheme runs.
+    pub results: SchemeResults,
+    /// Total worker wall-clock across the workload's scheme jobs
+    /// ([`Duration::ZERO`] for cache hits).
+    pub wall: Duration,
+    /// Whether the results came from the content-addressed cache.
+    pub cached: bool,
+}
 
 /// Builder running a set of preset workloads under the three headline
 /// schemes on the parallel [`engine`], with content-addressed caching.
@@ -203,6 +219,22 @@ impl ExperimentSet {
     /// [`HEADLINE_SCHEMES`], or when any run fails; every job still runs,
     /// and the error aggregates all failures.
     pub fn run_parallel(self, jobs: usize) -> BenchResult<Vec<SchemeResults>> {
+        Ok(self
+            .run_detailed(jobs)?
+            .into_iter()
+            .map(|o| o.results)
+            .collect())
+    }
+
+    /// [`ExperimentSet::run_parallel`], but each workload's results come
+    /// with its worker wall-clock and cache provenance — the raw material
+    /// of `run_all --bench-out`. Results are identical to `run_parallel`;
+    /// only the wall-clock annotations vary run to run.
+    ///
+    /// # Errors
+    ///
+    /// See [`ExperimentSet::run_parallel`].
+    pub fn run_detailed(self, jobs: usize) -> BenchResult<Vec<WorkloadOutcome>> {
         {
             let mut want: Vec<&str> = HEADLINE_SCHEMES.iter().map(|s| s.name()).collect();
             let mut got: Vec<&str> = self.schemes.iter().map(|s| s.name()).collect();
@@ -252,12 +284,18 @@ impl ExperimentSet {
         let mut failures: Vec<String> = Vec::new();
         for (name, hit) in self.presets.iter().zip(cached) {
             if let Some(hit) = hit {
-                results.push(hit);
+                results.push(WorkloadOutcome {
+                    results: hit,
+                    wall: Duration::ZERO,
+                    cached: true,
+                });
                 continue;
             }
             let mut runs = Vec::with_capacity(HEADLINE_SCHEMES.len());
+            let mut wall = Duration::ZERO;
             for _ in HEADLINE_SCHEMES {
                 let outcome = outcomes.next().expect("one outcome per job");
+                wall += outcome.wall;
                 match outcome.result {
                     Ok(run) => runs.push(run),
                     Err(e) => failures.push(format!("{}: {e}", outcome.key)),
@@ -287,7 +325,11 @@ impl ExperimentSet {
             if let Err(e) = save(&path, &assembled) {
                 eprintln!("warning: could not cache {}: {e}", path.display());
             }
-            results.push(assembled);
+            results.push(WorkloadOutcome {
+                results: assembled,
+                wall,
+                cached: false,
+            });
         }
         if !failures.is_empty() {
             return Err(BenchError::msg(failures.join("; ")));

@@ -8,7 +8,7 @@
 use serde::{Deserialize, Serialize};
 
 /// A configurable unit of the modeled machine (paper Table 2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Cu {
     /// The instruction-window CU.
     Window,
@@ -27,11 +27,17 @@ impl Cu {
             Cu::L2 => "l2",
         }
     }
+
+    /// All units, in declaration order.
+    pub const ALL: [Cu; 3] = [Cu::Window, Cu::L1d, Cu::L2];
 }
 
 /// The program region a tuning episode is attached to, one variant per
 /// adaptation scheme.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// The `Ord` impl (declaration order, then id) gives downstream analyses
+/// a deterministic per-scope iteration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Scope {
     /// A promoted hotspot method (the paper's DO-driven scheme).
     Hotspot {
@@ -50,8 +56,20 @@ pub enum Scope {
     },
 }
 
+impl Scope {
+    /// Compact stable label (`hotspot:3`, `phase:0`, `proc:7`), used by
+    /// trace summaries and the Chrome exporter's track names.
+    pub fn label(self) -> String {
+        match self {
+            Scope::Hotspot { method } => format!("hotspot:{method}"),
+            Scope::Phase { phase } => format!("phase:{phase}"),
+            Scope::Procedure { method } => format!("proc:{method}"),
+        }
+    }
+}
+
 /// Why a reconfiguration request was issued.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum ReconfigCause {
     /// Switching to the next trial configuration of a tuning episode.
     Trial,
@@ -213,6 +231,11 @@ impl EventKind {
             EventKind::IntervalSample => "IntervalSample",
         }
     }
+
+    /// Inverse of [`EventKind::name`]: resolves a JSONL variant name.
+    pub fn from_name(name: &str) -> Option<EventKind> {
+        EventKind::ALL.into_iter().find(|k| k.name() == name)
+    }
 }
 
 impl Event {
@@ -243,6 +266,40 @@ impl Event {
             | Event::DriftRetune { instret, .. }
             | Event::IntervalSample { instret, .. } => instret,
             Event::Reconfigured { cycle, .. } => cycle,
+        }
+    }
+
+    /// The tuning scope the event is attached to, for the scope-carrying
+    /// variants ([`Event::IntervalSample`] maps to its [`Scope::Phase`]).
+    pub fn scope(&self) -> Option<Scope> {
+        match *self {
+            Event::TuningStarted { scope, .. }
+            | Event::TuningStep { scope, .. }
+            | Event::TuningConverged { scope, .. }
+            | Event::DriftRetune { scope, .. } => Some(scope),
+            Event::IntervalSample { phase, .. } => Some(Scope::Phase { phase }),
+            Event::HotspotPromoted { .. } | Event::Reconfigured { .. } => None,
+        }
+    }
+
+    /// The measured IPC the event carries, when it carries one.
+    pub fn ipc(&self) -> Option<f64> {
+        match *self {
+            Event::TuningStep { ipc, .. }
+            | Event::TuningConverged { ipc, .. }
+            | Event::IntervalSample { ipc, .. } => Some(ipc),
+            _ => None,
+        }
+    }
+
+    /// The measured energy per instruction (nJ) the event carries, when it
+    /// carries one.
+    pub fn epi_nj(&self) -> Option<f64> {
+        match *self {
+            Event::TuningStep { epi_nj, .. }
+            | Event::TuningConverged { epi_nj, .. }
+            | Event::IntervalSample { epi_nj, .. } => Some(epi_nj),
+            _ => None,
         }
     }
 }

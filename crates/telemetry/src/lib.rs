@@ -54,11 +54,13 @@ mod event;
 mod metrics;
 mod ring;
 mod sink;
+mod stream;
 
 pub use event::{Cu, Event, EventKind, ReconfigCause, Scope};
 pub use metrics::{Counter, Gauge, Histogram, Metrics, ScopedTimer};
 pub use ring::RingBufferSink;
 pub use sink::{JsonlSink, MemorySink, NullSink, Sink};
+pub use stream::{read_events, EventStream, StreamError};
 
 use std::fmt;
 use std::io;

@@ -1,0 +1,65 @@
+//! # ace-trace — analysis tooling for ace-telemetry recordings
+//!
+//! `ace-telemetry` records *what the adaptive system decided*; this crate
+//! answers *what the run did*. It replays a JSONL event stream through a
+//! per-scope state machine and reconstructs:
+//!
+//! * **tuning episodes** — promotion → trials → convergence → apply →
+//!   drift/retune, per hotspot/phase/procedure scope ([`Episode`]),
+//! * **configuration residency** — cycles and instructions each
+//!   configurable unit spent at each size level ([`CuResidency`]),
+//! * **phase timelines** — maximal same-phase interval segments with
+//!   per-segment IPC/EPI means ([`PhaseTimeline`]),
+//! * **headline statistics** — stream-wide IPC/EPI means and episode
+//!   convergence behaviour ([`Headline`]).
+//!
+//! On top of the [`Analysis`] sit three consumers:
+//!
+//! * [`summary::summarize`] / [`summary::timeline`] — deterministic
+//!   human-readable reports (`ace trace summarize|timeline`),
+//! * [`chrome::chrome_trace`] — Chrome trace-event JSON loadable in
+//!   `chrome://tracing` or [Perfetto](https://ui.perfetto.dev)
+//!   (`ace trace chrome`),
+//! * [`diff::diff`] — run-to-run regression comparison with configurable
+//!   thresholds (`ace trace diff`), the core of the perf-baseline
+//!   pipeline.
+//!
+//! Because telemetry events carry only architectural counters — never
+//! wall-clock time — every one of these outputs is byte-identical across
+//! identically seeded runs at any parallelism width, which is what makes
+//! trace artifacts diffable in CI.
+//!
+//! ## Example
+//!
+//! ```
+//! use ace_telemetry::{Event, Scope};
+//! use ace_trace::{Analysis, EpisodeOutcome};
+//!
+//! let scope = Scope::Hotspot { method: 7 };
+//! let events = [
+//!     Event::TuningStarted { scope, configs: 4, instret: 100 },
+//!     Event::TuningStep { scope, trial: 0, ipc: 1.1, epi_nj: 0.5, instret: 200 },
+//!     Event::TuningConverged { scope, trials: 1, ipc: 1.1, epi_nj: 0.5, instret: 300 },
+//! ];
+//! let analysis = Analysis::of(&events);
+//! assert_eq!(analysis.episode_count(EpisodeOutcome::Converged), 1);
+//! println!("{}", ace_trace::summarize(&analysis));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod chrome;
+pub mod diff;
+pub mod reader;
+pub mod summary;
+
+pub use analysis::{
+    Analysis, Analyzer, CuResidency, Episode, EpisodeOutcome, Headline, LevelResidency,
+    PhaseSegment, PhaseTimeline, Promotion, Reconfig, ScopeAnalysis, Trial, NUM_LEVELS,
+};
+pub use chrome::chrome_trace;
+pub use diff::{diff, DiffLine, DiffReport, DiffThresholds};
+pub use reader::{analyze_file, analyze_reader};
+pub use summary::{summarize, timeline};

@@ -1,0 +1,88 @@
+//! Streaming a recorded trace file into an [`Analysis`].
+//!
+//! Thin glue over [`ace_telemetry::EventStream`]: events flow from the
+//! reader straight into the [`Analyzer`] one at a time, so analyzing a
+//! trace never materializes the event vector. Strict by default — a
+//! malformed line aborts with its 1-based line number ([`StreamError`]),
+//! because a trace that half-parses would silently skew every statistic
+//! downstream.
+
+use crate::analysis::{Analysis, Analyzer};
+use ace_telemetry::{EventStream, StreamError};
+use std::io::BufRead;
+use std::path::Path;
+
+/// Streams the JSONL trace at `path` into an [`Analysis`].
+///
+/// # Errors
+///
+/// Returns [`StreamError::Io`] when the file cannot be opened or read,
+/// and [`StreamError::Parse`] (with the offending line number) when a
+/// line is not a valid event.
+pub fn analyze_file(path: impl AsRef<Path>) -> Result<Analysis, StreamError> {
+    consume(EventStream::open(path)?)
+}
+
+/// Streams events from any buffered reader into an [`Analysis`].
+///
+/// # Errors
+///
+/// Same as [`analyze_file`].
+pub fn analyze_reader(reader: impl BufRead) -> Result<Analysis, StreamError> {
+    consume(EventStream::new(reader))
+}
+
+fn consume(stream: EventStream<impl BufRead>) -> Result<Analysis, StreamError> {
+    let mut analyzer = Analyzer::new();
+    for event in stream {
+        analyzer.push(event?);
+    }
+    Ok(analyzer.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ace_telemetry::{Event, Scope};
+
+    #[test]
+    fn analyze_reader_matches_in_memory_analysis() {
+        let events = [
+            Event::TuningStarted {
+                scope: Scope::Hotspot { method: 2 },
+                configs: 4,
+                instret: 10,
+            },
+            Event::TuningConverged {
+                scope: Scope::Hotspot { method: 2 },
+                trials: 4,
+                ipc: 1.5,
+                epi_nj: 0.25,
+                instret: 90,
+            },
+        ];
+        let text: String = events
+            .iter()
+            .map(|e| format!("{}\n", serde_json::to_string(e).unwrap()))
+            .collect();
+        let streamed = analyze_reader(text.as_bytes()).unwrap();
+        assert_eq!(streamed, Analysis::of(&events));
+    }
+
+    #[test]
+    fn malformed_line_aborts_with_its_line_number() {
+        let text =
+            "{\"HotspotPromoted\":{\"method\":1,\"invocations\":1,\"instret\":1}}\nnot json\n";
+        let err = analyze_reader(text.as_bytes()).unwrap_err();
+        match err {
+            StreamError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = analyze_file("/nonexistent/trace.jsonl").unwrap_err();
+        assert!(matches!(err, StreamError::Io(_)));
+    }
+}

@@ -2,10 +2,14 @@
 //!
 //! ```text
 //! ace list                                   show the preset workloads
-//! ace run <workload> [--scheme S] [--limit N]
+//! ace run <workload> [--scheme S] [--limit N] [--telemetry <file>]
 //!                                            run one workload; S is one of
 //!                                            baseline | hotspot | bbv | positional
 //! ace sweep <workload>                       16-point static-oracle grid
+//! ace trace summarize <trace.jsonl>          analyze a telemetry trace
+//! ace trace timeline <trace.jsonl>           chronological episode/phase view
+//! ace trace chrome <trace.jsonl> [--out F]   export Chrome/Perfetto JSON
+//! ace trace diff <a.jsonl> <b.jsonl>         compare runs; nonzero on regression
 //! ace trace <workload> <file> [--limit N]    record a binary block trace
 //! ace replay <file>                          simulate a recorded trace
 //! ```
@@ -17,6 +21,8 @@ use ace::core::{
 };
 use ace::energy::EnergyModel;
 use ace::sim::{record_trace, Block, BlockSource, Machine, MachineConfig, SizeLevel, TraceReader};
+use ace::telemetry::Telemetry;
+use ace::trace::{analyze_file, chrome_trace, diff, DiffThresholds};
 use ace::workloads::{Executor, Program, PRESET_NAMES};
 use std::error::Error;
 use std::process::ExitCode;
@@ -50,8 +56,13 @@ fn print_usage() {
          \n\
          usage:\n  \
          ace list\n  \
-         ace run <workload> [--scheme baseline|hotspot|bbv|positional] [--limit N]\n  \
+         ace run <workload> [--scheme baseline|hotspot|bbv|positional] [--limit N] [--telemetry <file>]\n  \
          ace sweep <workload>\n  \
+         ace trace summarize <trace.jsonl>\n  \
+         ace trace timeline <trace.jsonl>\n  \
+         ace trace chrome <trace.jsonl> [--out <file>]\n  \
+         ace trace diff <a.jsonl> <b.jsonl> [--max-ipc-drop F] [--max-epi-rise F]\n            \
+         [--max-count-delta F] [--max-residency-shift F] [--max-convergence-slowdown F]\n  \
          ace trace <workload> <file> [--limit N]\n  \
          ace replay <file>"
     );
@@ -109,13 +120,23 @@ fn summarize(label: &str, record: &RunRecord, baseline: Option<&RunRecord>) {
 fn cmd_run(args: &[String]) -> Result<(), Box<dyn Error>> {
     let name = args
         .first()
-        .ok_or("usage: ace run <workload> [--scheme S] [--limit N]")?;
+        .ok_or("usage: ace run <workload> [--scheme S] [--limit N] [--telemetry <file>]")?;
     let program = load_program(name)?;
     let scheme = flag_value(args, "--scheme").unwrap_or_else(|| "hotspot".to_string());
     let mut cfg = RunConfig::default();
     if let Some(limit) = flag_value(args, "--limit") {
         cfg.instruction_limit = Some(limit.parse()?);
     }
+    let telemetry = match flag_value(args, "--telemetry") {
+        Some(path) => {
+            let tel = Telemetry::jsonl(&path)
+                .map_err(|e| format!("cannot open telemetry file {path}: {e}"))?;
+            println!("recording telemetry to {path} (analyze with `ace trace summarize {path}`)");
+            tel
+        }
+        None => Telemetry::off(),
+    };
+    cfg.telemetry = telemetry.clone();
     let model = EnergyModel::default_180nm();
 
     let base = Experiment::program(program.clone())
@@ -169,6 +190,7 @@ fn cmd_run(args: &[String]) -> Result<(), Box<dyn Error>> {
         }
         other => return Err(format!("unknown scheme {other:?}").into()),
     }
+    telemetry.flush();
     Ok(())
 }
 
@@ -197,6 +219,16 @@ fn cmd_sweep(args: &[String]) -> Result<(), Box<dyn Error>> {
 }
 
 fn cmd_trace(args: &[String]) -> Result<(), Box<dyn Error>> {
+    // Telemetry-analysis subcommands dispatch on the first argument; any
+    // other first argument is a workload name and falls through to the
+    // original binary-block-trace recorder.
+    match args.first().map(String::as_str) {
+        Some("summarize") => return cmd_trace_summarize(&args[1..]),
+        Some("timeline") => return cmd_trace_timeline(&args[1..]),
+        Some("chrome") => return cmd_trace_chrome(&args[1..]),
+        Some("diff") => return cmd_trace_diff(&args[1..]),
+        _ => {}
+    }
     let name = args
         .first()
         .ok_or("usage: ace trace <workload> <file> [--limit N]")?;
@@ -217,6 +249,85 @@ fn cmd_trace(args: &[String]) -> Result<(), Box<dyn Error>> {
         trace.len() as f64 / 1e6,
         limit
     );
+    Ok(())
+}
+
+/// Writes report text to stdout, treating a closed pipe (`... | head`)
+/// as a normal early exit rather than a panic.
+fn print_report(text: &str) -> Result<(), Box<dyn Error>> {
+    use std::io::Write;
+    match std::io::stdout().write_all(text.as_bytes()) {
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => Ok(()),
+        other => Ok(other?),
+    }
+}
+
+fn cmd_trace_summarize(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let path = args
+        .first()
+        .ok_or("usage: ace trace summarize <trace.jsonl>")?;
+    let analysis = analyze_file(path)?;
+    print_report(&ace::trace::summarize(&analysis))
+}
+
+fn cmd_trace_timeline(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let path = args
+        .first()
+        .ok_or("usage: ace trace timeline <trace.jsonl>")?;
+    let analysis = analyze_file(path)?;
+    print_report(&ace::trace::timeline(&analysis))
+}
+
+fn cmd_trace_chrome(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let path = args
+        .first()
+        .ok_or("usage: ace trace chrome <trace.jsonl> [--out <file>]")?;
+    let analysis = analyze_file(path)?;
+    let json = chrome_trace(&analysis);
+    match flag_value(args, "--out") {
+        Some(out) => {
+            std::fs::write(&out, &json)?;
+            println!(
+                "wrote {out} ({} bytes); load it in chrome://tracing or ui.perfetto.dev",
+                json.len()
+            );
+        }
+        None => {
+            print_report(&json)?;
+            print_report("\n")?;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_trace_diff(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let usage = "usage: ace trace diff <a.jsonl> <b.jsonl> [--max-ipc-drop F] ...";
+    let path_a = args.first().ok_or(usage)?;
+    let path_b = args.get(1).ok_or(usage)?;
+    let mut thresholds = DiffThresholds::default();
+    for (flag, slot) in [
+        ("--max-ipc-drop", &mut thresholds.max_ipc_drop),
+        ("--max-epi-rise", &mut thresholds.max_epi_rise),
+        ("--max-count-delta", &mut thresholds.max_count_delta),
+        ("--max-residency-shift", &mut thresholds.max_residency_shift),
+        (
+            "--max-convergence-slowdown",
+            &mut thresholds.max_convergence_slowdown,
+        ),
+    ] {
+        if let Some(value) = flag_value(args, flag) {
+            *slot = value
+                .parse()
+                .map_err(|e| format!("{flag} {value:?}: {e}"))?;
+        }
+    }
+    let a = analyze_file(path_a).map_err(|e| format!("{path_a}: {e}"))?;
+    let b = analyze_file(path_b).map_err(|e| format!("{path_b}: {e}"))?;
+    let report = diff(&a, &b, &thresholds);
+    print!("{}", report.render());
+    if report.regressed() {
+        return Err(format!("{path_b} regressed against {path_a}").into());
+    }
     Ok(())
 }
 

@@ -12,6 +12,7 @@
 //! | [`phase`] | BBV / working-set / positional phase detectors |
 //! | [`core`] | the paper's ACE management framework + baselines |
 //! | [`telemetry`] | decision-event log, metrics, timers (zero-cost when off) |
+//! | [`trace`] | trace analysis: episodes, residency, Chrome export, diffing |
 //!
 //! See the repository's `README.md` for a walkthrough, `DESIGN.md` for the
 //! system inventory, and `EXPERIMENTS.md` for paper-versus-measured results.
@@ -36,4 +37,5 @@ pub use ace_phase as phase;
 pub use ace_runtime as runtime;
 pub use ace_sim as sim;
 pub use ace_telemetry as telemetry;
+pub use ace_trace as trace;
 pub use ace_workloads as workloads;

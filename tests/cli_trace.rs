@@ -1,0 +1,181 @@
+//! Exit-code and output contract of the `ace trace` subcommands, driven
+//! through the real binary: `summarize`/`timeline`/`chrome` succeed on a
+//! recorded trace, `diff` exits zero on identical runs and nonzero when a
+//! synthetic regression exceeds the thresholds, and the legacy
+//! `ace trace <workload> <file>` recorder still works.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn ace(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_ace"))
+        .args(args)
+        .output()
+        .expect("ace binary runs")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ace_cli_trace_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+/// A small synthetic trace: one converged episode plus a reconfiguration,
+/// with the converged IPC injectable so tests can fabricate regressions.
+fn synthetic_trace(ipc: f64) -> String {
+    let scope = r#"{"Hotspot":{"method":3}}"#;
+    [
+        r#"{"HotspotPromoted":{"method":3,"invocations":5,"instret":100}}"#.to_string(),
+        format!(r#"{{"TuningStarted":{{"scope":{scope},"configs":4,"instret":120}}}}"#),
+        format!(
+            r#"{{"TuningStep":{{"scope":{scope},"trial":0,"ipc":{ipc},"epi_nj":0.5,"instret":200}}}}"#
+        ),
+        format!(
+            r#"{{"TuningConverged":{{"scope":{scope},"trials":1,"ipc":{ipc},"epi_nj":0.5,"instret":300}}}}"#
+        ),
+        r#"{"Reconfigured":{"cu":"L1d","from":0,"to":2,"cause":"Apply","cycle":400}}"#.to_string(),
+    ]
+    .join("\n")
+        + "\n"
+}
+
+#[test]
+fn summarize_and_timeline_report_a_recorded_run() {
+    let dir = temp_dir("summarize");
+    let trace = dir.join("run.jsonl");
+    let out = ace(&[
+        "run",
+        "db",
+        "--limit",
+        "2000000",
+        "--telemetry",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let summary = ace(&["trace", "summarize", trace.to_str().unwrap()]);
+    assert!(summary.status.success());
+    let text = String::from_utf8(summary.stdout).unwrap();
+    assert!(text.contains("trace summary"), "{text}");
+    assert!(
+        !text.contains("events total 0"),
+        "trace must have events: {text}"
+    );
+
+    let timeline = ace(&["trace", "timeline", trace.to_str().unwrap()]);
+    assert!(timeline.status.success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn chrome_export_is_valid_json() {
+    let dir = temp_dir("chrome");
+    let trace = dir.join("t.jsonl");
+    std::fs::write(&trace, synthetic_trace(1.5)).unwrap();
+    let json_path = dir.join("t.chrome.json");
+    let out = ace(&[
+        "trace",
+        "chrome",
+        trace.to_str().unwrap(),
+        "--out",
+        json_path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(&json_path).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+    let value: serde::Value = serde_json::from_str(&json).expect("export parses as JSON");
+    let root = value.as_object().expect("root is an object");
+    assert!(serde::find_field(root, "traceEvents")
+        .and_then(serde::Value::as_array)
+        .is_some_and(|events| !events.is_empty()));
+}
+
+#[test]
+fn diff_exit_codes_encode_the_verdict() {
+    let dir = temp_dir("diff");
+    let base = dir.join("a.jsonl");
+    let same = dir.join("b.jsonl");
+    let slower = dir.join("c.jsonl");
+    std::fs::write(&base, synthetic_trace(1.5)).unwrap();
+    std::fs::write(&same, synthetic_trace(1.5)).unwrap();
+    // 20% IPC drop: far beyond the default 2% threshold.
+    std::fs::write(&slower, synthetic_trace(1.2)).unwrap();
+
+    let ok = ace(&[
+        "trace",
+        "diff",
+        base.to_str().unwrap(),
+        same.to_str().unwrap(),
+    ]);
+    assert!(
+        ok.status.success(),
+        "{}",
+        String::from_utf8_lossy(&ok.stderr)
+    );
+    assert!(String::from_utf8_lossy(&ok.stdout).contains("no regressions"));
+
+    let bad = ace(&[
+        "trace",
+        "diff",
+        base.to_str().unwrap(),
+        slower.to_str().unwrap(),
+    ]);
+    assert!(!bad.status.success(), "a 20% IPC drop must fail the diff");
+    assert!(String::from_utf8_lossy(&bad.stdout).contains("FAIL"));
+
+    // Loosened thresholds accept the same delta.
+    let loose = ace(&[
+        "trace",
+        "diff",
+        base.to_str().unwrap(),
+        slower.to_str().unwrap(),
+        "--max-ipc-drop",
+        "0.5",
+    ]);
+    assert!(
+        loose.status.success(),
+        "{}",
+        String::from_utf8_lossy(&loose.stderr)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_trace_fails_with_line_number() {
+    let dir = temp_dir("malformed");
+    let trace = dir.join("bad.jsonl");
+    std::fs::write(
+        &trace,
+        "{\"HotspotPromoted\":{\"method\":1,\"invocations\":1,\"instret\":1}}\ngarbage\n",
+    )
+    .unwrap();
+    let out = ace(&["trace", "summarize", trace.to_str().unwrap()]);
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("line 2"));
+}
+
+#[test]
+fn legacy_block_trace_recorder_still_works() {
+    let dir = temp_dir("legacy");
+    let trace = dir.join("blocks.bin");
+    let out = ace(&["trace", "db", trace.to_str().unwrap(), "--limit", "200000"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(trace.metadata().unwrap().len() > 0);
+    let replay = ace(&["replay", trace.to_str().unwrap()]);
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(replay.status.success());
+}
