@@ -25,9 +25,24 @@ fn bench_cache(c: &mut Criterion) {
     };
 
     group.bench_function("access_hit", |b| {
+        // Repeated same-line access: the memoized MRU fast path.
         let mut cache = Cache::new(geom).unwrap();
         cache.access(0x1000, false);
         b.iter(|| black_box(cache.access(black_box(0x1000), false)))
+    });
+    group.bench_function("access_hit_rotating", |b| {
+        // Hit-dominated but alternating lines, which defeats the MRU memo:
+        // measures the way-probe plus rank-promotion hit path.
+        let addrs = [0x1000u64, 0x2040, 0x3080, 0x40C0];
+        let mut cache = Cache::new(geom).unwrap();
+        for &a in &addrs {
+            cache.access(a, false);
+        }
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) & 3;
+            black_box(cache.access(black_box(addrs[i]), false))
+        })
     });
     group.bench_function("access_stream", |b| {
         let mut cache = Cache::new(geom).unwrap();
@@ -37,6 +52,16 @@ fn bench_cache(c: &mut Criterion) {
             black_box(cache.access(black_box(addr), false))
         })
     });
+    group.bench_function("access_miss_dominated", |b| {
+        // Store misses all landing in one set: every access takes the cold
+        // miss path and evicts a dirty victim (writeback reported).
+        let mut cache = Cache::new(geom).unwrap();
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(64 << 10); // same-set stride
+            black_box(cache.access(black_box(addr & ((64 << 20) - 1)), true))
+        })
+    });
     group.bench_function("resize_shrink_grow", |b| {
         let mut cache = Cache::new(geom).unwrap();
         for a in (0..65536u64).step_by(64) {
@@ -44,6 +69,26 @@ fn bench_cache(c: &mut Criterion) {
         }
         b.iter(|| {
             black_box(cache.resize(SizeLevel::SMALLEST));
+            black_box(cache.resize(SizeLevel::LARGEST));
+        })
+    });
+    group.bench_function("resize_churn", |b| {
+        // Access bursts interleaved with shrink/grow transitions: the
+        // pattern runtime tuning produces (trials at several levels with
+        // flush casualties in between).
+        let lvl2 = SizeLevel::new(2).unwrap();
+        let mut cache = Cache::new(geom).unwrap();
+        let mut addr = 0u64;
+        b.iter(|| {
+            for _ in 0..64 {
+                addr = addr.wrapping_add(64);
+                cache.access(addr & 0xF_FFFF, true);
+            }
+            black_box(cache.resize(lvl2));
+            for _ in 0..64 {
+                addr = addr.wrapping_add(64);
+                cache.access(addr & 0xF_FFFF, true);
+            }
             black_box(cache.resize(SizeLevel::LARGEST));
         })
     });
@@ -91,6 +136,46 @@ fn bench_machine(c: &mut Criterion) {
     group.bench_function("exec_block", |b| {
         let mut m = Machine::new(MachineConfig::table2()).unwrap();
         b.iter(|| m.exec_block(black_box(&block)))
+    });
+    group.bench_function("exec_block_hit_dominated", |b| {
+        // A realistic ~14-reference block whose working set is resident:
+        // the fused DTLB + L1D loop on its hit fast path.
+        let hot = Block {
+            pc: 0x400,
+            ninstr: 48,
+            accesses: (0..14)
+                .map(|i| MemAccess::load(0x10_0000 + (i % 7) * 24))
+                .collect(),
+            branch: Some(BranchEvent {
+                pc: 0x438,
+                taken: true,
+            }),
+        };
+        let mut m = Machine::new(MachineConfig::table2()).unwrap();
+        m.exec_block(&hot); // warm the lines
+        b.iter(|| m.exec_block(black_box(&hot)))
+    });
+    group.bench_function("exec_block_miss_heavy", |b| {
+        // Streaming references that miss L1D (and often L2): the cold
+        // miss path plus penalty accounting per reference.
+        let mut stream = Block {
+            pc: 0x400,
+            ninstr: 48,
+            accesses: (0..14).map(|i| MemAccess::load(i * 64)).collect(),
+            branch: Some(BranchEvent {
+                pc: 0x438,
+                taken: false,
+            }),
+        };
+        let mut m = Machine::new(MachineConfig::table2()).unwrap();
+        let mut base = 0u64;
+        b.iter(|| {
+            base = base.wrapping_add(14 * 64);
+            for (i, a) in stream.accesses.iter_mut().enumerate() {
+                a.addr = 0x100_0000 + ((base + i as u64 * 64) & ((256 << 20) - 1));
+            }
+            m.exec_block(black_box(&stream))
+        })
     });
     group.bench_function("request_resize_guarded", |b| {
         let mut m = Machine::new(MachineConfig::table2()).unwrap();

@@ -141,10 +141,151 @@ impl BenchRun {
     }
 }
 
+/// One workload's wall-clock comparison between two baselines.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GateRow {
+    /// Workload name.
+    pub name: String,
+    /// Committed-baseline wall-clock, milliseconds.
+    pub baseline_ms: f64,
+    /// Current-run wall-clock, milliseconds.
+    pub current_ms: f64,
+    /// `current / baseline - 1`, as a percentage (positive = slower).
+    pub delta_pct: f64,
+    /// Whether this row exceeds the gate threshold.
+    pub regressed: bool,
+}
+
+/// Result of gating a current [`BenchRun`] against a committed baseline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GateReport {
+    /// Threshold used, percent.
+    pub threshold_pct: f64,
+    /// One row per headline workload present (uncached) in both runs.
+    pub rows: Vec<GateRow>,
+    /// Workload entries that could not be compared (cached or missing on
+    /// one side) — informational, never gating.
+    pub skipped: Vec<String>,
+}
+
+impl GateReport {
+    /// `true` if any compared workload regressed beyond the threshold.
+    pub fn regressed(&self) -> bool {
+        self.rows.iter().any(|r| r.regressed)
+    }
+}
+
+/// Compares the headline-workload wall-clocks of `current` against
+/// `baseline`, flagging any workload more than `threshold_pct` percent
+/// slower. Cache-hit entries time nothing and are skipped, as are
+/// workloads present on only one side; sibling-experiment entries never
+/// gate (they time report generation, not the simulator).
+pub fn gate_against_baseline(
+    baseline: &BenchRun,
+    current: &BenchRun,
+    threshold_pct: f64,
+) -> GateReport {
+    let workload = |run: &BenchRun| -> Vec<BenchEntry> {
+        run.entries
+            .iter()
+            .filter(|e| e.kind == "workload")
+            .cloned()
+            .collect()
+    };
+    let base_entries = workload(baseline);
+    let mut rows = Vec::new();
+    let mut skipped = Vec::new();
+    for cur in workload(current) {
+        let Some(base) = base_entries.iter().find(|e| e.name == cur.name) else {
+            skipped.push(format!("{} (not in baseline)", cur.name));
+            continue;
+        };
+        if cur.cached || base.cached || base.wall_ms <= 0.0 {
+            skipped.push(format!("{} (cached)", cur.name));
+            continue;
+        }
+        let delta_pct = (cur.wall_ms / base.wall_ms - 1.0) * 100.0;
+        rows.push(GateRow {
+            name: cur.name.clone(),
+            baseline_ms: base.wall_ms,
+            current_ms: cur.wall_ms,
+            delta_pct,
+            regressed: delta_pct > threshold_pct,
+        });
+    }
+    for base in &base_entries {
+        if !current
+            .entries
+            .iter()
+            .any(|e| e.kind == "workload" && e.name == base.name)
+        {
+            skipped.push(format!("{} (not in current run)", base.name));
+        }
+    }
+    GateReport {
+        threshold_pct,
+        rows,
+        skipped,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::time::Duration;
+
+    fn run_with_workloads(entries: &[(&str, f64, bool)]) -> BenchRun {
+        let mut run = BenchRun::new(1);
+        for &(name, wall_ms, cached) in entries {
+            run.entries.push(BenchEntry {
+                kind: "workload".to_string(),
+                name: name.to_string(),
+                wall_ms,
+                cached,
+                headline: None,
+            });
+        }
+        run
+    }
+
+    #[test]
+    fn gate_passes_within_threshold() {
+        let base = run_with_workloads(&[("db", 1000.0, false), ("compress", 2000.0, false)]);
+        let cur = run_with_workloads(&[("db", 1200.0, false), ("compress", 1900.0, false)]);
+        let report = gate_against_baseline(&base, &cur, 25.0);
+        assert!(!report.regressed());
+        assert_eq!(report.rows.len(), 2);
+        assert!((report.rows[0].delta_pct - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gate_fails_beyond_threshold() {
+        let base = run_with_workloads(&[("db", 1000.0, false)]);
+        let cur = run_with_workloads(&[("db", 1300.0, false)]);
+        let report = gate_against_baseline(&base, &cur, 25.0);
+        assert!(report.regressed());
+        assert!(report.rows[0].regressed);
+    }
+
+    #[test]
+    fn gate_skips_cached_and_unmatched_entries() {
+        let base = run_with_workloads(&[("db", 1000.0, false), ("gone", 500.0, false)]);
+        let cur = run_with_workloads(&[("db", 900.0, true), ("new", 700.0, false)]);
+        let report = gate_against_baseline(&base, &cur, 25.0);
+        assert!(report.rows.is_empty());
+        assert!(!report.regressed(), "nothing comparable, nothing gates");
+        assert_eq!(report.skipped.len(), 3);
+    }
+
+    #[test]
+    fn experiments_never_gate() {
+        let mut base = run_with_workloads(&[]);
+        base.push_experiment("sensitivity", Duration::from_millis(100));
+        let mut cur = run_with_workloads(&[]);
+        cur.push_experiment("sensitivity", Duration::from_millis(100_000));
+        let report = gate_against_baseline(&base, &cur, 25.0);
+        assert!(!report.regressed());
+    }
 
     #[test]
     fn baseline_round_trips_through_json() {

@@ -1,0 +1,111 @@
+//! CI throughput gate: compares a fresh `BENCH_run.json` against the
+//! committed baseline and fails (exit 1) when any headline workload's
+//! wall-clock regressed beyond the threshold.
+//!
+//! ```text
+//! perf_gate <baseline.json> <current.json> [--threshold-pct <N>]
+//! ```
+//!
+//! Only uncached `workload` entries gate; sibling experiments and
+//! cache-hit entries (which time nothing) are reported as skipped. Wall
+//! clocks are machine-dependent, so the default threshold (25 %) is
+//! deliberately loose — it catches order-of-magnitude slips and
+//! accidental de-optimization, not noise.
+
+use ace_bench::{gate_against_baseline, BenchRun};
+use std::process::ExitCode;
+
+struct Args {
+    baseline: String,
+    current: String,
+    threshold_pct: f64,
+}
+
+fn parse_args() -> Args {
+    let mut positional = Vec::new();
+    let mut threshold_pct = 25.0;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threshold-pct" => {
+                let value = it.next().and_then(|v| v.parse::<f64>().ok());
+                match value {
+                    Some(n) if n > 0.0 => threshold_pct = n,
+                    _ => {
+                        eprintln!("--threshold-pct requires a positive number");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                println!("usage: perf_gate <baseline.json> <current.json> [--threshold-pct <N>]");
+                std::process::exit(0);
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    if positional.len() != 2 {
+        eprintln!("usage: perf_gate <baseline.json> <current.json> [--threshold-pct <N>]");
+        std::process::exit(2);
+    }
+    let mut it = positional.into_iter();
+    Args {
+        baseline: it.next().unwrap(),
+        current: it.next().unwrap(),
+        threshold_pct,
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let baseline = match BenchRun::load(&args.baseline) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("perf_gate: cannot load baseline: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let current = match BenchRun::load(&args.current) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("perf_gate: cannot load current run: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = gate_against_baseline(&baseline, &current, args.threshold_pct);
+
+    println!(
+        "perf gate: threshold +{:.0}% (baseline jobs={}, current jobs={})",
+        report.threshold_pct, baseline.jobs, current.jobs
+    );
+    println!(
+        "{:<12} {:>12} {:>12} {:>8}  verdict",
+        "workload", "baseline ms", "current ms", "delta"
+    );
+    for row in &report.rows {
+        println!(
+            "{:<12} {:>12.1} {:>12.1} {:>+7.1}%  {}",
+            row.name,
+            row.baseline_ms,
+            row.current_ms,
+            row.delta_pct,
+            if row.regressed { "REGRESSED" } else { "ok" }
+        );
+    }
+    for s in &report.skipped {
+        println!("skipped: {s}");
+    }
+    if report.rows.is_empty() {
+        println!("perf gate: nothing comparable — pass (vacuous)");
+        return ExitCode::SUCCESS;
+    }
+    if report.regressed() {
+        eprintln!(
+            "perf gate: FAIL — workload wall-clock regressed more than {:.0}%",
+            report.threshold_pct
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("perf gate: pass");
+    ExitCode::SUCCESS
+}

@@ -39,7 +39,9 @@ pub mod baseline;
 pub mod engine;
 pub mod experiments;
 
-pub use baseline::{BenchEntry, BenchRun, HeadlineMetrics};
+pub use baseline::{
+    gate_against_baseline, BenchEntry, BenchRun, GateReport, GateRow, HeadlineMetrics,
+};
 pub use engine::{default_jobs, run_jobs, BenchError, BenchResult, Job, JobOutcome};
 
 use ace_core::{BbvReport, Experiment, HotspotReport, RunConfig, RunRecord, Scheme, SchemeReport};

@@ -20,7 +20,7 @@ pub struct Probe {
 
 impl Probe {
     /// Snapshots the machine at region entry.
-    pub fn arm(machine: &Machine, model: &EnergyModel) -> Probe {
+    pub fn arm(machine: &mut Machine, model: &EnergyModel) -> Probe {
         let c = machine.counters();
         Probe {
             instret: c.instret,
@@ -33,7 +33,7 @@ impl Probe {
     ///
     /// Returns `None` for an empty region (no instructions retired), which
     /// callers should treat as "no measurement".
-    pub fn finish(self, machine: &Machine, model: &EnergyModel) -> Option<Measurement> {
+    pub fn finish(self, machine: &mut Machine, model: &EnergyModel) -> Option<Measurement> {
         let c = machine.counters();
         let instr = c.instret.saturating_sub(self.instret);
         let cycles = c.cycles.saturating_sub(self.cycles);
@@ -78,7 +78,7 @@ mod tests {
                 branch: None,
             });
         }
-        let probe = Probe::arm(&m, &model);
+        let probe = Probe::arm(&mut m, &model);
         for _ in 0..100 {
             m.exec_block(&Block {
                 pc: 0x400,
@@ -87,7 +87,7 @@ mod tests {
                 branch: None,
             });
         }
-        let meas = probe.finish(&m, &model).unwrap();
+        let meas = probe.finish(&mut m, &model).unwrap();
         assert_eq!(meas.instr, 4000);
         assert!(meas.ipc > 3.0 && meas.ipc <= 4.0, "ipc {}", meas.ipc);
         assert!(meas.epi_nj > 0.0);
@@ -95,10 +95,10 @@ mod tests {
 
     #[test]
     fn empty_region_yields_none() {
-        let m = Machine::new(MachineConfig::table2()).unwrap();
+        let mut m = Machine::new(MachineConfig::table2()).unwrap();
         let model = EnergyModel::default_180nm();
-        let probe = Probe::arm(&m, &model);
-        assert!(probe.finish(&m, &model).is_none());
+        let probe = Probe::arm(&mut m, &model);
+        assert!(probe.finish(&mut m, &model).is_none());
     }
 
     #[test]
@@ -112,7 +112,7 @@ mod tests {
                 ace_sim::SizeLevel::new(level).unwrap(),
             );
             m.apply_resize(ace_sim::CuKind::L2, ace_sim::SizeLevel::new(level).unwrap());
-            let probe = Probe::arm(&m, &model);
+            let probe = Probe::arm(&mut m, &model);
             for _ in 0..2000 {
                 for a in (0..2048u64).step_by(64) {
                     m.exec_block(&Block {
@@ -123,7 +123,7 @@ mod tests {
                     });
                 }
             }
-            epis.push(probe.finish(&m, &model).unwrap().epi_nj);
+            epis.push(probe.finish(&mut m, &model).unwrap().epi_nj);
         }
         assert!(
             epis[1] < epis[0],

@@ -27,10 +27,18 @@ impl BranchStats {
     }
 
     /// Counter difference `self - earlier`.
+    ///
+    /// Shares the snapshot-order contract of
+    /// [`crate::MachineCounters::delta_since`]: debug builds panic on
+    /// swapped snapshots, release builds wrap.
     pub fn delta_since(&self, earlier: &BranchStats) -> BranchStats {
+        debug_assert!(
+            self.branches >= earlier.branches && self.mispredicts >= earlier.mispredicts,
+            "snapshot order reversed"
+        );
         BranchStats {
-            branches: self.branches - earlier.branches,
-            mispredicts: self.mispredicts - earlier.mispredicts,
+            branches: self.branches.wrapping_sub(earlier.branches),
+            mispredicts: self.mispredicts.wrapping_sub(earlier.mispredicts),
         }
     }
 }

@@ -18,18 +18,44 @@
 //!
 //! Statistics are kept **per size level** so the energy model can later
 //! price each access at the energy of the configuration it actually hit.
+//!
+//! # Data layout
+//!
+//! This is the simulator's hottest structure — every data reference of
+//! every run probes it — so line state is stored struct-of-arrays:
+//!
+//! * [`Cache::meta`]: one packed `u64` per line, `tag << 2 | dirty << 1 |
+//!   valid`. A probe is a single load and compare per way (`meta & !DIRTY
+//!   == tag << 2 | VALID` checks tag *and* validity at once).
+//! * [`Cache::rank`]: one recency byte per line. Within a set the ranks
+//!   form a permutation of `0..ways`; 0 is most recently used, `ways - 1`
+//!   is the LRU victim. Promotion increments the ranks below the touched
+//!   line's old rank — a short, branch-free byte loop — replacing the old
+//!   per-line 8-byte monotonic timestamp and its scan-for-minimum victim
+//!   search.
+//!
+//! On top of that, the cache memoizes the most recently touched line
+//! ([`Cache::mru_key`]): consecutive accesses to the same line — the
+//! common case for strided walks — skip the probe loop entirely. The memo
+//! is sound because a repeated line is by definition already most recently
+//! used (promotion is the identity) and nothing can have evicted it since
+//! the previous access.
+//!
+//! The replacement behavior is bit-for-bit identical to the previous
+//! array-of-structs implementation: true per-set LRU with invalid ways
+//! (lowest index first) preferred as victims. `cache_reference_model.rs`
+//! checks this against a naive oracle, and `lru_equivalence.rs` checks it
+//! against a re-implementation of the old timestamp scheme.
 
 use crate::config::{CacheGeometry, SizeLevel, NUM_SIZE_LEVELS};
 use serde::{Deserialize, Serialize};
 
-/// A single cache line's metadata (tags only; no data payload is simulated).
-#[derive(Debug, Clone, Copy, Default)]
-struct Line {
-    tag: u64,
-    lru: u64,
-    valid: bool,
-    dirty: bool,
-}
+/// `meta` bit 0: the line holds a valid tag.
+const VALID: u64 = 1;
+/// `meta` bit 1: the line has been written since allocation.
+const DIRTY: u64 = 1 << 1;
+/// `mru_key` value meaning "no memoized line" (a real key has VALID set).
+const NO_MRU: u64 = 0;
 
 /// Outcome of one cache access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,8 +90,8 @@ pub struct CacheStats {
     pub stores: [u64; NUM_SIZE_LEVELS],
     /// Dirty evictions due to replacement.
     pub writebacks: [u64; NUM_SIZE_LEVELS],
-    /// Dirty lines written back by resize flushes, attributed to the level
-    /// being *left*.
+    /// Dirty lines written back by resize and flush transitions, attributed
+    /// to the level being *left* (for a flush, the current level).
     pub flush_writebacks: [u64; NUM_SIZE_LEVELS],
     /// Number of applied reconfigurations (attributed to the level left).
     pub resizes: [u64; NUM_SIZE_LEVELS],
@@ -95,10 +121,10 @@ impl CacheStats {
     /// Element-wise difference `self - earlier`; used to attribute events to
     /// a region of execution (e.g. one hotspot invocation).
     ///
-    /// # Panics
-    ///
-    /// Panics in debug builds if any counter of `earlier` exceeds `self`'s
-    /// (i.e. the snapshots are swapped).
+    /// Both snapshot types share one underflow contract (see
+    /// [`crate::MachineCounters::delta_since`]): passing snapshots in the
+    /// wrong order is a caller bug. Debug builds panic on it; release
+    /// builds wrap rather than aborting a long experiment.
     pub fn delta_since(&self, earlier: &CacheStats) -> CacheStats {
         fn sub(a: &[u64; NUM_SIZE_LEVELS], b: &[u64; NUM_SIZE_LEVELS]) -> [u64; NUM_SIZE_LEVELS] {
             let mut out = [0; NUM_SIZE_LEVELS];
@@ -136,17 +162,29 @@ impl CacheStats {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Cache {
-    geom: CacheGeometry,
-    level: SizeLevel,
-    /// `log2(block_bytes)`.
-    offset_bits: u32,
+    /// Packed per-line metadata: `tag << 2 | dirty << 1 | valid`, indexed
+    /// `set * ways + way`. Storage covers the *maximum* set count; only the
+    /// first `sets * ways` entries are in use after a shrink.
+    meta: Vec<u64>,
+    /// Per-line LRU rank; within each set a permutation of `0..ways`
+    /// (0 = MRU). Ranks of invalid lines are stale but keep the
+    /// permutation invariant.
+    rank: Vec<u8>,
+    /// Memoized key (`tag << 2 | VALID`) of the most recently touched
+    /// line, or [`NO_MRU`]; a repeat access skips the probe loop.
+    mru_key: u64,
+    /// Flat index of the memoized line in `meta`.
+    mru_slot: u32,
     /// Sets at the current level.
     sets: u32,
-    /// Storage for the *maximum* set count; only the first `sets * ways`
-    /// entries are in use after a shrink.
-    lines: Vec<Line>,
-    /// Monotonic access counter for LRU ordering.
-    tick: u64,
+    /// Associativity, cached as `usize` for indexing.
+    ways: usize,
+    /// `log2(block_bytes)`.
+    offset_bits: u32,
+    /// `level.index()`, cached so the hot path never recomputes it.
+    lvl: usize,
+    level: SizeLevel,
+    geom: CacheGeometry,
     stats: CacheStats,
 }
 
@@ -159,13 +197,19 @@ impl Cache {
     pub fn new(geom: CacheGeometry) -> Result<Cache, crate::config::ConfigError> {
         geom.validate()?;
         let max_sets = geom.max_sets();
+        let ways = geom.ways as usize;
+        let lines = max_sets as usize * ways;
         Ok(Cache {
-            geom,
-            level: SizeLevel::LARGEST,
-            offset_bits: geom.block_bytes.trailing_zeros(),
+            meta: vec![0; lines],
+            rank: (0..lines).map(|i| (i % ways) as u8).collect(),
+            mru_key: NO_MRU,
+            mru_slot: 0,
             sets: max_sets,
-            lines: vec![Line::default(); (max_sets * geom.ways) as usize],
-            tick: 0,
+            ways,
+            offset_bits: geom.block_bytes.trailing_zeros(),
+            lvl: 0,
+            level: SizeLevel::LARGEST,
+            geom,
             stats: CacheStats::default(),
         })
     }
@@ -176,6 +220,7 @@ impl Cache {
     }
 
     /// The current size level.
+    #[inline]
     pub fn level(&self) -> SizeLevel {
         self.level
     }
@@ -186,71 +231,105 @@ impl Cache {
     }
 
     /// Accumulated statistics.
+    #[inline]
     pub fn stats(&self) -> &CacheStats {
         &self.stats
     }
 
-    /// Splits an address into (full-line-address tag, set index) at the
-    /// current size.
-    fn index(&self, addr: u64) -> (u64, u32) {
-        let line_addr = addr >> self.offset_bits;
-        let set = (line_addr as u32) & (self.sets - 1);
-        (line_addr, set)
-    }
-
     /// Performs one reference; `is_store` marks the line dirty on hit or
     /// after allocation (write-allocate).
+    #[inline]
     pub fn access(&mut self, addr: u64, is_store: bool) -> AccessOutcome {
-        let lvl = self.level.index();
+        let lvl = self.lvl;
         self.stats.accesses[lvl] += 1;
-        if is_store {
-            self.stats.stores[lvl] += 1;
-        }
-        self.tick += 1;
-        let (tag, set) = self.index(addr);
-        let ways = self.geom.ways as usize;
-        let base = set as usize * ways;
-        let slots = &mut self.lines[base..base + ways];
+        self.stats.stores[lvl] += is_store as u64;
+        let line = addr >> self.offset_bits;
+        debug_assert!(line < 1 << 62, "line address too wide to pack");
+        let key = (line << 2) | VALID;
 
-        // Hit path.
-        for line in slots.iter_mut() {
-            if line.valid && line.tag == tag {
-                line.lru = self.tick;
-                line.dirty |= is_store;
-                return AccessOutcome {
-                    hit: true,
-                    writeback: None,
-                };
-            }
+        // Same line as the previous access: it is already MRU, so the
+        // probe and promotion are both the identity; only the dirty bit
+        // can change.
+        if key == self.mru_key {
+            self.meta[self.mru_slot as usize] |= (is_store as u64) << 1;
+            return AccessOutcome {
+                hit: true,
+                writeback: None,
+            };
         }
 
-        // Miss: choose the LRU victim (preferring invalid slots).
-        self.stats.misses[lvl] += 1;
-        let mut victim = 0usize;
-        let mut best = u64::MAX;
-        for (i, line) in slots.iter().enumerate() {
-            if !line.valid {
-                victim = i;
+        let set = (line as u32) & (self.sets - 1);
+        let base = set as usize * self.ways;
+        let mut hit_way = usize::MAX;
+        for (w, &m) in self.meta[base..base + self.ways].iter().enumerate() {
+            if m & !DIRTY == key {
+                hit_way = w;
                 break;
             }
-            if line.lru < best {
-                best = line.lru;
-                victim = i;
+        }
+        if hit_way != usize::MAX {
+            self.meta[base + hit_way] |= (is_store as u64) << 1;
+            self.promote(base, hit_way);
+            self.mru_key = key;
+            self.mru_slot = (base + hit_way) as u32;
+            return AccessOutcome {
+                hit: true,
+                writeback: None,
+            };
+        }
+        self.miss(lvl, key, base, is_store)
+    }
+
+    /// Makes way `way` of the set starting at `base` the MRU line,
+    /// shifting the ranks below its old rank up by one.
+    #[inline]
+    fn promote(&mut self, base: usize, way: usize) {
+        let r = self.rank[base + way];
+        if r != 0 {
+            for x in &mut self.rank[base..base + self.ways] {
+                *x += (*x < r) as u8;
+            }
+            self.rank[base + way] = 0;
+        }
+    }
+
+    /// Miss path: allocates into the first invalid way, else evicts the
+    /// LRU line. Kept out of line so the hit path stays small enough to
+    /// inline into the simulator's reference loop.
+    #[cold]
+    #[inline(never)]
+    fn miss(&mut self, lvl: usize, key: u64, base: usize, is_store: bool) -> AccessOutcome {
+        self.stats.misses[lvl] += 1;
+        let ways = self.ways;
+        let slots = &self.meta[base..base + ways];
+        // Victim: the first invalid way if any, else the LRU. When every
+        // way is valid the ranks are exactly the valid lines' recency
+        // order, so the LRU is the (unique) way with rank `ways - 1`.
+        let mut victim = usize::MAX;
+        for (w, &m) in slots.iter().enumerate() {
+            if m & VALID == 0 {
+                victim = w;
+                break;
             }
         }
-        let v = &mut slots[victim];
-        let writeback = if v.valid && v.dirty {
-            Some(v.tag << self.offset_bits)
+        if victim == usize::MAX {
+            let lru = (ways - 1) as u8;
+            victim = self.rank[base..base + ways]
+                .iter()
+                .position(|&r| r == lru)
+                .expect("ranks form a permutation");
+        }
+        let old = self.meta[base + victim];
+        let writeback = if old & (VALID | DIRTY) == VALID | DIRTY {
+            self.stats.writebacks[lvl] += 1;
+            Some((old >> 2) << self.offset_bits)
         } else {
             None
         };
-        v.valid = true;
-        v.dirty = is_store;
-        v.tag = tag;
-        v.lru = self.tick;
-        if writeback.is_some() {
-            self.stats.writebacks[lvl] += 1;
-        }
+        self.meta[base + victim] = key | (is_store as u64) << 1;
+        self.promote(base, victim);
+        self.mru_key = key;
+        self.mru_slot = (base + victim) as u32;
         AccessOutcome {
             hit: false,
             writeback,
@@ -258,13 +337,15 @@ impl Cache {
     }
 
     /// Probes for residency without updating LRU state or statistics.
+    #[inline]
     pub fn contains(&self, addr: u64) -> bool {
-        let (tag, set) = self.index(addr);
-        let ways = self.geom.ways as usize;
-        let base = set as usize * ways;
-        self.lines[base..base + ways]
+        let line = addr >> self.offset_bits;
+        let key = (line << 2) | VALID;
+        let set = (line as u32) & (self.sets - 1);
+        let base = set as usize * self.ways;
+        self.meta[base..base + self.ways]
             .iter()
-            .any(|l| l.valid && l.tag == tag)
+            .any(|&m| m & !DIRTY == key)
     }
 
     /// Changes the cache to `new_level` using selective-sets resizing.
@@ -279,75 +360,82 @@ impl Cache {
         if new_level == self.level {
             return FlushReport::default();
         }
-        let old = self.level.index();
+        let old = self.lvl;
         let old_sets = self.sets;
         let new_sets = self.geom.sets_at(new_level);
-        let ways = self.geom.ways as usize;
+        let ways = self.ways;
         let mut report = FlushReport::default();
 
         if new_sets < old_sets {
             // Disable the upper sets. Surviving sets keep their lines:
             // for s < new_sets, line_addr & (new_sets-1) == s still holds.
-            for slot in &mut self.lines[new_sets as usize * ways..old_sets as usize * ways] {
-                if slot.valid {
+            for m in &mut self.meta[new_sets as usize * ways..old_sets as usize * ways] {
+                if *m & VALID != 0 {
                     report.valid_lines += 1;
-                    if slot.dirty {
-                        report.dirty_lines += 1;
-                    }
+                    report.dirty_lines += (*m & DIRTY != 0) as u64;
                 }
-                *slot = Line::default();
+                *m = 0;
             }
         } else {
             // Re-enable sets: lines that would now index elsewhere must go.
             let new_mask = (new_sets - 1) as u64;
-            for set in 0..old_sets {
-                for slot in &mut self.lines[set as usize * ways..(set as usize + 1) * ways] {
-                    if slot.valid && (slot.tag & new_mask) != set as u64 {
+            for set in 0..old_sets as u64 {
+                for m in &mut self.meta[set as usize * ways..(set as usize + 1) * ways] {
+                    if *m & VALID != 0 && ((*m >> 2) & new_mask) != set {
                         report.valid_lines += 1;
-                        if slot.dirty {
-                            report.dirty_lines += 1;
-                        }
-                        *slot = Line::default();
+                        report.dirty_lines += (*m & DIRTY != 0) as u64;
+                        *m = 0;
                     }
                 }
             }
         }
 
+        self.mru_key = NO_MRU;
         self.stats.flush_writebacks[old] += report.dirty_lines;
         self.stats.resizes[old] += 1;
         self.level = new_level;
+        self.lvl = new_level.index();
         self.sets = new_sets;
         report
     }
 
     /// Writes back and invalidates every line without changing the size.
+    ///
+    /// Dirty casualties are accounted exactly like a resize flush: they
+    /// are counted in [`CacheStats::flush_writebacks`] at the current
+    /// level (a flush leaves the level unchanged, so "the level left" is
+    /// the current one). [`CacheStats::resizes`] is not bumped — the
+    /// configuration did not change.
     pub fn flush(&mut self) -> FlushReport {
         let mut report = FlushReport::default();
-        let in_use = (self.sets * self.geom.ways) as usize;
-        for line in &mut self.lines[..in_use] {
-            if line.valid {
+        let in_use = self.sets as usize * self.ways;
+        for m in &mut self.meta[..in_use] {
+            if *m & VALID != 0 {
                 report.valid_lines += 1;
-                if line.dirty {
-                    report.dirty_lines += 1;
-                }
+                report.dirty_lines += (*m & DIRTY != 0) as u64;
             }
-            *line = Line::default();
+            *m = 0;
         }
+        self.mru_key = NO_MRU;
+        self.stats.flush_writebacks[self.lvl] += report.dirty_lines;
         report
     }
 
     /// Number of currently valid lines (test/diagnostic helper).
     pub fn valid_lines(&self) -> u64 {
-        let in_use = (self.sets * self.geom.ways) as usize;
-        self.lines[..in_use].iter().filter(|l| l.valid).count() as u64
+        let in_use = self.sets as usize * self.ways;
+        self.meta[..in_use]
+            .iter()
+            .filter(|&&m| m & VALID != 0)
+            .count() as u64
     }
 
     /// Number of currently dirty lines (test/diagnostic helper).
     pub fn dirty_lines(&self) -> u64 {
-        let in_use = (self.sets * self.geom.ways) as usize;
-        self.lines[..in_use]
+        let in_use = self.sets as usize * self.ways;
+        self.meta[..in_use]
             .iter()
-            .filter(|l| l.valid && l.dirty)
+            .filter(|&&m| m & (VALID | DIRTY) == VALID | DIRTY)
             .count() as u64
     }
 }
@@ -410,6 +498,19 @@ mod tests {
         assert_eq!(c.dirty_lines(), 1);
         c.access(0x200, false);
         assert_eq!(c.dirty_lines(), 1, "load does not clean the line");
+    }
+
+    #[test]
+    fn repeat_accesses_update_dirty_through_the_memo() {
+        let mut c = small();
+        // Load allocates clean; a store to the same line (served by the
+        // MRU memo) must still mark it dirty.
+        c.access(0x200, false);
+        assert_eq!(c.dirty_lines(), 0);
+        c.access(0x210, true);
+        assert_eq!(c.dirty_lines(), 1);
+        assert_eq!(c.stats().total_accesses(), 2);
+        assert_eq!(c.stats().stores[0], 1);
     }
 
     #[test]
@@ -500,6 +601,17 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "snapshot order reversed")]
+    fn delta_since_rejects_swapped_snapshots_in_debug() {
+        let mut c = small();
+        let earlier = *c.stats();
+        c.access(0, false);
+        let later = *c.stats();
+        let _ = earlier.delta_since(&later);
+    }
+
+    #[test]
     fn grow_after_shrink_restores_capacity() {
         let mut c = small();
         c.resize(SizeLevel::SMALLEST);
@@ -512,6 +624,56 @@ mod tests {
         }
         for a in (0..8192).step_by(64) {
             assert!(c.contains(a), "line {a:#x} resident after fill");
+        }
+    }
+
+    #[test]
+    fn flush_writes_back_and_accounts_like_resize() {
+        let mut c = small();
+        c.access(0, true);
+        c.access(64, false);
+        c.access(20 * 64, true);
+        let report = c.flush();
+        assert_eq!(report.valid_lines, 3);
+        assert_eq!(report.dirty_lines, 2);
+        assert_eq!(c.valid_lines(), 0);
+        assert_eq!(
+            c.stats().flush_writebacks[0],
+            2,
+            "flush accounts its writebacks at the current level, like resize"
+        );
+        assert_eq!(c.stats().resizes[0], 0, "a flush is not a resize");
+        // The flushed lines are gone: re-access misses.
+        assert!(!c.access(0, false).hit);
+    }
+
+    #[test]
+    fn flush_at_shrunk_level_attributes_to_that_level() {
+        let mut c = small();
+        c.resize(SizeLevel::new(2).unwrap());
+        c.access(0, true);
+        let report = c.flush();
+        assert_eq!(report.dirty_lines, 1);
+        assert_eq!(c.stats().flush_writebacks[2], 1);
+    }
+
+    #[test]
+    fn ranks_stay_a_permutation_across_transitions() {
+        let mut c = small();
+        for a in (0..8192u64).step_by(64) {
+            c.access(a, a % 192 == 0);
+        }
+        c.resize(SizeLevel::new(2).unwrap());
+        for a in (0..4096u64).step_by(32) {
+            c.access(a, a % 96 == 0);
+        }
+        c.resize(SizeLevel::LARGEST);
+        c.flush();
+        // After heavy churn every set's ranks must still be 0..ways.
+        for set in 0..64usize {
+            let mut ranks: Vec<u8> = c.rank[set * 2..set * 2 + 2].to_vec();
+            ranks.sort_unstable();
+            assert_eq!(ranks, vec![0, 1], "set {set}");
         }
     }
 }

@@ -124,17 +124,30 @@ pub struct MachineCounters {
 
 impl MachineCounters {
     /// Counter difference `self - earlier`.
+    ///
+    /// # Snapshot-order contract
+    ///
+    /// `earlier` must be a snapshot taken no later than `self`; passing
+    /// them in the wrong order is a caller bug. The whole `delta_since`
+    /// family ([`CacheStats`], [`TlbStats`], [`BranchStats`], and this
+    /// type) enforces one contract: debug builds panic with "snapshot
+    /// order reversed", release builds wrap rather than aborting a
+    /// long-running experiment on an accounting bug.
     pub fn delta_since(&self, earlier: &MachineCounters) -> MachineCounters {
+        fn sub1(a: u64, b: u64) -> u64 {
+            debug_assert!(a >= b, "snapshot order reversed");
+            a.wrapping_sub(b)
+        }
         fn sub4(a: &[u64; NUM_SIZE_LEVELS], b: &[u64; NUM_SIZE_LEVELS]) -> [u64; NUM_SIZE_LEVELS] {
             let mut out = [0; NUM_SIZE_LEVELS];
             for i in 0..NUM_SIZE_LEVELS {
-                out[i] = a[i] - b[i];
+                out[i] = sub1(a[i], b[i]);
             }
             out
         }
         MachineCounters {
-            instret: self.instret - earlier.instret,
-            cycles: self.cycles - earlier.cycles,
+            instret: sub1(self.instret, earlier.instret),
+            cycles: sub1(self.cycles, earlier.cycles),
             l1i: self.l1i.delta_since(&earlier.l1i),
             l1d: self.l1d.delta_since(&earlier.l1d),
             l2: self.l2.delta_since(&earlier.l2),
@@ -145,7 +158,7 @@ impl MachineCounters {
             window_cycles: sub4(&self.window_cycles, &earlier.window_cycles),
             window_instr: sub4(&self.window_instr, &earlier.window_instr),
             window_resizes: sub4(&self.window_resizes, &earlier.window_resizes),
-            guard_rejections: self.guard_rejections - earlier.guard_rejections,
+            guard_rejections: sub1(self.guard_rejections, earlier.guard_rejections),
         }
     }
 
@@ -188,6 +201,10 @@ pub struct Machine {
     counters: MachineCounters,
     /// Fractional-issue accumulator (instructions not yet converted to cycles).
     issue_acc: u64,
+    /// `log2(issue_width)` when the width is a power of two (it is in
+    /// every shipped configuration), letting the per-block divide/modulo
+    /// pair become a shift/mask.
+    issue_shift: Option<u32>,
     /// Residual per-mille of exposed stall cycles not yet charged.
     stall_acc: u64,
     /// Current instruction-window level (the window's control register).
@@ -212,6 +229,10 @@ impl Machine {
             predictor: BranchPredictor::new(cfg.predictor_entries),
             counters: MachineCounters::default(),
             issue_acc: 0,
+            issue_shift: cfg
+                .issue_width
+                .is_power_of_two()
+                .then(|| cfg.issue_width.trailing_zeros()),
             stall_acc: 0,
             window_level: SizeLevel::LARGEST,
             last_reconfig: [None; 3],
@@ -225,7 +246,15 @@ impl Machine {
     }
 
     /// Current counter values.
-    pub fn counters(&self) -> &MachineCounters {
+    ///
+    /// The machine's own counters (`instret`, `cycles`, per-level cycle
+    /// attribution) are maintained directly by [`Machine::exec_block`];
+    /// the sub-structure statistics (caches, DTLB, branch predictor) are
+    /// copied into the snapshot here, on read, rather than after every
+    /// block — readers sample counters thousands of times less often than
+    /// blocks retire, so the hot loop never pays for the copy.
+    pub fn counters(&mut self) -> &MachineCounters {
+        self.sync_stats();
         &self.counters
     }
 
@@ -268,6 +297,12 @@ impl Machine {
     }
 
     /// Executes one dynamic block, updating all structures and counters.
+    ///
+    /// This is the simulator's innermost loop — one call per ~50 retired
+    /// instructions, one fused DTLB + L1D probe per data reference — so
+    /// penalty constants, exposure factors, and level indices are hoisted
+    /// out of the per-access loop; reconfiguration can only happen between
+    /// blocks, so they are loop-invariant.
     pub fn exec_block(&mut self, block: &Block) {
         let mut stalls: u64 = 0;
 
@@ -281,31 +316,35 @@ impl Machine {
             }
         }
 
-        // Data references.
+        // Data references: fused DTLB + L1D probe per access, with the
+        // milli-cycle penalty terms precomputed (they depend only on the
+        // configuration, never on the access).
+        let tlb_penalty = self.cfg.tlb_miss_penalty as u64;
+        let l2_hit_milli =
+            self.cfg.l2.hit_latency as u64 * self.cfg.l2_hit_exposure_pct as u64 * 10;
+        let mem_miss_milli = self.cfg.mem_latency as u64 * self.cfg.miss_exposure_pct as u64 * 10;
+        let store_pct = self.cfg.store_stall_pct as u64;
         let mut data_stall_milli: u64 = 0;
         for acc in &block.accesses {
             if !self.dtlb.translate(acc.addr) {
-                stalls += self.cfg.tlb_miss_penalty as u64;
+                stalls += tlb_penalty;
             }
             let out = self.l1d.access(acc.addr, acc.is_store);
-            if let Some(wb) = out.writeback {
-                // Dirty L1D eviction drains into the L2.
-                let l2wb = self.l2.access(wb, true);
-                if let Some(_mem_wb) = l2wb.writeback {
-                    // L2 dirty eviction goes to memory; no stall (buffered).
-                }
-            }
             if !out.hit {
+                if let Some(wb) = out.writeback {
+                    // Dirty L1D eviction drains into the L2; an L2 dirty
+                    // eviction in turn goes to memory, stall-free
+                    // (buffered).
+                    let _ = self.l2.access(wb, true);
+                }
                 let fill = self.l2.access(acc.addr, false);
                 // Milli-cycles: latency * 1000 * exposure% / 100.
-                let mut penalty_milli =
-                    self.cfg.l2.hit_latency as u64 * self.cfg.l2_hit_exposure_pct as u64 * 10;
+                let mut penalty_milli = l2_hit_milli;
                 if !fill.hit {
-                    penalty_milli +=
-                        self.cfg.mem_latency as u64 * self.cfg.miss_exposure_pct as u64 * 10;
+                    penalty_milli += mem_miss_milli;
                 }
                 if acc.is_store {
-                    penalty_milli = penalty_milli * self.cfg.store_stall_pct as u64 / 100;
+                    penalty_milli = penalty_milli * store_pct / 100;
                 }
                 data_stall_milli += penalty_milli;
             }
@@ -314,7 +353,8 @@ impl Machine {
         // parallelism: scale the exposed data stalls by the window level's
         // multiplier. Hit-dominated code is unaffected, which is what lets
         // small hotspots shrink the window for free.
-        let wf = self.cfg.window_exposure_permille[self.window_level.index()] as u64;
+        let win = self.window_level.index();
+        let wf = self.cfg.window_exposure_permille[win] as u64;
         // Carry the sub-cycle residue so long runs are exact.
         let exposed = data_stall_milli * wf / 1000 + self.stall_acc;
         stalls += exposed / 1000;
@@ -329,20 +369,30 @@ impl Machine {
 
         // Base issue bandwidth.
         self.issue_acc += block.ninstr as u64;
-        let base = self.issue_acc / self.cfg.issue_width as u64;
-        self.issue_acc %= self.cfg.issue_width as u64;
+        let base = match self.issue_shift {
+            Some(sh) => {
+                let b = self.issue_acc >> sh;
+                self.issue_acc &= (1 << sh) - 1;
+                b
+            }
+            None => {
+                let b = self.issue_acc / self.cfg.issue_width as u64;
+                self.issue_acc %= self.cfg.issue_width as u64;
+                b
+            }
+        };
 
         self.counters.instret += block.ninstr as u64;
-        self.counters.window_instr[self.window_level.index()] += block.ninstr as u64;
+        self.counters.window_instr[win] += block.ninstr as u64;
         let delta = base + stalls;
         self.counters.cycles += delta;
         self.counters.l1d_cycles[self.l1d.level().index()] += delta;
         self.counters.l2_cycles[self.l2.level().index()] += delta;
-        self.counters.window_cycles[self.window_level.index()] += delta;
-        self.sync_stats();
+        self.counters.window_cycles[win] += delta;
     }
 
-    /// Copies sub-structure stats into the counters snapshot.
+    /// Copies sub-structure stats into the counters snapshot. Called on
+    /// demand from [`Machine::counters`], never from the block loop.
     fn sync_stats(&mut self) {
         self.counters.l1i = *self.l1i.stats();
         self.counters.l1d = *self.l1d.stats();
@@ -413,7 +463,6 @@ impl Machine {
         }
         let flush_cycles = report.dirty_lines * self.cfg.flush_writeback_cycles as u64;
         self.add_overhead_cycles(flush_cycles);
-        self.sync_stats();
         report
     }
 
@@ -692,6 +741,42 @@ mod tests {
         assert_eq!(c.window_instr[2], 200);
         assert_eq!(c.window_resizes[0], 1);
         assert!(c.window_cycles[2] > 0);
+    }
+
+    #[test]
+    fn delta_since_of_ordered_snapshots() {
+        let mut m = machine();
+        m.exec_block(&block(0x400, 100, vec![MemAccess::load(0x1000)]));
+        let snap = m.counters().clone();
+        m.exec_block(&block(0x400, 50, vec![MemAccess::store(0x1000)]));
+        let d = m.counters().delta_since(&snap);
+        assert_eq!(d.instret, 50);
+        assert_eq!(d.l1d.total_accesses(), 1);
+        assert_eq!(d.l1d.stores[0], 1);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "snapshot order reversed")]
+    fn delta_since_rejects_swapped_snapshots_in_debug() {
+        let mut m = machine();
+        let earlier = m.counters().clone();
+        m.exec_block(&block(0x400, 100, vec![]));
+        let later = m.counters().clone();
+        let _ = earlier.delta_since(&later);
+    }
+
+    #[test]
+    fn counters_are_synced_on_read() {
+        let mut m = machine();
+        m.exec_block(&block(0x400, 8, vec![MemAccess::load(0x2000)]));
+        // Sub-structure stats are copied lazily by `counters()`, not by
+        // the block loop; a read must always observe the latest values.
+        assert_eq!(m.counters().l1d.total_accesses(), 1);
+        assert_eq!(m.counters().dtlb.accesses, 1);
+        m.exec_block(&block(0x400, 8, vec![MemAccess::load(0x2000)]));
+        assert_eq!(m.counters().l1d.total_accesses(), 2);
+        assert_eq!(m.counters().branch.branches, 0);
     }
 
     #[test]

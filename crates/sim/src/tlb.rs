@@ -6,11 +6,25 @@
 //! noise of fully associative for the page-granular streams the workloads
 //! produce while keeping the hot loop cheap. Misses charge a fixed
 //! software-walk penalty.
+//!
+//! Like [`crate::Cache`], entry state is stored struct-of-arrays — a
+//! packed `u64` per entry (`page << 1 | valid`) plus a recency-rank byte
+//! per entry (0 = MRU, `ways - 1` = LRU) — and the most recently
+//! translated page is memoized so the page-granular locality of the
+//! workload streams (every line of a 4 KB page translates to the same
+//! entry) skips the probe loop entirely. Replacement is bit-for-bit
+//! identical to the previous timestamp-based implementation: true per-set
+//! LRU with invalid ways (lowest index first) preferred as victims.
 
 use serde::{Deserialize, Serialize};
 
 /// Associativity used to approximate the fully associative DTLB.
 const TLB_WAYS: u32 = 16;
+
+/// `meta` bit 0: the entry holds a valid page number.
+const VALID: u64 = 1;
+/// `mru_key` value meaning "no memoized page" (a real key has VALID set).
+const NO_MRU: u64 = 0;
 
 /// TLB statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -32,19 +46,20 @@ impl TlbStats {
     }
 
     /// Counter difference `self - earlier`.
+    ///
+    /// Shares the snapshot-order contract of
+    /// [`crate::MachineCounters::delta_since`]: debug builds panic on
+    /// swapped snapshots, release builds wrap.
     pub fn delta_since(&self, earlier: &TlbStats) -> TlbStats {
+        debug_assert!(
+            self.accesses >= earlier.accesses && self.misses >= earlier.misses,
+            "snapshot order reversed"
+        );
         TlbStats {
-            accesses: self.accesses - earlier.accesses,
-            misses: self.misses - earlier.misses,
+            accesses: self.accesses.wrapping_sub(earlier.accesses),
+            misses: self.misses.wrapping_sub(earlier.misses),
         }
     }
-}
-
-#[derive(Debug, Clone, Copy, Default)]
-struct Entry {
-    page: u64,
-    lru: u64,
-    valid: bool,
 }
 
 /// A set-associative TLB with LRU replacement.
@@ -59,10 +74,14 @@ struct Entry {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Tlb {
-    entries: Vec<Entry>,
+    /// Packed per-entry metadata: `page << 1 | valid`.
+    meta: Vec<u64>,
+    /// Per-entry LRU rank; a permutation of `0..ways` within each set.
+    rank: Vec<u8>,
+    /// Memoized key (`page << 1 | VALID`) of the last translation.
+    mru_key: u64,
     sets: u32,
     page_shift: u32,
-    tick: u64,
     stats: TlbStats,
 }
 
@@ -85,51 +104,85 @@ impl Tlb {
             "page size must be a power of two"
         );
         Tlb {
-            entries: vec![Entry::default(); entries as usize],
+            meta: vec![0; entries as usize],
+            rank: (0..entries).map(|i| (i % TLB_WAYS) as u8).collect(),
+            mru_key: NO_MRU,
             sets,
             page_shift: page_bytes.trailing_zeros(),
-            tick: 0,
             stats: TlbStats::default(),
         }
     }
 
     /// Accumulated statistics.
+    #[inline]
     pub fn stats(&self) -> &TlbStats {
         &self.stats
     }
 
     /// Translates `addr`, returning `true` on a TLB hit.
+    #[inline]
     pub fn translate(&mut self, addr: u64) -> bool {
         self.stats.accesses += 1;
-        self.tick += 1;
         let page = addr >> self.page_shift;
+        debug_assert!(page < 1 << 63, "page number too wide to pack");
+        let key = (page << 1) | VALID;
+        // Same page as the previous translation: already resident and MRU.
+        if key == self.mru_key {
+            return true;
+        }
         let set = (page as u32) & (self.sets - 1);
         let base = (set * TLB_WAYS) as usize;
-        let slots = &mut self.entries[base..base + TLB_WAYS as usize];
-        for e in slots.iter_mut() {
-            if e.valid && e.page == page {
-                e.lru = self.tick;
-                return true;
-            }
-        }
-        self.stats.misses += 1;
-        let mut victim = 0usize;
-        let mut best = u64::MAX;
-        for (i, e) in slots.iter().enumerate() {
-            if !e.valid {
-                victim = i;
+        let ways = TLB_WAYS as usize;
+        let mut hit_way = usize::MAX;
+        for (w, &m) in self.meta[base..base + ways].iter().enumerate() {
+            if m == key {
+                hit_way = w;
                 break;
             }
-            if e.lru < best {
-                best = e.lru;
-                victim = i;
+        }
+        if hit_way != usize::MAX {
+            self.promote(base, hit_way);
+            self.mru_key = key;
+            return true;
+        }
+        self.miss(key, base)
+    }
+
+    /// Makes way `way` of the set starting at `base` the MRU entry.
+    #[inline]
+    fn promote(&mut self, base: usize, way: usize) {
+        let r = self.rank[base + way];
+        if r != 0 {
+            for x in &mut self.rank[base..base + TLB_WAYS as usize] {
+                *x += (*x < r) as u8;
+            }
+            self.rank[base + way] = 0;
+        }
+    }
+
+    /// Miss path: refills the first invalid way, else the LRU entry.
+    #[cold]
+    #[inline(never)]
+    fn miss(&mut self, key: u64, base: usize) -> bool {
+        self.stats.misses += 1;
+        let ways = TLB_WAYS as usize;
+        let mut victim = usize::MAX;
+        for (w, &m) in self.meta[base..base + ways].iter().enumerate() {
+            if m & VALID == 0 {
+                victim = w;
+                break;
             }
         }
-        slots[victim] = Entry {
-            page,
-            lru: self.tick,
-            valid: true,
-        };
+        if victim == usize::MAX {
+            let lru = (ways - 1) as u8;
+            victim = self.rank[base..base + ways]
+                .iter()
+                .position(|&r| r == lru)
+                .expect("ranks form a permutation");
+        }
+        self.meta[base + victim] = key;
+        self.promote(base, victim);
+        self.mru_key = key;
         false
     }
 }
@@ -176,6 +229,17 @@ mod tests {
     }
 
     #[test]
+    fn repeated_page_served_by_memo_still_counts_accesses() {
+        let mut t = Tlb::new(128, 4096);
+        assert!(!t.translate(0x1000));
+        for off in 0..8u64 {
+            assert!(t.translate(0x1000 + off * 64));
+        }
+        assert_eq!(t.stats().accesses, 9);
+        assert_eq!(t.stats().misses, 1);
+    }
+
+    #[test]
     fn delta_since() {
         let mut t = Tlb::new(128, 4096);
         t.translate(0);
@@ -188,8 +252,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "multiple of 16")]
-    fn rejects_bad_entry_count() {
-        let _ = Tlb::new(100, 4096);
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "snapshot order reversed")]
+    fn delta_since_rejects_swapped_snapshots_in_debug() {
+        let mut t = Tlb::new(128, 4096);
+        let earlier = *t.stats();
+        t.translate(0);
+        let later = *t.stats();
+        let _ = earlier.delta_since(&later);
     }
 }

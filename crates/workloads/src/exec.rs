@@ -275,34 +275,57 @@ impl<'p> Executor<'p> {
         let nrefs = milli / 1000;
         cursor.ref_residue = milli % 1000;
         out.accesses.reserve(nrefs as usize);
-        for _ in 0..nrefs {
-            let offset = match pat.walk {
-                Walk::Strided { stride } => {
-                    let off = cursor.pos % pat.working_set;
-                    cursor.pos += stride as u64;
-                    off
+        // The walk kind is per-pattern, so dispatch once per block, not
+        // once per reference. Each arm draws from the RNG in exactly the
+        // order the unspecialized per-reference match did.
+        let base = pat.base;
+        let store_pct = pat.store_pct;
+        let ws = pat.working_set;
+        match pat.walk {
+            // The cursor is kept reduced (`pos < working_set`, see the
+            // reduction after the advance), so the per-reference modulo
+            // of the naive `pos % working_set` walk becomes a
+            // rarely-taken wrap branch. The emitted offset sequence is
+            // identical: `pos` always equals the old unreduced cursor
+            // mod `working_set`.
+            Walk::Strided { stride } | Walk::Streaming { stride } => {
+                let mut pos = cursor.pos;
+                for _ in 0..nrefs {
+                    let offset = pos;
+                    pos += stride as u64;
+                    if pos >= ws {
+                        pos %= ws;
+                    }
+                    let addr = base + (offset & !7);
+                    let is_store = self.rng.chance(store_pct);
+                    out.accesses.push(MemAccess { addr, is_store });
                 }
-                Walk::Random => self.rng.below(pat.working_set),
-                Walk::Streaming { stride } => {
-                    let off = cursor.pos % pat.working_set;
-                    cursor.pos += stride as u64;
-                    off
+                cursor.pos = pos;
+            }
+            Walk::Random => {
+                for _ in 0..nrefs {
+                    let offset = self.rng.below(ws);
+                    let addr = base + (offset & !7);
+                    let is_store = self.rng.chance(store_pct);
+                    out.accesses.push(MemAccess { addr, is_store });
                 }
-                Walk::Skewed {
-                    hot_bytes_pct,
-                    hot_refs_pct,
-                } => {
-                    let hot_bytes = (pat.working_set * hot_bytes_pct as u64 / 100).max(64);
-                    if self.rng.chance(hot_refs_pct) {
+            }
+            Walk::Skewed {
+                hot_bytes_pct,
+                hot_refs_pct,
+            } => {
+                let hot_bytes = (ws * hot_bytes_pct as u64 / 100).max(64);
+                for _ in 0..nrefs {
+                    let offset = if self.rng.chance(hot_refs_pct) {
                         self.rng.below(hot_bytes)
                     } else {
-                        self.rng.below(pat.working_set)
-                    }
+                        self.rng.below(ws)
+                    };
+                    let addr = base + (offset & !7);
+                    let is_store = self.rng.chance(store_pct);
+                    out.accesses.push(MemAccess { addr, is_store });
                 }
-            };
-            let addr = pat.base + (offset & !7);
-            let is_store = self.rng.chance(pat.store_pct);
-            out.accesses.push(MemAccess { addr, is_store });
+            }
         }
 
         // Terminating branch.
