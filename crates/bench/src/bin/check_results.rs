@@ -1,0 +1,95 @@
+//! Verifies the committed `results/` cache against the *current* cache
+//! keys.
+//!
+//! Cached workload results are content-addressed as
+//! `results/<workload>-<key>.json`, where the key hashes everything that
+//! determines a run's outcome ([`ace_bench::cache_key`]). When the run
+//! inputs grow — a new `MachineConfig` field, a restructured `DoConfig` —
+//! every key changes, and previously committed entries become dead weight
+//! that `run_all` silently ignores forever. This check fails CI when that
+//! happens, forcing the stale files to be purged (and optionally
+//! regenerated) in the same change that shifted the keys.
+//!
+//! Rules, applied to every `*.json` in [`ace_bench::results_dir`]:
+//!
+//! - `<workload>-<key>.json` for a known preset: `key` must equal the
+//!   current headline key for that workload (the default [`RunConfig`]).
+//! - Bare `<workload>.json` for a known preset: always stale — the
+//!   pre-content-addressing cache format.
+//! - Anything else `.json`: unknown, flagged (results/ holds only the
+//!   headline cache plus `.txt`/`.md` reports).
+//!
+//! Run it before any experiment has executed (CI does), so only committed
+//! entries are on disk; a warm local cache written by the current binary
+//! passes by construction.
+
+use ace_bench::{cache_key, results_dir};
+use ace_core::RunConfig;
+use ace_workloads::PRESET_NAMES;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let dir = results_dir();
+    let base = RunConfig::default();
+    let current: Vec<(String, String)> = PRESET_NAMES
+        .iter()
+        .map(|name| ((*name).to_string(), cache_key(name, &base)))
+        .collect();
+
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(it) => it,
+        Err(_) => {
+            println!("{}: no results directory, nothing to check", dir.display());
+            return ExitCode::SUCCESS;
+        }
+    };
+
+    let mut stale = Vec::new();
+    let mut checked = 0usize;
+    for entry in entries.flatten() {
+        let file = entry.file_name();
+        let Some(name) = file.to_str() else { continue };
+        let Some(stem) = name.strip_suffix(".json") else {
+            continue;
+        };
+        checked += 1;
+        // `<workload>-<16 hex digits>`: a content-addressed cache entry.
+        let keyed = stem
+            .rsplit_once('-')
+            .filter(|(_, key)| key.len() == 16 && key.bytes().all(|b| b.is_ascii_hexdigit()));
+        if let Some((workload, key)) = keyed {
+            match current.iter().find(|(w, _)| w == workload) {
+                Some((_, want)) if want == key => continue,
+                Some((_, want)) => stale.push(format!(
+                    "{name}: superseded cache key (current key for {workload} is {want})"
+                )),
+                None => stale.push(format!("{name}: unknown workload {workload:?}")),
+            }
+        } else if current.iter().any(|(w, _)| w == stem) {
+            stale.push(format!(
+                "{name}: pre-content-addressing cache format (expected {stem}-<key>.json)"
+            ));
+        } else {
+            stale.push(format!("{name}: not a recognized cache entry"));
+        }
+    }
+
+    if stale.is_empty() {
+        println!(
+            "{}: {checked} cache entr{} match current keys",
+            dir.display(),
+            if checked == 1 { "y" } else { "ies" }
+        );
+        return ExitCode::SUCCESS;
+    }
+    eprintln!(
+        "{}: {} stale cache entr{} (run inputs changed; purge or regenerate):",
+        dir.display(),
+        stale.len(),
+        if stale.len() == 1 { "y" } else { "ies" }
+    );
+    for line in &stale {
+        eprintln!("  {line}");
+    }
+    ExitCode::FAILURE
+}

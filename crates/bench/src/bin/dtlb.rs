@@ -1,0 +1,5 @@
+//! Extension: the DTLB as a registry-registered third configurable unit.
+
+fn main() -> std::process::ExitCode {
+    ace_bench::experiments::cli_main("dtlb")
+}

@@ -146,16 +146,16 @@ fn main() -> ExitCode {
         rows.push(vec![
             r.workload.clone(),
             format!("{}", r.hotspot.table4.hotspots),
-            format!("{}", h.l1d_hotspots),
-            format!("{}", h.l2_hotspots),
+            format!("{}", h.l1d_hotspots()),
+            format!("{}", h.l2_hotspots()),
             format!("{:.0}%", 100.0 * h.tuned_fraction()),
             format!(
                 "{:.1}%",
-                100.0 * h.l1d.covered_instr as f64 / r.hotspot.instret as f64
+                100.0 * h.l1d().covered_instr as f64 / r.hotspot.instret as f64
             ),
             format!(
                 "{:.1}%",
-                100.0 * h.l2.covered_instr as f64 / r.hotspot.instret as f64
+                100.0 * h.l2().covered_instr as f64 / r.hotspot.instret as f64
             ),
             format!("{}", b.phases),
             format!("{}", b.tuned_phases),

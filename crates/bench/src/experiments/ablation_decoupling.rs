@@ -42,7 +42,7 @@ pub(super) fn run(ctx: &ExpCtx) -> BenchResult<Report> {
                 100.0 * (1.0 - r.energy.total_nj() / base.energy.total_nj()),
                 100.0 * r.slowdown_vs(&base),
                 100.0 * rep.tuned_fraction(),
-                (rep.l1d.tunings + rep.l2.tunings) as f64,
+                (rep.l1d().tunings + rep.l2().tunings) as f64,
                 r.counters.guard_rejections,
             ))
         };

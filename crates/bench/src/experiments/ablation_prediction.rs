@@ -85,11 +85,10 @@ pub(super) fn run(ctx: &ExpCtx) -> BenchResult<Report> {
                 + bytes;
             predicted.set_prediction(
                 m,
-                AceConfig {
-                    l1d: Some(level_for(bytes, 64 << 10)),
-                    l2: Some(level_for(l2_bytes * 3 / 2, 1024 << 10)),
-                    window: None,
-                },
+                AceConfig::both(
+                    level_for(bytes, 64 << 10),
+                    level_for(l2_bytes * 3 / 2, 1024 << 10),
+                ),
             );
         }
         let pred_run = Experiment::preset(name)
@@ -112,8 +111,8 @@ pub(super) fn run(ctx: &ExpCtx) -> BenchResult<Report> {
             format!("{p_sav:.1}"),
             format!("{:.2}", 100.0 * tuned_run.slowdown_vs(&base)),
             format!("{:.2}", 100.0 * pred_run.slowdown_vs(&base)),
-            format!("{}", tuned_rep.l1d.tunings + tuned_rep.l2.tunings),
-            format!("{}", pred_rep.l1d.tunings + pred_rep.l2.tunings),
+            format!("{}", tuned_rep.l1d().tunings + tuned_rep.l2().tunings),
+            format!("{}", pred_rep.l1d().tunings + pred_rep.l2().tunings),
         ]);
     }
     rows.push(vec![

@@ -66,7 +66,7 @@ pub(super) fn run(ctx: &ExpCtx) -> BenchResult<Report> {
             format!(
                 "{}/{}",
                 hrep.tuned_hotspots,
-                hrep.l1d_hotspots + hrep.l2_hotspots
+                hrep.l1d_hotspots() + hrep.l2_hotspots()
             ),
             format!("{}", hot.counters.guard_rejections),
         ],

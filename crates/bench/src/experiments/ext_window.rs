@@ -74,9 +74,9 @@ pub(super) fn run(ctx: &ExpCtx) -> BenchResult<Report> {
             format!("{win_sav:.1}"),
             format!("{:.2}", 100.0 * r2.slowdown_vs(&base)),
             format!("{:.2}", 100.0 * r3.slowdown_vs(&base)),
-            format!("{}", rep3.window_hotspots),
-            format!("{}", rep3.window.tunings),
-            format!("{}", rep3.window.reconfigs),
+            format!("{}", rep3.window_hotspots()),
+            format!("{}", rep3.window().tunings),
+            format!("{}", rep3.window().reconfigs),
         ]);
     }
     rows.push(vec![

@@ -21,7 +21,7 @@ pub(super) fn run(ctx: &ExpCtx) -> BenchResult<Report> {
     let hs_trials: f64 = mean(all.iter().map(|r| {
         let h = &r.hotspot_report;
         let tuned = h.tuned_hotspots.max(1);
-        (h.l1d.tunings + h.l2.tunings) as f64 / tuned as f64
+        (h.l1d().tunings + h.l2().tunings) as f64 / tuned as f64
     }));
     let bbv_trials: f64 = mean(
         all.iter()

@@ -21,9 +21,9 @@ pub(super) fn run(ctx: &ExpCtx) -> BenchResult<Report> {
         let h = &r.hotspot_report;
         rows.push(vec![
             r.workload.clone(),
-            format!("{}", h.l1d_hotspots),
-            format!("{}", h.l2_hotspots),
-            format!("{}", h.l1d_hotspots + h.l2_hotspots + h.small_hotspots),
+            format!("{}", h.l1d_hotspots()),
+            format!("{}", h.l2_hotspots()),
+            format!("{}", h.l1d_hotspots() + h.l2_hotspots() + h.small_hotspots),
             format!("{}", h.tuned_hotspots),
             format!("{:.1}%", 100.0 * h.tuned_fraction()),
             format!("{:.2}%", 100.0 * h.per_hotspot_ipc_cov),

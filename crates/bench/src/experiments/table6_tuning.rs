@@ -27,12 +27,12 @@ pub(super) fn run(ctx: &ExpCtx) -> BenchResult<Report> {
         let instr = r.hotspot.instret as f64;
         rows.push(vec![
             r.workload.clone(),
-            format!("{}", h.l1d.tunings),
-            format!("{}", h.l1d.reconfigs),
-            format!("{:.1}%", 100.0 * h.l1d.covered_instr as f64 / instr),
-            format!("{}", h.l2.tunings),
-            format!("{}", h.l2.reconfigs),
-            format!("{:.1}%", 100.0 * h.l2.covered_instr as f64 / instr),
+            format!("{}", h.l1d().tunings),
+            format!("{}", h.l1d().reconfigs),
+            format!("{:.1}%", 100.0 * h.l1d().covered_instr as f64 / instr),
+            format!("{}", h.l2().tunings),
+            format!("{}", h.l2().reconfigs),
+            format!("{:.1}%", 100.0 * h.l2().covered_instr as f64 / instr),
         ]);
     }
     outln!(

@@ -405,112 +405,6 @@ fn save(path: &Path, results: &SchemeResults) -> std::io::Result<()> {
     std::fs::rename(&tmp, path)
 }
 
-/// Standard run configuration used by every experiment.
-#[deprecated(since = "0.2.0", note = "use `RunConfig::default()`")]
-pub fn standard_run_config() -> RunConfig {
-    RunConfig::default()
-}
-
-/// Runs one workload under all three schemes (no caching).
-///
-/// # Panics
-///
-/// Panics if `name` is not one of [`PRESET_NAMES`] or a run fails.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `ExperimentSet::presets([name]).fresh(true).run()`"
-)]
-pub fn run_workload(name: &str) -> SchemeResults {
-    run_workload_impl(name, &Telemetry::off())
-}
-
-/// [`run_workload`] with an observability handle.
-///
-/// # Panics
-///
-/// Panics if `name` is not one of [`PRESET_NAMES`] or a run fails.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `ExperimentSet::presets([name]).fresh(true).telemetry(t).run()`"
-)]
-pub fn run_workload_with(name: &str, telemetry: &Telemetry) -> SchemeResults {
-    run_workload_impl(name, telemetry)
-}
-
-pub(crate) fn run_workload_impl(name: &str, telemetry: &Telemetry) -> SchemeResults {
-    ExperimentSet::presets([name])
-        .fresh(true)
-        .results_dir(std::env::temp_dir().join(format!("ace-uncached-{}", std::process::id())))
-        .telemetry(telemetry)
-        .run_parallel(1)
-        .unwrap_or_else(|e| panic!("workload {name}: {e}"))
-        .pop()
-        .expect("one workload in, one result out")
-}
-
-/// Loads cached results for `name`, or runs and caches them.
-///
-/// # Panics
-///
-/// Panics if `name` is not one of [`PRESET_NAMES`] or a run fails.
-#[deprecated(since = "0.2.0", note = "use `ExperimentSet::presets([name]).run()`")]
-pub fn load_or_run(name: &str) -> SchemeResults {
-    load_or_run_impl(name, &Telemetry::off())
-}
-
-/// [`load_or_run`] with an observability handle. A cache hit returns the
-/// stored record without re-running, so it emits no events.
-///
-/// # Panics
-///
-/// Panics if `name` is not one of [`PRESET_NAMES`] or a run fails.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `ExperimentSet::presets([name]).telemetry(t).run()`"
-)]
-pub fn load_or_run_with(name: &str, telemetry: &Telemetry) -> SchemeResults {
-    load_or_run_impl(name, telemetry)
-}
-
-pub(crate) fn load_or_run_impl(name: &str, telemetry: &Telemetry) -> SchemeResults {
-    ExperimentSet::presets([name])
-        .telemetry(telemetry)
-        .run_parallel(1)
-        .unwrap_or_else(|e| panic!("workload {name}: {e}"))
-        .pop()
-        .expect("one workload in, one result out")
-}
-
-/// Runs (or loads) all seven workloads in parallel.
-///
-/// # Panics
-///
-/// Panics if any run fails.
-#[deprecated(since = "0.2.0", note = "use `ExperimentSet::all_presets().run()`")]
-pub fn load_or_run_all() -> Vec<SchemeResults> {
-    load_or_run_all_impl(&Telemetry::off())
-}
-
-/// [`load_or_run_all`] with an observability handle.
-///
-/// # Panics
-///
-/// Panics if any run fails.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `ExperimentSet::all_presets().telemetry(t).run()`"
-)]
-pub fn load_or_run_all_with(telemetry: &Telemetry) -> Vec<SchemeResults> {
-    load_or_run_all_impl(telemetry)
-}
-
-pub(crate) fn load_or_run_all_impl(telemetry: &Telemetry) -> Vec<SchemeResults> {
-    ExperimentSet::all_presets()
-        .telemetry(telemetry)
-        .run()
-        .unwrap_or_else(|e| panic!("headline runs: {e}"))
-}
-
 /// Parses the shared `--telemetry <path>` CLI flag: returns a JSONL-file
 /// handle when present, [`Telemetry::off`] otherwise. Exits with a
 /// message if the path cannot be created. Cached results skip their runs

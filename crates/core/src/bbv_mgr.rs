@@ -452,7 +452,7 @@ mod tests {
             .best()
             .expect("a finished tuner always has a selection");
         let l1d = best
-            .l1d
+            .get(ace_sim::CuId::L1d)
             .expect("combined-list selections always assign the L1D");
         assert!(
             l1d > ace_sim::SizeLevel::LARGEST,

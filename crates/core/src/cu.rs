@@ -5,10 +5,15 @@
 //! here as partial configurations: an L1D hotspot's configuration list
 //! only touches the L1D cache (4 entries), an L2 hotspot's only the L2 —
 //! versus the 16-entry combinatorial list a coupled tuner must walk.
+//!
+//! Configurations are keyed by the open [`CuId`] index rather than named
+//! fields, so a machine that registers extra units (e.g. the DTLB) gets
+//! configuration lists, domination checks, and traced requests without
+//! any changes here.
 
-use ace_sim::{CuKind, Machine, ReconfigOutcome, SizeLevel, NUM_SIZE_LEVELS};
-use ace_telemetry::{Cu, Event, ReconfigCause, Telemetry};
-use serde::{Deserialize, Serialize};
+use ace_sim::{CuId, Machine, ReconfigOutcome, SizeLevel, MAX_CUS};
+use ace_telemetry::{Event, ReconfigCause, Telemetry};
+use serde::{Deserialize, Error, Serialize, Value};
 use std::fmt;
 
 /// Bucket bounds (cycles) for the reconfiguration-latency histogram: the
@@ -16,30 +21,133 @@ use std::fmt;
 /// writeback.
 const RECONFIG_LATENCY_BOUNDS: &[f64] = &[0.0, 100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0];
 
+/// The order in which a configuration's units are applied to the
+/// hardware: the paper's two cache units first (L1D before L2, so a
+/// shrinking L1D's dirty writeback lands in a still-full-size L2), then
+/// the instruction window, then any further registered units in index
+/// order.
+const APPLY_ORDER: [CuId; 3] = [CuId::L1d, CuId::L2, CuId::Window];
+
+/// Human-facing unit order ([`fmt::Display`]): window first, then the
+/// caches, then any further units.
+const DISPLAY_ORDER: [CuId; 3] = [CuId::Window, CuId::L1d, CuId::L2];
+
+/// Iterates `head` followed by every other CU in index order.
+fn cu_order(head: [CuId; 3]) -> impl Iterator<Item = CuId> {
+    head.into_iter()
+        .chain(CuId::ALL.into_iter().filter(move |c| !head.contains(c)))
+}
+
 /// A (partial) assignment of size levels to the configurable units.
 ///
-/// `None` means "leave that unit alone" — the essence of CU decoupling.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+/// An untouched unit means "leave that unit alone" — the essence of CU
+/// decoupling. Stored as a compact per-CU level array plus a
+/// touched-bitmask (untouched slots are kept at zero so the derived
+/// `Eq`/`Hash` see one canonical form per assignment).
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub struct AceConfig {
-    /// Requested L1 data cache level, if this configuration touches it.
-    pub l1d: Option<SizeLevel>,
-    /// Requested L2 cache level, if this configuration touches it.
-    pub l2: Option<SizeLevel>,
-    /// Requested instruction-window level, if this configuration touches
-    /// it (the three-CU extension; `None` everywhere in the paper's
-    /// two-CU evaluation).
-    #[serde(default)]
-    pub window: Option<SizeLevel>,
+    levels: [u8; MAX_CUS],
+    touched: u8,
 }
 
 impl AceConfig {
+    /// The empty configuration: touches nothing.
+    pub fn empty() -> AceConfig {
+        AceConfig::default()
+    }
+
+    /// The requested level for `cu`, if this configuration touches it.
+    pub fn get(&self, cu: CuId) -> Option<SizeLevel> {
+        if self.touched & (1 << cu.index()) != 0 {
+            SizeLevel::new(self.levels[cu.index()])
+        } else {
+            None
+        }
+    }
+
+    /// Sets or clears the requested level for `cu`.
+    pub fn set(&mut self, cu: CuId, level: Option<SizeLevel>) {
+        match level {
+            Some(l) => {
+                self.levels[cu.index()] = l.index() as u8;
+                self.touched |= 1 << cu.index();
+            }
+            None => {
+                self.levels[cu.index()] = 0;
+                self.touched &= !(1 << cu.index());
+            }
+        }
+    }
+
+    /// Builder form of [`AceConfig::set`].
+    pub fn with(mut self, cu: CuId, level: SizeLevel) -> AceConfig {
+        self.set(cu, Some(level));
+        self
+    }
+
+    /// `true` when this configuration requests a level for `cu`.
+    pub fn touches(&self, cu: CuId) -> bool {
+        self.touched & (1 << cu.index()) != 0
+    }
+
+    /// `true` when this configuration touches no unit at all.
+    pub fn is_empty(&self) -> bool {
+        self.touched == 0
+    }
+
+    /// The touched units and their requested levels, in index order.
+    pub fn touched_units(&self) -> impl Iterator<Item = (CuId, SizeLevel)> + '_ {
+        CuId::ALL
+            .into_iter()
+            .filter_map(move |cu| self.get(cu).map(|l| (cu, l)))
+    }
+
+    /// This configuration restricted to `cu` alone (used to clip a
+    /// multi-unit prediction to a hotspot's CU class). Empty when the
+    /// original does not touch `cu`.
+    pub fn restricted_to(&self, cu: CuId) -> AceConfig {
+        let mut out = AceConfig::default();
+        out.set(cu, self.get(cu));
+        out
+    }
+
+    /// A configuration touching only `cu`.
+    pub fn single(cu: CuId, level: SizeLevel) -> AceConfig {
+        AceConfig::default().with(cu, level)
+    }
+
+    /// A configuration touching only the L1D cache.
+    pub fn l1d_only(level: SizeLevel) -> AceConfig {
+        AceConfig::single(CuId::L1d, level)
+    }
+
+    /// A configuration touching only the L2 cache.
+    pub fn l2_only(level: SizeLevel) -> AceConfig {
+        AceConfig::single(CuId::L2, level)
+    }
+
+    /// A configuration touching only the instruction window.
+    pub fn window_only(level: SizeLevel) -> AceConfig {
+        AceConfig::single(CuId::Window, level)
+    }
+
+    /// A full configuration of the paper's two cache units.
+    pub fn both(l1d: SizeLevel, l2: SizeLevel) -> AceConfig {
+        AceConfig::default().with(CuId::L1d, l1d).with(CuId::L2, l2)
+    }
+
+    /// The baseline (largest) full configuration.
+    pub fn baseline() -> AceConfig {
+        AceConfig::both(SizeLevel::LARGEST, SizeLevel::LARGEST)
+    }
+
     /// `true` when `self` selects a cache at most as large as `other` in
     /// every unit both configurations touch — i.e. if `other` already
     /// degrades performance past the threshold, `self` cannot do better
     /// (capacity monotonicity).
     pub fn dominated_by(&self, other: &AceConfig) -> bool {
-        fn le(a: Option<SizeLevel>, b: Option<SizeLevel>) -> bool {
-            match (a, b) {
+        CuId::ALL.into_iter().all(|cu| {
+            match (self.get(cu), other.get(cu)) {
                 // Larger index = smaller cache.
                 (Some(x), Some(y)) => x.index() >= y.index(),
                 (None, None) => true,
@@ -47,46 +155,7 @@ impl AceConfig {
                 // ordering can be concluded for that unit.
                 _ => false,
             }
-        }
-        le(self.l1d, other.l1d) && le(self.l2, other.l2) && le(self.window, other.window)
-    }
-
-    /// A configuration touching only the L1D cache.
-    pub fn l1d_only(level: SizeLevel) -> AceConfig {
-        AceConfig {
-            l1d: Some(level),
-            ..AceConfig::default()
-        }
-    }
-
-    /// A configuration touching only the L2 cache.
-    pub fn l2_only(level: SizeLevel) -> AceConfig {
-        AceConfig {
-            l2: Some(level),
-            ..AceConfig::default()
-        }
-    }
-
-    /// A configuration touching only the instruction window.
-    pub fn window_only(level: SizeLevel) -> AceConfig {
-        AceConfig {
-            window: Some(level),
-            ..AceConfig::default()
-        }
-    }
-
-    /// A full configuration of the paper's two cache units.
-    pub fn both(l1d: SizeLevel, l2: SizeLevel) -> AceConfig {
-        AceConfig {
-            l1d: Some(l1d),
-            l2: Some(l2),
-            window: None,
-        }
-    }
-
-    /// The baseline (largest) full configuration.
-    pub fn baseline() -> AceConfig {
-        AceConfig::both(SizeLevel::LARGEST, SizeLevel::LARGEST)
+        })
     }
 
     /// Requests this configuration from the hardware; returns `true` when
@@ -113,17 +182,11 @@ impl AceConfig {
         cause: ReconfigCause,
     ) -> bool {
         let mut ok = true;
-        // Same unit order as the untraced path: L1D, L2, window.
-        let units = [
-            (CuKind::L1d, Cu::L1d, self.l1d),
-            (CuKind::L2, Cu::L2, self.l2),
-            (CuKind::Window, Cu::Window, self.window),
-        ];
-        for (kind, cu, level) in units {
-            let Some(level) = level else { continue };
-            let from = machine.level(kind).index() as u8;
+        for cu in cu_order(APPLY_ORDER) {
+            let Some(level) = self.get(cu) else { continue };
+            let from = machine.level(cu).index() as u8;
             let cycles_before = machine.cycles();
-            match machine.request_resize(kind, level) {
+            match machine.request_resize(cu, level) {
                 ReconfigOutcome::Applied(flush) => {
                     *applied += 1;
                     tel.emit(|| Event::Reconfigured {
@@ -152,25 +215,18 @@ impl AceConfig {
     /// `true` when the machine is currently at this configuration (for the
     /// units this configuration touches).
     pub fn in_effect(&self, machine: &Machine) -> bool {
-        self.l1d.is_none_or(|l| machine.level(CuKind::L1d) == l)
-            && self.l2.is_none_or(|l| machine.level(CuKind::L2) == l)
-            && self
-                .window
-                .is_none_or(|l| machine.level(CuKind::Window) == l)
+        self.touched_units()
+            .all(|(cu, level)| machine.level(cu) == level)
     }
 }
 
 impl fmt::Display for AceConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut parts = Vec::new();
-        if let Some(w) = self.window {
-            parts.push(format!("WIN={w}"));
-        }
-        if let Some(a) = self.l1d {
-            parts.push(format!("L1D={a}"));
-        }
-        if let Some(b) = self.l2 {
-            parts.push(format!("L2={b}"));
+        for cu in cu_order(DISPLAY_ORDER) {
+            if let Some(level) = self.get(cu) {
+                parts.push(format!("{cu}={level}"));
+            }
         }
         if parts.is_empty() {
             write!(f, "-")
@@ -180,52 +236,122 @@ impl fmt::Display for AceConfig {
     }
 }
 
-/// The decoupled configuration list for one CU: its four sizes, largest
-/// first (so the first trial doubles as the performance baseline).
-pub fn single_cu_list(cu: CuKind) -> Vec<AceConfig> {
-    SizeLevel::all()
-        .map(|l| match cu {
-            CuKind::Window => AceConfig::window_only(l),
-            CuKind::L1d => AceConfig::l1d_only(l),
-            CuKind::L2 => AceConfig::l2_only(l),
-        })
-        .collect()
+impl fmt::Debug for AceConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AceConfig({self})")
+    }
 }
 
-/// The coupled combinatorial list over both CUs: 16 configurations,
-/// walked in order of decreasing total capacity (the full-size baseline
-/// first), so the tuner explores both units' shrink directions instead of
-/// exhausting one unit before touching the other.
-pub fn combined_list() -> Vec<AceConfig> {
-    let mut out = Vec::with_capacity(NUM_SIZE_LEVELS * NUM_SIZE_LEVELS);
-    for l2 in SizeLevel::all() {
-        for l1d in SizeLevel::all() {
-            out.push(AceConfig::both(l1d, l2));
+impl Serialize for AceConfig {
+    // Legacy field order (l1d, l2, window) first, then any newer units;
+    // untouched units are omitted (the legacy encoding wrote them as
+    // `null`, which deserialization still accepts).
+    fn to_value(&self) -> Value {
+        let mut pairs = Vec::new();
+        for cu in cu_order([CuId::L1d, CuId::L2, CuId::Window]) {
+            if let Some(level) = self.get(cu) {
+                pairs.push((cu.name().to_string(), Value::U64(level.index() as u64)));
+            }
         }
+        Value::Object(pairs)
+    }
+}
+
+impl Deserialize for AceConfig {
+    // Accepts both the current sparse encoding and the pre-registry
+    // `{"l1d": 1, "l2": null, "window": null}` shape: a `null` or missing
+    // unit is untouched, a number is that unit's level index.
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| Error::custom("expected an AceConfig object"))?;
+        let mut cfg = AceConfig::default();
+        for (key, val) in obj {
+            if matches!(val, Value::Null) {
+                continue;
+            }
+            let cu = CuId::from_name(key)
+                .ok_or_else(|| Error::custom(format!("unknown configurable unit `{key}`")))?;
+            let idx = val
+                .as_u64()
+                .ok_or_else(|| Error::custom(format!("expected a size level for `{key}`")))?;
+            let level = u8::try_from(idx)
+                .ok()
+                .and_then(SizeLevel::new)
+                .ok_or_else(|| Error::custom(format!("size level {idx} out of range")))?;
+            cfg.set(cu, Some(level));
+        }
+        Ok(cfg)
+    }
+}
+
+/// The decoupled configuration list for one CU: its four sizes, largest
+/// first (so the first trial doubles as the performance baseline).
+pub fn single_cu_list(cu: CuId) -> Vec<AceConfig> {
+    SizeLevel::all().map(|l| AceConfig::single(cu, l)).collect()
+}
+
+/// The coupled combinatorial list over the given CUs: every level
+/// combination, walked in order of decreasing total capacity (the
+/// full-size baseline first, ties broken by the first CU's level), so the
+/// tuner explores every unit's shrink direction instead of exhausting one
+/// unit before touching the others.
+pub fn combined_list_for(cus: &[CuId]) -> Vec<AceConfig> {
+    let mut out = vec![AceConfig::default()];
+    for &cu in cus {
+        out = out
+            .into_iter()
+            .flat_map(|cfg| SizeLevel::all().map(move |l| cfg.with(cu, l)))
+            .collect();
     }
     out.sort_by_key(|c| {
-        let a = c.l1d.map_or(0, |l| l.index());
-        let b = c.l2.map_or(0, |l| l.index());
-        (a + b, a)
+        let total: usize = cus
+            .iter()
+            .filter_map(|&cu| c.get(cu))
+            .map(|l| l.index())
+            .sum();
+        let first = cus
+            .first()
+            .and_then(|&cu| c.get(cu))
+            .map_or(0, |l| l.index());
+        (total, first)
     });
     out
+}
+
+/// The paper's coupled combinatorial list over both cache units: 16
+/// configurations (the ablation of Section 3.2's decoupling claim).
+pub fn combined_list() -> Vec<AceConfig> {
+    combined_list_for(&[CuId::L1d, CuId::L2])
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ace_sim::MachineConfig;
+    use ace_sim::{MachineConfig, NUM_SIZE_LEVELS};
 
     #[test]
     fn list_shapes() {
-        assert_eq!(single_cu_list(CuKind::L1d).len(), 4);
-        assert_eq!(single_cu_list(CuKind::L2).len(), 4);
+        assert_eq!(single_cu_list(CuId::L1d).len(), 4);
+        assert_eq!(single_cu_list(CuId::L2).len(), 4);
         assert_eq!(combined_list().len(), 16);
         assert_eq!(combined_list()[0], AceConfig::baseline());
         assert_eq!(
-            single_cu_list(CuKind::L1d)[0],
+            single_cu_list(CuId::L1d)[0],
             AceConfig::l1d_only(SizeLevel::LARGEST)
         );
+    }
+
+    #[test]
+    fn combined_list_generalizes_to_any_cu_set() {
+        let three = combined_list_for(&[CuId::L1d, CuId::L2, CuId::Window]);
+        assert_eq!(three.len(), NUM_SIZE_LEVELS.pow(3));
+        assert_eq!(
+            three[0],
+            AceConfig::baseline().with(CuId::Window, SizeLevel::LARGEST)
+        );
+        let dtlb = combined_list_for(&[CuId::Dtlb]);
+        assert_eq!(dtlb, single_cu_list(CuId::Dtlb));
     }
 
     #[test]
@@ -235,8 +361,8 @@ mod tests {
         let cfg = AceConfig::l1d_only(SizeLevel::new(2).unwrap());
         assert!(cfg.request(&mut m, &mut applied));
         assert_eq!(applied, 1);
-        assert_eq!(m.level(CuKind::L1d), SizeLevel::new(2).unwrap());
-        assert_eq!(m.level(CuKind::L2), SizeLevel::LARGEST);
+        assert_eq!(m.level(CuId::L1d), SizeLevel::new(2).unwrap());
+        assert_eq!(m.level(CuId::L2), SizeLevel::LARGEST);
         assert!(cfg.in_effect(&m));
     }
 
@@ -270,22 +396,26 @@ mod tests {
             "WIN=L1"
         );
         assert_eq!(AceConfig::default().to_string(), "-");
+        assert_eq!(
+            AceConfig::single(CuId::Dtlb, SizeLevel::new(2).unwrap()).to_string(),
+            "DTLB=L2"
+        );
     }
 
     #[test]
     fn window_list_touches_only_window() {
-        let list = single_cu_list(CuKind::Window);
+        let list = single_cu_list(CuId::Window);
         assert_eq!(list.len(), 4);
         for cfg in &list {
-            assert!(cfg.window.is_some());
-            assert!(cfg.l1d.is_none() && cfg.l2.is_none());
+            assert!(cfg.touches(CuId::Window));
+            assert!(!cfg.touches(CuId::L1d) && !cfg.touches(CuId::L2));
         }
         let mut m = Machine::new(MachineConfig::table2()).unwrap();
         let mut applied = 0;
         assert!(list[2].request(&mut m, &mut applied));
         assert_eq!(applied, 1);
-        assert_eq!(m.level(CuKind::Window), SizeLevel::new(2).unwrap());
-        assert_eq!(m.level(CuKind::L1d), SizeLevel::LARGEST);
+        assert_eq!(m.level(CuId::Window), SizeLevel::new(2).unwrap());
+        assert_eq!(m.level(CuId::L1d), SizeLevel::LARGEST);
     }
 
     #[test]
@@ -296,5 +426,40 @@ mod tests {
         assert!(!b.dominated_by(&a));
         // Mixed-unit configs are incomparable.
         assert!(!a.dominated_by(&AceConfig::l1d_only(SizeLevel::LARGEST)));
+    }
+
+    #[test]
+    fn set_clear_keeps_canonical_form() {
+        let mut a = AceConfig::l1d_only(SizeLevel::new(3).unwrap());
+        a.set(CuId::L1d, None);
+        assert_eq!(a, AceConfig::default());
+        assert!(a.is_empty());
+        assert_eq!(a.get(CuId::L1d), None);
+    }
+
+    #[test]
+    fn legacy_json_shape_still_deserializes() {
+        let legacy: Value = serde_json::from_str(r#"{"l1d":1,"l2":null,"window":null}"#).unwrap();
+        let cfg = AceConfig::from_value(&legacy).unwrap();
+        assert_eq!(cfg, AceConfig::l1d_only(SizeLevel::new(1).unwrap()));
+
+        let full: Value = serde_json::from_str(r#"{"l1d":0,"l2":3,"window":2}"#).unwrap();
+        let cfg = AceConfig::from_value(&full).unwrap();
+        assert_eq!(cfg.get(CuId::L1d), SizeLevel::new(0));
+        assert_eq!(cfg.get(CuId::L2), SizeLevel::new(3));
+        assert_eq!(cfg.get(CuId::Window), SizeLevel::new(2));
+
+        assert!(AceConfig::from_value(&serde_json::from_str(r#"{"l1d":9}"#).unwrap()).is_err());
+        assert!(AceConfig::from_value(&serde_json::from_str(r#"{"bogus":1}"#).unwrap()).is_err());
+    }
+
+    #[test]
+    fn serde_round_trip_is_sparse() {
+        let cfg = AceConfig::l1d_only(SizeLevel::new(2).unwrap());
+        let v = cfg.to_value();
+        assert_eq!(v.as_object().unwrap().len(), 1, "untouched units omitted");
+        assert_eq!(AceConfig::from_value(&v).unwrap(), cfg);
+        let full = AceConfig::baseline().with(CuId::Dtlb, SizeLevel::new(1).unwrap());
+        assert_eq!(AceConfig::from_value(&full.to_value()).unwrap(), full);
     }
 }

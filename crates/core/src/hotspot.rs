@@ -19,7 +19,7 @@ use crate::measure::Probe;
 use crate::tuner::ConfigTuner;
 use ace_energy::EnergyModel;
 use ace_runtime::{DoEvent, HotspotClass};
-use ace_sim::{Block, CuKind, Machine, OnlineStats};
+use ace_sim::{Block, CuId, Machine, OnlineStats, MAX_CUS};
 use ace_telemetry::{Event, Histogram, ReconfigCause, Scope, Telemetry};
 use ace_workloads::MethodId;
 use serde::{Deserialize, Serialize};
@@ -97,26 +97,23 @@ pub struct CuSchemeStats {
 }
 
 /// End-of-run report of the hotspot scheme (Tables 5 and 6).
+///
+/// Per-CU counters are indexed by [`CuId`] so the report covers whatever
+/// units the machine registers; the named accessors ([`HotspotReport::l1d`]
+/// and friends) keep the paper's two-CU reading convenient.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct HotspotReport {
-    /// Adaptable instruction-window hotspots (three-CU extension only).
+    /// Adaptable hotspots observed, per CU (indexed by [`CuId`]).
     #[serde(default)]
-    pub window_hotspots: u64,
-    /// Per-CU counters for the window (three-CU extension only).
+    pub cu_hotspots: [u64; MAX_CUS],
+    /// Per-CU tuning/reconfiguration/coverage counters (indexed by
+    /// [`CuId`]).
     #[serde(default)]
-    pub window: CuSchemeStats,
-    /// Adaptable L1D hotspots observed.
-    pub l1d_hotspots: u64,
-    /// Adaptable L2 hotspots observed.
-    pub l2_hotspots: u64,
+    pub cu: [CuSchemeStats; MAX_CUS],
     /// Hotspots too small to adapt any CU.
     pub small_hotspots: u64,
     /// Adaptable hotspots that completed tuning.
     pub tuned_hotspots: u64,
-    /// Per-CU tuning/reconfiguration/coverage counters.
-    pub l1d: CuSchemeStats,
-    /// Per-CU tuning/reconfiguration/coverage counters.
-    pub l2: CuSchemeStats,
     /// Mean over hotspots of each hotspot's own IPC CoV (Table 5
     /// "per-hotspot IPC CoV").
     pub per_hotspot_ipc_cov: f64,
@@ -129,9 +126,54 @@ pub struct HotspotReport {
 }
 
 impl HotspotReport {
+    /// Per-CU counters for `cu`.
+    pub fn stats(&self, cu: CuId) -> CuSchemeStats {
+        self.cu[cu.index()]
+    }
+
+    /// Adaptable hotspots bound to `cu`.
+    pub fn hotspots_of(&self, cu: CuId) -> u64 {
+        self.cu_hotspots[cu.index()]
+    }
+
+    /// Per-CU counters for the instruction window (three-CU extension).
+    pub fn window(&self) -> CuSchemeStats {
+        self.stats(CuId::Window)
+    }
+
+    /// Per-CU counters for the L1 data cache.
+    pub fn l1d(&self) -> CuSchemeStats {
+        self.stats(CuId::L1d)
+    }
+
+    /// Per-CU counters for the L2 cache.
+    pub fn l2(&self) -> CuSchemeStats {
+        self.stats(CuId::L2)
+    }
+
+    /// Per-CU counters for the DTLB (registry-extension unit).
+    pub fn dtlb(&self) -> CuSchemeStats {
+        self.stats(CuId::Dtlb)
+    }
+
+    /// Adaptable instruction-window hotspots (three-CU extension only).
+    pub fn window_hotspots(&self) -> u64 {
+        self.hotspots_of(CuId::Window)
+    }
+
+    /// Adaptable L1D hotspots observed.
+    pub fn l1d_hotspots(&self) -> u64 {
+        self.hotspots_of(CuId::L1d)
+    }
+
+    /// Adaptable L2 hotspots observed.
+    pub fn l2_hotspots(&self) -> u64 {
+        self.hotspots_of(CuId::L2)
+    }
+
     /// Fraction of adaptable hotspots that finished tuning.
     pub fn tuned_fraction(&self) -> f64 {
-        let adaptable = self.window_hotspots + self.l1d_hotspots + self.l2_hotspots;
+        let adaptable: u64 = self.cu_hotspots.iter().sum();
         if adaptable == 0 {
             0.0
         } else {
@@ -148,9 +190,8 @@ pub struct HotspotAceManager {
     config: HotspotManagerConfig,
     model: EnergyModel,
     states: HashMap<MethodId, HsState>,
-    stats_window: CuSchemeStats,
-    stats_l1d: CuSchemeStats,
-    stats_l2: CuSchemeStats,
+    /// Per-CU aggregate counters, indexed by [`CuId`].
+    stats: [CuSchemeStats; MAX_CUS],
     retunings: u64,
     /// Scratch counter for trial requests (not reported as reconfigs).
     trial_changes: u64,
@@ -199,9 +240,7 @@ impl HotspotAceManager {
             config,
             model,
             states: HashMap::new(),
-            stats_window: CuSchemeStats::default(),
-            stats_l1d: CuSchemeStats::default(),
-            stats_l2: CuSchemeStats::default(),
+            stats: [CuSchemeStats::default(); MAX_CUS],
             retunings: 0,
             trial_changes: 0,
             small_seen: 0,
@@ -227,45 +266,26 @@ impl HotspotAceManager {
         if !self.config.decouple {
             return combined_list();
         }
-        match class {
-            HotspotClass::Window => single_cu_list(CuKind::Window),
-            HotspotClass::L1d => single_cu_list(CuKind::L1d),
-            HotspotClass::L2 => single_cu_list(CuKind::L2),
-            HotspotClass::TooSmall => unreachable!("small hotspots are not tuned"),
+        match class.cu() {
+            Some(cu) => single_cu_list(cu),
+            None => unreachable!("small hotspots are not tuned"),
         }
     }
 
-    fn cu_stats_mut(&mut self, class: HotspotClass) -> &mut CuSchemeStats {
-        match class {
-            HotspotClass::Window => &mut self.stats_window,
-            HotspotClass::L2 => &mut self.stats_l2,
-            _ => &mut self.stats_l1d,
-        }
+    fn cu_stats_mut(&mut self, cu: CuId) -> &mut CuSchemeStats {
+        &mut self.stats[cu.index()]
     }
 
     fn handle_enter(&mut self, method: MethodId, class: HotspotClass, machine: &mut Machine) {
-        if class == HotspotClass::TooSmall {
+        let Some(cu) = class.cu() else {
             return;
-        }
+        };
         let list = self.list_for(class);
         let threshold = self.config.perf_threshold;
         let sample_period = self.config.sample_period;
         // A predicted configuration (restricted to this hotspot's CU class)
         // eliminates the tuning process entirely.
-        let predicted = self.predictions.get(&method).map(|p| match class {
-            HotspotClass::L2 => AceConfig {
-                l2: p.l2,
-                ..AceConfig::default()
-            },
-            HotspotClass::Window => AceConfig {
-                window: p.window,
-                ..AceConfig::default()
-            },
-            _ => AceConfig {
-                l1d: p.l1d,
-                ..AceConfig::default()
-            },
-        });
+        let predicted = self.predictions.get(&method).map(|p| p.restricted_to(cu));
         let tel = self.tel.clone();
         let is_new = !self.states.contains_key(&method);
         let configs = if predicted.is_some() {
@@ -308,11 +328,7 @@ impl HotspotAceManager {
             if state.invocations_after_tuned.is_multiple_of(sample_period) {
                 state.pending = Pending::Sample;
             }
-            match class {
-                HotspotClass::Window => self.stats_window.reconfigs += applied,
-                HotspotClass::L2 => self.stats_l2.reconfigs += applied,
-                _ => self.stats_l1d.reconfigs += applied,
-            }
+            self.stats[cu.index()].reconfigs += applied;
         } else if let Some(trial) = state.tuner.next_trial() {
             // Tuning code: fetch the next configuration. A configuration is
             // *measured* only on an invocation where it was already in
@@ -337,9 +353,9 @@ impl HotspotAceManager {
     }
 
     fn handle_exit(&mut self, method: MethodId, class: HotspotClass, machine: &mut Machine) {
-        if class == HotspotClass::TooSmall {
+        let Some(cu) = class.cu() else {
             return;
-        }
+        };
         let retune_threshold = self.config.retune_threshold;
         let perf_threshold = self.config.perf_threshold;
         let decouple_list = self.list_for(class);
@@ -402,7 +418,7 @@ impl HotspotAceManager {
         }
         state.pending = Pending::Idle;
         if tunings > 0 {
-            self.cu_stats_mut(class).tunings += tunings;
+            self.cu_stats_mut(cu).tunings += tunings;
         }
     }
 
@@ -411,9 +427,7 @@ impl HotspotAceManager {
     /// carries them), since rejections are counted by the hardware.
     pub fn report(&self) -> HotspotReport {
         let mut report = HotspotReport {
-            window: self.stats_window,
-            l1d: self.stats_l1d,
-            l2: self.stats_l2,
+            cu: self.stats,
             retunings: self.retunings,
             small_hotspots: self.small_seen,
             ..HotspotReport::default()
@@ -427,11 +441,8 @@ impl HotspotAceManager {
         let mut ordered: Vec<(&MethodId, &HsState)> = self.states.iter().collect();
         ordered.sort_by_key(|(m, _)| m.0);
         for (_, state) in ordered {
-            match state.class {
-                HotspotClass::Window => report.window_hotspots += 1,
-                HotspotClass::L1d => report.l1d_hotspots += 1,
-                HotspotClass::L2 => report.l2_hotspots += 1,
-                HotspotClass::TooSmall => {}
+            if let Some(cu) = state.class.cu() {
+                report.cu_hotspots[cu.index()] += 1;
             }
             if state.tuner.is_done() {
                 report.tuned_hotspots += 1;
@@ -443,24 +454,12 @@ impl HotspotAceManager {
             if state.ipc_stats.count() > 0 {
                 means.push(state.ipc_stats.mean());
             }
-            match state.class {
-                HotspotClass::Window => {
-                    report.window.covered_instr = report
-                        .window
-                        .covered_instr
-                        .saturating_add(state.covered_instr)
-                }
-                HotspotClass::L2 => {
-                    report.l2.covered_instr =
-                        report.l2.covered_instr.saturating_add(state.covered_instr)
-                }
-                _ => {
-                    report.l1d.covered_instr =
-                        report.l1d.covered_instr.saturating_add(state.covered_instr)
-                }
+            if let Some(cu) = state.class.cu() {
+                let stats = &mut report.cu[cu.index()];
+                stats.covered_instr = stats.covered_instr.saturating_add(state.covered_instr);
             }
         }
-        // `covered_instr` in stats_l1d/stats_l2 was never filled globally;
+        // `covered_instr` in the aggregate stats was never filled globally;
         // it is assembled from the per-state counters above.
         report.per_hotspot_ipc_cov = if cov_n > 0 {
             cov_sum / cov_n as f64
@@ -561,8 +560,8 @@ mod tests {
             EnergyModel::default_180nm(),
         );
         for cfg in mgr.list_for(HotspotClass::L1d) {
-            assert!(cfg.l1d.is_some());
-            assert!(cfg.l2.is_none());
+            assert!(cfg.touches(CuId::L1d));
+            assert!(!cfg.touches(CuId::L2));
         }
         assert_eq!(
             mgr.list_for(HotspotClass::L2)[3],
@@ -577,7 +576,7 @@ mod tests {
             EnergyModel::default_180nm(),
         );
         let r = mgr.report();
-        assert_eq!(r.l1d_hotspots + r.l2_hotspots, 0);
+        assert_eq!(r.l1d_hotspots() + r.l2_hotspots(), 0);
         assert_eq!(r.tuned_fraction(), 0.0);
     }
 }

@@ -102,11 +102,9 @@ impl FixedManager {
 
 impl AceManager for FixedManager {
     fn on_start(&mut self, machine: &mut Machine) {
-        if let Some(level) = self.config.l1d {
-            machine.apply_resize(ace_sim::CuKind::L1d, level);
-        }
-        if let Some(level) = self.config.l2 {
-            machine.apply_resize(ace_sim::CuKind::L2, level);
+        // CuId index order is the legacy apply order (L1D before L2).
+        for (cu, level) in self.config.touched_units() {
+            machine.apply_resize(cu, level);
         }
     }
 }

@@ -156,7 +156,7 @@ fn too_small_hotspots_are_ignored() {
     }
     assert_eq!(mgr.tracked_hotspots(), 0);
     let r = mgr.report();
-    assert_eq!(r.l1d.tunings + r.l2.tunings, 0);
+    assert_eq!(r.l1d().tunings + r.l2().tunings, 0);
 }
 
 #[test]

@@ -134,12 +134,15 @@ pub struct EnergyBreakdown {
     /// Instruction-window energy (0 when the model has no window params).
     #[serde(default)]
     pub window_nj: f64,
+    /// DTLB energy (0 when the model has no DTLB params).
+    #[serde(default)]
+    pub dtlb_nj: f64,
 }
 
 impl EnergyBreakdown {
     /// Sum of all configurable units' energy.
     pub fn total_nj(&self) -> f64 {
-        self.l1d_nj + self.l2_nj + self.window_nj
+        self.l1d_nj + self.l2_nj + self.window_nj + self.dtlb_nj
     }
 }
 
@@ -192,6 +195,11 @@ pub struct EnergyModel {
     /// evaluation) excludes the window from all accounting.
     #[serde(default)]
     pub window: Option<WindowEnergyParams>,
+    /// DTLB parameters; `None` excludes the DTLB from all accounting.
+    /// The `writeback_nj` field prices one reconfiguration's refill cost
+    /// (a TLB flush discards clean translations that must be re-walked).
+    #[serde(default)]
+    pub dtlb: Option<CacheEnergyParams>,
 }
 
 impl EnergyModel {
@@ -217,6 +225,7 @@ impl EnergyModel {
                 writeback_nj: 4.0,
             },
             window: None,
+            dtlb: None,
         }
     }
 
@@ -225,6 +234,23 @@ impl EnergyModel {
     pub fn default_180nm_with_window() -> EnergyModel {
         EnergyModel {
             window: Some(WindowEnergyParams::default_180nm()),
+            ..EnergyModel::default_180nm()
+        }
+    }
+
+    /// The registry-extension model: the 180 nm cache parameters plus
+    /// DTLB parameters. A 128-entry fully-associative CAM costs far less
+    /// per lookup than a cache access (~0.05 nJ), but burns comparator
+    /// precharge power every cycle (~2 mW at full size), and a resize
+    /// flush pays one refill-walk charge.
+    pub fn default_180nm_with_dtlb() -> EnergyModel {
+        EnergyModel {
+            dtlb: Some(CacheEnergyParams {
+                access_nj_max: 0.05,
+                access_alpha: 0.5,
+                leak_nj_per_cycle_max: 0.002,
+                writeback_nj: 0.5,
+            }),
             ..EnergyModel::default_180nm()
         }
     }
@@ -243,6 +269,9 @@ impl EnergyModel {
             if vals.iter().any(|v| !v.is_finite() || *v < 0.0) {
                 return Err(EnergyParamError);
             }
+        }
+        if let Some(d) = &self.dtlb {
+            d.validate()?;
         }
         Ok(())
     }
@@ -281,6 +310,17 @@ impl EnergyModel {
                 .sum(),
             None => 0.0,
         };
+        let dtlb_nj = match &self.dtlb {
+            Some(d) => SizeLevel::all()
+                .map(|level| {
+                    let k = level.index();
+                    c.dtlb_level_accesses[k] as f64 * d.access_nj(level)
+                        + c.dtlb_cycles[k] as f64 * d.leak_nj_per_cycle(level)
+                        + c.dtlb_resizes[k] as f64 * d.writeback_nj
+                })
+                .sum(),
+            None => 0.0,
+        };
         EnergyBreakdown {
             l1d_nj: l1d_dyn + l1d_leak + l1d_rc,
             l2_nj: l2_dyn + l2_leak + l2_rc,
@@ -291,6 +331,7 @@ impl EnergyModel {
             l2_leak_nj: l2_leak,
             l2_reconfig_nj: l2_rc,
             window_nj,
+            dtlb_nj,
         }
     }
 
@@ -417,6 +458,34 @@ mod tests {
         model.l1d.access_nj_max = f64::NAN;
         assert!(model.validate().is_err());
         assert!(EnergyModel::default_180nm().validate().is_ok());
+    }
+
+    #[test]
+    fn dtlb_model_prices_lookups_leak_and_resizes() {
+        let mut cfg = MachineConfig::table2();
+        cfg.dtlb_configurable = true;
+        let mut m = Machine::new(cfg).unwrap();
+        for i in 0..100u64 {
+            m.exec_block(&Block {
+                pc: 0x400,
+                ninstr: 8,
+                accesses: vec![MemAccess::load(0x10_0000 + i * 64)],
+                branch: None,
+            });
+        }
+        m.apply_resize(ace_sim::CuId::Dtlb, SizeLevel::new(2).unwrap());
+
+        let with = EnergyModel::default_180nm_with_dtlb();
+        let without = EnergyModel::default_180nm();
+        let b_with = with.breakdown(m.counters());
+        let b_without = without.breakdown(m.counters());
+        assert!(b_with.dtlb_nj > 0.0, "lookups + leak + resize must cost");
+        assert_eq!(b_without.dtlb_nj, 0.0, "no DTLB params, no DTLB energy");
+        // The two-CU totals are untouched by the extra unit.
+        assert_eq!(b_with.l1d_nj, b_without.l1d_nj);
+        assert_eq!(b_with.l2_nj, b_without.l2_nj);
+        assert!((b_with.total_nj() - b_without.total_nj() - b_with.dtlb_nj).abs() < 1e-12);
+        assert!(with.validate().is_ok());
     }
 
     #[test]

@@ -5,34 +5,75 @@
 //! tuning results. Detection state lives here; the ACE manager (ace-core)
 //! attaches its tuning state per hotspot on top.
 
+use ace_sim::CuId;
 use ace_workloads::MethodId;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error, Serialize, Value};
 
 /// Size classification of a promoted hotspot (Section 3.2.1).
 ///
-/// With the paper's reconfiguration intervals, hotspots of 50 K–500 K
-/// instructions adapt the L1 data cache and hotspots above 500 K adapt the
-/// L2. Smaller hotspots adapt nothing (but still exist as hotspots).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+/// A hotspot is bound to the configurable unit whose reconfiguration
+/// grain matches its average invocation size (with the paper's
+/// intervals: 50 K–500 K instructions adapt the L1 data cache, above
+/// 500 K the L2). Hotspots below every registered grain adapt nothing
+/// (but still exist as hotspots).
+///
+/// The historical variant spellings (`HotspotClass::L1d`, …) survive as
+/// associated constants over the open [`CuId`] index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum HotspotClass {
-    /// Below the smallest reconfiguration interval: no CU assigned.
+    /// Below the smallest registered reconfiguration grain: no CU
+    /// assigned.
     TooSmall,
-    /// Small hotspots matched to the instruction window's 10 K-instruction
-    /// reconfiguration interval (only when the window CU is enabled).
-    Window,
+    /// Matched to the named configurable unit's grain.
+    Cu(CuId),
+}
+
+#[allow(non_upper_case_globals)]
+impl HotspotClass {
+    /// Matched to the instruction window (5 K–50 K instructions, only
+    /// when the window CU is enabled).
+    pub const Window: HotspotClass = HotspotClass::Cu(CuId::Window);
     /// 50 K–500 K instructions per invocation: tunes the L1D cache.
-    L1d,
+    pub const L1d: HotspotClass = HotspotClass::Cu(CuId::L1d);
     /// Above 500 K instructions per invocation: tunes the L2 cache.
-    L2,
+    pub const L2: HotspotClass = HotspotClass::Cu(CuId::L2);
+    /// Matched to the DTLB's grain (when the DTLB CU is registered).
+    pub const Dtlb: HotspotClass = HotspotClass::Cu(CuId::Dtlb);
+
+    /// The configurable unit this class adapts, if any.
+    pub fn cu(self) -> Option<CuId> {
+        match self {
+            HotspotClass::TooSmall => None,
+            HotspotClass::Cu(cu) => Some(cu),
+        }
+    }
 }
 
 impl std::fmt::Display for HotspotClass {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             HotspotClass::TooSmall => write!(f, "small"),
-            HotspotClass::Window => write!(f, "WIN"),
-            HotspotClass::L1d => write!(f, "L1D"),
-            HotspotClass::L2 => write!(f, "L2"),
+            HotspotClass::Cu(cu) => write!(f, "{cu}"),
+        }
+    }
+}
+
+impl Serialize for HotspotClass {
+    // Keeps the pre-registry encoding: the class serializes as the unit
+    // variant string the old closed enum produced.
+    fn to_value(&self) -> Value {
+        match self {
+            HotspotClass::TooSmall => Value::Str("TooSmall".to_string()),
+            HotspotClass::Cu(cu) => cu.to_value(),
+        }
+    }
+}
+
+impl Deserialize for HotspotClass {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s == "TooSmall" => Ok(HotspotClass::TooSmall),
+            _ => CuId::from_value(v).map(HotspotClass::Cu),
         }
     }
 }

@@ -15,9 +15,20 @@
 //! latency fractions.
 
 use crate::database::{DoDatabase, HotspotClass, MethodState};
-use ace_sim::Machine;
+use ace_sim::{CuId, CuRegistry, Machine};
 use ace_workloads::{MethodId, Program};
 use serde::{Deserialize, Serialize};
+
+/// One configurable unit's hotspot grain: the smallest average inclusive
+/// invocation size the unit is worth adapting for (the paper's size-class
+/// rule ties it to the unit's reconfiguration interval).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CuGrain {
+    /// The configurable unit.
+    pub cu: CuId,
+    /// Minimum average invocation size matched to this unit.
+    pub min_instr: u64,
+}
 
 /// Configuration of the DO system.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -33,14 +44,12 @@ pub struct DoConfig {
     /// Cycles charged each time instrumented tuning/profiling code runs at
     /// a hotspot boundary.
     pub instrument_cycles: u64,
-    /// Inclusive per-invocation size range classified as an L1D hotspot
-    /// (paper: 50 K–500 K instructions).
-    pub l1d_hotspot_range: (u64, u64),
-    /// Minimum size of an L2 hotspot (paper: >500 K instructions).
-    pub l2_hotspot_min: u64,
-    /// Size range classified as an instruction-window hotspot, when the
-    /// window CU is enabled (`None` reproduces the paper's two-CU setup).
-    pub window_hotspot_range: Option<(u64, u64)>,
+    /// Hotspot grains of the adaptable units: a hotspot is bound to the
+    /// unit with the largest grain not exceeding its average invocation
+    /// size, and to [`HotspotClass::TooSmall`] below every grain. The
+    /// default reproduces the paper's two-CU rule (50 K → L1D,
+    /// 500 K → L2).
+    pub grains: Vec<CuGrain>,
 }
 
 impl Default for DoConfig {
@@ -51,9 +60,16 @@ impl Default for DoConfig {
             jit_base_cycles: 2_000,
             jit_cycles_per_block: 300,
             instrument_cycles: 20,
-            l1d_hotspot_range: (50_000, 500_000),
-            l2_hotspot_min: 500_000,
-            window_hotspot_range: None,
+            grains: vec![
+                CuGrain {
+                    cu: CuId::L1d,
+                    min_instr: 50_000,
+                },
+                CuGrain {
+                    cu: CuId::L2,
+                    min_instr: 500_000,
+                },
+            ],
         }
     }
 }
@@ -64,26 +80,41 @@ impl DoConfig {
     /// matches the window's reconfiguration interval, per the paper's
     /// size-class rule).
     pub fn with_window() -> DoConfig {
+        DoConfig::default().with_cu(CuId::Window, 5_000)
+    }
+
+    /// Adds (or moves) `cu`'s hotspot grain.
+    pub fn with_cu(mut self, cu: CuId, min_instr: u64) -> DoConfig {
+        self.grains.retain(|g| g.cu != cu);
+        self.grains.push(CuGrain { cu, min_instr });
+        self
+    }
+
+    /// Grains derived from a machine's registered units: every descriptor
+    /// contributes its `min_hotspot_instr`. This is how a new CU joins
+    /// hotspot binning without any code change.
+    pub fn for_registry(registry: &CuRegistry) -> DoConfig {
         DoConfig {
-            window_hotspot_range: Some((5_000, 50_000)),
+            grains: registry
+                .iter()
+                .map(|d| CuGrain {
+                    cu: d.cu,
+                    min_instr: d.min_hotspot_instr,
+                })
+                .collect(),
             ..DoConfig::default()
         }
     }
-}
 
-impl DoConfig {
-    /// Classifies an average inclusive invocation size.
+    /// Classifies an average inclusive invocation size: the registered
+    /// grain with the largest `min_instr` not exceeding `avg_size` wins
+    /// (later grains win ties).
     pub fn classify(&self, avg_size: u64) -> HotspotClass {
-        if avg_size >= self.l2_hotspot_min {
-            HotspotClass::L2
-        } else if avg_size >= self.l1d_hotspot_range.0 {
-            HotspotClass::L1d
-        } else if matches!(self.window_hotspot_range, Some((lo, hi)) if (lo..hi).contains(&avg_size))
-        {
-            HotspotClass::Window
-        } else {
-            HotspotClass::TooSmall
-        }
+        self.grains
+            .iter()
+            .filter(|g| avg_size >= g.min_instr)
+            .max_by_key(|g| g.min_instr)
+            .map_or(HotspotClass::TooSmall, |g| HotspotClass::Cu(g.cu))
     }
 }
 
@@ -634,5 +665,45 @@ mod tests {
         let f = fast.table4_summary(t1).identification_latency_pct;
         let s = slow.table4_summary(t2).identification_latency_pct;
         assert!(s > f, "threshold 50 ({s}) must identify later than 5 ({f})");
+    }
+
+    #[test]
+    fn grain_binning_matches_paper_boundaries() {
+        // The paper's size-class rule, exactly at the 50 K / 500 K edges.
+        let two_cu = DoConfig::default();
+        assert_eq!(two_cu.classify(49_999), HotspotClass::TooSmall);
+        assert_eq!(two_cu.classify(50_000), HotspotClass::L1d);
+        assert_eq!(two_cu.classify(499_999), HotspotClass::L1d);
+        assert_eq!(two_cu.classify(500_000), HotspotClass::L2);
+        assert_eq!(two_cu.classify(u64::MAX), HotspotClass::L2);
+
+        // The window extension opens a 5 K–50 K band below the L1D grain.
+        let three_cu = DoConfig::with_window();
+        assert_eq!(three_cu.classify(4_999), HotspotClass::TooSmall);
+        assert_eq!(three_cu.classify(5_000), HotspotClass::Window);
+        assert_eq!(three_cu.classify(49_999), HotspotClass::Window);
+        assert_eq!(three_cu.classify(50_000), HotspotClass::L1d);
+        assert_eq!(three_cu.classify(500_000), HotspotClass::L2);
+    }
+
+    #[test]
+    fn grain_binning_is_registry_driven() {
+        use ace_sim::MachineConfig;
+        // A machine that registers the DTLB contributes a 10 K grain with
+        // no DO-system code change.
+        let mut mc = MachineConfig::table2();
+        mc.dtlb_configurable = true;
+        let cfg = DoConfig::for_registry(&mc.cu_registry());
+        assert_eq!(cfg.classify(4_999), HotspotClass::TooSmall);
+        assert_eq!(cfg.classify(5_000), HotspotClass::Window);
+        assert_eq!(cfg.classify(10_000), HotspotClass::Dtlb);
+        assert_eq!(cfg.classify(49_999), HotspotClass::Dtlb);
+        assert_eq!(cfg.classify(50_000), HotspotClass::L1d);
+        assert_eq!(cfg.classify(500_000), HotspotClass::L2);
+
+        // with_cu replaces an existing grain rather than duplicating it.
+        let moved = DoConfig::default().with_cu(CuId::L1d, 40_000);
+        assert_eq!(moved.grains.len(), 2);
+        assert_eq!(moved.classify(40_000), HotspotClass::L1d);
     }
 }

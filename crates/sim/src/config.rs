@@ -8,6 +8,7 @@
 //! *configurable units*: each supports four sizes selected at runtime via a
 //! control register (see [`crate::machine::Machine`]).
 
+use crate::cu::{CuDescriptor, CuId, CuRegistry, FlushSemantics};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -217,6 +218,17 @@ pub struct MachineConfig {
     /// parallelism, so code with misses suffers while hit-dominated code
     /// is unaffected.
     pub window_exposure_permille: [u32; NUM_SIZE_LEVELS],
+    /// Whether the DTLB is exposed as a configurable unit. `false`
+    /// reproduces the paper's machine (the DTLB exists but is fixed at
+    /// 128 entries); `true` registers it as a third real CU with a
+    /// four-level entry ladder.
+    #[serde(default)]
+    pub dtlb_configurable: bool,
+    /// Minimum instructions between DTLB reconfigurations. Invalidating
+    /// a TLB is cheap (nothing is written back), so the interval sits
+    /// between the window's and the L1D's.
+    #[serde(default)]
+    pub dtlb_reconfig_interval: u64,
 }
 
 impl MachineConfig {
@@ -267,7 +279,45 @@ impl MachineConfig {
             window_entries: 64,
             window_reconfig_interval: 5_000,
             window_exposure_permille: [1000, 1150, 1400, 1850],
+            dtlb_configurable: false,
+            dtlb_reconfig_interval: 10_000,
         }
+    }
+
+    /// The registered configurable units this machine exposes, derived
+    /// from the configuration: the paper's two caches, the vestigial
+    /// window, and — when [`MachineConfig::dtlb_configurable`] — the
+    /// DTLB. Each descriptor carries the hardware guard interval and the
+    /// hotspot-grain floor the size-class rule bins against.
+    pub fn cu_registry(&self) -> CuRegistry {
+        let mut reg = CuRegistry::new();
+        reg.register(CuDescriptor::new(
+            CuId::Window,
+            self.window_reconfig_interval,
+            5_000,
+            FlushSemantics::DrainPipeline,
+        ));
+        reg.register(CuDescriptor::new(
+            CuId::L1d,
+            self.l1d_reconfig_interval,
+            50_000,
+            FlushSemantics::WritebackDirty,
+        ));
+        reg.register(CuDescriptor::new(
+            CuId::L2,
+            self.l2_reconfig_interval,
+            500_000,
+            FlushSemantics::WritebackDirty,
+        ));
+        if self.dtlb_configurable {
+            reg.register(CuDescriptor::new(
+                CuId::Dtlb,
+                self.dtlb_reconfig_interval,
+                10_000,
+                FlushSemantics::InvalidateAll,
+            ));
+        }
+        reg
     }
 
     /// Validates every field, returning the first problem found.
@@ -314,6 +364,18 @@ impl MachineConfig {
             return Err(ConfigError::new(
                 "window exposure multipliers must be at least 1000 per-mille",
             ));
+        }
+        if self.dtlb_configurable {
+            if self.dtlb_reconfig_interval == 0 {
+                return Err(ConfigError::new(
+                    "reconfiguration intervals must be nonzero",
+                ));
+            }
+            if (self.dtlb_entries / 16) >> (NUM_SIZE_LEVELS - 1) == 0 {
+                return Err(ConfigError::new(
+                    "DTLB too small to support all size levels",
+                ));
+            }
         }
         self.l1i.validate()?;
         self.l1d.validate()?;
@@ -389,5 +451,27 @@ mod tests {
     fn display_and_ordering() {
         assert_eq!(SizeLevel::LARGEST.to_string(), "L0");
         assert!(SizeLevel::LARGEST < SizeLevel::SMALLEST);
+    }
+
+    #[test]
+    fn registry_tracks_dtlb_configurability() {
+        let cfg = MachineConfig::table2();
+        let reg = cfg.cu_registry();
+        assert_eq!(reg.len(), 3, "paper machine registers window+L1D+L2");
+        assert!(!reg.contains(CuId::Dtlb));
+        assert_eq!(reg.get(CuId::L2).unwrap().reconfig_interval, 1_000_000);
+
+        let mut cfg = MachineConfig::table2();
+        cfg.dtlb_configurable = true;
+        cfg.validate().unwrap();
+        let reg = cfg.cu_registry();
+        assert_eq!(reg.len(), 4);
+        assert_eq!(reg.get(CuId::Dtlb).unwrap().reconfig_interval, 10_000);
+
+        cfg.dtlb_entries = 64; // 4 sets: level 3 would have half a set
+        assert!(cfg.validate().is_err());
+        cfg.dtlb_entries = 128;
+        cfg.dtlb_reconfig_interval = 0;
+        assert!(cfg.validate().is_err());
     }
 }

@@ -45,6 +45,7 @@
 mod branch;
 mod cache;
 mod config;
+mod cu;
 mod machine;
 mod stats;
 mod tlb;
@@ -54,7 +55,8 @@ mod trace_io;
 pub use branch::{BranchPredictor, BranchStats};
 pub use cache::{AccessOutcome, Cache, CacheStats, FlushReport};
 pub use config::{CacheGeometry, ConfigError, MachineConfig, SizeLevel, NUM_SIZE_LEVELS};
-pub use machine::{CuKind, Machine, MachineCounters, ReconfigOutcome};
+pub use cu::{CuDescriptor, CuId, CuKind, CuRegistry, FlushSemantics, MAX_CUS};
+pub use machine::{Machine, MachineCounters, ReconfigOutcome};
 pub use stats::OnlineStats;
 pub use tlb::{Tlb, TlbStats};
 pub use trace::{Block, BlockSource, BranchEvent, MemAccess, SliceSource};

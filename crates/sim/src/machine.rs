@@ -27,37 +27,10 @@
 use crate::branch::{BranchPredictor, BranchStats};
 use crate::cache::{Cache, CacheStats, FlushReport};
 use crate::config::{ConfigError, MachineConfig, SizeLevel, NUM_SIZE_LEVELS};
+use crate::cu::{CuId, CuRegistry, MAX_CUS};
 use crate::tlb::{Tlb, TlbStats};
 use crate::trace::Block;
 use serde::{Deserialize, Serialize};
-
-/// The configurable units of the evaluated ACE: the paper's two caches
-/// plus the instruction window it reports as work in progress.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum CuKind {
-    /// The instruction window / ROB (10 K-instruction reconfiguration
-    /// interval; the extension CU of Section 4.1).
-    Window,
-    /// The L1 data cache (100 K-instruction reconfiguration interval).
-    L1d,
-    /// The unified L2 cache (1 M-instruction reconfiguration interval).
-    L2,
-}
-
-impl CuKind {
-    /// All configurable units, in tuning order (cheapest first).
-    pub const ALL: [CuKind; 3] = [CuKind::Window, CuKind::L1d, CuKind::L2];
-}
-
-impl std::fmt::Display for CuKind {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            CuKind::Window => write!(f, "WIN"),
-            CuKind::L1d => write!(f, "L1D"),
-            CuKind::L2 => write!(f, "L2"),
-        }
-    }
-}
 
 /// Result of a reconfiguration request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -118,6 +91,18 @@ pub struct MachineCounters {
     /// Applied window reconfigurations, per level left.
     #[serde(default)]
     pub window_resizes: [u64; NUM_SIZE_LEVELS],
+    /// DTLB translations while the DTLB was at each size level.
+    #[serde(default)]
+    pub dtlb_level_accesses: [u64; NUM_SIZE_LEVELS],
+    /// DTLB misses while the DTLB was at each size level.
+    #[serde(default)]
+    pub dtlb_level_misses: [u64; NUM_SIZE_LEVELS],
+    /// Cycles spent while the DTLB was at each size level.
+    #[serde(default)]
+    pub dtlb_cycles: [u64; NUM_SIZE_LEVELS],
+    /// Applied DTLB reconfigurations, per level left.
+    #[serde(default)]
+    pub dtlb_resizes: [u64; NUM_SIZE_LEVELS],
     /// Reconfiguration requests rejected by the hardware interval guard.
     pub guard_rejections: u64,
 }
@@ -158,6 +143,10 @@ impl MachineCounters {
             window_cycles: sub4(&self.window_cycles, &earlier.window_cycles),
             window_instr: sub4(&self.window_instr, &earlier.window_instr),
             window_resizes: sub4(&self.window_resizes, &earlier.window_resizes),
+            dtlb_level_accesses: sub4(&self.dtlb_level_accesses, &earlier.dtlb_level_accesses),
+            dtlb_level_misses: sub4(&self.dtlb_level_misses, &earlier.dtlb_level_misses),
+            dtlb_cycles: sub4(&self.dtlb_cycles, &earlier.dtlb_cycles),
+            dtlb_resizes: sub4(&self.dtlb_resizes, &earlier.dtlb_resizes),
             guard_rejections: sub1(self.guard_rejections, earlier.guard_rejections),
         }
     }
@@ -210,7 +199,9 @@ pub struct Machine {
     /// Current instruction-window level (the window's control register).
     window_level: SizeLevel,
     /// Instret at the last applied reconfiguration, per unit.
-    last_reconfig: [Option<u64>; 3],
+    last_reconfig: [Option<u64>; MAX_CUS],
+    /// The configurable units this machine exposes.
+    registry: CuRegistry,
 }
 
 impl Machine {
@@ -235,7 +226,8 @@ impl Machine {
                 .then(|| cfg.issue_width.trailing_zeros()),
             stall_acc: 0,
             window_level: SizeLevel::LARGEST,
-            last_reconfig: [None; 3],
+            last_reconfig: [None; MAX_CUS],
+            registry: cfg.cu_registry(),
             cfg,
         })
     }
@@ -243,6 +235,11 @@ impl Machine {
     /// The machine's configuration.
     pub fn config(&self) -> &MachineConfig {
         &self.cfg
+    }
+
+    /// The configurable units this machine exposes.
+    pub fn registry(&self) -> &CuRegistry {
+        &self.registry
     }
 
     /// Current counter values.
@@ -269,21 +266,26 @@ impl Machine {
     }
 
     /// Current size level of `cu` (the control register value).
-    pub fn level(&self, cu: CuKind) -> SizeLevel {
+    ///
+    /// This is the one place a `CuId` meets the hardware structure it
+    /// names; everything above the machine consumes the registry.
+    pub fn level(&self, cu: CuId) -> SizeLevel {
         match cu {
-            CuKind::Window => self.window_level,
-            CuKind::L1d => self.l1d.level(),
-            CuKind::L2 => self.l2.level(),
+            CuId::Window => self.window_level,
+            CuId::L1d => self.l1d.level(),
+            CuId::L2 => self.l2.level(),
+            CuId::Dtlb => self.dtlb.level(),
+            _ => SizeLevel::LARGEST,
         }
     }
 
-    /// The reconfiguration interval of `cu` in instructions.
-    pub fn reconfig_interval(&self, cu: CuKind) -> u64 {
-        match cu {
-            CuKind::Window => self.cfg.window_reconfig_interval,
-            CuKind::L1d => self.cfg.l1d_reconfig_interval,
-            CuKind::L2 => self.cfg.l2_reconfig_interval,
-        }
+    /// The reconfiguration interval of `cu` in instructions, from its
+    /// registered descriptor (`u64::MAX` for an unregistered unit, whose
+    /// guard therefore never reopens).
+    pub fn reconfig_interval(&self, cu: CuId) -> u64 {
+        self.registry
+            .get(cu)
+            .map_or(u64::MAX, |d| d.reconfig_interval)
     }
 
     /// Advances time by `cycles` without retiring instructions, attributing
@@ -294,6 +296,7 @@ impl Machine {
         self.counters.l1d_cycles[self.l1d.level().index()] += cycles;
         self.counters.l2_cycles[self.l2.level().index()] += cycles;
         self.counters.window_cycles[self.window_level.index()] += cycles;
+        self.counters.dtlb_cycles[self.dtlb.level().index()] += cycles;
     }
 
     /// Executes one dynamic block, updating all structures and counters.
@@ -389,6 +392,7 @@ impl Machine {
         self.counters.l1d_cycles[self.l1d.level().index()] += delta;
         self.counters.l2_cycles[self.l2.level().index()] += delta;
         self.counters.window_cycles[win] += delta;
+        self.counters.dtlb_cycles[self.dtlb.level().index()] += delta;
     }
 
     /// Copies sub-structure stats into the counters snapshot. Called on
@@ -399,6 +403,12 @@ impl Machine {
         self.counters.l2 = *self.l2.stats();
         self.counters.dtlb = *self.dtlb.stats();
         self.counters.branch = *self.predictor.stats();
+        let per_level = self.dtlb.level_stats();
+        for (k, level) in per_level.iter().enumerate() {
+            self.counters.dtlb_level_accesses[k] = level.accesses;
+            self.counters.dtlb_level_misses[k] = level.misses;
+        }
+        self.counters.dtlb_resizes = *self.dtlb.resizes();
     }
 
     /// Requests that `cu`'s control register be set to `level`.
@@ -408,13 +418,14 @@ impl Machine {
     /// ([`ReconfigOutcome::TooSoon`]). An applied change flushes the cache:
     /// dirty lines are written back (L1D lines drain into the L2; L2 lines
     /// drain to memory) and the flush cycles are charged.
-    pub fn request_resize(&mut self, cu: CuKind, level: SizeLevel) -> ReconfigOutcome {
+    pub fn request_resize(&mut self, cu: CuId, level: SizeLevel) -> ReconfigOutcome {
+        if !self.registry.contains(cu) {
+            // Hardware without this unit ignores the write, like a store
+            // to a reserved control register.
+            return ReconfigOutcome::Unchanged;
+        }
         let now = self.counters.instret;
-        let idx = match cu {
-            CuKind::Window => 0,
-            CuKind::L1d => 1,
-            CuKind::L2 => 2,
-        };
+        let idx = cu.index();
         let current = self.level(cu);
         if current == level {
             return ReconfigOutcome::Unchanged;
@@ -436,45 +447,54 @@ impl Machine {
     /// Immediately applies a resize, bypassing the interval guard. Used by
     /// oracle/static experiments; runtime adaptation should go through
     /// [`Machine::request_resize`].
-    pub fn apply_resize(&mut self, cu: CuKind, level: SizeLevel) -> FlushReport {
-        if cu == CuKind::Window {
-            // Resizing the window drains the pipeline: a short fixed stall,
-            // no cache state is lost.
-            if level != self.window_level {
-                self.counters.window_resizes[self.window_level.index()] += 1;
-                self.window_level = level;
+    pub fn apply_resize(&mut self, cu: CuId, level: SizeLevel) -> FlushReport {
+        match cu {
+            CuId::Window => {
+                // Resizing the window drains the pipeline: a short fixed
+                // stall, no cache state is lost.
+                if level != self.window_level {
+                    self.counters.window_resizes[self.window_level.index()] += 1;
+                    self.window_level = level;
+                    self.add_overhead_cycles(30);
+                }
+                FlushReport::default()
+            }
+            CuId::Dtlb => {
+                // A TLB flush invalidates in place: the pipeline drains
+                // and the entries refill on demand via the miss penalty.
+                let report = self.dtlb.resize(level);
                 self.add_overhead_cycles(30);
+                report
             }
-            return FlushReport::default();
-        }
-        let report = match cu {
-            CuKind::L1d => self.l1d.resize(level),
-            CuKind::L2 => self.l2.resize(level),
-            CuKind::Window => unreachable!(),
-        };
-        // Drain L1D dirty lines into the L2 (they are L2 store traffic).
-        if cu == CuKind::L1d && report.dirty_lines > 0 {
-            for i in 0..report.dirty_lines {
-                // Distinct line addresses in a reserved region: the energy
-                // and traffic accounting is what matters, not the addresses.
-                let addr = 0xF000_0000_0000 + i * self.cfg.l2.block_bytes as u64;
-                let _ = self.l2.access(addr, true);
+            CuId::L1d => {
+                let report = self.l1d.resize(level);
+                // Drain L1D dirty lines into the L2 (they are L2 store
+                // traffic).
+                for i in 0..report.dirty_lines {
+                    // Distinct line addresses in a reserved region: the
+                    // energy and traffic accounting is what matters, not
+                    // the addresses.
+                    let addr = 0xF000_0000_0000 + i * self.cfg.l2.block_bytes as u64;
+                    let _ = self.l2.access(addr, true);
+                }
+                let flush_cycles = report.dirty_lines * self.cfg.flush_writeback_cycles as u64;
+                self.add_overhead_cycles(flush_cycles);
+                report
             }
+            CuId::L2 => {
+                let report = self.l2.resize(level);
+                let flush_cycles = report.dirty_lines * self.cfg.flush_writeback_cycles as u64;
+                self.add_overhead_cycles(flush_cycles);
+                report
+            }
+            _ => FlushReport::default(),
         }
-        let flush_cycles = report.dirty_lines * self.cfg.flush_writeback_cycles as u64;
-        self.add_overhead_cycles(flush_cycles);
-        report
     }
 
     /// Instructions until `cu`'s guard reopens (0 when a request would be
     /// applied immediately).
-    pub fn guard_remaining(&self, cu: CuKind) -> u64 {
-        let idx = match cu {
-            CuKind::Window => 0,
-            CuKind::L1d => 1,
-            CuKind::L2 => 2,
-        };
-        match self.last_reconfig[idx] {
+    pub fn guard_remaining(&self, cu: CuId) -> u64 {
+        match self.last_reconfig[cu.index()] {
             Some(last) => (last + self.reconfig_interval(cu)).saturating_sub(self.counters.instret),
             None => 0,
         }
@@ -573,13 +593,13 @@ mod tests {
         let mut m = machine();
         let l1 = SizeLevel::new(1).unwrap();
         assert!(matches!(
-            m.request_resize(CuKind::L1d, l1),
+            m.request_resize(CuId::L1d, l1),
             ReconfigOutcome::Applied(_)
         ));
         // Immediately asking again (different level) is too soon.
         let l2 = SizeLevel::new(2).unwrap();
         assert!(matches!(
-            m.request_resize(CuKind::L1d, l2),
+            m.request_resize(CuId::L1d, l2),
             ReconfigOutcome::TooSoon { .. }
         ));
         assert_eq!(m.counters().guard_rejections, 1);
@@ -589,17 +609,17 @@ mod tests {
             m.exec_block(&b);
         }
         assert!(matches!(
-            m.request_resize(CuKind::L1d, l2),
+            m.request_resize(CuId::L1d, l2),
             ReconfigOutcome::Applied(_)
         ));
-        assert_eq!(m.level(CuKind::L1d), l2);
+        assert_eq!(m.level(CuId::L1d), l2);
     }
 
     #[test]
     fn unchanged_request_is_free() {
         let mut m = machine();
         assert_eq!(
-            m.request_resize(CuKind::L1d, SizeLevel::LARGEST),
+            m.request_resize(CuId::L1d, SizeLevel::LARGEST),
             ReconfigOutcome::Unchanged
         );
         assert_eq!(m.counters().guard_rejections, 0);
@@ -614,7 +634,7 @@ mod tests {
             m.exec_block(&block(0x400, 4, vec![MemAccess::store((412 + i) * 64)]));
         }
         let l2_before = m.counters().l2.total_accesses();
-        let out = m.request_resize(CuKind::L1d, SizeLevel::new(1).unwrap());
+        let out = m.request_resize(CuId::L1d, SizeLevel::new(1).unwrap());
         match out {
             ReconfigOutcome::Applied(report) => assert_eq!(report.dirty_lines, 100),
             other => panic!("expected Applied, got {other:?}"),
@@ -626,7 +646,7 @@ mod tests {
     #[test]
     fn overhead_cycles_attributed_to_levels() {
         let mut m = machine();
-        m.apply_resize(CuKind::L2, SizeLevel::new(3).unwrap());
+        m.apply_resize(CuId::L2, SizeLevel::new(3).unwrap());
         m.add_overhead_cycles(500);
         assert_eq!(m.counters().l2_cycles[3], 500);
         assert_eq!(m.counters().l1d_cycles[0], 500);
@@ -638,7 +658,7 @@ mod tests {
         let mut miss_ratios = Vec::new();
         for lvl in cfgs {
             let mut m = machine();
-            m.apply_resize(CuKind::L1d, lvl);
+            m.apply_resize(CuId::L1d, lvl);
             // 32 KB working set streamed repeatedly.
             for _round in 0..20 {
                 for a in (0..32768u64).step_by(64) {
@@ -657,8 +677,8 @@ mod tests {
     fn ipc_degrades_with_tiny_caches() {
         let mut big = machine();
         let mut small = machine();
-        small.apply_resize(CuKind::L1d, SizeLevel::SMALLEST);
-        small.apply_resize(CuKind::L2, SizeLevel::SMALLEST);
+        small.apply_resize(CuId::L1d, SizeLevel::SMALLEST);
+        small.apply_resize(CuId::L2, SizeLevel::SMALLEST);
         for m in [&mut big, &mut small] {
             for _round in 0..10 {
                 for a in (0..262144u64).step_by(64) {
@@ -677,22 +697,22 @@ mod tests {
     #[test]
     fn window_resize_is_cheap_and_guarded() {
         let mut m = machine();
-        let out = m.request_resize(CuKind::Window, SizeLevel::SMALLEST);
+        let out = m.request_resize(CuId::Window, SizeLevel::SMALLEST);
         assert!(
             matches!(out, ReconfigOutcome::Applied(report) if report == FlushReport::default())
         );
-        assert_eq!(m.level(CuKind::Window), SizeLevel::SMALLEST);
+        assert_eq!(m.level(CuId::Window), SizeLevel::SMALLEST);
         assert!(m.cycles() > 0, "pipeline drain charged");
         // Guard: 5K instructions between window changes.
         assert!(matches!(
-            m.request_resize(CuKind::Window, SizeLevel::LARGEST),
+            m.request_resize(CuId::Window, SizeLevel::LARGEST),
             ReconfigOutcome::TooSoon { .. }
         ));
         for _ in 0..6 {
             m.exec_block(&block(0x400, 1000, vec![]));
         }
         assert!(m
-            .request_resize(CuKind::Window, SizeLevel::LARGEST)
+            .request_resize(CuId::Window, SizeLevel::LARGEST)
             .in_effect());
     }
 
@@ -701,7 +721,7 @@ mod tests {
         // Hit-dominated code: window size must not matter.
         let mut big = machine();
         let mut small = machine();
-        small.apply_resize(CuKind::Window, SizeLevel::SMALLEST);
+        small.apply_resize(CuId::Window, SizeLevel::SMALLEST);
         for m in [&mut big, &mut small] {
             for _ in 0..2000 {
                 m.exec_block(&block(0x400, 16, vec![MemAccess::load(0x1000)]));
@@ -716,7 +736,7 @@ mod tests {
         // Miss-heavy code: the small window exposes more stall cycles.
         let mut big = machine();
         let mut small = machine();
-        small.apply_resize(CuKind::Window, SizeLevel::SMALLEST);
+        small.apply_resize(CuId::Window, SizeLevel::SMALLEST);
         for m in [&mut big, &mut small] {
             for i in 0..5000u64 {
                 m.exec_block(&block(0x400, 16, vec![MemAccess::load(0x10_0000 + i * 64)]));
@@ -734,7 +754,7 @@ mod tests {
     fn window_counters_track_levels() {
         let mut m = machine();
         m.exec_block(&block(0x400, 100, vec![]));
-        m.apply_resize(CuKind::Window, SizeLevel::new(2).unwrap());
+        m.apply_resize(CuId::Window, SizeLevel::new(2).unwrap());
         m.exec_block(&block(0x400, 200, vec![]));
         let c = m.counters();
         assert_eq!(c.window_instr[0], 100);
@@ -782,8 +802,57 @@ mod tests {
     #[test]
     fn guard_remaining_reports() {
         let mut m = machine();
-        assert_eq!(m.guard_remaining(CuKind::L2), 0);
-        m.request_resize(CuKind::L2, SizeLevel::new(1).unwrap());
-        assert_eq!(m.guard_remaining(CuKind::L2), 1_000_000);
+        assert_eq!(m.guard_remaining(CuId::L2), 0);
+        m.request_resize(CuId::L2, SizeLevel::new(1).unwrap());
+        assert_eq!(m.guard_remaining(CuId::L2), 1_000_000);
+    }
+
+    #[test]
+    fn unregistered_dtlb_ignores_requests() {
+        // The paper's machine does not expose the DTLB as a CU: a resize
+        // request is a write to a reserved control register.
+        let mut m = machine();
+        assert!(!m.registry().contains(CuId::Dtlb));
+        assert_eq!(
+            m.request_resize(CuId::Dtlb, SizeLevel::SMALLEST),
+            ReconfigOutcome::Unchanged
+        );
+        assert_eq!(m.level(CuId::Dtlb), SizeLevel::LARGEST);
+        assert_eq!(m.counters().guard_rejections, 0);
+    }
+
+    #[test]
+    fn dtlb_cu_registers_resizes_and_guards() {
+        let mut cfg = MachineConfig::table2();
+        cfg.dtlb_configurable = true;
+        let mut m = Machine::new(cfg).unwrap();
+        assert!(m.registry().contains(CuId::Dtlb));
+        // Warm 32 pages, then shrink to 16 entries.
+        for p in 0..32u64 {
+            m.exec_block(&block(0x400, 4, vec![MemAccess::load(p * 4096)]));
+        }
+        let out = m.request_resize(CuId::Dtlb, SizeLevel::SMALLEST);
+        match out {
+            ReconfigOutcome::Applied(report) => {
+                assert_eq!(report.dirty_lines, 0);
+                assert_eq!(report.valid_lines, 32);
+            }
+            other => panic!("expected Applied, got {other:?}"),
+        }
+        assert_eq!(m.level(CuId::Dtlb), SizeLevel::SMALLEST);
+        // 10 K-instruction guard.
+        assert!(matches!(
+            m.request_resize(CuId::Dtlb, SizeLevel::LARGEST),
+            ReconfigOutcome::TooSoon { .. }
+        ));
+        for _ in 0..11 {
+            m.exec_block(&block(0x400, 1000, vec![]));
+        }
+        assert!(m.request_resize(CuId::Dtlb, SizeLevel::LARGEST).in_effect());
+        let c = m.counters();
+        assert_eq!(c.dtlb_resizes[0], 1);
+        assert_eq!(c.dtlb_resizes[3], 1);
+        assert!(c.dtlb_level_accesses[0] > 0);
+        assert!(c.dtlb_cycles[3] > 0);
     }
 }

@@ -16,6 +16,8 @@
 //! identical to the previous timestamp-based implementation: true per-set
 //! LRU with invalid ways (lowest index first) preferred as victims.
 
+use crate::cache::FlushReport;
+use crate::config::{SizeLevel, NUM_SIZE_LEVELS};
 use serde::{Deserialize, Serialize};
 
 /// Associativity used to approximate the fully associative DTLB.
@@ -83,6 +85,18 @@ pub struct Tlb {
     sets: u32,
     page_shift: u32,
     stats: TlbStats,
+    /// Set count at the largest (baseline) size level.
+    base_sets: u32,
+    /// Current size level (level `k` powers `base_sets >> k` sets).
+    level: SizeLevel,
+    /// Totals settled per level at past resizes; the current level's
+    /// share since the last resize lives only in `stats` (settled lazily
+    /// so the translate hot path never pays for per-level attribution).
+    level_stats: [TlbStats; NUM_SIZE_LEVELS],
+    /// Snapshot of `stats` at the last resize (the settling mark).
+    level_mark: TlbStats,
+    /// Applied resizes, per level left.
+    resizes: [u64; NUM_SIZE_LEVELS],
 }
 
 impl Tlb {
@@ -110,6 +124,11 @@ impl Tlb {
             sets,
             page_shift: page_bytes.trailing_zeros(),
             stats: TlbStats::default(),
+            base_sets: sets,
+            level: SizeLevel::LARGEST,
+            level_stats: [TlbStats::default(); NUM_SIZE_LEVELS],
+            level_mark: TlbStats::default(),
+            resizes: [0; NUM_SIZE_LEVELS],
         }
     }
 
@@ -117,6 +136,61 @@ impl Tlb {
     #[inline]
     pub fn stats(&self) -> &TlbStats {
         &self.stats
+    }
+
+    /// Current size level (the control register value when the TLB is a
+    /// configurable unit).
+    pub fn level(&self) -> SizeLevel {
+        self.level
+    }
+
+    /// `true` if the geometry supports all [`NUM_SIZE_LEVELS`] levels
+    /// (at least one set remains at the smallest level).
+    pub fn supports_all_levels(&self) -> bool {
+        (self.base_sets >> (NUM_SIZE_LEVELS - 1)) > 0
+    }
+
+    /// Per-level statistics, with the unsettled share since the last
+    /// resize attributed to the current level on read.
+    pub fn level_stats(&self) -> [TlbStats; NUM_SIZE_LEVELS] {
+        let mut out = self.level_stats;
+        let pending = self.stats.delta_since(&self.level_mark);
+        let k = self.level.index();
+        out[k].accesses += pending.accesses;
+        out[k].misses += pending.misses;
+        out
+    }
+
+    /// Applied resizes per level left.
+    pub fn resizes(&self) -> &[u64; NUM_SIZE_LEVELS] {
+        &self.resizes
+    }
+
+    /// Resizes to `level`, invalidating every entry (entries refill on
+    /// demand, paying the miss penalty naturally — a TLB flush writes
+    /// nothing back). Returns the flush report; `valid_lines` counts the
+    /// entries that were resident.
+    pub fn resize(&mut self, level: SizeLevel) -> FlushReport {
+        let old = self.level.index();
+        // Settle the running totals into the level that accumulated them.
+        let pending = self.stats.delta_since(&self.level_mark);
+        self.level_stats[old].accesses += pending.accesses;
+        self.level_stats[old].misses += pending.misses;
+        self.level_mark = self.stats;
+        self.resizes[old] += 1;
+        let valid = self.meta.iter().filter(|&&m| m & VALID != 0).count() as u64;
+        self.meta.fill(0);
+        for (i, r) in self.rank.iter_mut().enumerate() {
+            *r = (i % TLB_WAYS as usize) as u8;
+        }
+        self.mru_key = NO_MRU;
+        self.level = level;
+        self.sets = self.base_sets >> level.index();
+        debug_assert!(self.sets > 0, "TLB resized below one set");
+        FlushReport {
+            dirty_lines: 0,
+            valid_lines: valid,
+        }
     }
 
     /// Translates `addr`, returning `true` on a TLB hit.
@@ -260,5 +334,58 @@ mod tests {
         t.translate(0);
         let later = *t.stats();
         let _ = earlier.delta_since(&later);
+    }
+
+    #[test]
+    fn resize_invalidates_and_shrinks_reach() {
+        let mut t = Tlb::new(128, 4096);
+        for p in 0..64u64 {
+            t.translate(p * 4096);
+        }
+        let report = t.resize(SizeLevel::SMALLEST);
+        assert_eq!(report.valid_lines, 64, "64 resident entries flushed");
+        assert_eq!(report.dirty_lines, 0, "a TLB flush writes nothing back");
+        assert_eq!(t.level(), SizeLevel::SMALLEST);
+        // After the flush everything misses again; at 16 entries a
+        // 64-page working set now thrashes.
+        let before = *t.stats();
+        for _ in 0..3 {
+            for p in 0..64u64 {
+                t.translate(p * 4096);
+            }
+        }
+        let d = t.stats().delta_since(&before);
+        assert!(
+            d.misses > 150,
+            "64 pages cannot stay resident in 16 entries: {} misses",
+            d.misses
+        );
+    }
+
+    #[test]
+    fn level_stats_settle_lazily() {
+        let mut t = Tlb::new(128, 4096);
+        t.translate(0);
+        t.translate(4096);
+        // Unsettled share is attributed to the current level on read.
+        assert_eq!(t.level_stats()[0].accesses, 2);
+        assert_eq!(t.level_stats()[0].misses, 2);
+        t.resize(SizeLevel::new(2).unwrap());
+        t.translate(0);
+        let ls = t.level_stats();
+        assert_eq!(ls[0].accesses, 2, "pre-resize share settled at level 0");
+        assert_eq!(ls[2].accesses, 1);
+        assert_eq!(ls[2].misses, 1);
+        assert_eq!(t.resizes()[0], 1);
+        // Totals are unchanged by attribution.
+        assert_eq!(t.stats().accesses, 3);
+    }
+
+    #[test]
+    fn four_level_ladder_supported_at_128_entries() {
+        let t = Tlb::new(128, 4096);
+        assert!(t.supports_all_levels());
+        let small = Tlb::new(64, 4096);
+        assert!(!small.supports_all_levels());
     }
 }

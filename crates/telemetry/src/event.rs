@@ -7,30 +7,13 @@
 
 use serde::{Deserialize, Serialize};
 
-/// A configurable unit of the modeled machine (paper Table 2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub enum Cu {
-    /// The instruction-window CU.
-    Window,
-    /// The configurable L1 data cache.
-    L1d,
-    /// The configurable unified L2 cache.
-    L2,
-}
-
-impl Cu {
-    /// Short lowercase name used in summaries.
-    pub fn name(self) -> &'static str {
-        match self {
-            Cu::Window => "window",
-            Cu::L1d => "l1d",
-            Cu::L2 => "l2",
-        }
-    }
-
-    /// All units, in declaration order.
-    pub const ALL: [Cu; 3] = [Cu::Window, Cu::L1d, Cu::L2];
-}
+/// A configurable unit of the modeled machine.
+///
+/// Since the registry refactor this is the open [`ace_sim::CuId`] index,
+/// not a closed enum: events name whatever unit a machine registered.
+/// The JSONL encoding of the historical units is unchanged (committed
+/// trace fixtures pin it).
+pub use ace_sim::CuId as Cu;
 
 /// The program region a tuning episode is attached to, one variant per
 /// adaptation scheme.

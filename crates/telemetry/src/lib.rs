@@ -56,6 +56,7 @@ mod ring;
 mod sink;
 mod stream;
 
+pub use ace_sim::MAX_CUS;
 pub use event::{Cu, Event, EventKind, ReconfigCause, Scope};
 pub use metrics::{Counter, Gauge, Histogram, Metrics, ScopedTimer};
 pub use ring::RingBufferSink;

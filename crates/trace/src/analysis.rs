@@ -14,7 +14,7 @@
 //! stream order — two byte-identical traces produce byte-identical
 //! analyses (the trace CLI's regression tests rely on this).
 
-use ace_telemetry::{Cu, Event, EventKind, ReconfigCause, Scope};
+use ace_telemetry::{Cu, Event, EventKind, ReconfigCause, Scope, MAX_CUS};
 use std::collections::BTreeMap;
 
 /// Number of CU size levels (paper Table 2: four per unit, 0 = largest).
@@ -292,7 +292,7 @@ pub struct Analysis {
     /// Per-scope episode reconstruction, in [`Scope`] order.
     pub scopes: Vec<ScopeAnalysis>,
     /// Per-CU configuration residency, in [`Cu::ALL`] order.
-    pub residency: [CuResidency; 3],
+    pub residency: [CuResidency; MAX_CUS],
     /// Every reconfiguration, in stream order.
     pub reconfigs: Vec<Reconfig>,
     /// The BBV phase timeline.
@@ -467,7 +467,7 @@ pub struct Analyzer {
     final_cycle: u64,
     promotions: Vec<Promotion>,
     scopes: BTreeMap<Scope, ScopeState>,
-    cus: [CuState; 3],
+    cus: [CuState; MAX_CUS],
     reconfigs: Vec<Reconfig>,
     segments: Vec<PhaseSegment>,
     current_segment: Option<SegmentState>,
@@ -495,11 +495,7 @@ impl Analyzer {
             final_cycle: 0,
             promotions: Vec::new(),
             scopes: BTreeMap::new(),
-            cus: [
-                CuState::new(Cu::Window),
-                CuState::new(Cu::L1d),
-                CuState::new(Cu::L2),
-            ],
+            cus: Cu::ALL.map(CuState::new),
             reconfigs: Vec::new(),
             segments: Vec::new(),
             current_segment: None,
@@ -597,7 +593,7 @@ impl Analyzer {
                     cycle,
                 });
                 let final_instret = self.final_instret;
-                let state = &mut self.cus[cu as usize];
+                let state = &mut self.cus[cu.index()];
                 if state.level != from {
                     state.residency.level_mismatches += 1;
                     // Trust the machine's `from` for attribution.
@@ -836,7 +832,7 @@ mod tests {
     #[test]
     fn residency_attributes_cycles_per_level() {
         let analysis = Analysis::of(&lifecycle());
-        let l1d = &analysis.residency[Cu::L1d as usize];
+        let l1d = &analysis.residency[Cu::L1d.index()];
         assert_eq!(l1d.reconfigs, 3);
         assert_eq!(l1d.by_cause, [2, 1, 0]);
         assert_eq!(l1d.level_mismatches, 0);
@@ -848,7 +844,7 @@ mod tests {
         assert_eq!(l1d.levels[3].cycles, 0);
         assert_eq!(l1d.total_cycles(), 500);
         // Untouched CUs spend the whole trace at level 0.
-        let l2 = &analysis.residency[Cu::L2 as usize];
+        let l2 = &analysis.residency[Cu::L2.index()];
         assert_eq!(l2.reconfigs, 0);
         assert_eq!(l2.levels[0].cycles, 500);
     }
@@ -940,7 +936,7 @@ mod tests {
             cycle: 100,
         }];
         let analysis = Analysis::of(&events);
-        let l2 = &analysis.residency[Cu::L2 as usize];
+        let l2 = &analysis.residency[Cu::L2.index()];
         assert_eq!(l2.level_mismatches, 1);
         // Attribution trusts the recorded `from` level.
         assert_eq!(l2.levels[2].cycles, 100);

@@ -112,7 +112,7 @@ pub fn chrome_trace(analysis: &Analysis) -> String {
         events.push(meta(
             "thread_name",
             PID_CYCLE,
-            Some(cu as u64 + 1),
+            Some(cu.index() as u64 + 1),
             &format!("cu {}", cu.name()),
         ));
     }
@@ -198,7 +198,7 @@ pub fn chrome_trace(analysis: &Analysis) -> String {
 
     // --- cycle domain: reconfigurations + level counters ------------------
     for r in &analysis.reconfigs {
-        let tid = r.cu as u64 + 1;
+        let tid = r.cu.index() as u64 + 1;
         events.push(instant(
             format!(
                 "{} L{} -> L{} ({})",

@@ -232,8 +232,8 @@ pub fn diff(a: &Analysis, b: &Analysis, thresholds: &DiffThresholds) -> DiffRepo
     // Residency: total-variation distance between cycle-fraction
     // distributions. 0 = identical, 1 = disjoint.
     for cu in Cu::ALL {
-        let fa = a.residency[cu as usize].cycle_fractions();
-        let fb = b.residency[cu as usize].cycle_fractions();
+        let fa = a.residency[cu.index()].cycle_fractions();
+        let fb = b.residency[cu.index()].cycle_fractions();
         let tv: f64 = fa
             .iter()
             .zip(fb.iter())

@@ -86,7 +86,7 @@ pub fn summarize(analysis: &Analysis) -> String {
 
     let _ = writeln!(out, "configuration residency (cycles per level):");
     for cu in Cu::ALL {
-        let res = &analysis.residency[cu as usize];
+        let res = &analysis.residency[cu.index()];
         let fractions = res.cycle_fractions();
         let _ = write!(out, "  {:<8}", cu.name());
         for (level, frac) in fractions.iter().enumerate().take(NUM_LEVELS) {

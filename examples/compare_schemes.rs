@@ -66,13 +66,13 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
     println!(
         "hotspot: {} L1D + {} L2 hotspots, {:.0}% tuned, {} + {} trials, {} + {} reconfigs",
-        hs_report.l1d_hotspots,
-        hs_report.l2_hotspots,
+        hs_report.l1d_hotspots(),
+        hs_report.l2_hotspots(),
         100.0 * hs_report.tuned_fraction(),
-        hs_report.l1d.tunings,
-        hs_report.l2.tunings,
-        hs_report.l1d.reconfigs,
-        hs_report.l2.reconfigs,
+        hs_report.l1d().tunings,
+        hs_report.l2().tunings,
+        hs_report.l1d().reconfigs,
+        hs_report.l2().reconfigs,
     );
     Ok(())
 }

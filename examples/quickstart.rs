@@ -50,22 +50,22 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!();
     println!(
         "hotspots: {} L1D + {} L2 adaptable ({:.0}% finished tuning), {} too small",
-        report.l1d_hotspots,
-        report.l2_hotspots,
+        report.l1d_hotspots(),
+        report.l2_hotspots(),
         100.0 * report.tuned_fraction(),
         report.small_hotspots,
     );
     println!(
         "L1D energy saving: {:>5.1}%   ({} tunings, {} reconfigurations)",
         100.0 * adaptive.l1d_saving_vs(&baseline),
-        report.l1d.tunings,
-        report.l1d.reconfigs,
+        report.l1d().tunings,
+        report.l1d().reconfigs,
     );
     println!(
         "L2  energy saving: {:>5.1}%   ({} tunings, {} reconfigurations)",
         100.0 * adaptive.l2_saving_vs(&baseline),
-        report.l2.tunings,
-        report.l2.reconfigs,
+        report.l2().tunings,
+        report.l2().reconfigs,
     );
     println!(
         "slowdown:          {:>5.2}%",

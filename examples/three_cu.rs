@@ -63,23 +63,29 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("hotspot size classes and their configurable units:");
     println!(
         "  window (5-50K instr):  {:>3} hotspots, {:>4} tunings, {:>5} reconfigs",
-        rep.window_hotspots, rep.window.tunings, rep.window.reconfigs,
+        rep.window_hotspots(),
+        rep.window().tunings,
+        rep.window().reconfigs,
     );
     println!(
         "  L1D (50-500K instr):   {:>3} hotspots, {:>4} tunings, {:>5} reconfigs",
-        rep.l1d_hotspots, rep.l1d.tunings, rep.l1d.reconfigs,
+        rep.l1d_hotspots(),
+        rep.l1d().tunings,
+        rep.l1d().reconfigs,
     );
     println!(
         "  L2 (>500K instr):      {:>3} hotspots, {:>4} tunings, {:>5} reconfigs",
-        rep.l2_hotspots, rep.l2.tunings, rep.l2.reconfigs,
+        rep.l2_hotspots(),
+        rep.l2().tunings,
+        rep.l2().reconfigs,
     );
     println!();
     println!(
         "multi-grain adaptation: the window reconfigures {}x as often as the L2",
-        if rep.l2.reconfigs > 0 {
-            rep.window.reconfigs / rep.l2.reconfigs.max(1)
+        if rep.l2().reconfigs > 0 {
+            rep.window().reconfigs / rep.l2().reconfigs.max(1)
         } else {
-            rep.window.reconfigs
+            rep.window().reconfigs
         },
     );
     Ok(())

@@ -154,11 +154,11 @@ fn cmd_run(args: &[String]) -> Result<(), Box<dyn Error>> {
             let rep = mgr.report();
             println!(
                 "            {} L1D + {} L2 hotspots, {:.0}% tuned, {} + {} reconfigs",
-                rep.l1d_hotspots,
-                rep.l2_hotspots,
+                rep.l1d_hotspots(),
+                rep.l2_hotspots(),
                 100.0 * rep.tuned_fraction(),
-                rep.l1d.reconfigs,
-                rep.l2.reconfigs,
+                rep.l1d().reconfigs,
+                rep.l2().reconfigs,
             );
         }
         "bbv" => {

@@ -1,0 +1,175 @@
+//! Two-CU equivalence goldens: pins the headline summaries and the full
+//! telemetry event streams of seeded paper experiments to fixture bytes
+//! captured before the registry-driven CU refactor.
+//!
+//! The paper's experiments configure exactly the L1D and L2 caches (plus
+//! the vestigial window CU). The CU-registry refactor must not perturb a
+//! single byte of what those runs measure or emit, so this test extends
+//! the `golden_counters.rs` pattern one layer up: from raw machine
+//! counters to the manager layer (scheme reports and telemetry streams).
+//!
+//! Regenerate fixtures (only legitimate after an *intentional* behaviour
+//! change, never to paper over a refactor diff):
+//!
+//! ```text
+//! ACE_BLESS_GOLDEN=1 cargo test --test golden_two_cu
+//! ```
+
+use ace::core::{Experiment, Scheme, SchemeReport};
+use ace::telemetry::Telemetry;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+const SEED: u64 = 42;
+const RING_CAPACITY: usize = 1 << 20;
+
+const CASES: &[(&str, Scheme)] = &[
+    ("db", Scheme::Hotspot),
+    ("db", Scheme::Bbv),
+    ("jess", Scheme::Hotspot),
+    ("jess", Scheme::Bbv),
+];
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+/// Runs one seeded case, returning (telemetry stream, headline digest).
+fn run_case(workload: &str, scheme: Scheme) -> (String, String) {
+    let (tel, ring) = Telemetry::ring(RING_CAPACITY);
+    let run = Experiment::preset(workload)
+        .scheme(scheme)
+        .seed(SEED)
+        .telemetry(&tel)
+        .run_scheme()
+        .expect("seeded golden run succeeds");
+    let events = ring.snapshot();
+    assert!(
+        (events.len() as u64) == ring.recorded(),
+        "ring overflowed; raise RING_CAPACITY"
+    );
+    let mut stream = String::new();
+    for ev in &events {
+        stream.push_str(&serde_json::to_string(ev).expect("event serializes"));
+        stream.push('\n');
+    }
+    (stream, digest(workload, scheme, &run))
+}
+
+/// Renders the headline summary through stable accessors only; `{:?}`
+/// float formatting makes any bit-level drift visible.
+fn digest(workload: &str, scheme: Scheme, run: &ace::core::SchemeRun) -> String {
+    let r = &run.record;
+    let mut out = String::new();
+    let _ = writeln!(out, "workload {workload} scheme {}", scheme.name());
+    let _ = writeln!(out, "instret {}", r.instret);
+    let _ = writeln!(out, "cycles {}", r.cycles);
+    let _ = writeln!(out, "ipc {:?}", r.ipc);
+    let _ = writeln!(out, "l1d_nj {:?}", r.energy.l1d_nj);
+    let _ = writeln!(out, "l2_nj {:?}", r.energy.l2_nj);
+    let _ = writeln!(out, "window_nj {:?}", r.energy.window_nj);
+    let _ = writeln!(out, "total_nj {:?}", r.energy.total_nj());
+    let _ = writeln!(out, "guard_rejections {}", r.counters.guard_rejections);
+    let _ = writeln!(out, "table4_hotspots {}", r.table4.hotspots);
+    let _ = writeln!(out, "do_jit {}", r.do_stats.jit_compilations);
+    let _ = writeln!(out, "do_instr_in_hotspots {}", r.do_stats.instr_in_hotspots);
+    match &run.report {
+        SchemeReport::Hotspot(h) => {
+            let _ = writeln!(
+                out,
+                "hotspots window {} l1d {} l2 {} small {} tuned {}",
+                h.window_hotspots(),
+                h.l1d_hotspots(),
+                h.l2_hotspots(),
+                h.small_hotspots,
+                h.tuned_hotspots
+            );
+            for (name, s) in [("window", h.window()), ("l1d", h.l1d()), ("l2", h.l2())] {
+                let _ = writeln!(
+                    out,
+                    "cu {name} tunings {} reconfigs {} covered {}",
+                    s.tunings, s.reconfigs, s.covered_instr
+                );
+            }
+            let _ = writeln!(out, "per_hotspot_ipc_cov {:?}", h.per_hotspot_ipc_cov);
+            let _ = writeln!(out, "inter_hotspot_ipc_cov {:?}", h.inter_hotspot_ipc_cov);
+            let _ = writeln!(out, "retunings {}", h.retunings);
+            let _ = writeln!(out, "report_guard_rejections {}", h.guard_rejections);
+        }
+        SchemeReport::Bbv(b) => {
+            let _ = writeln!(out, "phases {} tuned {}", b.phases, b.tuned_phases);
+            let _ = writeln!(
+                out,
+                "intervals {} in_tuned {}",
+                b.intervals, b.intervals_in_tuned_phases
+            );
+            let _ = writeln!(
+                out,
+                "tunings {} reconfigs {} covered {}",
+                b.tunings, b.reconfigs, b.covered_instr
+            );
+            let _ = writeln!(out, "per_phase_ipc_cov {:?}", b.per_phase_ipc_cov);
+            let _ = writeln!(out, "inter_phase_ipc_cov {:?}", b.inter_phase_ipc_cov);
+            let _ = writeln!(out, "misattributed_trials {}", b.misattributed_trials);
+            let _ = writeln!(
+                out,
+                "predictions {} accuracy {:?}",
+                b.predictions, b.prediction_accuracy
+            );
+            let _ = writeln!(
+                out,
+                "stability stable {} transitional {}",
+                b.stability.stable_intervals, b.stability.transitional_intervals
+            );
+        }
+        _ => unreachable!("golden cases are Hotspot/Bbv only"),
+    }
+    out
+}
+
+#[test]
+fn two_cu_runs_match_pre_refactor_bytes() {
+    let bless = std::env::var_os("ACE_BLESS_GOLDEN").is_some();
+    let dir = fixture_dir();
+    if bless {
+        std::fs::create_dir_all(&dir).expect("create fixture dir");
+    }
+    for &(workload, scheme) in CASES {
+        let (stream, digest) = run_case(workload, scheme);
+        let stem = format!("{workload}-{}", scheme.name());
+        let events_path = dir.join(format!("{stem}.events.jsonl"));
+        let digest_path = dir.join(format!("{stem}.digest.txt"));
+        if bless {
+            std::fs::write(&events_path, &stream).expect("write events fixture");
+            std::fs::write(&digest_path, &digest).expect("write digest fixture");
+            continue;
+        }
+        let want_digest = std::fs::read_to_string(&digest_path)
+            .unwrap_or_else(|e| panic!("missing fixture {}: {e}", digest_path.display()));
+        assert_eq!(
+            digest, want_digest,
+            "{stem}: headline digest drifted from pre-refactor bytes"
+        );
+        let want_stream = std::fs::read_to_string(&events_path)
+            .unwrap_or_else(|e| panic!("missing fixture {}: {e}", events_path.display()));
+        if stream != want_stream {
+            let got: Vec<&str> = stream.lines().collect();
+            let want: Vec<&str> = want_stream.lines().collect();
+            let first_diff = got
+                .iter()
+                .zip(want.iter())
+                .position(|(a, b)| a != b)
+                .unwrap_or_else(|| got.len().min(want.len()));
+            panic!(
+                "{stem}: telemetry stream drifted ({} vs {} events), first diff at line {}:\n  got: {}\n want: {}",
+                got.len(),
+                want.len(),
+                first_diff + 1,
+                got.get(first_diff).unwrap_or(&"<eof>"),
+                want.get(first_diff).unwrap_or(&"<eof>"),
+            );
+        }
+    }
+}

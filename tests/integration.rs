@@ -71,9 +71,9 @@ fn hotspot_scheme_saves_energy_on_db() {
     );
     let report = mgr.report();
     assert!(
-        report.l1d_hotspots >= 5,
+        report.l1d_hotspots() >= 5,
         "L1D hotspots {}",
-        report.l1d_hotspots
+        report.l1d_hotspots()
     );
     assert!(report.tuned_fraction() > 0.5);
 }
@@ -88,12 +88,12 @@ fn detection_statistics_are_consistent() {
     let report = mgr.report();
 
     let t4 = &run.table4;
-    assert!(t4.hotspots >= report.l1d_hotspots + report.l2_hotspots);
+    assert!(t4.hotspots >= report.l1d_hotspots() + report.l2_hotspots());
     assert!(t4.pct_code_in_hotspots <= 100.0);
     assert!(t4.identification_latency_pct <= 100.0);
-    assert!(report.tuned_hotspots <= report.l1d_hotspots + report.l2_hotspots);
-    assert!(report.l1d.covered_instr <= run.instret);
-    assert!(report.l2.covered_instr <= run.instret);
+    assert!(report.tuned_hotspots <= report.l1d_hotspots() + report.l2_hotspots());
+    assert!(report.l1d().covered_instr <= run.instret);
+    assert!(report.l2().covered_instr <= run.instret);
 }
 
 #[test]
@@ -153,9 +153,9 @@ fn decoupling_outperforms_coupled_tuning() {
     let rep_on = on.report();
     let rep_off = off.report();
     let per_on =
-        (rep_on.l1d.tunings + rep_on.l2.tunings) as f64 / rep_on.tuned_hotspots.max(1) as f64;
-    let per_off =
-        (rep_off.l1d.tunings + rep_off.l2.tunings) as f64 / rep_off.tuned_hotspots.max(1) as f64;
+        (rep_on.l1d().tunings + rep_on.l2().tunings) as f64 / rep_on.tuned_hotspots.max(1) as f64;
+    let per_off = (rep_off.l1d().tunings + rep_off.l2().tunings) as f64
+        / rep_off.tuned_hotspots.max(1) as f64;
     assert!(
         per_off > per_on,
         "coupled {per_off:.1} vs decoupled {per_on:.1} trials/hotspot"
@@ -203,9 +203,9 @@ fn prediction_extension_eliminates_tuning() {
         .unwrap();
     let report = mgr.report();
     assert_eq!(
-        report.l1d.tunings + report.l2.tunings,
+        report.l1d().tunings + report.l2().tunings,
         0,
         "predictions skip trials"
     );
-    assert!(report.l1d.reconfigs > 0, "predicted configs are applied");
+    assert!(report.l1d().reconfigs > 0, "predicted configs are applied");
 }

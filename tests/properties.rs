@@ -122,6 +122,41 @@ proptest! {
         }
     }
 
+    /// `AceConfig` serde round-trips losslessly through its sparse JSON
+    /// shape for every combination of touched CUs and levels.
+    #[test]
+    fn ace_config_serde_round_trip(levels in prop::collection::vec(prop::option::of(0u8..4), 4)) {
+        let mut cfg = AceConfig::empty();
+        for (cu, lvl) in CuKind::ALL.into_iter().zip(levels.iter()) {
+            cfg.set(cu, lvl.map(|l| SizeLevel::new(l).unwrap()));
+        }
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: AceConfig = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, cfg);
+        prop_assert_eq!(format!("{back}"), format!("{cfg}"));
+    }
+
+    /// Every legacy `{l1d,l2,window}` JSON shape (nulls included) parses
+    /// into the equivalent per-CU array form.
+    #[test]
+    fn ace_config_legacy_json_parses(
+        l1d in prop::option::of(0u8..4),
+        l2 in prop::option::of(0u8..4),
+        window in prop::option::of(0u8..4),
+    ) {
+        let field = |v: Option<u8>| v.map_or("null".to_string(), |l| l.to_string());
+        let json = format!(
+            r#"{{"l1d":{},"l2":{},"window":{}}}"#,
+            field(l1d), field(l2), field(window)
+        );
+        let parsed: AceConfig = serde_json::from_str(&json).unwrap();
+        let mut want = AceConfig::empty();
+        want.set(CuKind::L1d, l1d.map(|l| SizeLevel::new(l).unwrap()));
+        want.set(CuKind::L2, l2.map(|l| SizeLevel::new(l).unwrap()));
+        want.set(CuKind::Window, window.map(|l| SizeLevel::new(l).unwrap()));
+        prop_assert_eq!(parsed, want);
+    }
+
     /// Welford merge equals sequential accumulation.
     #[test]
     fn online_stats_merge(xs in prop::collection::vec(-1e6f64..1e6, 2..100),

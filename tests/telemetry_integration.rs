@@ -47,7 +47,7 @@ fn compress_trace_matches_hotspot_report() {
             )
         })
         .count() as u64;
-    let reported = report.window.reconfigs + report.l1d.reconfigs + report.l2.reconfigs;
+    let reported = report.window().reconfigs + report.l1d().reconfigs + report.l2().reconfigs;
     assert!(
         applies >= 1,
         "compress must apply at least one configuration"
