@@ -16,6 +16,9 @@
 //!   current headline key for that workload (the default [`RunConfig`]).
 //! - Bare `<workload>.json` for a known preset: always stale — the
 //!   pre-content-addressing cache format.
+//! - `fleet-<key>.json`: a fleet result cache — recognized here but
+//!   validated by its owner (`cargo run -p ace-fleet --bin fleet --
+//!   --check-cache`), which knows the fleet cache keys.
 //! - Anything else `.json`: unknown, flagged (results/ holds only the
 //!   headline cache plus `.txt`/`.md` reports).
 //!
@@ -46,12 +49,21 @@ fn main() -> ExitCode {
 
     let mut stale = Vec::new();
     let mut checked = 0usize;
+    let mut delegated = 0usize;
     for entry in entries.flatten() {
         let file = entry.file_name();
         let Some(name) = file.to_str() else { continue };
         let Some(stem) = name.strip_suffix(".json") else {
             continue;
         };
+        // `fleet-*`: the fleet subsystem's cache namespace. Key currency
+        // is checked by `fleet --check-cache` (ace-bench cannot depend on
+        // ace-fleet without a cycle); here it is merely recognized so a
+        // fleet cache is never flagged as an unknown entry.
+        if stem.starts_with("fleet-") {
+            delegated += 1;
+            continue;
+        }
         checked += 1;
         // `<workload>-<16 hex digits>`: a content-addressed cache entry.
         let keyed = stem
@@ -76,9 +88,17 @@ fn main() -> ExitCode {
 
     if stale.is_empty() {
         println!(
-            "{}: {checked} cache entr{} match current keys",
+            "{}: {checked} cache entr{} match current keys{}",
             dir.display(),
-            if checked == 1 { "y" } else { "ies" }
+            if checked == 1 { "y" } else { "ies" },
+            if delegated > 0 {
+                format!(
+                    " ({delegated} fleet entr{} delegated to fleet --check-cache)",
+                    if delegated == 1 { "y" } else { "ies" }
+                )
+            } else {
+                String::new()
+            }
         );
         return ExitCode::SUCCESS;
     }

@@ -17,6 +17,7 @@
 use crate::cu::{combined_list, single_cu_list, AceConfig};
 use crate::measure::Probe;
 use crate::tuner::ConfigTuner;
+use crate::warm::{cu_mask_of, HotspotSignature, StorePublication, WarmStartContext};
 use ace_energy::EnergyModel;
 use ace_runtime::{DoEvent, HotspotClass};
 use ace_sim::{Block, CuId, Machine, OnlineStats, MAX_CUS};
@@ -81,6 +82,10 @@ struct HsState {
     tuned_ipc: Option<f64>,
     retunings: u32,
     covered_instr: u64,
+    /// Store signature, known once the reference trial has been measured.
+    signature: Option<HotspotSignature>,
+    /// Whether the selection was adopted from the shared store.
+    warm: bool,
 }
 
 /// Per-CU aggregate counters (Table 6).
@@ -123,6 +128,18 @@ pub struct HotspotReport {
     pub retunings: u64,
     /// Reconfiguration requests the hardware guard rejected.
     pub guard_rejections: u64,
+    /// Tuning-store lookups that matched an entry (warm starts).
+    #[serde(default)]
+    pub warm_hits: u64,
+    /// Tuning-store lookups that found nothing (cold tunes).
+    #[serde(default)]
+    pub warm_misses: u64,
+    /// Candidate-list trials avoided across all warm starts.
+    #[serde(default)]
+    pub warm_trials_saved: u64,
+    /// Converged selections published to the tuning store.
+    #[serde(default)]
+    pub store_publishes: u64,
 }
 
 impl HotspotReport {
@@ -171,6 +188,16 @@ impl HotspotReport {
         self.hotspots_of(CuId::L2)
     }
 
+    /// Fraction of store lookups that hit (0 when the run made none).
+    pub fn warm_hit_rate(&self) -> f64 {
+        let lookups = self.warm_hits + self.warm_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.warm_hits as f64 / lookups as f64
+        }
+    }
+
     /// Fraction of adaptable hotspots that finished tuning.
     pub fn tuned_fraction(&self) -> f64 {
         let adaptable: u64 = self.cu_hotspots.iter().sum();
@@ -201,6 +228,17 @@ pub struct HotspotAceManager {
     /// prediction skips tuning entirely and applies the predicted setting
     /// from its first instrumented invocation.
     predictions: HashMap<MethodId, AceConfig>,
+    /// Shared tuning-store view (fleet warm start): a frozen snapshot
+    /// consulted after each hotspot's reference trial, plus the buffer of
+    /// publications this run makes. `None` outside fleet runs.
+    warm: Option<WarmStartContext>,
+    /// Mean invocation size per classified hotspot, captured from
+    /// [`DoEvent::HotspotClassified`] for signature computation.
+    sizes: HashMap<MethodId, u64>,
+    warm_hits: u64,
+    warm_misses: u64,
+    warm_trials_saved: u64,
+    store_publishes: u64,
     tel: Telemetry,
     /// Histogram handles resolved once at `set_telemetry` so the per-exit
     /// path never touches the registry lock.
@@ -245,9 +283,30 @@ impl HotspotAceManager {
             trial_changes: 0,
             small_seen: 0,
             predictions: HashMap::new(),
+            warm: None,
+            sizes: HashMap::new(),
+            warm_hits: 0,
+            warm_misses: 0,
+            warm_trials_saved: 0,
+            store_publishes: 0,
             tel: Telemetry::off(),
             hs_metrics: None,
         }
+    }
+
+    /// Attaches a warm-start context: a frozen snapshot of the shared
+    /// tuning store. Each hotspot consults it once its reference trial is
+    /// measured (so the behavioral signature is known); a hit replaces
+    /// the rest of the candidate walk with the stored selection, a miss
+    /// tunes cold and publishes the convergence back into the context.
+    pub fn set_warm_start(&mut self, context: WarmStartContext) {
+        self.warm = Some(context);
+    }
+
+    /// Detaches the warm-start context, carrying the publications this
+    /// run buffered. `None` if warm start was never enabled.
+    pub fn take_warm_start(&mut self) -> Option<WarmStartContext> {
+        self.warm.take()
     }
 
     /// Installs a configuration prediction for `method` (the Section 6
@@ -307,6 +366,8 @@ impl HotspotAceManager {
             tuned_ipc: None,
             retunings: 0,
             covered_instr: 0,
+            signature: None,
+            warm: false,
         });
         if is_new {
             tel.emit(|| Event::TuningStarted {
@@ -384,10 +445,84 @@ impl HotspotAceManager {
         let mut tunings = 0;
         match state.pending {
             Pending::Trial => {
+                let first_trial = state.tuner.trials() == 0;
                 state.tuner.record_traced(m, &tel, scope, machine.instret());
                 tunings = 1;
                 if state.tuner.is_done() {
                     state.tuned_ipc = state.tuner.best_measurement().map(|bm| bm.ipc);
+                }
+                // Warm start: the reference (full-size) trial just measured
+                // gives the behavioral half of the signature, so this is the
+                // earliest the shared store can be consulted. A hit replaces
+                // the remaining candidate walk with the stored selection.
+                if first_trial {
+                    if let Some(ctx) = &self.warm {
+                        let avg = self.sizes.get(&method).copied().unwrap_or(m.instr);
+                        let mask = cu_mask_of(state.tuner.configs());
+                        let sig = HotspotSignature::new(avg, m.ipc, mask, ctx.version());
+                        state.signature = Some(sig);
+                        if !state.tuner.is_done() {
+                            match ctx.lookup(sig) {
+                                Some(cfg) => {
+                                    let saved = (state.tuner.list_len() as u32).saturating_sub(1);
+                                    state.tuner = ConfigTuner::preselected(cfg);
+                                    state.tuned_ipc = Some(m.ipc);
+                                    state.warm = true;
+                                    self.warm_hits += 1;
+                                    self.warm_trials_saved += u64::from(saved);
+                                    tel.emit(|| Event::WarmStartHit {
+                                        scope,
+                                        signature: sig.packed(),
+                                        trials_saved: saved,
+                                        instret: machine.instret(),
+                                    });
+                                    // Close the trace episode: the selection
+                                    // is final after this single trial.
+                                    tel.emit(|| Event::TuningConverged {
+                                        scope,
+                                        trials: 1,
+                                        ipc: m.ipc,
+                                        epi_nj: m.epi_nj,
+                                        instret: machine.instret(),
+                                    });
+                                }
+                                None => {
+                                    self.warm_misses += 1;
+                                    tel.emit(|| Event::WarmStartMiss {
+                                        scope,
+                                        signature: sig.packed(),
+                                        instret: machine.instret(),
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+                // Publish on cold convergence (warm adoptions republish
+                // nothing: the store already has the entry).
+                if state.tuner.is_done() && !state.warm {
+                    if let (Some(sig), Some(best), Some(bm)) = (
+                        state.signature,
+                        state.tuner.best(),
+                        state.tuner.best_measurement(),
+                    ) {
+                        if let Some(ctx) = self.warm.as_mut() {
+                            ctx.publish(StorePublication {
+                                signature: sig,
+                                config: best,
+                                ipc: bm.ipc,
+                                epi_nj: bm.epi_nj,
+                                trials: state.tuner.trials(),
+                            });
+                            self.store_publishes += 1;
+                            tel.emit(|| Event::StorePublish {
+                                scope,
+                                signature: sig.packed(),
+                                epi_nj: bm.epi_nj,
+                                instret: machine.instret(),
+                            });
+                        }
+                    }
                 }
             }
             Pending::Sample => {
@@ -398,6 +533,11 @@ impl HotspotAceManager {
                         let configs = decouple_list.len() as u32;
                         state.tuner = ConfigTuner::new(decouple_list, perf_threshold);
                         state.tuned_ipc = None;
+                        // Drifted behavior means a new working set: the old
+                        // signature no longer describes this hotspot, so the
+                        // fresh episode re-signs and re-consults the store.
+                        state.signature = None;
+                        state.warm = false;
                         state.invocations_after_tuned = 0;
                         state.retunings += 1;
                         self.retunings += 1;
@@ -430,6 +570,10 @@ impl HotspotAceManager {
             cu: self.stats,
             retunings: self.retunings,
             small_hotspots: self.small_seen,
+            warm_hits: self.warm_hits,
+            warm_misses: self.warm_misses,
+            warm_trials_saved: self.warm_trials_saved,
+            store_publishes: self.store_publishes,
             ..HotspotReport::default()
         };
         let mut cov_sum = 0.0;
@@ -516,7 +660,14 @@ impl AceManager for HotspotAceManager {
             } => {
                 self.small_seen += 1;
             }
-            DoEvent::HotspotClassified { .. } | DoEvent::None => {}
+            DoEvent::HotspotClassified {
+                method, avg_size, ..
+            } => {
+                // Adaptable hotspot: keep its phase grain for the store
+                // signature computed after the reference trial.
+                self.sizes.insert(method, avg_size);
+            }
+            DoEvent::None => {}
         }
     }
 

@@ -45,6 +45,7 @@ mod manager;
 mod measure;
 mod positional_mgr;
 mod tuner;
+mod warm;
 
 pub use bbv_mgr::{BbvAceManager, BbvManagerConfig, BbvReport};
 pub use cu::{combined_list, single_cu_list, AceConfig};
@@ -57,3 +58,6 @@ pub use manager::{AceManager, FixedManager, NullManager};
 pub use measure::{Measurement, Probe};
 pub use positional_mgr::{PositionalAceManager, PositionalManagerConfig, PositionalReport};
 pub use tuner::ConfigTuner;
+pub use warm::{
+    cu_mask_of, registry_version, HotspotSignature, StorePublication, WarmStartContext,
+};

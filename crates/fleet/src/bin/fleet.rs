@@ -1,0 +1,269 @@
+//! The fleet experiment binary: a cold pass then a warm pass over the
+//! same fleet of machines, sharing one persistent tuning store.
+//!
+//! Flags:
+//!
+//! * `--preset <smoke|standard|stress>` — fleet shape (default
+//!   `standard`: 1000 machines in waves of 125).
+//! * `--machines <N>` / `--wave-size <N>` / `--admit-limit <N>` /
+//!   `--seed-base <N>` / `--limit <instr>` — override the preset shape.
+//! * `--jobs <N>` — worker-pool width; stdout is byte-identical at any
+//!   width (throughput goes to stderr).
+//! * `--store <path>` — tuning-store log (default
+//!   `results/fleet_store.jsonl`). A pre-existing log warm-starts the
+//!   first pass.
+//! * `--no-baseline` — skip the per-machine non-adaptive baseline legs
+//!   (energy-saving columns read 0).
+//! * `--fresh` — ignore a cached fleet report and re-run.
+//! * `--assert-warm-hits` — exit nonzero unless the warm pass hit the
+//!   store (the CI smoke gate).
+//! * `--bench-out <path>` — append-style perf baseline
+//!   (`ace_bench::baseline`) with one `fleet/cold` and one `fleet/warm`
+//!   entry.
+//! * `--telemetry <path>` — stream decision events as JSONL.
+//! * `--check-cache` — validate `results/fleet-*.json` against current
+//!   cache keys and exit (the fleet half of `check_results`).
+
+use ace_bench::{
+    default_jobs, print_telemetry_summary, results_dir, telemetry_from_args, BenchRun,
+};
+use ace_fleet::{
+    check_fleet_caches, fleet_cache_file_name, fleet_cache_key, fleet_registry_version,
+    render_report, run_fleet, FleetCache, FleetConfig, TuningStore, FLEET_SCHEMA_VERSION,
+};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Args {
+    cfg: FleetConfig,
+    jobs: usize,
+    store: Option<PathBuf>,
+    fresh: bool,
+    assert_warm_hits: bool,
+    bench_out: Option<String>,
+    check_cache: bool,
+    /// Report caching is reserved for unmodified presets — `--check-cache`
+    /// validates `results/fleet-*.json` against the preset keys, so an
+    /// overridden shape would write an entry that is instantly stale.
+    cacheable: bool,
+}
+
+fn parse_args() -> Args {
+    let mut preset = "standard".to_string();
+    let mut overrides: Vec<(String, String)> = Vec::new();
+    let mut args = Args {
+        cfg: FleetConfig::default(),
+        jobs: default_jobs(),
+        store: None,
+        fresh: false,
+        assert_warm_hits: false,
+        bench_out: None,
+        check_cache: false,
+        cacheable: true,
+    };
+    let mut it = std::env::args().skip(1);
+    let take = |it: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        it.next().unwrap_or_else(|| {
+            eprintln!("{flag} requires a value");
+            std::process::exit(2);
+        })
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--preset" => preset = take(&mut it, "--preset"),
+            "--machines" | "--wave-size" | "--admit-limit" | "--seed-base" | "--limit" => {
+                let value = take(&mut it, &arg);
+                overrides.push((arg, value));
+            }
+            "--jobs" => {
+                let value = take(&mut it, "--jobs");
+                match value.parse::<usize>() {
+                    Ok(n) if n > 0 => args.jobs = n,
+                    _ => {
+                        eprintln!("--jobs requires a positive integer");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--store" => args.store = Some(PathBuf::from(take(&mut it, "--store"))),
+            "--no-baseline" => overrides.push(("--no-baseline".to_string(), String::new())),
+            "--fresh" => args.fresh = true,
+            "--assert-warm-hits" => args.assert_warm_hits = true,
+            "--bench-out" => args.bench_out = Some(take(&mut it, "--bench-out")),
+            "--telemetry" => {
+                it.next(); // handled by telemetry_from_args
+            }
+            "--check-cache" => args.check_cache = true,
+            other => {
+                eprintln!("unknown flag {other}; see the fleet binary docs");
+                std::process::exit(2);
+            }
+        }
+    }
+    args.cfg = match FleetConfig::preset(&preset) {
+        Some(cfg) => cfg,
+        None => {
+            eprintln!(
+                "unknown fleet preset {preset:?}; expected one of {:?}",
+                FleetConfig::PRESET_NAMES
+            );
+            std::process::exit(2);
+        }
+    };
+    args.cacheable = overrides.is_empty();
+    for (flag, value) in overrides {
+        let parse = |v: &str| -> u64 {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("{flag} requires a positive integer");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--machines" => args.cfg.machines = parse(&value).max(1) as usize,
+            "--wave-size" => {
+                args.cfg.wave_size = parse(&value).max(1) as usize;
+                args.cfg.admit_limit = args.cfg.admit_limit.max(args.cfg.wave_size);
+            }
+            "--admit-limit" => args.cfg.admit_limit = parse(&value).max(1) as usize,
+            "--seed-base" => args.cfg.seed_base = parse(&value),
+            "--limit" => args.cfg.instruction_limit = parse(&value).max(1),
+            "--no-baseline" => args.cfg.measure_baseline = false,
+            _ => unreachable!(),
+        }
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let telemetry = telemetry_from_args();
+    let dir = results_dir();
+
+    if args.check_cache {
+        let stale = check_fleet_caches(&dir);
+        if stale.is_empty() {
+            println!("{}: fleet caches match current keys", dir.display());
+            return ExitCode::SUCCESS;
+        }
+        eprintln!("{}: stale fleet cache entries:", dir.display());
+        for line in &stale {
+            eprintln!("  {line}");
+        }
+        return ExitCode::FAILURE;
+    }
+
+    let store_path = args
+        .store
+        .clone()
+        .unwrap_or_else(|| dir.join("fleet_store.jsonl"));
+    let version = fleet_registry_version();
+    let mut store = match TuningStore::open(&store_path, version, TuningStore::DEFAULT_CAPACITY) {
+        Ok(store) => store,
+        Err(e) => {
+            eprintln!("cannot open tuning store: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let preloaded = store.len();
+
+    // The report cache only describes a run that started from an empty
+    // store; a preloaded store changes the cold pass and bypasses it.
+    let cache_path = dir.join(fleet_cache_file_name(&args.cfg));
+    if !args.fresh && preloaded == 0 && args.cacheable {
+        if let Ok(cache) = FleetCache::load(&cache_path) {
+            if cache.key == fleet_cache_key(&args.cfg) {
+                print!("{}", cache.report);
+                eprintln!("(cached fleet report; --fresh re-runs)");
+                if let Some(path) = &args.bench_out {
+                    let mut bench = BenchRun::new(args.jobs);
+                    bench.push_experiment("fleet/cold", std::time::Duration::ZERO);
+                    bench.push_experiment("fleet/warm", std::time::Duration::ZERO);
+                    if let Err(e) = bench.write(path) {
+                        eprintln!("cannot write bench baseline {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                return gate_warm_hits(args.assert_warm_hits, cache.warm_hits);
+            }
+        }
+    }
+
+    eprintln!(
+        "fleet: {} machines x2 passes, {} jobs, store {} ({} entries preloaded)",
+        args.cfg.machines,
+        args.jobs,
+        store_path.display(),
+        preloaded
+    );
+    let start = Instant::now();
+    let cold = match run_fleet(&args.cfg, &mut store, args.jobs, &telemetry) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("cold pass failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cold_wall = start.elapsed();
+    let warm_start = Instant::now();
+    let warm = match run_fleet(&args.cfg, &mut store, args.jobs, &telemetry) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("warm pass failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let warm_wall = warm_start.elapsed();
+
+    let report = render_report(&args.cfg, &cold, &warm, &store);
+    print!("{report}");
+
+    // Throughput is schedule-dependent: stderr only, never the report.
+    let machines = (cold.ran() + warm.ran()) as f64;
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    eprintln!(
+        "throughput: {:.1} machines/sec ({} machines in {:.1}s, {} jobs)",
+        machines / elapsed,
+        machines as u64,
+        elapsed,
+        args.jobs
+    );
+
+    if preloaded == 0 && args.cacheable {
+        let cache = FleetCache {
+            schema_version: FLEET_SCHEMA_VERSION,
+            key: fleet_cache_key(&args.cfg),
+            report: report.clone(),
+            warm_hits: warm.hits(),
+            cold_tunings: cold.tunings(),
+            warm_tunings: warm.tunings(),
+        };
+        if let Err(e) = cache.write(&cache_path) {
+            eprintln!("warning: could not cache fleet report: {e}");
+        }
+    }
+
+    if let Some(path) = &args.bench_out {
+        let mut bench = BenchRun::new(args.jobs);
+        bench.push_experiment("fleet/cold", cold_wall);
+        bench.push_experiment("fleet/warm", warm_wall);
+        match bench.write(path) {
+            Ok(()) => eprintln!("wrote fleet bench entries to {path}"),
+            Err(e) => {
+                eprintln!("cannot write bench baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    print_telemetry_summary(&telemetry);
+    gate_warm_hits(args.assert_warm_hits, warm.hits())
+}
+
+fn gate_warm_hits(assert_warm_hits: bool, warm_hits: u64) -> ExitCode {
+    if assert_warm_hits && warm_hits == 0 {
+        eprintln!("--assert-warm-hits: warm pass never hit the store");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

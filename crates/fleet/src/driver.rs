@@ -1,0 +1,527 @@
+//! The fleet driver: steps thousands of machines through the engine in
+//! store-synchronized waves.
+//!
+//! Execution is **generational**: the fleet is split into waves of
+//! `wave_size` machines. Every machine in a wave tunes against the same
+//! frozen [`TuningStore`] snapshot; when the wave drains, its publications
+//! are merged into the store **in machine-index order** (better-epi-wins)
+//! before the next wave is admitted. Within a wave, machines fan out as
+//! jobs on the work-stealing engine ([`ace_bench::run_jobs`]) — the
+//! frozen snapshot plus submission-order merge is what makes the whole
+//! fleet report byte-identical at any `--jobs` width.
+//!
+//! Admission: at most `admit_limit` machines of each wave are admitted
+//! (the service's bounded in-flight window); the rest are shed and
+//! counted in [`FleetOutcome::shed`]. Wall-clock throughput is returned
+//! separately ([`FleetOutcome::wall`]) and must never enter the
+//! deterministic report text.
+
+use crate::store::TuningStore;
+use crate::FLEET_SCHEMA_VERSION;
+use ace_bench::{run_jobs, BenchError, BenchResult, Job};
+use ace_core::{
+    registry_version, Experiment, HotspotAceManager, HotspotManagerConfig, NullManager,
+    StorePublication, WarmStartContext,
+};
+use ace_energy::EnergyModel;
+use ace_runtime::DoConfig;
+use ace_sim::MachineConfig;
+use ace_telemetry::Telemetry;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// The registry version fleet stores are stamped with: the fingerprint of
+/// the default machine's CU registry.
+pub fn fleet_registry_version() -> u16 {
+    registry_version(&MachineConfig::table2().cu_registry())
+}
+
+/// The DO-system profile fleet machines run under: aggressive promotion
+/// (`hot_threshold` 2, one probing invocation) so hotspots classify and
+/// converge within the short per-machine instruction budget.
+pub fn fleet_do_config() -> DoConfig {
+    DoConfig {
+        hot_threshold: 2,
+        probe_invocations: 1,
+        ..DoConfig::default()
+    }
+}
+
+/// One machine of the fleet: a workload preset plus the executor seed
+/// that differentiates its dynamic behavior from its neighbours'.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MachineSpec {
+    /// Fleet-wide machine index (also the deterministic merge order).
+    pub index: usize,
+    /// Workload preset name.
+    pub preset: String,
+    /// Executor seed.
+    pub seed: u64,
+}
+
+/// Configuration of one fleet run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Workload presets machines cycle through.
+    pub presets: Vec<String>,
+    /// Total machines in the fleet.
+    pub machines: usize,
+    /// Machines per store-synchronized wave.
+    pub wave_size: usize,
+    /// Admission bound: machines admitted per wave; the excess is shed.
+    pub admit_limit: usize,
+    /// Base of the per-machine seed sequence (`seed_base + index`).
+    pub seed_base: u64,
+    /// Per-machine instruction budget.
+    pub instruction_limit: u64,
+    /// Whether each machine also runs a non-adaptive baseline for energy
+    /// accounting (doubles the work; the binary needs it, tests may not).
+    pub measure_baseline: bool,
+}
+
+impl Default for FleetConfig {
+    fn default() -> FleetConfig {
+        FleetConfig::preset("standard").expect("standard preset exists")
+    }
+}
+
+impl FleetConfig {
+    /// Named fleet presets — the shapes the `fleet` binary (and CI)
+    /// exercise:
+    ///
+    /// * `"smoke"` — 64 machines, waves of 16 (the CI smoke shape),
+    /// * `"standard"` — 1000 machines, waves of 125,
+    /// * `"stress"` — 4000 machines, waves of 250.
+    pub fn preset(name: &str) -> Option<FleetConfig> {
+        let (machines, wave_size) = match name {
+            "smoke" => (64, 16),
+            "standard" => (1000, 125),
+            "stress" => (4000, 250),
+            _ => return None,
+        };
+        Some(FleetConfig {
+            presets: ace_workloads::PRESET_NAMES
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            machines,
+            wave_size,
+            admit_limit: wave_size,
+            seed_base: 1,
+            instruction_limit: 8_000_000,
+            measure_baseline: true,
+        })
+    }
+
+    /// The names [`FleetConfig::preset`] accepts.
+    pub const PRESET_NAMES: [&'static str; 3] = ["smoke", "standard", "stress"];
+
+    /// Expands the config into its machine list: machine `i` runs preset
+    /// `presets[i % presets.len()]` with seed `seed_base + i`.
+    pub fn machine_specs(&self) -> Vec<MachineSpec> {
+        (0..self.machines)
+            .map(|index| MachineSpec {
+                index,
+                preset: self.presets[index % self.presets.len()].clone(),
+                seed: self.seed_base + index as u64,
+            })
+            .collect()
+    }
+}
+
+/// The deterministic per-machine result row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineOutcome {
+    /// Which machine.
+    pub spec: MachineSpec,
+    /// Managed-run IPC.
+    pub ipc: f64,
+    /// Managed-run retired instructions.
+    pub instret: u64,
+    /// Managed-run L1D energy (nJ).
+    pub l1d_nj: f64,
+    /// Managed-run L2 energy (nJ).
+    pub l2_nj: f64,
+    /// Non-adaptive baseline `(ipc, l1d_nj, l2_nj)`, when measured.
+    pub baseline: Option<(f64, f64, f64)>,
+    /// Configuration trials the machine's tuner measured.
+    pub tunings: u64,
+    /// Hotspots that completed tuning.
+    pub tuned_hotspots: u64,
+    /// Store lookups that hit.
+    pub warm_hits: u64,
+    /// Store lookups that missed.
+    pub warm_misses: u64,
+    /// Trials avoided via warm starts.
+    pub warm_trials_saved: u64,
+    /// Selections the machine published.
+    pub store_publishes: u64,
+}
+
+/// One fleet pass: every admitted machine's outcome (in machine-index
+/// order) plus driver-level counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetOutcome {
+    /// Fleet file-format version (mirrors the cache schema).
+    pub schema_version: u32,
+    /// Per-machine rows, in machine-index order.
+    pub machines: Vec<MachineOutcome>,
+    /// Machines shed by the admission bound.
+    pub shed: u64,
+    /// Waves the pass ran.
+    pub waves: usize,
+    /// Worker wall-clock summed across machines — **not** part of the
+    /// deterministic report (schedule-dependent); serialized as zero.
+    #[serde(skip, default)]
+    pub wall: Duration,
+}
+
+impl FleetOutcome {
+    /// Machines that actually ran.
+    pub fn ran(&self) -> u64 {
+        self.machines.len() as u64
+    }
+
+    /// Total configuration trials across the fleet.
+    pub fn tunings(&self) -> u64 {
+        self.machines.iter().map(|m| m.tunings).sum()
+    }
+
+    /// Total store lookups (hits + misses).
+    pub fn lookups(&self) -> u64 {
+        self.hits() + self.misses()
+    }
+
+    /// Total warm-start hits.
+    pub fn hits(&self) -> u64 {
+        self.machines.iter().map(|m| m.warm_hits).sum()
+    }
+
+    /// Total warm-start misses.
+    pub fn misses(&self) -> u64 {
+        self.machines.iter().map(|m| m.warm_misses).sum()
+    }
+
+    /// Fleet-wide store hit rate in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.lookups();
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / lookups as f64
+        }
+    }
+
+    /// Total trials avoided via warm starts.
+    pub fn trials_saved(&self) -> u64 {
+        self.machines.iter().map(|m| m.warm_trials_saved).sum()
+    }
+
+    /// Total publications machines made.
+    pub fn publishes(&self) -> u64 {
+        self.machines.iter().map(|m| m.store_publishes).sum()
+    }
+
+    /// Fleet-aggregate L1D energy saving vs the per-machine baselines, in
+    /// percent (0 when baselines were not measured).
+    pub fn l1d_saving_pct(&self) -> f64 {
+        aggregate_saving(
+            self.machines
+                .iter()
+                .filter_map(|m| m.baseline.map(|(_, base_l1d, _)| (m.l1d_nj, base_l1d))),
+        )
+    }
+
+    /// Fleet-aggregate L2 energy saving vs the per-machine baselines, in
+    /// percent (0 when baselines were not measured).
+    pub fn l2_saving_pct(&self) -> f64 {
+        aggregate_saving(
+            self.machines
+                .iter()
+                .filter_map(|m| m.baseline.map(|(_, _, base_l2)| (m.l2_nj, base_l2))),
+        )
+    }
+
+    /// Mean slowdown vs the per-machine baselines, in percent.
+    pub fn mean_slowdown_pct(&self) -> f64 {
+        let rows: Vec<f64> = self
+            .machines
+            .iter()
+            .filter_map(|m| {
+                m.baseline.and_then(|(base_ipc, _, _)| {
+                    (base_ipc > 0.0).then(|| 100.0 * (1.0 - m.ipc / base_ipc))
+                })
+            })
+            .collect();
+        if rows.is_empty() {
+            0.0
+        } else {
+            rows.iter().sum::<f64>() / rows.len() as f64
+        }
+    }
+}
+
+fn aggregate_saving(pairs: impl Iterator<Item = (f64, f64)>) -> f64 {
+    let (mut managed, mut base) = (0.0, 0.0);
+    for (m, b) in pairs {
+        managed += m;
+        base += b;
+    }
+    if base <= 0.0 {
+        0.0
+    } else {
+        100.0 * (1.0 - managed / base)
+    }
+}
+
+/// Runs one fleet pass against `store` on a pool of `jobs` workers.
+///
+/// Publications are merged into `store` at each wave barrier, in
+/// machine-index order; the next wave snapshots the merged state. The
+/// returned outcome (and the store's final state) is byte-identical at
+/// any `jobs` width.
+///
+/// # Errors
+///
+/// Fails when `store` is stamped with a different registry version than
+/// the fleet's machines, on unknown presets, or when any machine run
+/// fails; every admitted machine still runs, and the error aggregates all
+/// failures.
+pub fn run_fleet(
+    cfg: &FleetConfig,
+    store: &mut TuningStore,
+    jobs: usize,
+    telemetry: &Telemetry,
+) -> BenchResult<FleetOutcome> {
+    if store.version() != fleet_registry_version() {
+        return Err(BenchError::msg(format!(
+            "store registry version {:#06x} does not match the fleet machines' {:#06x}",
+            store.version(),
+            fleet_registry_version()
+        )));
+    }
+    if cfg.presets.is_empty() || cfg.machines == 0 || cfg.wave_size == 0 {
+        return Err(BenchError::msg(
+            "fleet config needs at least one preset, one machine, and a positive wave size",
+        ));
+    }
+    let specs = cfg.machine_specs();
+    let mut outcome = FleetOutcome {
+        schema_version: FLEET_SCHEMA_VERSION,
+        machines: Vec::with_capacity(specs.len()),
+        shed: 0,
+        waves: 0,
+        wall: Duration::ZERO,
+    };
+    let mut failures: Vec<String> = Vec::new();
+    for wave in specs.chunks(cfg.wave_size) {
+        outcome.waves += 1;
+        let admitted = &wave[..cfg.admit_limit.max(1).min(wave.len())];
+        outcome.shed += (wave.len() - admitted.len()) as u64;
+        let snapshot = store.snapshot();
+        let pool: Vec<Job<(MachineOutcome, Vec<StorePublication>)>> = admitted
+            .iter()
+            .map(|spec| {
+                let spec = spec.clone();
+                let snapshot = snapshot.clone();
+                let limit = cfg.instruction_limit;
+                let measure_baseline = cfg.measure_baseline;
+                Job::new(
+                    format!("m{}/{}#{}", spec.index, spec.preset, spec.seed),
+                    move |tel| run_machine(spec, snapshot, limit, measure_baseline, tel),
+                )
+            })
+            .collect();
+        for job_outcome in run_jobs(pool, jobs, telemetry) {
+            outcome.wall += job_outcome.wall;
+            match job_outcome.result {
+                Ok((machine, publications)) => {
+                    for publication in publications {
+                        store.publish(publication)?;
+                    }
+                    outcome.machines.push(machine);
+                }
+                Err(e) => failures.push(format!("{}: {e}", job_outcome.key)),
+            }
+        }
+        if !failures.is_empty() {
+            break;
+        }
+    }
+    if !failures.is_empty() {
+        return Err(BenchError::msg(failures.join("; ")));
+    }
+    Ok(outcome)
+}
+
+fn run_machine(
+    spec: MachineSpec,
+    snapshot: WarmStartContext,
+    limit: u64,
+    measure_baseline: bool,
+    telemetry: &Telemetry,
+) -> BenchResult<(MachineOutcome, Vec<StorePublication>)> {
+    let mut mgr = HotspotAceManager::new(
+        HotspotManagerConfig::default(),
+        EnergyModel::default_180nm(),
+    );
+    mgr.set_warm_start(snapshot);
+    let record = Experiment::preset(&spec.preset)
+        .seed(spec.seed)
+        .do_config(fleet_do_config())
+        .instruction_limit(limit)
+        .telemetry(telemetry)
+        .run_with(&mut mgr)?;
+    let report = mgr.report();
+    let publications = mgr
+        .take_warm_start()
+        .map(WarmStartContext::into_publications)
+        .unwrap_or_default();
+    // The baseline leg is energy accounting, not fleet behavior: it runs
+    // untraced so telemetry event counts describe the managed fleet only.
+    let baseline = if measure_baseline {
+        let base = Experiment::preset(&spec.preset)
+            .seed(spec.seed)
+            .do_config(fleet_do_config())
+            .instruction_limit(limit)
+            .run_with(&mut NullManager)?;
+        Some((base.ipc, base.energy.l1d_nj, base.energy.l2_nj))
+    } else {
+        None
+    };
+    let machine = MachineOutcome {
+        ipc: record.ipc,
+        instret: record.instret,
+        l1d_nj: record.energy.l1d_nj,
+        l2_nj: record.energy.l2_nj,
+        baseline,
+        tunings: report.cu.iter().map(|s| s.tunings).sum(),
+        tuned_hotspots: report.tuned_hotspots,
+        warm_hits: report.warm_hits,
+        warm_misses: report.warm_misses,
+        warm_trials_saved: report.warm_trials_saved,
+        store_publishes: report.store_publishes,
+        spec,
+    };
+    Ok((machine, publications))
+}
+
+/// Renders the deterministic two-pass fleet report (the `fleet` binary's
+/// stdout body). Wall-clock never appears here — throughput goes to
+/// stderr.
+pub fn render_report(
+    cfg: &FleetConfig,
+    cold: &FleetOutcome,
+    warm: &FleetOutcome,
+    store: &TuningStore,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "=== ace-fleet: {} machines sharing a warm-start tuning store ===",
+        cfg.machines
+    );
+    let _ = writeln!(
+        out,
+        "fleet: {} machines over {} waves (wave size {}, admit limit {}, {} shed), {} instr/machine",
+        cfg.machines, cold.waves, cfg.wave_size, cfg.admit_limit, cold.shed, cfg.instruction_limit
+    );
+    let _ = writeln!(
+        out,
+        "store: registry version {:#06x}, {} entries ({} evicted, {} stale dropped)",
+        store.version(),
+        store.len(),
+        store.evictions(),
+        store.stale_dropped()
+    );
+    out.push('\n');
+    let row = |pass: &str, o: &FleetOutcome| {
+        vec![
+            pass.to_string(),
+            format!("{}", o.ran()),
+            format!("{}", o.tunings()),
+            format!("{}", o.lookups()),
+            format!("{}", o.hits()),
+            format!("{:.1}", 100.0 * o.hit_rate()),
+            format!("{}", o.trials_saved()),
+            format!("{}", o.publishes()),
+            format!("{:.1}", o.l1d_saving_pct()),
+            format!("{:.1}", o.l2_saving_pct()),
+            format!("{:.2}", o.mean_slowdown_pct()),
+        ]
+    };
+    out.push_str(&ace_bench::format_table(
+        &[
+            "pass", "machines", "tunings", "lookups", "hits", "hit%", "saved", "pubs", "L1Dsave%",
+            "L2save%", "slow%",
+        ],
+        &[row("cold", cold), row("warm", warm)],
+    ));
+    out.push('\n');
+    let cold_tunings = cold.tunings().max(1);
+    let _ = writeln!(
+        out,
+        "warm vs cold: {:.1}% fewer tuning trials ({} vs {}), warm hit rate {:.1}%",
+        100.0 * (1.0 - warm.tunings() as f64 / cold_tunings as f64),
+        warm.tunings(),
+        cold.tunings(),
+        100.0 * warm.hit_rate()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_expand_deterministically() {
+        let cfg = FleetConfig::preset("smoke").unwrap();
+        assert_eq!(cfg.machines, 64);
+        let specs = cfg.machine_specs();
+        assert_eq!(specs.len(), 64);
+        assert_eq!(specs[0].preset, "compress");
+        assert_eq!(specs[1].preset, "db");
+        assert_eq!(specs[7].preset, "compress", "presets cycle");
+        assert_eq!(specs[7].seed, cfg.seed_base + 7);
+        assert_eq!(specs, cfg.machine_specs(), "expansion is pure");
+        assert!(FleetConfig::preset("nope").is_none());
+        for name in FleetConfig::PRESET_NAMES {
+            assert!(FleetConfig::preset(name).is_some());
+        }
+    }
+
+    #[test]
+    fn standard_preset_is_a_thousand_machines() {
+        let cfg = FleetConfig::default();
+        assert!(cfg.machines >= 1000, "the fleet must be fleet-sized");
+        assert_eq!(cfg.machines % cfg.wave_size, 0);
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let cfg = FleetConfig::preset("smoke").unwrap();
+        let mut store = TuningStore::in_memory(fleet_registry_version().wrapping_add(1), 16);
+        let err = run_fleet(&cfg, &mut store, 1, &Telemetry::off()).unwrap_err();
+        assert!(err.to_string().contains("registry version"), "{err}");
+    }
+
+    #[test]
+    fn admission_sheds_beyond_the_limit() {
+        let mut cfg = FleetConfig::preset("smoke").unwrap();
+        cfg.machines = 8;
+        cfg.wave_size = 4;
+        cfg.admit_limit = 3;
+        cfg.measure_baseline = false;
+        cfg.instruction_limit = 200_000; // tiny: shedding math, not tuning
+        let mut store = TuningStore::in_memory(fleet_registry_version(), 64);
+        let out = run_fleet(&cfg, &mut store, 2, &Telemetry::off()).unwrap();
+        assert_eq!(out.waves, 2);
+        assert_eq!(out.shed, 2, "one machine shed per full wave");
+        assert_eq!(out.ran(), 6);
+        // Shed machines are the wave tails: indices 3 and 7 never ran.
+        let ran: Vec<usize> = out.machines.iter().map(|m| m.spec.index).collect();
+        assert_eq!(ran, vec![0, 1, 2, 4, 5, 6]);
+    }
+}

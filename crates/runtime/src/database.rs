@@ -173,6 +173,31 @@ impl DoDatabase {
         &mut self.entries[m.0 as usize]
     }
 
+    /// The entry for `m`, or `None` when `m` is out of range.
+    ///
+    /// Use this instead of [`DoDatabase::entry`] wherever the method id
+    /// comes from outside the program this database was sized for — e.g.
+    /// the fleet driver inspecting another machine's ids — so a foreign
+    /// id degrades to a miss instead of a panic.
+    pub fn try_entry(&self, m: MethodId) -> Option<&MethodEntry> {
+        self.entries.get(m.0 as usize)
+    }
+
+    /// Mutable counterpart of [`DoDatabase::try_entry`].
+    pub fn try_entry_mut(&mut self, m: MethodId) -> Option<&mut MethodEntry> {
+        self.entries.get_mut(m.0 as usize)
+    }
+
+    /// Number of methods the database was sized for.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` for a zero-method database.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
     /// Iterates over `(MethodId, entry)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (MethodId, &MethodEntry)> {
         self.entries
@@ -224,5 +249,60 @@ mod tests {
         assert_eq!(HotspotClass::L1d.to_string(), "L1D");
         assert_eq!(HotspotClass::L2.to_string(), "L2");
         assert_eq!(HotspotClass::TooSmall.to_string(), "small");
+    }
+
+    #[test]
+    fn try_entry_bounds() {
+        let mut db = DoDatabase::new(2);
+        assert_eq!(db.len(), 2);
+        assert!(!db.is_empty());
+        assert!(db.try_entry(MethodId(1)).is_some());
+        assert!(db.try_entry(MethodId(2)).is_none(), "foreign id is a miss");
+        assert!(db.try_entry(MethodId(u32::MAX)).is_none());
+        db.try_entry_mut(MethodId(0)).unwrap().invocations = 7;
+        assert_eq!(db.entry(MethodId(0)).invocations, 7);
+        assert!(db.try_entry_mut(MethodId(9)).is_none());
+        assert!(DoDatabase::new(0).is_empty());
+    }
+
+    #[test]
+    fn is_hot_only_after_classification() {
+        // The detection lifecycle boundary: a promoted (probing) method is
+        // not yet "hot" — only classification flips `is_hot`.
+        let mut e = MethodEntry::default();
+        assert!(!e.is_hot());
+        e.state = MethodState::Probing;
+        assert!(!e.is_hot(), "probing sits below the hot boundary");
+        assert_eq!(e.class(), None);
+        e.state = MethodState::Hot(HotspotClass::TooSmall);
+        assert!(e.is_hot(), "even unadaptable hotspots are hot");
+        assert_eq!(e.class(), Some(HotspotClass::TooSmall));
+    }
+
+    #[test]
+    fn count_class_tracks_demotion() {
+        let mut db = DoDatabase::new(3);
+        db.entry_mut(MethodId(0)).state = MethodState::Hot(HotspotClass::L1d);
+        db.entry_mut(MethodId(1)).state = MethodState::Hot(HotspotClass::L1d);
+        assert_eq!(db.count_class(HotspotClass::L1d), 2);
+        // Demote one back to cold (e.g. a deoptimization): counts and the
+        // hotspot iterator must both reflect it.
+        db.entry_mut(MethodId(0)).state = MethodState::Cold;
+        assert_eq!(db.count_class(HotspotClass::L1d), 1);
+        assert_eq!(db.hotspots().count(), 1);
+        assert!(!db.entry(MethodId(0)).is_hot());
+    }
+
+    #[test]
+    fn hotspots_iterate_in_method_id_order() {
+        let mut db = DoDatabase::new(8);
+        // Populate in scrambled order; iteration must follow MethodId.
+        for i in [5u32, 1, 7, 3] {
+            db.entry_mut(MethodId(i)).state = MethodState::Hot(HotspotClass::L2);
+        }
+        let ids: Vec<u32> = db.hotspots().map(|(m, _)| m.0).collect();
+        assert_eq!(ids, vec![1, 3, 5, 7]);
+        let again: Vec<u32> = db.hotspots().map(|(m, _)| m.0).collect();
+        assert_eq!(ids, again, "iteration order is deterministic");
     }
 }

@@ -164,6 +164,41 @@ pub enum Event {
         /// Retired-instruction counter at the interval boundary.
         instret: u64,
     },
+    /// A hotspot's signature matched a shared tuning-store entry, so its
+    /// tuning episode was warm-started from the stored configuration
+    /// instead of walking the candidate list.
+    WarmStartHit {
+        /// The scope that was warm-started.
+        scope: Scope,
+        /// Packed hotspot signature key the store matched on.
+        signature: u64,
+        /// Candidate-list trials the warm start avoided.
+        trials_saved: u32,
+        /// Retired-instruction counter at the lookup.
+        instret: u64,
+    },
+    /// A hotspot consulted the shared tuning store and found no entry for
+    /// its signature; tuning proceeds cold.
+    WarmStartMiss {
+        /// The scope that fell back to cold tuning.
+        scope: Scope,
+        /// Packed hotspot signature key that was looked up.
+        signature: u64,
+        /// Retired-instruction counter at the lookup.
+        instret: u64,
+    },
+    /// A converged configuration was published to the shared tuning store
+    /// under its hotspot signature.
+    StorePublish {
+        /// The scope whose convergence is being published.
+        scope: Scope,
+        /// Packed hotspot signature key the entry is stored under.
+        signature: u64,
+        /// Energy per instruction (nanojoules) of the published entry.
+        epi_nj: f64,
+        /// Retired-instruction counter at the publish.
+        instret: u64,
+    },
 }
 
 /// Discriminant-only view of [`Event`], used for per-kind counters.
@@ -183,6 +218,12 @@ pub enum EventKind {
     DriftRetune,
     /// [`Event::IntervalSample`]
     IntervalSample,
+    /// [`Event::WarmStartHit`]
+    WarmStartHit,
+    /// [`Event::WarmStartMiss`]
+    WarmStartMiss,
+    /// [`Event::StorePublish`]
+    StorePublish,
 }
 
 impl EventKind {
@@ -195,6 +236,9 @@ impl EventKind {
         EventKind::Reconfigured,
         EventKind::DriftRetune,
         EventKind::IntervalSample,
+        EventKind::WarmStartHit,
+        EventKind::WarmStartMiss,
+        EventKind::StorePublish,
     ];
 
     /// Stable index in `0..Event::NUM_KINDS`.
@@ -212,6 +256,9 @@ impl EventKind {
             EventKind::Reconfigured => "Reconfigured",
             EventKind::DriftRetune => "DriftRetune",
             EventKind::IntervalSample => "IntervalSample",
+            EventKind::WarmStartHit => "WarmStartHit",
+            EventKind::WarmStartMiss => "WarmStartMiss",
+            EventKind::StorePublish => "StorePublish",
         }
     }
 
@@ -223,7 +270,7 @@ impl EventKind {
 
 impl Event {
     /// Number of event kinds (length of per-kind counter arrays).
-    pub const NUM_KINDS: usize = 7;
+    pub const NUM_KINDS: usize = 10;
 
     /// The discriminant of this event.
     pub fn kind(&self) -> EventKind {
@@ -235,6 +282,9 @@ impl Event {
             Event::Reconfigured { .. } => EventKind::Reconfigured,
             Event::DriftRetune { .. } => EventKind::DriftRetune,
             Event::IntervalSample { .. } => EventKind::IntervalSample,
+            Event::WarmStartHit { .. } => EventKind::WarmStartHit,
+            Event::WarmStartMiss { .. } => EventKind::WarmStartMiss,
+            Event::StorePublish { .. } => EventKind::StorePublish,
         }
     }
 
@@ -247,7 +297,10 @@ impl Event {
             | Event::TuningStep { instret, .. }
             | Event::TuningConverged { instret, .. }
             | Event::DriftRetune { instret, .. }
-            | Event::IntervalSample { instret, .. } => instret,
+            | Event::IntervalSample { instret, .. }
+            | Event::WarmStartHit { instret, .. }
+            | Event::WarmStartMiss { instret, .. }
+            | Event::StorePublish { instret, .. } => instret,
             Event::Reconfigured { cycle, .. } => cycle,
         }
     }
@@ -259,7 +312,10 @@ impl Event {
             Event::TuningStarted { scope, .. }
             | Event::TuningStep { scope, .. }
             | Event::TuningConverged { scope, .. }
-            | Event::DriftRetune { scope, .. } => Some(scope),
+            | Event::DriftRetune { scope, .. }
+            | Event::WarmStartHit { scope, .. }
+            | Event::WarmStartMiss { scope, .. }
+            | Event::StorePublish { scope, .. } => Some(scope),
             Event::IntervalSample { phase, .. } => Some(Scope::Phase { phase }),
             Event::HotspotPromoted { .. } | Event::Reconfigured { .. } => None,
         }
@@ -281,7 +337,8 @@ impl Event {
         match *self {
             Event::TuningStep { epi_nj, .. }
             | Event::TuningConverged { epi_nj, .. }
-            | Event::IntervalSample { epi_nj, .. } => Some(epi_nj),
+            | Event::IntervalSample { epi_nj, .. }
+            | Event::StorePublish { epi_nj, .. } => Some(epi_nj),
             _ => None,
         }
     }

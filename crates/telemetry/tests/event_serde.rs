@@ -4,9 +4,9 @@
 //!
 //! * a property test round-tripping randomly generated events of every
 //!   variant through the JSONL encoding, and
-//! * a fixture test pinning the exact line encoding of all seven
-//!   variants, so an accidental field rename/reorder fails loudly
-//!   instead of silently orphaning existing traces.
+//! * a fixture test pinning the exact line encoding of every variant,
+//!   so an accidental field rename/reorder fails loudly instead of
+//!   silently orphaning existing traces.
 
 use ace_telemetry::{Cu, Event, EventKind, EventStream, ReconfigCause, Scope};
 use proptest::prelude::*;
@@ -30,7 +30,7 @@ fn build_event(
     epi_nj: f64,
     stable: bool,
 ) -> Event {
-    match kind % 7 {
+    match kind % 10 {
         0 => Event::HotspotPromoted {
             method: id,
             invocations: big,
@@ -71,12 +71,29 @@ fn build_event(
             drift: ipc,
             instret,
         },
-        _ => Event::IntervalSample {
+        6 => Event::IntervalSample {
             phase: id,
             index: big,
             ipc,
             epi_nj,
             stable,
+            instret,
+        },
+        7 => Event::WarmStartHit {
+            scope,
+            signature: big,
+            trials_saved: id % 64,
+            instret,
+        },
+        8 => Event::WarmStartMiss {
+            scope,
+            signature: big,
+            instret,
+        },
+        _ => Event::StorePublish {
+            scope,
+            signature: big,
+            epi_nj,
             instret,
         },
     }
@@ -87,7 +104,7 @@ proptest! {
 
     #[test]
     fn jsonl_encoding_round_trips_every_variant(
-        kind in 0u8..7,
+        kind in 0u8..10,
         scope_tag in 0u8..3,
         id in 0u32..1_000_000,
         big in 0u64..1_000_000_000_000,
@@ -179,6 +196,32 @@ fn fixtures() -> Vec<(Event, &'static str)> {
                 instret: 1100000,
             },
             r#"{"IntervalSample":{"phase":4,"index":17,"ipc":1.5,"epi_nj":0.75,"stable":true,"instret":1100000}}"#,
+        ),
+        (
+            Event::WarmStartHit {
+                scope: Scope::Hotspot { method: 6 },
+                signature: 81985529216486895,
+                trials_saved: 3,
+                instret: 1200000,
+            },
+            r#"{"WarmStartHit":{"scope":{"Hotspot":{"method":6}},"signature":81985529216486895,"trials_saved":3,"instret":1200000}}"#,
+        ),
+        (
+            Event::WarmStartMiss {
+                scope: Scope::Hotspot { method: 7 },
+                signature: 81985529216486895,
+                instret: 1300000,
+            },
+            r#"{"WarmStartMiss":{"scope":{"Hotspot":{"method":7}},"signature":81985529216486895,"instret":1300000}}"#,
+        ),
+        (
+            Event::StorePublish {
+                scope: Scope::Hotspot { method: 6 },
+                signature: 81985529216486895,
+                epi_nj: 0.5,
+                instret: 1400000,
+            },
+            r#"{"StorePublish":{"scope":{"Hotspot":{"method":6}},"signature":81985529216486895,"epi_nj":0.5,"instret":1400000}}"#,
         ),
     ]
 }

@@ -278,6 +278,35 @@ impl Headline {
     }
 }
 
+/// Aggregate warm-start / tuning-store activity in the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WarmStartStats {
+    /// Store lookups that matched an entry (`WarmStartHit`).
+    pub hits: u64,
+    /// Store lookups that found nothing (`WarmStartMiss`).
+    pub misses: u64,
+    /// Converged configurations published (`StorePublish`).
+    pub publishes: u64,
+    /// Candidate-list trials avoided across all hits.
+    pub trials_saved: u64,
+}
+
+impl WarmStartStats {
+    /// Total store lookups (hits + misses).
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups that hit (0 when the trace has no lookups).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+}
+
 /// The reconstructed view of one recorded run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Analysis {
@@ -299,6 +328,8 @@ pub struct Analysis {
     pub phases: PhaseTimeline,
     /// Stream-wide measurement means.
     pub headline: Headline,
+    /// Warm-start / tuning-store activity.
+    pub warm_start: WarmStartStats,
 }
 
 impl Analysis {
@@ -478,6 +509,7 @@ pub struct Analyzer {
     sum_converged_ipc: f64,
     sum_converged_epi: f64,
     convergences: u64,
+    warm_start: WarmStartStats,
 }
 
 impl Default for Analyzer {
@@ -506,6 +538,7 @@ impl Analyzer {
             sum_converged_ipc: 0.0,
             sum_converged_epi: 0.0,
             convergences: 0,
+            warm_start: WarmStartStats::default(),
         }
     }
 
@@ -650,6 +683,12 @@ impl Analyzer {
                     });
                 }
             }
+            Event::WarmStartHit { trials_saved, .. } => {
+                self.warm_start.hits += 1;
+                self.warm_start.trials_saved += u64::from(trials_saved);
+            }
+            Event::WarmStartMiss { .. } => self.warm_start.misses += 1,
+            Event::StorePublish { .. } => self.warm_start.publishes += 1,
         }
     }
 
@@ -698,6 +737,7 @@ impl Analyzer {
                 stable_intervals: self.stable_intervals,
             },
             headline,
+            warm_start: self.warm_start,
         }
     }
 }

@@ -57,7 +57,8 @@ pub mod summary;
 
 pub use analysis::{
     Analysis, Analyzer, CuResidency, Episode, EpisodeOutcome, Headline, LevelResidency,
-    PhaseSegment, PhaseTimeline, Promotion, Reconfig, ScopeAnalysis, Trial, NUM_LEVELS,
+    PhaseSegment, PhaseTimeline, Promotion, Reconfig, ScopeAnalysis, Trial, WarmStartStats,
+    NUM_LEVELS,
 };
 pub use chrome::chrome_trace;
 pub use diff::{diff, DiffLine, DiffReport, DiffThresholds};

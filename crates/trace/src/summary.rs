@@ -84,6 +84,21 @@ pub fn summarize(analysis: &Analysis) -> String {
         );
     }
 
+    // Only traces recorded against a tuning store carry warm-start
+    // events; stay silent otherwise so pre-fleet summaries are unchanged.
+    let ws = &analysis.warm_start;
+    if ws.lookups() > 0 || ws.publishes > 0 {
+        let _ = writeln!(
+            out,
+            "warm start: {} hits / {} lookups ({:.1}% hit rate), {} trials saved, {} publishes",
+            ws.hits,
+            ws.lookups(),
+            ws.hit_rate() * 100.0,
+            ws.trials_saved,
+            ws.publishes
+        );
+    }
+
     let _ = writeln!(out, "configuration residency (cycles per level):");
     for cu in Cu::ALL {
         let res = &analysis.residency[cu.index()];
@@ -260,6 +275,40 @@ mod tests {
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn warm_start_line_only_renders_when_active() {
+        let quiet = summarize(&sample_analysis());
+        assert!(!quiet.contains("warm start:"), "unexpected in:\n{quiet}");
+
+        let scope = Scope::Hotspot { method: 9 };
+        let active = Analysis::of(&[
+            Event::WarmStartMiss {
+                scope,
+                signature: 7,
+                instret: 100,
+            },
+            Event::WarmStartHit {
+                scope,
+                signature: 7,
+                trials_saved: 3,
+                instret: 200,
+            },
+            Event::StorePublish {
+                scope,
+                signature: 7,
+                epi_nj: 0.4,
+                instret: 300,
+            },
+        ]);
+        let text = summarize(&active);
+        assert!(
+            text.contains(
+                "warm start: 1 hits / 2 lookups (50.0% hit rate), 3 trials saved, 1 publishes"
+            ),
+            "missing warm-start line in:\n{text}"
+        );
     }
 
     #[test]
