@@ -19,6 +19,9 @@
 //! - `fleet-<key>.json`: a fleet result cache — recognized here but
 //!   validated by its owner (`cargo run -p ace-fleet --bin fleet --
 //!   --check-cache`), which knows the fleet cache keys.
+//! - `pdm-<workload>-<key>.json`: the pdm experiment's cache namespace —
+//!   the full file name must be one the current build would write
+//!   ([`ace_bench::experiments::pdm::expected_cache_files`]).
 //! - Anything else `.json`: unknown, flagged (results/ holds only the
 //!   headline cache plus `.txt`/`.md` reports).
 //!
@@ -38,6 +41,7 @@ fn main() -> ExitCode {
         .iter()
         .map(|name| ((*name).to_string(), cache_key(name, &base)))
         .collect();
+    let pdm_expected = ace_bench::experiments::pdm::expected_cache_files();
 
     let entries = match std::fs::read_dir(&dir) {
         Ok(it) => it,
@@ -65,6 +69,18 @@ fn main() -> ExitCode {
             continue;
         }
         checked += 1;
+        // `pdm-<workload>-<key>`: the pdm experiment's namespace. Must be
+        // checked before the generic keyed parse — `pdm-pdm_drift-<key>`
+        // would otherwise mis-parse as workload `pdm-pdm_drift`.
+        if stem.starts_with("pdm-") {
+            if pdm_expected.iter().any(|f| f == name) {
+                continue;
+            }
+            stale.push(format!(
+                "{name}: superseded pdm cache entry (current set: {pdm_expected:?})"
+            ));
+            continue;
+        }
         // `<workload>-<16 hex digits>`: a content-addressed cache entry.
         let keyed = stem
             .rsplit_once('-')

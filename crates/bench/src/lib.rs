@@ -44,7 +44,7 @@ pub use baseline::{
 };
 pub use engine::{default_jobs, run_jobs, BenchError, BenchResult, Job, JobOutcome};
 
-use ace_core::{BbvReport, Experiment, HotspotReport, RunConfig, RunRecord, Scheme, SchemeReport};
+use ace_core::{BbvReport, Experiment, HotspotReport, RunConfig, RunRecord, Scheme, SchemeExt};
 use ace_telemetry::Telemetry;
 use ace_workloads::PRESET_NAMES;
 use serde::{Deserialize, Serialize};
@@ -310,8 +310,8 @@ impl ExperimentSet {
             let baseline = runs.next().expect("baseline run");
             let bbv = runs.next().expect("bbv run");
             let hotspot = runs.next().expect("hotspot run");
-            let (SchemeReport::Bbv(bbv_report), SchemeReport::Hotspot(hotspot_report)) =
-                (bbv.report, hotspot.report)
+            let (SchemeExt::Bbv(bbv_report), SchemeExt::Hotspot(hotspot_report)) =
+                (bbv.report.ext, hotspot.report.ext)
             else {
                 unreachable!("scheme order is fixed by HEADLINE_SCHEMES")
             };

@@ -112,7 +112,7 @@ pub fn run_with_manager<M: AceManager>(
     run_with_manager_impl(program, cfg, manager)
 }
 
-pub(crate) fn run_with_manager_impl<M: AceManager>(
+pub(crate) fn run_with_manager_impl<M: AceManager + ?Sized>(
     program: &Program,
     cfg: &RunConfig,
     manager: &mut M,
@@ -196,7 +196,7 @@ pub fn run_threaded<M: AceManager>(
     run_threaded_impl(program, entries, quantum_instr, cfg, manager)
 }
 
-pub(crate) fn run_threaded_impl<M: AceManager>(
+pub(crate) fn run_threaded_impl<M: AceManager + ?Sized>(
     program: &Program,
     entries: &[ace_workloads::MethodId],
     quantum_instr: u64,

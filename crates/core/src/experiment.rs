@@ -3,14 +3,16 @@
 //! `run_threaded`).
 //!
 //! An experiment names a workload (a preset or an owned [`Program`]),
-//! picks a [`Scheme`], and layers run options on top of
+//! picks a scheme (a registered id, a legacy [`Scheme`] value, or an
+//! owned [`crate::TuningScheme`] instance via
+//! [`SchemeSpec`](crate::SchemeSpec)), and layers run options on top of
 //! [`RunConfig::default`]:
 //!
 //! ```
-//! use ace_core::{Experiment, Scheme};
+//! use ace_core::Experiment;
 //!
 //! let record = Experiment::preset("javac")
-//!     .scheme(Scheme::Hotspot)
+//!     .scheme("hotspot")
 //!     .seed(7)
 //!     .instruction_limit(2_000_000)
 //!     .run()?;
@@ -19,24 +21,25 @@
 //! ```
 //!
 //! [`Experiment::run_scheme`] additionally returns the scheme manager's
-//! report, and [`Experiment::run_with`] accepts any hand-built
-//! [`AceManager`] for ablations that perturb a manager's configuration.
+//! unified [`SchemeReport`](crate::SchemeReport), and
+//! [`Experiment::run_with`] accepts any hand-built [`AceManager`] for
+//! ablations that perturb a manager's configuration.
 
 use crate::driver::{run_threaded_impl, run_with_manager_impl, RunConfig, RunRecord};
-use crate::{
-    AceConfig, AceManager, BbvAceManager, BbvManagerConfig, BbvReport, FixedManager,
-    HotspotAceManager, HotspotManagerConfig, HotspotReport, NullManager, PositionalAceManager,
-    PositionalManagerConfig, PositionalReport,
-};
+use crate::scheme::{FixedScheme, SchemeCtx, SchemeRegistry, SchemeReport, SchemeSpec};
+use crate::{AceConfig, AceManager};
 use ace_energy::EnergyModel;
 use ace_runtime::DoConfig;
 use ace_sim::{ConfigError, MachineConfig};
 use ace_telemetry::Telemetry;
 use ace_workloads::{MethodId, Program};
 use std::fmt;
+use std::sync::Arc;
 
-/// The management scheme an [`Experiment`] runs under.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// The built-in management schemes, kept as thin compat constructors over
+/// the scheme registry (see [`crate::SchemeRegistry`]). New schemes
+/// register through the registry instead of extending this enum.
+#[derive(Debug, Clone, Copy, PartialEq)]
 #[non_exhaustive]
 pub enum Scheme {
     /// Non-adaptive baseline: both caches pinned at their largest sizes.
@@ -47,6 +50,9 @@ pub enum Scheme {
     Bbv,
     /// Huang et al.'s positional scheme (large-procedure boundaries).
     Positional,
+    /// Phase Distance Mapping: hotspot substrate + behavioral-distance
+    /// prediction against already-tuned phases.
+    Pdm,
     /// A fixed configuration installed at start (static-oracle points).
     Fixed(AceConfig),
 }
@@ -59,47 +65,37 @@ impl Scheme {
             Scheme::Hotspot => "hotspot",
             Scheme::Bbv => "bbv",
             Scheme::Positional => "positional",
+            Scheme::Pdm => "pdm",
             Scheme::Fixed(_) => "fixed",
         }
     }
-}
 
-/// The scheme manager's end-of-run report, when the scheme produces one.
-#[derive(Debug, Clone)]
-#[non_exhaustive]
-pub enum SchemeReport {
-    /// Baseline and fixed schemes have nothing to report.
-    None,
-    /// [`Scheme::Bbv`].
-    Bbv(BbvReport),
-    /// [`Scheme::Hotspot`].
-    Hotspot(HotspotReport),
-    /// [`Scheme::Positional`].
-    Positional(PositionalReport),
-}
-
-impl SchemeReport {
-    /// The BBV report, if this is one.
-    pub fn bbv(&self) -> Option<&BbvReport> {
-        match self {
-            SchemeReport::Bbv(r) => Some(r),
+    /// Parses a scheme name back to its variant. `"fixed"` is not
+    /// parseable (a fixed scheme is meaningless without its
+    /// [`AceConfig`]).
+    pub fn from_name(name: &str) -> Option<Scheme> {
+        match name {
+            "baseline" => Some(Scheme::Baseline),
+            "hotspot" => Some(Scheme::Hotspot),
+            "bbv" => Some(Scheme::Bbv),
+            "positional" => Some(Scheme::Positional),
+            "pdm" => Some(Scheme::Pdm),
             _ => None,
         }
     }
+}
 
-    /// The hotspot report, if this is one.
-    pub fn hotspot(&self) -> Option<&HotspotReport> {
-        match self {
-            SchemeReport::Hotspot(r) => Some(r),
-            _ => None,
-        }
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
+}
 
-    /// The positional report, if this is one.
-    pub fn positional(&self) -> Option<&PositionalReport> {
-        match self {
-            SchemeReport::Positional(r) => Some(r),
-            _ => None,
+impl From<Scheme> for SchemeSpec {
+    fn from(scheme: Scheme) -> SchemeSpec {
+        match scheme {
+            Scheme::Fixed(config) => SchemeSpec::instance(Arc::new(FixedScheme(config))),
+            named => SchemeSpec::named(named.name()),
         }
     }
 }
@@ -107,12 +103,11 @@ impl SchemeReport {
 /// One completed scheme run: the measured record plus the manager report.
 #[derive(Debug, Clone)]
 pub struct SchemeRun {
-    /// Which scheme ran.
-    pub scheme: Scheme,
+    /// The id of the scheme that ran.
+    pub scheme: String,
     /// The measured run.
     pub record: RunRecord,
-    /// The scheme manager's report ([`SchemeReport::None`] for baseline
-    /// and fixed runs).
+    /// The scheme manager's unified report.
     pub report: SchemeReport,
 }
 
@@ -122,6 +117,8 @@ pub struct SchemeRun {
 pub enum ExperimentError {
     /// The preset name is not one of [`ace_workloads::PRESET_NAMES`].
     UnknownWorkload(String),
+    /// The scheme id is not in the experiment's registry.
+    UnknownScheme(String),
     /// The machine configuration was rejected by the simulator.
     Machine(ConfigError),
 }
@@ -134,6 +131,9 @@ impl fmt::Display for ExperimentError {
                 "unknown workload {name:?}; expected one of {:?}",
                 ace_workloads::PRESET_NAMES
             ),
+            ExperimentError::UnknownScheme(name) => {
+                write!(f, "unknown scheme {name:?}; not in the scheme registry")
+            }
             ExperimentError::Machine(e) => write!(f, "{e}"),
         }
     }
@@ -155,7 +155,8 @@ enum Source {
 /// Builder for one measured run.
 pub struct Experiment {
     source: Source,
-    scheme: Scheme,
+    scheme: SchemeSpec,
+    registry: SchemeRegistry,
     cfg: RunConfig,
     model: EnergyModel,
     threading: Option<(Vec<MethodId>, u64)>,
@@ -179,7 +180,8 @@ impl Experiment {
         let model = EnergyModel::default_180nm();
         Experiment {
             source,
-            scheme: Scheme::Baseline,
+            scheme: Scheme::Baseline.into(),
+            registry: SchemeRegistry::builtin(),
             cfg: RunConfig {
                 energy: model,
                 ..RunConfig::default()
@@ -189,9 +191,18 @@ impl Experiment {
         }
     }
 
-    /// Selects the management scheme (default [`Scheme::Baseline`]).
-    pub fn scheme(mut self, scheme: Scheme) -> Experiment {
-        self.scheme = scheme;
+    /// Selects the management scheme (default baseline): a registered id
+    /// (`"hotspot"`), a legacy [`Scheme`] value, or a
+    /// [`SchemeSpec`](crate::SchemeSpec) carrying an owned instance.
+    pub fn scheme(mut self, scheme: impl Into<SchemeSpec>) -> Experiment {
+        self.scheme = scheme.into();
+        self
+    }
+
+    /// Replaces the scheme registry named specs resolve against (default
+    /// [`SchemeRegistry::builtin`]) — the hook for custom schemes.
+    pub fn registry(mut self, registry: SchemeRegistry) -> Experiment {
+        self.registry = registry;
         self
     }
 
@@ -257,58 +268,38 @@ impl Experiment {
         }
     }
 
-    /// Runs under the selected [`Scheme`] and returns the record alone.
+    /// Runs under the selected scheme and returns the record alone.
     ///
     /// # Errors
     ///
     /// [`ExperimentError::UnknownWorkload`] for an unknown preset name,
+    /// [`ExperimentError::UnknownScheme`] for an unregistered scheme id,
     /// [`ExperimentError::Machine`] for an invalid machine configuration.
     pub fn run(self) -> Result<RunRecord, ExperimentError> {
         Ok(self.run_scheme()?.record)
     }
 
-    /// Runs under the selected [`Scheme`] and returns the record plus the
-    /// scheme manager's report.
-    ///
-    /// For [`Scheme::Hotspot`] the report's `guard_rejections` is filled
-    /// in from the machine counters, as the evaluation tables expect.
+    /// Runs under the selected scheme and returns the record plus the
+    /// manager's unified report. Every scheme's `guard_rejections` is
+    /// filled from the machine counters uniformly.
     ///
     /// # Errors
     ///
     /// See [`Experiment::run`].
     pub fn run_scheme(self) -> Result<SchemeRun, ExperimentError> {
-        let scheme = self.scheme;
-        let model = self.model;
         let program = self.resolve()?;
-        let (record, report) = match scheme {
-            Scheme::Baseline => (self.drive(&program, &mut NullManager)?, SchemeReport::None),
-            Scheme::Fixed(config) => (
-                self.drive(&program, &mut FixedManager::new(config))?,
-                SchemeReport::None,
-            ),
-            Scheme::Hotspot => {
-                let mut mgr = HotspotAceManager::new(HotspotManagerConfig::default(), model);
-                let record = self.drive(&program, &mut mgr)?;
-                let mut report = mgr.report();
-                report.guard_rejections = record.counters.guard_rejections;
-                (record, SchemeReport::Hotspot(report))
-            }
-            Scheme::Bbv => {
-                let mut mgr = BbvAceManager::new(BbvManagerConfig::default(), model);
-                let record = self.drive(&program, &mut mgr)?;
-                let report = mgr.report();
-                (record, SchemeReport::Bbv(report))
-            }
-            Scheme::Positional => {
-                let mut mgr =
-                    PositionalAceManager::new(&program, PositionalManagerConfig::default(), model);
-                let record = self.drive(&program, &mut mgr)?;
-                let report = mgr.report();
-                (record, SchemeReport::Positional(report))
-            }
-        };
+        let scheme = self
+            .scheme
+            .resolve(&self.registry)
+            .ok_or_else(|| ExperimentError::UnknownScheme(self.scheme.id()))?;
+        let mut manager = scheme.build(&SchemeCtx {
+            program: &program,
+            model: self.model,
+        });
+        let record = self.drive(&program, &mut *manager)?;
+        let report = manager.scheme_report(&record);
         Ok(SchemeRun {
-            scheme,
+            scheme: scheme.name().to_string(),
             record,
             report,
         })
@@ -332,12 +323,15 @@ impl Experiment {
     /// # Errors
     ///
     /// See [`Experiment::run`].
-    pub fn run_with<M: AceManager>(self, manager: &mut M) -> Result<RunRecord, ExperimentError> {
+    pub fn run_with<M: AceManager + ?Sized>(
+        self,
+        manager: &mut M,
+    ) -> Result<RunRecord, ExperimentError> {
         let program = self.resolve()?;
         self.drive(&program, manager)
     }
 
-    fn drive<M: AceManager>(
+    fn drive<M: AceManager + ?Sized>(
         &self,
         program: &Program,
         manager: &mut M,
@@ -354,6 +348,8 @@ impl Experiment {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scheme::SchemeExt;
+    use crate::NullManager;
 
     #[test]
     fn builder_runs_a_preset() {
@@ -373,21 +369,51 @@ mod tests {
     }
 
     #[test]
+    fn unknown_scheme_is_an_error() {
+        let err = Experiment::preset("db")
+            .scheme("warp-drive")
+            .instruction_limit(1_000_000)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, ExperimentError::UnknownScheme(_)));
+        assert!(err.to_string().contains("warp-drive"));
+    }
+
+    #[test]
     fn scheme_runs_carry_reports() {
         let run = Experiment::preset("db")
             .scheme(Scheme::Hotspot)
             .instruction_limit(2_000_000)
             .run_scheme()
             .unwrap();
-        assert!(run.report.hotspot().is_some());
-        assert!(run.report.bbv().is_none());
+        assert_eq!(run.scheme, "hotspot");
+        assert_eq!(run.report.scheme, "hotspot");
+        assert!(matches!(run.report.ext, SchemeExt::Hotspot(_)));
 
         let run = Experiment::preset("db")
-            .scheme(Scheme::Bbv)
+            .scheme("bbv")
             .instruction_limit(2_000_000)
             .run_scheme()
             .unwrap();
-        assert!(run.report.bbv().is_some());
+        assert!(matches!(run.report.ext, SchemeExt::Bbv(_)));
+    }
+
+    #[test]
+    fn guard_rejections_are_uniform_across_schemes() {
+        // The unified report fills guard_rejections from the machine
+        // counters for *every* scheme; before the redesign only the
+        // hotspot arm did, so BBV reported 0 with a nonzero counter.
+        for scheme in [Scheme::Baseline, Scheme::Hotspot, Scheme::Bbv, Scheme::Pdm] {
+            let run = Experiment::preset("javac")
+                .scheme(scheme)
+                .instruction_limit(4_000_000)
+                .run_scheme()
+                .unwrap();
+            assert_eq!(
+                run.report.guard_rejections, run.record.counters.guard_rejections,
+                "{scheme} must report the machine's guard-rejection count"
+            );
+        }
     }
 
     #[test]

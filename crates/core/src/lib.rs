@@ -13,10 +13,17 @@
 //!   Vector phase detection at 1 M-instruction sampling intervals plus the
 //!   Dhodapkar–Smith tuning algorithm over all 16 combinatorial cache
 //!   configurations.
+//! * [`PdmAceManager`] — Phase Distance Mapping (Adegbija et al.): the
+//!   hotspot substrate plus a behavioral-distance knowledge table that
+//!   *predicts* a new phase's configuration from an already-tuned one.
 //! * [`NullManager`] / [`FixedManager`] — the non-adaptive baseline and
 //!   static oracle points.
 //! * [`Experiment`] — the typed builder tying workload, DO system,
 //!   machine and manager into one measured run.
+//!
+//! Schemes are open for extension: implement [`TuningScheme`], register
+//! it in a [`SchemeRegistry`], and every experiment, bench and trace
+//! consumer picks it up by id — no closed enum to extend.
 //!
 //! ## Example: compare the two schemes on one workload
 //!
@@ -43,7 +50,9 @@ mod experiment;
 mod hotspot;
 mod manager;
 mod measure;
+mod pdm_mgr;
 mod positional_mgr;
+mod scheme;
 mod tuner;
 mod warm;
 
@@ -52,11 +61,17 @@ pub use cu::{combined_list, single_cu_list, AceConfig};
 #[allow(deprecated)]
 pub use driver::{run_threaded, run_with_manager};
 pub use driver::{RunConfig, RunRecord};
-pub use experiment::{Experiment, ExperimentError, Scheme, SchemeReport, SchemeRun};
+pub use experiment::{Experiment, ExperimentError, Scheme, SchemeRun};
 pub use hotspot::{CuSchemeStats, HotspotAceManager, HotspotManagerConfig, HotspotReport};
 pub use manager::{AceManager, FixedManager, NullManager};
 pub use measure::{Measurement, Probe};
+pub use pdm_mgr::{PdmAceManager, PdmManagerConfig, PdmReport, PhaseVector};
 pub use positional_mgr::{PositionalAceManager, PositionalManagerConfig, PositionalReport};
+pub use scheme::{
+    BaselineScheme, BbvScheme, FixedScheme, HotspotScheme, PdmScheme, PositionalScheme, SchemeCtx,
+    SchemeExt, SchemeManager, SchemeRegistry, SchemeReport, SchemeSpec, TuningScheme,
+    WarmStartCapable,
+};
 pub use tuner::ConfigTuner;
 pub use warm::{
     cu_mask_of, registry_version, HotspotSignature, StorePublication, WarmStartContext,

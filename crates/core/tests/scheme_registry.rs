@@ -1,0 +1,91 @@
+//! Properties of the scheme-naming layer: `Scheme` parse ↔ `Display`
+//! round-trips, registry ids agree with the compat enum, and arbitrary
+//! strings never alias a registered scheme.
+
+use ace_core::{Scheme, SchemeRegistry, SchemeSpec};
+use proptest::prelude::*;
+
+/// Every parseable scheme variant (the `Fixed` variant carries a config
+/// and is deliberately not parseable).
+const NAMED: [Scheme; 5] = [
+    Scheme::Baseline,
+    Scheme::Hotspot,
+    Scheme::Bbv,
+    Scheme::Positional,
+    Scheme::Pdm,
+];
+
+#[test]
+fn every_named_scheme_round_trips_and_resolves() {
+    let registry = SchemeRegistry::builtin();
+    for scheme in NAMED {
+        // name ↔ from_name round-trip, and Display agrees with name().
+        assert_eq!(Scheme::from_name(scheme.name()), Some(scheme));
+        assert_eq!(scheme.to_string(), scheme.name());
+
+        // The enum's names are exactly the registry's builtin ids.
+        let resolved = registry
+            .get(scheme.name())
+            .unwrap_or_else(|| panic!("{} not registered", scheme.name()));
+        assert_eq!(resolved.name(), scheme.name());
+
+        // The compat From<Scheme> conversion produces a spec with the
+        // same id that resolves against the builtin registry.
+        let spec: SchemeSpec = scheme.into();
+        assert_eq!(spec.id(), scheme.name());
+        assert_eq!(spec.resolve(&registry).unwrap().name(), scheme.name());
+    }
+}
+
+/// Candidate scheme ids: half the cases draw a genuine name (possibly
+/// mutated by one appended letter), the rest a random lowercase string —
+/// so the property exercises both the parseable and unparseable sides.
+fn arb_name() -> impl Strategy<Value = String> {
+    (
+        0u64..10,
+        prop::collection::vec(97u8..123, 0..13),
+        prop::option::of(97u8..123),
+    )
+        .prop_map(|(pick, bytes, tail)| {
+            if let Some(scheme) = NAMED.get(pick as usize) {
+                let mut name = scheme.name().to_string();
+                if let Some(extra) = tail {
+                    name.push(extra as char);
+                }
+                name
+            } else {
+                String::from_utf8(bytes).expect("ascii lowercase")
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Parsing is exact: a string parses iff it is one of the five
+    /// names, and then round-trips through Display.
+    #[test]
+    fn parse_is_exact_and_round_trips(name in arb_name()) {
+        match Scheme::from_name(&name) {
+            Some(scheme) => {
+                prop_assert_eq!(scheme.to_string(), name.clone());
+                prop_assert!(NAMED.contains(&scheme));
+            }
+            None => {
+                prop_assert!(NAMED.iter().all(|s| s.name() != name));
+            }
+        }
+    }
+
+    /// Registry lookup agrees with enum parsing for arbitrary ids: a
+    /// string resolves in the builtin registry iff the enum parses it
+    /// (the registry holds exactly the named variants by default).
+    #[test]
+    fn builtin_lookup_matches_enum_parse(name in arb_name()) {
+        let registry = SchemeRegistry::builtin();
+        prop_assert_eq!(
+            registry.get(&name).is_some(),
+            Scheme::from_name(&name).is_some()
+        );
+    }
+}

@@ -20,8 +20,8 @@ use crate::store::TuningStore;
 use crate::FLEET_SCHEMA_VERSION;
 use ace_bench::{run_jobs, BenchError, BenchResult, Job};
 use ace_core::{
-    registry_version, Experiment, HotspotAceManager, HotspotManagerConfig, NullManager,
-    StorePublication, WarmStartContext,
+    registry_version, Experiment, NullManager, SchemeCtx, SchemeRegistry, StorePublication,
+    WarmStartContext,
 };
 use ace_energy::EnergyModel;
 use ace_runtime::DoConfig;
@@ -35,6 +35,12 @@ use std::time::Duration;
 pub fn fleet_registry_version() -> u16 {
     registry_version(&MachineConfig::table2().cu_registry())
 }
+
+/// The tuning scheme fleet machines run, resolved by id from the scheme
+/// registry. The driver only requires that the scheme advertise the
+/// warm-start capability ([`ace_core::WarmStartCapable`]); any registered
+/// scheme that does can serve a fleet.
+pub const FLEET_SCHEME: &str = "hotspot";
 
 /// The DO-system profile fleet machines run under: aggressive promotion
 /// (`hot_threshold` 2, one probing invocation) so hotspots classify and
@@ -361,20 +367,34 @@ fn run_machine(
     measure_baseline: bool,
     telemetry: &Telemetry,
 ) -> BenchResult<(MachineOutcome, Vec<StorePublication>)> {
-    let mut mgr = HotspotAceManager::new(
-        HotspotManagerConfig::default(),
-        EnergyModel::default_180nm(),
-    );
-    mgr.set_warm_start(snapshot);
-    let record = Experiment::preset(&spec.preset)
+    let program = ace_workloads::preset(&spec.preset)
+        .ok_or_else(|| BenchError::msg(format!("unknown workload preset {:?}", spec.preset)))?;
+    let registry = SchemeRegistry::builtin();
+    let scheme = registry
+        .get(FLEET_SCHEME)
+        .ok_or_else(|| BenchError::msg(format!("scheme {FLEET_SCHEME:?} is not registered")))?;
+    let mut mgr = scheme.build(&SchemeCtx {
+        program: &program,
+        model: EnergyModel::default_180nm(),
+    });
+    match mgr.warm_start() {
+        Some(ws) => ws.set_warm_start(snapshot),
+        None => {
+            return Err(BenchError::msg(format!(
+                "fleet scheme {FLEET_SCHEME:?} does not support warm starts"
+            )))
+        }
+    }
+    let record = Experiment::program(program)
         .seed(spec.seed)
         .do_config(fleet_do_config())
         .instruction_limit(limit)
         .telemetry(telemetry)
-        .run_with(&mut mgr)?;
-    let report = mgr.report();
+        .run_with(&mut *mgr)?;
+    let report = mgr.scheme_report(&record);
     let publications = mgr
-        .take_warm_start()
+        .warm_start()
+        .and_then(|ws| ws.take_warm_start())
         .map(WarmStartContext::into_publications)
         .unwrap_or_default();
     // The baseline leg is energy accounting, not fleet behavior: it runs
@@ -395,8 +415,8 @@ fn run_machine(
         l1d_nj: record.energy.l1d_nj,
         l2_nj: record.energy.l2_nj,
         baseline,
-        tunings: report.cu.iter().map(|s| s.tunings).sum(),
-        tuned_hotspots: report.tuned_hotspots,
+        tunings: report.tunings,
+        tuned_hotspots: report.tuned_scopes,
         warm_hits: report.warm_hits,
         warm_misses: report.warm_misses,
         warm_trials_saved: report.warm_trials_saved,

@@ -199,6 +199,30 @@ pub enum Event {
         /// Retired-instruction counter at the publish.
         instret: u64,
     },
+    /// Phase Distance Mapping matched a scope's behavioral vector against
+    /// an already-tuned phase within the distance threshold, so the tuned
+    /// configuration was adopted directly instead of searching.
+    PdmPredictHit {
+        /// The scope whose configuration was predicted.
+        scope: Scope,
+        /// Normalized behavioral distance to the matched phase.
+        distance: f64,
+        /// Candidate-list trials the prediction avoided.
+        trials_saved: u32,
+        /// Retired-instruction counter at the prediction.
+        instret: u64,
+    },
+    /// Phase Distance Mapping found no tuned phase within the distance
+    /// threshold; tuning falls back to the configuration search.
+    PdmPredictMiss {
+        /// The scope that fell back to the search path.
+        scope: Scope,
+        /// Distance to the nearest tuned phase, or `-1.0` when no tuned
+        /// phase with a comparable CU set exists yet.
+        distance: f64,
+        /// Retired-instruction counter at the decision.
+        instret: u64,
+    },
 }
 
 /// Discriminant-only view of [`Event`], used for per-kind counters.
@@ -224,6 +248,10 @@ pub enum EventKind {
     WarmStartMiss,
     /// [`Event::StorePublish`]
     StorePublish,
+    /// [`Event::PdmPredictHit`]
+    PdmPredictHit,
+    /// [`Event::PdmPredictMiss`]
+    PdmPredictMiss,
 }
 
 impl EventKind {
@@ -239,6 +267,8 @@ impl EventKind {
         EventKind::WarmStartHit,
         EventKind::WarmStartMiss,
         EventKind::StorePublish,
+        EventKind::PdmPredictHit,
+        EventKind::PdmPredictMiss,
     ];
 
     /// Stable index in `0..Event::NUM_KINDS`.
@@ -259,6 +289,8 @@ impl EventKind {
             EventKind::WarmStartHit => "WarmStartHit",
             EventKind::WarmStartMiss => "WarmStartMiss",
             EventKind::StorePublish => "StorePublish",
+            EventKind::PdmPredictHit => "PdmPredictHit",
+            EventKind::PdmPredictMiss => "PdmPredictMiss",
         }
     }
 
@@ -270,7 +302,7 @@ impl EventKind {
 
 impl Event {
     /// Number of event kinds (length of per-kind counter arrays).
-    pub const NUM_KINDS: usize = 10;
+    pub const NUM_KINDS: usize = 12;
 
     /// The discriminant of this event.
     pub fn kind(&self) -> EventKind {
@@ -285,6 +317,8 @@ impl Event {
             Event::WarmStartHit { .. } => EventKind::WarmStartHit,
             Event::WarmStartMiss { .. } => EventKind::WarmStartMiss,
             Event::StorePublish { .. } => EventKind::StorePublish,
+            Event::PdmPredictHit { .. } => EventKind::PdmPredictHit,
+            Event::PdmPredictMiss { .. } => EventKind::PdmPredictMiss,
         }
     }
 
@@ -300,7 +334,9 @@ impl Event {
             | Event::IntervalSample { instret, .. }
             | Event::WarmStartHit { instret, .. }
             | Event::WarmStartMiss { instret, .. }
-            | Event::StorePublish { instret, .. } => instret,
+            | Event::StorePublish { instret, .. }
+            | Event::PdmPredictHit { instret, .. }
+            | Event::PdmPredictMiss { instret, .. } => instret,
             Event::Reconfigured { cycle, .. } => cycle,
         }
     }
@@ -315,7 +351,9 @@ impl Event {
             | Event::DriftRetune { scope, .. }
             | Event::WarmStartHit { scope, .. }
             | Event::WarmStartMiss { scope, .. }
-            | Event::StorePublish { scope, .. } => Some(scope),
+            | Event::StorePublish { scope, .. }
+            | Event::PdmPredictHit { scope, .. }
+            | Event::PdmPredictMiss { scope, .. } => Some(scope),
             Event::IntervalSample { phase, .. } => Some(Scope::Phase { phase }),
             Event::HotspotPromoted { .. } | Event::Reconfigured { .. } => None,
         }

@@ -30,7 +30,7 @@ fn build_event(
     epi_nj: f64,
     stable: bool,
 ) -> Event {
-    match kind % 10 {
+    match kind % 12 {
         0 => Event::HotspotPromoted {
             method: id,
             invocations: big,
@@ -90,10 +90,21 @@ fn build_event(
             signature: big,
             instret,
         },
-        _ => Event::StorePublish {
+        9 => Event::StorePublish {
             scope,
             signature: big,
             epi_nj,
+            instret,
+        },
+        10 => Event::PdmPredictHit {
+            scope,
+            distance: ipc,
+            trials_saved: id % 64,
+            instret,
+        },
+        _ => Event::PdmPredictMiss {
+            scope,
+            distance: ipc,
             instret,
         },
     }
@@ -104,7 +115,7 @@ proptest! {
 
     #[test]
     fn jsonl_encoding_round_trips_every_variant(
-        kind in 0u8..10,
+        kind in 0u8..12,
         scope_tag in 0u8..3,
         id in 0u32..1_000_000,
         big in 0u64..1_000_000_000_000,
@@ -222,6 +233,23 @@ fn fixtures() -> Vec<(Event, &'static str)> {
                 instret: 1400000,
             },
             r#"{"StorePublish":{"scope":{"Hotspot":{"method":6}},"signature":81985529216486895,"epi_nj":0.5,"instret":1400000}}"#,
+        ),
+        (
+            Event::PdmPredictHit {
+                scope: Scope::Hotspot { method: 6 },
+                distance: 0.125,
+                trials_saved: 3,
+                instret: 1500000,
+            },
+            r#"{"PdmPredictHit":{"scope":{"Hotspot":{"method":6}},"distance":0.125,"trials_saved":3,"instret":1500000}}"#,
+        ),
+        (
+            Event::PdmPredictMiss {
+                scope: Scope::Hotspot { method: 7 },
+                distance: 0.75,
+                instret: 1600000,
+            },
+            r#"{"PdmPredictMiss":{"scope":{"Hotspot":{"method":7}},"distance":0.75,"instret":1600000}}"#,
         ),
     ]
 }

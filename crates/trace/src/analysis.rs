@@ -278,6 +278,33 @@ impl Headline {
     }
 }
 
+/// Aggregate phase-distance-mapping prediction activity in the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PdmStats {
+    /// Predictions adopted directly (`PdmPredictHit`).
+    pub hits: u64,
+    /// First trials that fell back to the search path (`PdmPredictMiss`).
+    pub misses: u64,
+    /// Candidate-list trials avoided across all hits.
+    pub trials_saved: u64,
+}
+
+impl PdmStats {
+    /// Total prediction attempts (hits + misses).
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of attempts that predicted (0 when the trace has none).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+}
+
 /// Aggregate warm-start / tuning-store activity in the trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct WarmStartStats {
@@ -330,6 +357,8 @@ pub struct Analysis {
     pub headline: Headline,
     /// Warm-start / tuning-store activity.
     pub warm_start: WarmStartStats,
+    /// Phase-distance-mapping prediction activity.
+    pub pdm: PdmStats,
 }
 
 impl Analysis {
@@ -510,6 +539,7 @@ pub struct Analyzer {
     sum_converged_epi: f64,
     convergences: u64,
     warm_start: WarmStartStats,
+    pdm: PdmStats,
 }
 
 impl Default for Analyzer {
@@ -539,6 +569,7 @@ impl Analyzer {
             sum_converged_epi: 0.0,
             convergences: 0,
             warm_start: WarmStartStats::default(),
+            pdm: PdmStats::default(),
         }
     }
 
@@ -689,6 +720,11 @@ impl Analyzer {
             }
             Event::WarmStartMiss { .. } => self.warm_start.misses += 1,
             Event::StorePublish { .. } => self.warm_start.publishes += 1,
+            Event::PdmPredictHit { trials_saved, .. } => {
+                self.pdm.hits += 1;
+                self.pdm.trials_saved += u64::from(trials_saved);
+            }
+            Event::PdmPredictMiss { .. } => self.pdm.misses += 1,
         }
     }
 
@@ -738,6 +774,7 @@ impl Analyzer {
             },
             headline,
             warm_start: self.warm_start,
+            pdm: self.pdm,
         }
     }
 }

@@ -56,7 +56,7 @@ pub mod reader;
 pub mod summary;
 
 pub use analysis::{
-    Analysis, Analyzer, CuResidency, Episode, EpisodeOutcome, Headline, LevelResidency,
+    Analysis, Analyzer, CuResidency, Episode, EpisodeOutcome, Headline, LevelResidency, PdmStats,
     PhaseSegment, PhaseTimeline, Promotion, Reconfig, ScopeAnalysis, Trial, WarmStartStats,
     NUM_LEVELS,
 };

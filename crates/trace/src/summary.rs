@@ -99,6 +99,19 @@ pub fn summarize(analysis: &Analysis) -> String {
         );
     }
 
+    // Likewise, only PDM-scheme traces carry prediction events.
+    let pdm = &analysis.pdm;
+    if pdm.lookups() > 0 {
+        let _ = writeln!(
+            out,
+            "phase distance mapping: {} hits / {} lookups ({:.1}% hit rate), {} trials saved",
+            pdm.hits,
+            pdm.lookups(),
+            pdm.hit_rate() * 100.0,
+            pdm.trials_saved
+        );
+    }
+
     let _ = writeln!(out, "configuration residency (cycles per level):");
     for cu in Cu::ALL {
         let res = &analysis.residency[cu.index()];
@@ -308,6 +321,36 @@ mod tests {
                 "warm start: 1 hits / 2 lookups (50.0% hit rate), 3 trials saved, 1 publishes"
             ),
             "missing warm-start line in:\n{text}"
+        );
+    }
+
+    #[test]
+    fn pdm_line_only_renders_when_active() {
+        let quiet = summarize(&sample_analysis());
+        assert!(
+            !quiet.contains("phase distance mapping:"),
+            "unexpected in:\n{quiet}"
+        );
+
+        let active = Analysis::of(&[
+            Event::PdmPredictMiss {
+                scope: Scope::Hotspot { method: 4 },
+                distance: 0.8,
+                instret: 100,
+            },
+            Event::PdmPredictHit {
+                scope: Scope::Hotspot { method: 5 },
+                distance: 0.05,
+                trials_saved: 7,
+                instret: 200,
+            },
+        ]);
+        let text = summarize(&active);
+        assert!(
+            text.contains(
+                "phase distance mapping: 1 hits / 2 lookups (50.0% hit rate), 7 trials saved"
+            ),
+            "missing pdm line in:\n{text}"
         );
     }
 

@@ -15,7 +15,7 @@
 //! ACE_BLESS_GOLDEN=1 cargo test --test golden_two_cu
 //! ```
 
-use ace::core::{Experiment, Scheme, SchemeReport};
+use ace::core::{Experiment, Scheme, SchemeExt};
 use ace::telemetry::Telemetry;
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -75,8 +75,8 @@ fn digest(workload: &str, scheme: Scheme, run: &ace::core::SchemeRun) -> String 
     let _ = writeln!(out, "table4_hotspots {}", r.table4.hotspots);
     let _ = writeln!(out, "do_jit {}", r.do_stats.jit_compilations);
     let _ = writeln!(out, "do_instr_in_hotspots {}", r.do_stats.instr_in_hotspots);
-    match &run.report {
-        SchemeReport::Hotspot(h) => {
+    match &run.report.ext {
+        SchemeExt::Hotspot(h) => {
             let _ = writeln!(
                 out,
                 "hotspots window {} l1d {} l2 {} small {} tuned {}",
@@ -98,7 +98,7 @@ fn digest(workload: &str, scheme: Scheme, run: &ace::core::SchemeRun) -> String 
             let _ = writeln!(out, "retunings {}", h.retunings);
             let _ = writeln!(out, "report_guard_rejections {}", h.guard_rejections);
         }
-        SchemeReport::Bbv(b) => {
+        SchemeExt::Bbv(b) => {
             let _ = writeln!(out, "phases {} tuned {}", b.phases, b.tuned_phases);
             let _ = writeln!(
                 out,
