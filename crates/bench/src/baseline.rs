@@ -37,10 +37,24 @@ pub struct HeadlineMetrics {
     pub bbv_slowdown_pct: f64,
 }
 
+/// Throughput metrics of one fleet pass — wall-clock-derived, so they
+/// live beside `wall_ms` in the baseline (never in deterministic report
+/// text) and let `perf_gate` catch fleet throughput regressions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetMetrics {
+    /// Machines completed per second of pass wall-clock.
+    pub machines_per_sec: f64,
+    /// Machines shed by the admission bound (deterministic).
+    pub shed: u64,
+    /// Store hit rate of the pass in `[0, 1]` (deterministic).
+    pub warm_hit_rate: f64,
+}
+
 /// One timed unit of `run_all` work.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BenchEntry {
-    /// Entry kind: `"workload"` or `"experiment"`.
+    /// Entry kind: `"workload"`, `"experiment"`, or `"fleet"`. Readers
+    /// must ignore kinds they do not know.
     pub kind: String,
     /// Workload preset or experiment name.
     pub name: String,
@@ -50,6 +64,9 @@ pub struct BenchEntry {
     pub cached: bool,
     /// Headline metrics — present for workload entries only.
     pub headline: Option<HeadlineMetrics>,
+    /// Fleet throughput metrics — present for fleet entries only.
+    #[serde(default)]
+    pub fleet: Option<FleetMetrics>,
 }
 
 /// One `run_all` invocation's perf baseline.
@@ -96,6 +113,7 @@ impl BenchRun {
                 bbv_l2_saving_pct: r.bbv_l2_saving_pct(),
                 bbv_slowdown_pct: r.bbv_slowdown_pct(),
             }),
+            fleet: None,
         });
     }
 
@@ -107,6 +125,28 @@ impl BenchRun {
             wall_ms: wall.as_secs_f64() * 1_000.0,
             cached: false,
             headline: None,
+            fleet: None,
+        });
+    }
+
+    /// Appends one fleet pass: wall-clock plus throughput metrics, so
+    /// the gate can compare fleet runtime and machines/sec between
+    /// baselines. A cache-served pass passes `wall` zero and `cached`
+    /// true; it times nothing and the gate skips it.
+    pub fn push_fleet(
+        &mut self,
+        name: &str,
+        wall: std::time::Duration,
+        cached: bool,
+        metrics: FleetMetrics,
+    ) {
+        self.entries.push(BenchEntry {
+            kind: "fleet".to_string(),
+            name: name.to_string(),
+            wall_ms: wall.as_secs_f64() * 1_000.0,
+            cached,
+            headline: None,
+            fleet: Some(metrics),
         });
     }
 
@@ -175,28 +215,33 @@ impl GateReport {
     }
 }
 
-/// Compares the headline-workload wall-clocks of `current` against
-/// `baseline`, flagging any workload more than `threshold_pct` percent
-/// slower. Cache-hit entries time nothing and are skipped, as are
-/// workloads present on only one side; sibling-experiment entries never
-/// gate (they time report generation, not the simulator).
+/// Compares the headline-workload and fleet-pass wall-clocks of
+/// `current` against `baseline`, flagging any entry more than
+/// `threshold_pct` percent slower; fleet entries additionally gate on a
+/// machines/sec drop of the same magnitude. Cache-hit entries time
+/// nothing and are skipped, as are entries present on only one side;
+/// sibling-experiment entries never gate (they time report generation,
+/// not the simulator).
 pub fn gate_against_baseline(
     baseline: &BenchRun,
     current: &BenchRun,
     threshold_pct: f64,
 ) -> GateReport {
-    let workload = |run: &BenchRun| -> Vec<BenchEntry> {
+    let gated = |run: &BenchRun| -> Vec<BenchEntry> {
         run.entries
             .iter()
-            .filter(|e| e.kind == "workload")
+            .filter(|e| e.kind == "workload" || e.kind == "fleet")
             .cloned()
             .collect()
     };
-    let base_entries = workload(baseline);
+    let base_entries = gated(baseline);
     let mut rows = Vec::new();
     let mut skipped = Vec::new();
-    for cur in workload(current) {
-        let Some(base) = base_entries.iter().find(|e| e.name == cur.name) else {
+    for cur in gated(current) {
+        let Some(base) = base_entries
+            .iter()
+            .find(|e| e.name == cur.name && e.kind == cur.kind)
+        else {
             skipped.push(format!("{} (not in baseline)", cur.name));
             continue;
         };
@@ -212,12 +257,29 @@ pub fn gate_against_baseline(
             delta_pct,
             regressed: delta_pct > threshold_pct,
         });
+        // Fleet throughput: a machines/sec drop is the same regression
+        // seen from the other side of the division, but it survives
+        // wall-clock noise differently (throughput covers both passes'
+        // useful work), so it gates as its own row.
+        if let (Some(base_fleet), Some(cur_fleet)) = (&base.fleet, &cur.fleet) {
+            if base_fleet.machines_per_sec > 0.0 && cur_fleet.machines_per_sec > 0.0 {
+                let drop_pct =
+                    (base_fleet.machines_per_sec / cur_fleet.machines_per_sec - 1.0) * 100.0;
+                rows.push(GateRow {
+                    name: format!("{} (machines/sec)", cur.name),
+                    baseline_ms: base_fleet.machines_per_sec,
+                    current_ms: cur_fleet.machines_per_sec,
+                    delta_pct: drop_pct,
+                    regressed: drop_pct > threshold_pct,
+                });
+            }
+        }
     }
     for base in &base_entries {
         if !current
             .entries
             .iter()
-            .any(|e| e.kind == "workload" && e.name == base.name)
+            .any(|e| e.kind == base.kind && e.name == base.name)
         {
             skipped.push(format!("{} (not in current run)", base.name));
         }
@@ -243,6 +305,7 @@ mod tests {
                 wall_ms,
                 cached,
                 headline: None,
+                fleet: None,
             });
         }
         run
@@ -285,6 +348,55 @@ mod tests {
         cur.push_experiment("sensitivity", Duration::from_millis(100_000));
         let report = gate_against_baseline(&base, &cur, 25.0);
         assert!(!report.regressed());
+    }
+
+    #[test]
+    fn fleet_entries_gate_wall_and_throughput() {
+        let fleet = |wall_ms: f64, mps: f64| {
+            let mut run = BenchRun::new(2);
+            run.push_fleet(
+                "fleet/smoke",
+                Duration::from_secs_f64(wall_ms / 1_000.0),
+                false,
+                FleetMetrics {
+                    machines_per_sec: mps,
+                    shed: 0,
+                    warm_hit_rate: 0.8,
+                },
+            );
+            run
+        };
+        let base = fleet(10_000.0, 12.8);
+
+        // Same wall, big throughput drop: only the throughput row flags.
+        let slow_throughput = fleet(10_000.0, 6.4);
+        let report = gate_against_baseline(&base, &slow_throughput, 25.0);
+        assert!(report.regressed());
+        let flagged: Vec<&str> = report
+            .rows
+            .iter()
+            .filter(|r| r.regressed)
+            .map(|r| r.name.as_str())
+            .collect();
+        assert_eq!(flagged, vec!["fleet/smoke (machines/sec)"]);
+
+        // Slower wall clock flags the wall row too.
+        let slow_wall = fleet(20_000.0, 12.8);
+        let report = gate_against_baseline(&base, &slow_wall, 25.0);
+        assert!(report
+            .rows
+            .iter()
+            .any(|r| r.name == "fleet/smoke" && r.regressed));
+
+        // Within threshold: nothing flags.
+        let fine = fleet(10_500.0, 12.0);
+        assert!(!gate_against_baseline(&base, &fine, 25.0).regressed());
+
+        // A baseline without fleet entries skips them (no false gating).
+        let old_baseline = run_with_workloads(&[("db", 1000.0, false)]);
+        let report = gate_against_baseline(&old_baseline, &fleet(10_000.0, 12.8), 25.0);
+        assert!(!report.regressed());
+        assert!(report.skipped.iter().any(|s| s.contains("fleet/smoke")));
     }
 
     #[test]

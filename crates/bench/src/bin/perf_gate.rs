@@ -6,7 +6,8 @@
 //! perf_gate <baseline.json> <current.json> [--threshold-pct <N>]
 //! ```
 //!
-//! Only uncached `workload` entries gate; sibling experiments and
+//! Only uncached `workload` and `fleet` entries gate (fleet entries also
+//! gate on a machines/sec drop); sibling experiments and
 //! cache-hit entries (which time nothing) are reported as skipped. Wall
 //! clocks are machine-dependent, so the default threshold (25 %) is
 //! deliberately loose — it catches order-of-magnitude slips and

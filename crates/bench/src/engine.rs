@@ -223,6 +223,7 @@ pub fn run_jobs<T: Send>(
     // histograms live in the metrics registry (the wall-clock domain), so
     // recording them here does not perturb the deterministic event stream.
     let histograms = telemetry.metrics().map(|m| {
+        m.counter("engine.jobs").add(n as u64);
         (
             m.histogram("engine.job_wall_ms", &MS_BUCKETS),
             m.histogram("engine.queue_wait_ms", &MS_BUCKETS),
@@ -350,6 +351,7 @@ mod tests {
         let wait = metrics.histogram("engine.queue_wait_ms", &MS_BUCKETS);
         assert_eq!(wall.count(), 6);
         assert_eq!(wait.count(), 6);
+        assert_eq!(metrics.counter("engine.jobs").get(), 6);
         // Queue wait is measured from pool start, so it is monotone in
         // dequeue order and the sum must cover every sample.
         assert!(wait.sum() >= 0.0);

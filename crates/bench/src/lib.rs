@@ -40,7 +40,7 @@ pub mod engine;
 pub mod experiments;
 
 pub use baseline::{
-    gate_against_baseline, BenchEntry, BenchRun, GateReport, GateRow, HeadlineMetrics,
+    gate_against_baseline, BenchEntry, BenchRun, FleetMetrics, GateReport, GateRow, HeadlineMetrics,
 };
 pub use engine::{default_jobs, run_jobs, BenchError, BenchResult, Job, JobOutcome};
 

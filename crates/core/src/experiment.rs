@@ -298,6 +298,11 @@ impl Experiment {
         });
         let record = self.drive(&program, &mut *manager)?;
         let report = manager.scheme_report(&record);
+        // Metrics registry only — the recorded event stream stays
+        // byte-identical to a run without metrics enabled.
+        if let Some(metrics) = self.cfg.telemetry.metrics() {
+            report.record_metrics(metrics);
+        }
         Ok(SchemeRun {
             scheme: scheme.name().to_string(),
             record,

@@ -155,6 +155,51 @@ impl SchemeReport {
             ..SchemeReport::default()
         }
     }
+
+    /// Folds the report into a metrics registry under
+    /// `scheme.<id>.<counter>` names — the observability seam every
+    /// scheme shares. Counters only (all deterministic run behavior);
+    /// the event stream is untouched, so recorded telemetry traces are
+    /// unaffected. Scheme-specific detail contributes a few counters per
+    /// [`SchemeExt`] variant on top of the common set.
+    pub fn record_metrics(&self, metrics: &ace_telemetry::Metrics) {
+        let c = |name: &str, v: u64| {
+            metrics
+                .counter(&format!("scheme.{}.{name}", self.scheme))
+                .add(v);
+        };
+        c("runs", 1);
+        c("tunings", self.tunings);
+        c("reconfigs", self.reconfigs);
+        c("covered_instr", self.covered_instr);
+        c("guard_rejections", self.guard_rejections);
+        c("tuned_scopes", self.tuned_scopes);
+        c("warm_hits", self.warm_hits);
+        c("warm_misses", self.warm_misses);
+        c("warm_trials_saved", self.warm_trials_saved);
+        c("store_publishes", self.store_publishes);
+        match &self.ext {
+            SchemeExt::None => {}
+            SchemeExt::Hotspot(h) => {
+                c("small_hotspots", h.small_hotspots);
+                c("retunings", h.retunings);
+            }
+            SchemeExt::Bbv(b) => {
+                c("phases", b.phases);
+                c("intervals", b.intervals);
+                c("misattributed_trials", b.misattributed_trials);
+            }
+            SchemeExt::Positional(p) => {
+                c("large_procedures", p.large_procedures);
+                c("applications", p.applications);
+            }
+            SchemeExt::Pdm(p) => {
+                c("predict_hits", p.predict_hits);
+                c("predict_misses", p.predict_misses);
+                c("known_phases", p.known_phases);
+            }
+        }
+    }
 }
 
 /// How an [`crate::Experiment`] names its scheme: a registered id or an

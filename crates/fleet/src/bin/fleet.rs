@@ -19,21 +19,36 @@
 //!   store (the CI smoke gate).
 //! * `--bench-out <path>` — append-style perf baseline
 //!   (`ace_bench::baseline`) with one `fleet/cold` and one `fleet/warm`
-//!   entry.
+//!   entry (kind `fleet`, including machines/sec for the perf gate).
 //! * `--telemetry <path>` — stream decision events as JSONL.
 //! * `--check-cache` — validate `results/fleet-*.json` against current
 //!   cache keys and exit (the fleet half of `check_results`).
+//!
+//! Observability (any of these forces a live, uncached run):
+//!
+//! * `--obs-out <path>` — write the wave-indexed fleet health time
+//!   series (one cumulative metrics snapshot per wave per pass) as
+//!   JSONL; analyze with `ace trace metrics <path>`. Byte-identical at
+//!   any `--jobs` width.
+//! * `--metrics-out <path>` — dump the final warm-pass metrics registry
+//!   in Prometheus text format (includes wall-clock throughput gauges).
+//! * `--live` — stream one health line per completed wave to stderr.
+//! * `--watch` — run the fleet watchdog over both passes and exit
+//!   nonzero on a breach; `--max-shed-rate F`, `--min-hit-rate F` and
+//!   `--max-convergence-slowdown F` tune the thresholds (the hit-rate
+//!   floor applies to the warm pass only).
 
 use ace_bench::{
-    default_jobs, print_telemetry_summary, results_dir, telemetry_from_args, BenchRun,
+    default_jobs, print_telemetry_summary, results_dir, telemetry_from_args, BenchRun, FleetMetrics,
 };
 use ace_fleet::{
     check_fleet_caches, fleet_cache_file_name, fleet_cache_key, fleet_registry_version,
-    render_report, run_fleet, FleetCache, FleetConfig, TuningStore, FLEET_SCHEMA_VERSION,
+    render_report, run_fleet_observed, FleetCache, FleetConfig, FleetOutcome, ObsGate, ObsSampler,
+    TuningStore, FLEET_SCHEMA_VERSION,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 struct Args {
     cfg: FleetConfig,
@@ -47,6 +62,19 @@ struct Args {
     /// validates `results/fleet-*.json` against the preset keys, so an
     /// overridden shape would write an entry that is instantly stale.
     cacheable: bool,
+    obs_out: Option<String>,
+    metrics_out: Option<String>,
+    live: bool,
+    watch: bool,
+    gate: ObsGate,
+}
+
+impl Args {
+    /// Any observability output needs the passes to actually run; a
+    /// cached report has no wave-by-wave health to sample.
+    fn obs_requested(&self) -> bool {
+        self.obs_out.is_some() || self.metrics_out.is_some() || self.live || self.watch
+    }
 }
 
 fn parse_args() -> Args {
@@ -61,6 +89,11 @@ fn parse_args() -> Args {
         bench_out: None,
         check_cache: false,
         cacheable: true,
+        obs_out: None,
+        metrics_out: None,
+        live: false,
+        watch: false,
+        gate: ObsGate::default(),
     };
     let mut it = std::env::args().skip(1);
     let take = |it: &mut dyn Iterator<Item = String>, flag: &str| -> String {
@@ -95,6 +128,22 @@ fn parse_args() -> Args {
                 it.next(); // handled by telemetry_from_args
             }
             "--check-cache" => args.check_cache = true,
+            "--obs-out" => args.obs_out = Some(take(&mut it, "--obs-out")),
+            "--metrics-out" => args.metrics_out = Some(take(&mut it, "--metrics-out")),
+            "--live" => args.live = true,
+            "--watch" => args.watch = true,
+            "--max-shed-rate" | "--min-hit-rate" | "--max-convergence-slowdown" => {
+                let value = take(&mut it, &arg);
+                let parsed = value.parse::<f64>().unwrap_or_else(|_| {
+                    eprintln!("{arg} requires a number");
+                    std::process::exit(2);
+                });
+                match arg.as_str() {
+                    "--max-shed-rate" => args.gate.max_shed_rate = parsed,
+                    "--min-hit-rate" => args.gate.min_hit_rate = parsed,
+                    _ => args.gate.max_convergence_slowdown = parsed,
+                }
+            }
             other => {
                 eprintln!("unknown flag {other}; see the fleet binary docs");
                 std::process::exit(2);
@@ -170,15 +219,22 @@ fn main() -> ExitCode {
     // The report cache only describes a run that started from an empty
     // store; a preloaded store changes the cold pass and bypasses it.
     let cache_path = dir.join(fleet_cache_file_name(&args.cfg));
-    if !args.fresh && preloaded == 0 && args.cacheable {
+    if !args.fresh && !args.obs_requested() && preloaded == 0 && args.cacheable {
         if let Ok(cache) = FleetCache::load(&cache_path) {
             if cache.key == fleet_cache_key(&args.cfg) {
                 print!("{}", cache.report);
                 eprintln!("(cached fleet report; --fresh re-runs)");
                 if let Some(path) = &args.bench_out {
+                    // Cache-served passes time nothing; the perf gate
+                    // reports them as skipped.
+                    let zero = FleetMetrics {
+                        machines_per_sec: 0.0,
+                        shed: 0,
+                        warm_hit_rate: 0.0,
+                    };
                     let mut bench = BenchRun::new(args.jobs);
-                    bench.push_experiment("fleet/cold", std::time::Duration::ZERO);
-                    bench.push_experiment("fleet/warm", std::time::Duration::ZERO);
+                    bench.push_fleet("fleet/cold", Duration::ZERO, true, zero);
+                    bench.push_fleet("fleet/warm", Duration::ZERO, true, zero);
                     if let Err(e) = bench.write(path) {
                         eprintln!("cannot write bench baseline {path}: {e}");
                         return ExitCode::FAILURE;
@@ -196,8 +252,18 @@ fn main() -> ExitCode {
         store_path.display(),
         preloaded
     );
+    let obs = args.obs_requested();
+    let mut cold_obs = obs.then(|| ObsSampler::new("cold").live(args.live));
+    let mut warm_obs = obs.then(|| ObsSampler::new("warm").live(args.live));
+
     let start = Instant::now();
-    let cold = match run_fleet(&args.cfg, &mut store, args.jobs, &telemetry) {
+    let cold = match run_fleet_observed(
+        &args.cfg,
+        &mut store,
+        args.jobs,
+        &telemetry,
+        cold_obs.as_mut(),
+    ) {
         Ok(outcome) => outcome,
         Err(e) => {
             eprintln!("cold pass failed: {e}");
@@ -206,7 +272,13 @@ fn main() -> ExitCode {
     };
     let cold_wall = start.elapsed();
     let warm_start = Instant::now();
-    let warm = match run_fleet(&args.cfg, &mut store, args.jobs, &telemetry) {
+    let warm = match run_fleet_observed(
+        &args.cfg,
+        &mut store,
+        args.jobs,
+        &telemetry,
+        warm_obs.as_mut(),
+    ) {
         Ok(outcome) => outcome,
         Err(e) => {
             eprintln!("warm pass failed: {e}");
@@ -245,8 +317,18 @@ fn main() -> ExitCode {
 
     if let Some(path) = &args.bench_out {
         let mut bench = BenchRun::new(args.jobs);
-        bench.push_experiment("fleet/cold", cold_wall);
-        bench.push_experiment("fleet/warm", warm_wall);
+        bench.push_fleet(
+            "fleet/cold",
+            cold_wall,
+            false,
+            fleet_metrics(&cold, cold_wall),
+        );
+        bench.push_fleet(
+            "fleet/warm",
+            warm_wall,
+            false,
+            fleet_metrics(&warm, warm_wall),
+        );
         match bench.write(path) {
             Ok(()) => eprintln!("wrote fleet bench entries to {path}"),
             Err(e) => {
@@ -256,8 +338,81 @@ fn main() -> ExitCode {
         }
     }
 
+    if let Some(path) = &args.obs_out {
+        // Cold records then warm records: one wave-indexed JSONL stream,
+        // byte-identical at any --jobs width.
+        let mut records = Vec::new();
+        if let Some(sampler) = &cold_obs {
+            records.extend_from_slice(sampler.records());
+        }
+        if let Some(sampler) = &warm_obs {
+            records.extend_from_slice(sampler.records());
+        }
+        let write = std::fs::File::create(path)
+            .and_then(|mut f| ace_telemetry::write_obs_jsonl(&mut f, &records));
+        match write {
+            Ok(()) => eprintln!("wrote {} obs records to {path}", records.len()),
+            Err(e) => {
+                eprintln!("cannot write obs series {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if let Some(path) = &args.metrics_out {
+        if let Some(sampler) = &warm_obs {
+            // Wall-clock throughput joins the registry only here, after
+            // every wave-indexed obs record has been snapshotted.
+            let m = sampler.metrics();
+            m.gauge("fleet.machines_per_sec").set(machines / elapsed);
+            m.gauge("fleet.wall_seconds").set(elapsed);
+            match std::fs::write(path, m.snapshot().render_prometheus()) {
+                Ok(()) => eprintln!("wrote warm-pass metrics to {path}"),
+                Err(e) => {
+                    eprintln!("cannot write metrics dump {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+
+    let mut watchdog_breached = false;
+    if args.watch {
+        // The hit-rate floor only makes sense once the store is seeded,
+        // so the cold pass is checked with the floor disabled.
+        let cold_gate = ObsGate {
+            min_hit_rate: 0.0,
+            ..args.gate
+        };
+        let checks = [
+            cold_obs
+                .as_ref()
+                .map(|s| cold_gate.check("cold", s.health())),
+            warm_obs
+                .as_ref()
+                .map(|s| args.gate.check("warm", s.health())),
+        ];
+        for report in checks.into_iter().flatten() {
+            eprint!("{}", report.render());
+            watchdog_breached |= report.breached();
+        }
+    }
+
     print_telemetry_summary(&telemetry);
+    if watchdog_breached {
+        eprintln!("--watch: fleet watchdog breached");
+        return ExitCode::FAILURE;
+    }
     gate_warm_hits(args.assert_warm_hits, warm.hits())
+}
+
+/// Throughput plus health for one pass's `--bench-out` entry.
+fn fleet_metrics(outcome: &FleetOutcome, wall: Duration) -> FleetMetrics {
+    FleetMetrics {
+        machines_per_sec: outcome.ran() as f64 / wall.as_secs_f64().max(1e-9),
+        shed: outcome.shed,
+        warm_hit_rate: outcome.hit_rate(),
+    }
 }
 
 fn gate_warm_hits(assert_warm_hits: bool, warm_hits: u64) -> ExitCode {

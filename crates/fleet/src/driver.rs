@@ -299,6 +299,27 @@ pub fn run_fleet(
     jobs: usize,
     telemetry: &Telemetry,
 ) -> BenchResult<FleetOutcome> {
+    run_fleet_observed(cfg, store, jobs, telemetry, None)
+}
+
+/// [`run_fleet`] with a wave-health sampler attached: after every wave's
+/// merge the sampler records one cumulative obs snapshot (see
+/// [`crate::obs::ObsSampler`]). Each wave is also bracketed by a
+/// `"wave"` telemetry span stamped with the fleet's cumulative retired
+/// instructions and (IPC-derived) cycles — harness-level spans that
+/// never enter the per-machine event streams. With `obs` `None` and
+/// telemetry off, the path is identical to the pre-obs driver.
+///
+/// # Errors
+///
+/// See [`run_fleet`].
+pub fn run_fleet_observed(
+    cfg: &FleetConfig,
+    store: &mut TuningStore,
+    jobs: usize,
+    telemetry: &Telemetry,
+    mut obs: Option<&mut crate::obs::ObsSampler>,
+) -> BenchResult<FleetOutcome> {
     if store.version() != fleet_registry_version() {
         return Err(BenchError::msg(format!(
             "store registry version {:#06x} does not match the fleet machines' {:#06x}",
@@ -320,10 +341,19 @@ pub fn run_fleet(
         wall: Duration::ZERO,
     };
     let mut failures: Vec<String> = Vec::new();
+    // Span stamps are fleet-cumulative architectural counters: retired
+    // instructions summed over merged machines, cycles derived from each
+    // machine's deterministic IPC. Purely wave-indexed — no wall clock —
+    // so the emitted span events are byte-identical at any `jobs` width.
+    let mut cum_instret: u64 = 0;
+    let mut cum_cycle: u64 = 0;
     for wave in specs.chunks(cfg.wave_size) {
         outcome.waves += 1;
         let admitted = &wave[..cfg.admit_limit.max(1).min(wave.len())];
-        outcome.shed += (wave.len() - admitted.len()) as u64;
+        let wave_shed = (wave.len() - admitted.len()) as u64;
+        outcome.shed += wave_shed;
+        let wave_start = outcome.machines.len();
+        let span = telemetry.span_at("wave", cum_instret, cum_cycle);
         let snapshot = store.snapshot();
         let pool: Vec<Job<(MachineOutcome, Vec<StorePublication>)>> = admitted
             .iter()
@@ -345,14 +375,37 @@ pub fn run_fleet(
                     for publication in publications {
                         store.publish(publication)?;
                     }
+                    cum_instret += machine.instret;
+                    if machine.ipc > 0.0 {
+                        cum_cycle += (machine.instret as f64 / machine.ipc) as u64;
+                    }
                     outcome.machines.push(machine);
                 }
                 Err(e) => failures.push(format!("{}: {e}", job_outcome.key)),
             }
         }
+        span.end_at(cum_instret, cum_cycle);
         if !failures.is_empty() {
             break;
         }
+        if let Some(sampler) = obs.as_deref_mut() {
+            sampler.record_wave(
+                outcome.waves as u64,
+                &outcome.machines[wave_start..],
+                wave_shed,
+                store.len(),
+            );
+        }
+    }
+    // Fleet totals belong in the metrics registry (satellite of the obs
+    // layer): deterministic counters CI can scrape alongside the
+    // engine's scheduling histograms.
+    if let Some(metrics) = telemetry.metrics() {
+        metrics
+            .counter("fleet.machines_ran")
+            .add(outcome.machines.len() as u64);
+        metrics.counter("fleet.shed").add(outcome.shed);
+        metrics.counter("fleet.waves").add(outcome.waves as u64);
     }
     if !failures.is_empty() {
         return Err(BenchError::msg(failures.join("; ")));
@@ -392,6 +445,9 @@ fn run_machine(
         .telemetry(telemetry)
         .run_with(&mut *mgr)?;
     let report = mgr.scheme_report(&record);
+    if let Some(metrics) = telemetry.metrics() {
+        report.record_metrics(metrics);
+    }
     let publications = mgr
         .warm_start()
         .and_then(|ws| ws.take_warm_start())

@@ -19,6 +19,9 @@
 //! * the `fleet` binary — runs a cold pass then a warm pass over the same
 //!   fleet and reports aggregate energy savings, tuning-latency
 //!   reduction, store hit rate, and (to stderr) machines/sec.
+//! * [`ObsSampler`] / [`ObsGate`] — wave-indexed fleet health sampling
+//!   (`--obs-out` JSONL time series, `--live` status lines) and the
+//!   threshold watchdog CI turns into an exit code ([`obs`]).
 //!
 //! Determinism: machines in a wave share a frozen store snapshot, jobs
 //! merge in submission order, and wall-clock is quarantined away from the
@@ -29,12 +32,14 @@
 #![warn(missing_docs)]
 
 pub mod driver;
+pub mod obs;
 pub mod store;
 
 pub use driver::{
-    fleet_do_config, fleet_registry_version, render_report, run_fleet, FleetConfig, FleetOutcome,
-    MachineOutcome, MachineSpec,
+    fleet_do_config, fleet_registry_version, render_report, run_fleet, run_fleet_observed,
+    FleetConfig, FleetOutcome, MachineOutcome, MachineSpec,
 };
+pub use obs::{render_wave_line, ObsGate, ObsGateLine, ObsGateReport, ObsSampler, WaveHealth};
 pub use store::{PublishOutcome, StoreEntry, TuningStore};
 
 use ace_bench::{BenchError, BenchResult};

@@ -6,6 +6,80 @@
 //! is load-bearing: the regression tests diff whole streams.
 
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Maximum bytes a [`SpanName`] stores inline.
+pub const SPAN_NAME_CAP: usize = 24;
+
+/// Fixed-capacity inline span label.
+///
+/// [`Event`] must stay `Copy` (the ring-buffer seqlock depends on it), so
+/// span names cannot be heap strings. A `SpanName` holds up to
+/// [`SPAN_NAME_CAP`] UTF-8 bytes inline, truncating longer inputs at a
+/// character boundary. It serializes as a plain JSON string, so the JSONL
+/// encoding reads naturally and longer names survive a decode round-trip
+/// in their truncated form.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanName {
+    len: u8,
+    bytes: [u8; SPAN_NAME_CAP],
+}
+
+impl SpanName {
+    /// Builds a span name from `s`, truncating past [`SPAN_NAME_CAP`]
+    /// bytes at the nearest UTF-8 character boundary.
+    pub fn new(s: &str) -> SpanName {
+        let mut len = s.len().min(SPAN_NAME_CAP);
+        while !s.is_char_boundary(len) {
+            len -= 1;
+        }
+        let mut bytes = [0u8; SPAN_NAME_CAP];
+        bytes[..len].copy_from_slice(&s.as_bytes()[..len]);
+        SpanName {
+            len: len as u8,
+            bytes,
+        }
+    }
+
+    /// The stored label.
+    pub fn as_str(&self) -> &str {
+        std::str::from_utf8(&self.bytes[..self.len as usize])
+            .expect("SpanName invariant: stored bytes are valid UTF-8")
+    }
+}
+
+impl fmt::Debug for SpanName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SpanName({:?})", self.as_str())
+    }
+}
+
+impl fmt::Display for SpanName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for SpanName {
+    fn from(s: &str) -> SpanName {
+        SpanName::new(s)
+    }
+}
+
+impl Serialize for SpanName {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for SpanName {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::Str(s) => Ok(SpanName::new(s)),
+            _ => Err(serde::Error::custom("expected span-name string")),
+        }
+    }
+}
 
 /// A configurable unit of the modeled machine.
 ///
@@ -223,6 +297,28 @@ pub enum Event {
         /// Retired-instruction counter at the decision.
         instret: u64,
     },
+    /// A named harness span opened (see `Telemetry::span`). Spans nest by
+    /// begin/end pairing, like Chrome trace `B`/`E` events; the matching
+    /// wall-clock duration goes to the metrics registry only, never into
+    /// the event stream.
+    SpanBegin {
+        /// Span label (e.g. `wave` for fleet waves, `drive` for runs).
+        name: SpanName,
+        /// Cumulative retired instructions at entry (0 when the caller
+        /// has no architectural counter in scope).
+        instret: u64,
+        /// Cumulative cycles at entry (0 when unavailable).
+        cycle: u64,
+    },
+    /// The matching close of a [`Event::SpanBegin`] with the same name.
+    SpanEnd {
+        /// Span label, equal to the begin event's.
+        name: SpanName,
+        /// Cumulative retired instructions at exit.
+        instret: u64,
+        /// Cumulative cycles at exit.
+        cycle: u64,
+    },
 }
 
 /// Discriminant-only view of [`Event`], used for per-kind counters.
@@ -252,6 +348,10 @@ pub enum EventKind {
     PdmPredictHit,
     /// [`Event::PdmPredictMiss`]
     PdmPredictMiss,
+    /// [`Event::SpanBegin`]
+    SpanBegin,
+    /// [`Event::SpanEnd`]
+    SpanEnd,
 }
 
 impl EventKind {
@@ -269,6 +369,8 @@ impl EventKind {
         EventKind::StorePublish,
         EventKind::PdmPredictHit,
         EventKind::PdmPredictMiss,
+        EventKind::SpanBegin,
+        EventKind::SpanEnd,
     ];
 
     /// Stable index in `0..Event::NUM_KINDS`.
@@ -291,6 +393,8 @@ impl EventKind {
             EventKind::StorePublish => "StorePublish",
             EventKind::PdmPredictHit => "PdmPredictHit",
             EventKind::PdmPredictMiss => "PdmPredictMiss",
+            EventKind::SpanBegin => "SpanBegin",
+            EventKind::SpanEnd => "SpanEnd",
         }
     }
 
@@ -302,7 +406,7 @@ impl EventKind {
 
 impl Event {
     /// Number of event kinds (length of per-kind counter arrays).
-    pub const NUM_KINDS: usize = 12;
+    pub const NUM_KINDS: usize = 14;
 
     /// The discriminant of this event.
     pub fn kind(&self) -> EventKind {
@@ -319,6 +423,8 @@ impl Event {
             Event::StorePublish { .. } => EventKind::StorePublish,
             Event::PdmPredictHit { .. } => EventKind::PdmPredictHit,
             Event::PdmPredictMiss { .. } => EventKind::PdmPredictMiss,
+            Event::SpanBegin { .. } => EventKind::SpanBegin,
+            Event::SpanEnd { .. } => EventKind::SpanEnd,
         }
     }
 
@@ -336,7 +442,9 @@ impl Event {
             | Event::WarmStartMiss { instret, .. }
             | Event::StorePublish { instret, .. }
             | Event::PdmPredictHit { instret, .. }
-            | Event::PdmPredictMiss { instret, .. } => instret,
+            | Event::PdmPredictMiss { instret, .. }
+            | Event::SpanBegin { instret, .. }
+            | Event::SpanEnd { instret, .. } => instret,
             Event::Reconfigured { cycle, .. } => cycle,
         }
     }
@@ -355,7 +463,10 @@ impl Event {
             | Event::PdmPredictHit { scope, .. }
             | Event::PdmPredictMiss { scope, .. } => Some(scope),
             Event::IntervalSample { phase, .. } => Some(Scope::Phase { phase }),
-            Event::HotspotPromoted { .. } | Event::Reconfigured { .. } => None,
+            Event::HotspotPromoted { .. }
+            | Event::Reconfigured { .. }
+            | Event::SpanBegin { .. }
+            | Event::SpanEnd { .. } => None,
         }
     }
 
@@ -405,5 +516,39 @@ mod tests {
         assert_eq!(ev.kind(), EventKind::Reconfigured);
         assert_eq!(ev.kind().name(), "Reconfigured");
         assert_eq!(ev.timestamp(), 123);
+    }
+
+    #[test]
+    fn span_name_truncates_at_char_boundary() {
+        assert_eq!(SpanName::new("wave").as_str(), "wave");
+        let long = "x".repeat(SPAN_NAME_CAP + 10);
+        assert_eq!(SpanName::new(&long).as_str().len(), SPAN_NAME_CAP);
+        // A multi-byte char straddling the cap is dropped, not split.
+        let mut tricky = "y".repeat(SPAN_NAME_CAP - 1);
+        tricky.push('é'); // two bytes; byte SPAN_NAME_CAP is mid-char
+        assert_eq!(
+            SpanName::new(&tricky).as_str(),
+            "y".repeat(SPAN_NAME_CAP - 1)
+        );
+    }
+
+    #[test]
+    fn span_events_have_kinds_and_timestamps() {
+        let begin = Event::SpanBegin {
+            name: SpanName::new("wave"),
+            instret: 10,
+            cycle: 20,
+        };
+        let end = Event::SpanEnd {
+            name: SpanName::new("wave"),
+            instret: 30,
+            cycle: 60,
+        };
+        assert_eq!(begin.kind(), EventKind::SpanBegin);
+        assert_eq!(end.kind(), EventKind::SpanEnd);
+        assert_eq!(begin.timestamp(), 10);
+        assert_eq!(end.timestamp(), 30);
+        assert_eq!(begin.scope(), None);
+        assert_eq!(begin.ipc(), None);
     }
 }

@@ -54,13 +54,17 @@ mod event;
 mod metrics;
 mod ring;
 mod sink;
+mod snapshot;
 mod stream;
 
 pub use ace_sim::MAX_CUS;
-pub use event::{Cu, Event, EventKind, ReconfigCause, Scope};
+pub use event::{Cu, Event, EventKind, ReconfigCause, Scope, SpanName, SPAN_NAME_CAP};
 pub use metrics::{Counter, Gauge, Histogram, Metrics, ScopedTimer};
 pub use ring::RingBufferSink;
 pub use sink::{JsonlSink, MemorySink, NullSink, Sink};
+pub use snapshot::{
+    read_obs_jsonl, write_obs_jsonl, HistogramSnapshot, MetricsSnapshot, ObsRecord,
+};
 pub use stream::{read_events, EventStream, StreamError};
 
 use std::fmt;
@@ -68,6 +72,7 @@ use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 struct Inner {
     sink: Box<dyn Sink>,
@@ -177,6 +182,51 @@ impl Telemetry {
         self.inner.as_ref().map(|i| &i.metrics)
     }
 
+    /// Freezes the metrics registry into an ordered, serializable
+    /// [`MetricsSnapshot`]; empty when disabled.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics().map(Metrics::snapshot).unwrap_or_default()
+    }
+
+    /// Opens a named span with no architectural counters (both domains
+    /// read 0). Equivalent to `span_at(name, 0, 0)`.
+    ///
+    /// Zero-cost when disabled: no event, no string work, not even an
+    /// `Instant::now()` — the returned guard is a `None`.
+    pub fn span(&self, name: &str) -> Span {
+        self.span_at(name, 0, 0)
+    }
+
+    /// Opens a named span: emits [`Event::SpanBegin`] stamped with the
+    /// caller's cumulative `instret`/`cycle` counters and starts a
+    /// wall-clock timer on the side.
+    ///
+    /// Close it with [`Span::end_at`] (or drop it) to emit the matching
+    /// [`Event::SpanEnd`] and record the elapsed wall milliseconds into
+    /// the `span.<name>_ms` metrics histogram. Spans nest by begin/end
+    /// pairing; the wall duration never enters the event stream, so
+    /// traces stay deterministic.
+    pub fn span_at(&self, name: &str, instret: u64, cycle: u64) -> Span {
+        if !self.is_enabled() {
+            return Span { inner: None };
+        }
+        let span_name = SpanName::new(name);
+        self.emit(|| Event::SpanBegin {
+            name: span_name,
+            instret,
+            cycle,
+        });
+        Span {
+            inner: Some(SpanInner {
+                tel: self.clone(),
+                name: span_name,
+                begin_instret: instret,
+                begin_cycle: cycle,
+                start: Instant::now(),
+            }),
+        }
+    }
+
     /// How many events of `kind` have been emitted through this handle
     /// (and its clones). Zero when disabled.
     pub fn count(&self, kind: EventKind) -> u64 {
@@ -232,6 +282,78 @@ impl fmt::Debug for Telemetry {
     }
 }
 
+struct SpanInner {
+    tel: Telemetry,
+    name: SpanName,
+    begin_instret: u64,
+    begin_cycle: u64,
+    start: Instant,
+}
+
+/// Guard for an open span (see [`Telemetry::span_at`]).
+///
+/// Dropping it closes the span at the begin counters — fine for callers
+/// that only want the wall-clock histogram. Callers with live
+/// architectural counters should close explicitly with [`Span::end_at`]
+/// so the `SpanEnd` event carries real progress.
+#[derive(Debug)]
+#[must_use = "a span closes when this guard drops"]
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+impl fmt::Debug for SpanInner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SpanInner({:?})", self.name.as_str())
+    }
+}
+
+impl Span {
+    /// Closes the span at the counters it began with (a zero-length span
+    /// in both architectural domains; the wall duration is still real).
+    pub fn end(mut self) {
+        if let Some(inner) = self.inner.take() {
+            let (instret, cycle) = (inner.begin_instret, inner.begin_cycle);
+            Span::finish(inner, instret, cycle);
+        }
+    }
+
+    /// Closes the span, stamping [`Event::SpanEnd`] with the caller's
+    /// current cumulative counters and recording the elapsed wall
+    /// milliseconds into the `span.<name>_ms` histogram.
+    pub fn end_at(mut self, instret: u64, cycle: u64) {
+        if let Some(inner) = self.inner.take() {
+            Span::finish(inner, instret, cycle);
+        }
+    }
+
+    fn finish(inner: SpanInner, instret: u64, cycle: u64) {
+        let wall_ms = inner.start.elapsed().as_secs_f64() * 1e3;
+        inner.tel.emit(|| Event::SpanEnd {
+            name: inner.name,
+            instret,
+            cycle,
+        });
+        if let Some(metrics) = inner.tel.metrics() {
+            metrics
+                .histogram(
+                    &format!("span.{}_ms", inner.name.as_str()),
+                    &metrics::timer_bounds(),
+                )
+                .record(wall_ms);
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            let (instret, cycle) = (inner.begin_instret, inner.begin_cycle);
+            Span::finish(inner, instret, cycle);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -269,6 +391,55 @@ mod tests {
         let summary = tel.summary();
         assert!(summary.contains("TuningStarted"));
         assert!(summary.contains("TuningConverged"));
+    }
+
+    #[test]
+    fn spans_emit_paired_events_and_wall_histogram() {
+        let (tel, ring) = Telemetry::ring(16);
+        let outer = tel.span_at("wave", 100, 200);
+        let inner = tel.span("machine");
+        inner.end();
+        outer.end_at(500, 900);
+        let events = ring.snapshot();
+        assert_eq!(
+            events.iter().map(|e| e.kind()).collect::<Vec<_>>(),
+            vec![
+                EventKind::SpanBegin,
+                EventKind::SpanBegin,
+                EventKind::SpanEnd,
+                EventKind::SpanEnd
+            ]
+        );
+        match events[3] {
+            Event::SpanEnd {
+                name,
+                instret,
+                cycle,
+            } => {
+                assert_eq!(name.as_str(), "wave");
+                assert_eq!((instret, cycle), (500, 900));
+            }
+            ref other => panic!("expected SpanEnd, got {other:?}"),
+        }
+        let metrics = tel.metrics().unwrap();
+        assert_eq!(metrics.histogram("span.wave_ms", &[]).count(), 1);
+        assert_eq!(metrics.histogram("span.machine_ms", &[]).count(), 1);
+    }
+
+    #[test]
+    fn span_guard_drop_closes_and_disabled_span_is_inert() {
+        let (tel, ring) = Telemetry::ring(16);
+        {
+            let _span = tel.span("scoped");
+        }
+        assert_eq!(tel.count(EventKind::SpanBegin), 1);
+        assert_eq!(tel.count(EventKind::SpanEnd), 1);
+        assert_eq!(ring.snapshot().len(), 2);
+
+        let off = Telemetry::off();
+        let span = off.span("nothing");
+        span.end_at(1, 2);
+        assert_eq!(off.total_events(), 0);
     }
 
     #[test]

@@ -138,6 +138,17 @@ impl Histogram {
             .collect()
     }
 
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`, clamped) from the
+    /// bucket counts, interpolating linearly within the winning bucket.
+    ///
+    /// The first bucket interpolates from 0 (all recorded quantities here
+    /// are non-negative); a quantile landing in the overflow bucket
+    /// returns the last bound, the only finite value known for it. An
+    /// empty histogram returns 0.0.
+    pub fn quantile(&self, q: f64) -> f64 {
+        quantile_from(&self.0.bounds, &self.bucket_counts(), q)
+    }
+
     /// Adds another histogram's buckets, count, and sum into this one.
     /// Both histograms must share the same bounds.
     pub fn merge_from(&self, other: &Histogram) {
@@ -180,8 +191,43 @@ impl Drop for ScopedTimer {
     }
 }
 
+/// Shared quantile kernel over raw bucket counts, used by both the live
+/// [`Histogram`] and the frozen [`crate::HistogramSnapshot`].
+pub(crate) fn quantile_from(bounds: &[f64], buckets: &[u64], q: f64) -> f64 {
+    let count: u64 = buckets.iter().sum();
+    if count == 0 {
+        return 0.0;
+    }
+    let target = q.clamp(0.0, 1.0) * count as f64;
+    let mut below = 0u64;
+    for (i, &n) in buckets.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        let cum = below + n;
+        if cum as f64 >= target {
+            if i >= bounds.len() {
+                // Overflow bucket: the last bound is the only finite
+                // value we know; callers wanting better tails should
+                // widen their bounds.
+                return bounds.last().copied().unwrap_or(0.0);
+            }
+            let upper = bounds[i];
+            let lower = if i == 0 {
+                upper.min(0.0)
+            } else {
+                bounds[i - 1]
+            };
+            let frac = ((target - below as f64) / n as f64).clamp(0.0, 1.0);
+            return lower + (upper - lower) * frac;
+        }
+        below = cum;
+    }
+    bounds.last().copied().unwrap_or(0.0)
+}
+
 /// Default timer buckets: 0.01 ms to ~10 min, quarter-decade spacing.
-fn timer_bounds() -> Vec<f64> {
+pub(crate) fn timer_bounds() -> Vec<f64> {
     let mut out = Vec::new();
     let mut b = 0.01;
     while b < 1e6 {
@@ -284,6 +330,47 @@ impl Metrics {
         }
     }
 
+    /// Freezes the registry into an ordered, serializable
+    /// [`crate::MetricsSnapshot`].
+    pub fn snapshot(&self) -> crate::MetricsSnapshot {
+        let counters = self
+            .counters
+            .read()
+            .expect("metrics lock")
+            .iter()
+            .map(|(name, c)| (name.clone(), c.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .read()
+            .expect("metrics lock")
+            .iter()
+            .map(|(name, g)| (name.clone(), g.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .read()
+            .expect("metrics lock")
+            .iter()
+            .map(|(name, h)| {
+                (
+                    name.clone(),
+                    crate::HistogramSnapshot {
+                        bounds: h.bounds().to_vec(),
+                        buckets: h.bucket_counts(),
+                        count: h.count(),
+                        sum: h.sum(),
+                    },
+                )
+            })
+            .collect();
+        crate::MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
     /// Human-readable dump of every registered metric, sorted by name.
     pub fn summary(&self) -> String {
         let mut out = String::new();
@@ -347,6 +434,45 @@ mod tests {
         b.record(2.0);
         assert_eq!(a.bucket_counts(), vec![1, 1]);
         assert_eq!(b.bounds(), &[1.0]);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        let m = Metrics::default();
+        let h = m.histogram("q", &[10.0, 20.0, 40.0]);
+        // 10 samples in (10, 20]: uniform mass across the second bucket.
+        for _ in 0..10 {
+            h.record(15.0);
+        }
+        assert_eq!(h.quantile(0.0), 10.0); // lower edge of first occupied bucket
+        assert_eq!(h.quantile(0.5), 15.0); // midway through the bucket
+        assert_eq!(h.quantile(1.0), 20.0); // upper edge
+                                           // Spread across buckets: 5 in first (interpolated from 0), 5 in third.
+        let h2 = m.histogram("q2", &[10.0, 20.0, 40.0]);
+        for _ in 0..5 {
+            h2.record(5.0);
+            h2.record(30.0);
+        }
+        assert_eq!(h2.quantile(0.25), 5.0); // halfway into [0, 10]
+        assert_eq!(h2.quantile(0.5), 10.0); // exactly the first bucket edge
+        assert_eq!(h2.quantile(0.75), 30.0); // halfway into (20, 40]
+    }
+
+    #[test]
+    fn quantile_edge_cases_empty_and_overflow() {
+        let m = Metrics::default();
+        let empty = m.histogram("empty", &[1.0, 2.0]);
+        assert_eq!(empty.quantile(0.5), 0.0);
+        let h = m.histogram("over", &[1.0, 2.0]);
+        h.record(100.0); // overflow bucket only
+        assert_eq!(h.quantile(0.5), 2.0); // clamps to last bound
+        h.record(1.5);
+        // p100 still lands in overflow; p25 interpolates in (1, 2].
+        assert_eq!(h.quantile(1.0), 2.0);
+        assert_eq!(h.quantile(0.25), 1.5);
+        // Out-of-range q clamps instead of panicking.
+        assert_eq!(h.quantile(-1.0), h.quantile(0.0));
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
     }
 
     #[test]

@@ -169,6 +169,73 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_during_concurrent_wraparound_never_tears() {
+        // Capacity far below the write volume forces every slot through
+        // many laps while a reader snapshots continuously. The seqlock
+        // contract under test: a snapshot never returns a torn event and
+        // stays ordered oldest→newest by ticket within each pass.
+        const WRITERS: u64 = 4;
+        const PER_WRITER: u64 = 5_000;
+        let ring = Arc::new(RingBufferSink::new(32));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+        let writer_handles: Vec<_> = (0..WRITERS)
+            .map(|t| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..PER_WRITER {
+                        ring.record(&marker(t * PER_WRITER + i));
+                    }
+                })
+            })
+            .collect();
+
+        let reader = {
+            let ring = Arc::clone(&ring);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut snapshots = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let snap = ring.snapshot();
+                    assert!(snap.len() <= ring.capacity());
+                    for ev in &snap {
+                        // Only writer-produced markers may appear; a torn
+                        // read would produce an inconsistent payload.
+                        let v = method_of(ev);
+                        assert!(v < WRITERS * PER_WRITER, "torn event: {v}");
+                        match ev {
+                            Event::HotspotPromoted {
+                                method,
+                                invocations,
+                                instret,
+                            } => {
+                                assert_eq!(*method as u64, *invocations);
+                                assert_eq!(*invocations, *instret);
+                            }
+                            other => panic!("unexpected event {other:?}"),
+                        }
+                    }
+                    snapshots += 1;
+                }
+                snapshots
+            })
+        };
+
+        for h in writer_handles {
+            h.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        let snapshots = reader.join().unwrap();
+        assert!(snapshots > 0);
+        assert_eq!(ring.recorded(), WRITERS * PER_WRITER);
+
+        // Quiescent snapshot after full wraparound: exactly `capacity`
+        // events, all from the final lap window.
+        let final_snap = ring.snapshot();
+        assert_eq!(final_snap.len(), ring.capacity());
+    }
+
+    #[test]
     fn concurrent_writers_lose_nothing() {
         const THREADS: u64 = 4;
         const PER_THREAD: u64 = 2_000;

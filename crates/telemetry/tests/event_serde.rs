@@ -8,7 +8,7 @@
 //!   so an accidental field rename/reorder fails loudly instead of
 //!   silently orphaning existing traces.
 
-use ace_telemetry::{Cu, Event, EventKind, EventStream, ReconfigCause, Scope};
+use ace_telemetry::{Cu, Event, EventKind, EventStream, ReconfigCause, Scope, SpanName};
 use proptest::prelude::*;
 
 fn scope_from(tag: u8, id: u32) -> Scope {
@@ -30,7 +30,7 @@ fn build_event(
     epi_nj: f64,
     stable: bool,
 ) -> Event {
-    match kind % 12 {
+    match kind % 14 {
         0 => Event::HotspotPromoted {
             method: id,
             invocations: big,
@@ -102,10 +102,20 @@ fn build_event(
             trials_saved: id % 64,
             instret,
         },
-        _ => Event::PdmPredictMiss {
+        11 => Event::PdmPredictMiss {
             scope,
             distance: ipc,
             instret,
+        },
+        12 => Event::SpanBegin {
+            name: SpanName::new(if stable { "wave" } else { "drive" }),
+            instret,
+            cycle: big,
+        },
+        _ => Event::SpanEnd {
+            name: SpanName::new(if stable { "wave" } else { "drive" }),
+            instret,
+            cycle: big,
         },
     }
 }
@@ -115,7 +125,7 @@ proptest! {
 
     #[test]
     fn jsonl_encoding_round_trips_every_variant(
-        kind in 0u8..12,
+        kind in 0u8..14,
         scope_tag in 0u8..3,
         id in 0u32..1_000_000,
         big in 0u64..1_000_000_000_000,
@@ -250,6 +260,22 @@ fn fixtures() -> Vec<(Event, &'static str)> {
                 instret: 1600000,
             },
             r#"{"PdmPredictMiss":{"scope":{"Hotspot":{"method":7}},"distance":0.75,"instret":1600000}}"#,
+        ),
+        (
+            Event::SpanBegin {
+                name: SpanName::new("wave"),
+                instret: 1700000,
+                cycle: 3400000,
+            },
+            r#"{"SpanBegin":{"name":"wave","instret":1700000,"cycle":3400000}}"#,
+        ),
+        (
+            Event::SpanEnd {
+                name: SpanName::new("wave"),
+                instret: 1800000,
+                cycle: 3600000,
+            },
+            r#"{"SpanEnd":{"name":"wave","instret":1800000,"cycle":3600000}}"#,
         ),
     ]
 }

@@ -1,0 +1,73 @@
+//! Render-determinism goldens for the metrics registry.
+//!
+//! The obs layer's whole contract is that identical registries render to
+//! identical bytes: `Metrics` iterates `BTreeMap`s (name order), and the
+//! snapshot/Prometheus renderers preserve that. These fixtures pin the
+//! exact output so an accidental switch to an unordered map — or a
+//! format drift in either renderer — fails loudly. Registration order is
+//! deliberately scrambled relative to name order.
+
+use ace_telemetry::{Metrics, MetricsSnapshot};
+
+/// Builds a registry with metrics registered in non-alphabetical order.
+fn scrambled_registry() -> Metrics {
+    let m = Metrics::default();
+    m.gauge("fleet.hit_rate").set(0.9375);
+    m.counter("fleet.warm_hits").add(42);
+    let h = m.histogram("engine.job_wall_ms", &[1.0, 10.0, 100.0]);
+    h.record(5.0);
+    h.record(50.0);
+    h.record(500.0);
+    m.counter("engine.jobs").add(7);
+    m.gauge("fleet.machines_per_sec").set(1536.5);
+    m
+}
+
+const GOLDEN_SUMMARY: &str = "  counter   engine.jobs                      7
+  counter   fleet.warm_hits                  42
+  gauge     fleet.hit_rate                   0.9375
+  gauge     fleet.machines_per_sec           1536.5000
+  histogram engine.job_wall_ms               n=3 mean=185.000 sum=555.000
+";
+
+const GOLDEN_PROMETHEUS: &str = "\
+# TYPE ace_engine_jobs counter
+ace_engine_jobs 7
+# TYPE ace_fleet_warm_hits counter
+ace_fleet_warm_hits 42
+# TYPE ace_fleet_hit_rate gauge
+ace_fleet_hit_rate 0.9375
+# TYPE ace_fleet_machines_per_sec gauge
+ace_fleet_machines_per_sec 1536.5
+# TYPE ace_engine_job_wall_ms histogram
+ace_engine_job_wall_ms_bucket{le=\"1\"} 0
+ace_engine_job_wall_ms_bucket{le=\"10\"} 1
+ace_engine_job_wall_ms_bucket{le=\"100\"} 2
+ace_engine_job_wall_ms_bucket{le=\"+Inf\"} 3
+ace_engine_job_wall_ms_sum 555
+ace_engine_job_wall_ms_count 3
+";
+
+#[test]
+fn summary_render_is_pinned_to_name_order() {
+    assert_eq!(scrambled_registry().summary(), GOLDEN_SUMMARY);
+}
+
+#[test]
+fn prometheus_render_is_pinned_to_name_order() {
+    assert_eq!(
+        scrambled_registry().snapshot().render_prometheus(),
+        GOLDEN_PROMETHEUS
+    );
+}
+
+#[test]
+fn renders_are_stable_across_rebuilds_and_serde() {
+    let a = scrambled_registry().snapshot();
+    let b = scrambled_registry().snapshot();
+    assert_eq!(a, b);
+    assert_eq!(a.render_prometheus(), b.render_prometheus());
+    let json = serde_json::to_string(&a).unwrap();
+    let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.render_prometheus(), a.render_prometheus());
+}

@@ -334,6 +334,39 @@ impl WarmStartStats {
     }
 }
 
+/// One reconstructed harness span (a `SpanBegin`/`SpanEnd` pair), in
+/// close order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanSlice {
+    /// The span label.
+    pub name: String,
+    /// Nesting depth at begin time (0 = outermost).
+    pub depth: u32,
+    /// Retired-instruction counter at begin.
+    pub begin_instret: u64,
+    /// Cycle counter at begin.
+    pub begin_cycle: u64,
+    /// Retired-instruction counter at end.
+    pub end_instret: u64,
+    /// Cycle counter at end.
+    pub end_cycle: u64,
+    /// Whether the trace ended before the span closed (the end stamps
+    /// then repeat the begin stamps).
+    pub open: bool,
+}
+
+impl SpanSlice {
+    /// Instructions the span covered.
+    pub fn span_instr(&self) -> u64 {
+        self.end_instret.saturating_sub(self.begin_instret)
+    }
+
+    /// Cycles the span covered.
+    pub fn span_cycles(&self) -> u64 {
+        self.end_cycle.saturating_sub(self.begin_cycle)
+    }
+}
+
 /// The reconstructed view of one recorded run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Analysis {
@@ -359,6 +392,12 @@ pub struct Analysis {
     pub warm_start: WarmStartStats,
     /// Phase-distance-mapping prediction activity.
     pub pdm: PdmStats,
+    /// Completed harness spans, in close order (spans left open at the
+    /// end of the trace follow, flagged `open`, in begin order).
+    pub spans: Vec<SpanSlice>,
+    /// `SpanEnd` events with no matching open span — nonzero means a
+    /// truncated or interleaved trace.
+    pub span_mismatches: u64,
 }
 
 impl Analysis {
@@ -540,6 +579,11 @@ pub struct Analyzer {
     convergences: u64,
     warm_start: WarmStartStats,
     pdm: PdmStats,
+    /// Open spans: (name, begin_instret, begin_cycle); depth is the
+    /// stack position.
+    span_stack: Vec<(String, u64, u64)>,
+    spans: Vec<SpanSlice>,
+    span_mismatches: u64,
 }
 
 impl Default for Analyzer {
@@ -570,6 +614,9 @@ impl Analyzer {
             convergences: 0,
             warm_start: WarmStartStats::default(),
             pdm: PdmStats::default(),
+            span_stack: Vec::new(),
+            spans: Vec::new(),
+            span_mismatches: 0,
         }
     }
 
@@ -578,6 +625,11 @@ impl Analyzer {
         self.counts[event.kind().index()] += 1;
         match event {
             Event::Reconfigured { cycle, .. } => self.final_cycle = self.final_cycle.max(cycle),
+            // Span stamps come from the harness layer (a fleet wave's
+            // cumulative counters, say), not this run's machine, so they
+            // must not stretch the run's counter span or its residency
+            // attribution.
+            Event::SpanBegin { .. } | Event::SpanEnd { .. } => {}
             other => self.final_instret = self.final_instret.max(other.timestamp()),
         }
         match event {
@@ -725,6 +777,38 @@ impl Analyzer {
                 self.pdm.trials_saved += u64::from(trials_saved);
             }
             Event::PdmPredictMiss { .. } => self.pdm.misses += 1,
+            Event::SpanBegin {
+                name,
+                instret,
+                cycle,
+            } => {
+                self.span_stack
+                    .push((name.as_str().to_string(), instret, cycle));
+            }
+            Event::SpanEnd {
+                name,
+                instret,
+                cycle,
+            } => {
+                // Close the innermost open span with this name; an end
+                // with no matching begin is counted, not fatal.
+                let wanted = name.as_str();
+                match self.span_stack.iter().rposition(|(n, _, _)| n == wanted) {
+                    Some(pos) => {
+                        let (span_name, begin_instret, begin_cycle) = self.span_stack.remove(pos);
+                        self.spans.push(SpanSlice {
+                            name: span_name,
+                            depth: pos as u32,
+                            begin_instret,
+                            begin_cycle,
+                            end_instret: instret.max(begin_instret),
+                            end_cycle: cycle.max(begin_cycle),
+                            open: false,
+                        });
+                    }
+                    None => self.span_mismatches += 1,
+                }
+            }
         }
     }
 
@@ -751,6 +835,20 @@ impl Analyzer {
             state.attribute(final_cycle, final_instret);
             state.residency
         });
+        // Spans still open when the trace ends are reported as
+        // zero-progress slices, flagged `open`, in begin order.
+        let mut spans = self.spans;
+        for (depth, (name, begin_instret, begin_cycle)) in self.span_stack.into_iter().enumerate() {
+            spans.push(SpanSlice {
+                name,
+                depth: depth as u32,
+                begin_instret,
+                begin_cycle,
+                end_instret: begin_instret,
+                end_cycle: begin_cycle,
+                open: true,
+            });
+        }
         let headline = Headline {
             mean_interval_ipc: mean(self.sum_interval_ipc, self.intervals),
             mean_interval_epi_nj: mean(self.sum_interval_epi, self.intervals),
@@ -775,6 +873,8 @@ impl Analyzer {
             headline,
             warm_start: self.warm_start,
             pdm: self.pdm,
+            spans,
+            span_mismatches: self.span_mismatches,
         }
     }
 }
@@ -1017,6 +1117,56 @@ mod tests {
         assert_eq!(l2.level_mismatches, 1);
         // Attribution trusts the recorded `from` level.
         assert_eq!(l2.levels[2].cycles, 100);
+    }
+
+    #[test]
+    fn spans_nest_by_begin_end_pairing() {
+        use ace_telemetry::SpanName;
+        let events = vec![
+            Event::SpanBegin {
+                name: SpanName::new("pass"),
+                instret: 0,
+                cycle: 0,
+            },
+            Event::SpanBegin {
+                name: SpanName::new("wave"),
+                instret: 100,
+                cycle: 200,
+            },
+            Event::SpanEnd {
+                name: SpanName::new("wave"),
+                instret: 500,
+                cycle: 900,
+            },
+            Event::SpanBegin {
+                name: SpanName::new("wave"),
+                instret: 500,
+                cycle: 900,
+            },
+            // `pass` and the second `wave` stay open at end of trace.
+        ];
+        let analysis = Analysis::of(&events);
+        assert_eq!(analysis.spans.len(), 3);
+        let closed = &analysis.spans[0];
+        assert_eq!(closed.name, "wave");
+        assert_eq!(closed.depth, 1);
+        assert_eq!((closed.begin_instret, closed.end_instret), (100, 500));
+        assert_eq!(closed.span_cycles(), 700);
+        assert!(!closed.open);
+        assert!(analysis.spans[1..].iter().all(|s| s.open));
+        assert_eq!(analysis.spans[1].name, "pass");
+        assert_eq!(analysis.span_mismatches, 0);
+        // Span stamps never stretch the run's counter span.
+        assert_eq!(analysis.final_instret, 0);
+        assert_eq!(analysis.final_cycle, 0);
+
+        let orphan = Analysis::of(&[Event::SpanEnd {
+            name: SpanName::new("nope"),
+            instret: 1,
+            cycle: 2,
+        }]);
+        assert_eq!(orphan.span_mismatches, 1);
+        assert!(orphan.spans.is_empty());
     }
 
     #[test]

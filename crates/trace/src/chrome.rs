@@ -26,6 +26,8 @@ const PID_INSTRET: u64 = 1;
 const PID_CYCLE: u64 = 2;
 const TID_DO: u64 = 1;
 const TID_PHASES: u64 = 2;
+/// Harness spans render on this track in both domains.
+const TID_SPANS: u64 = 3;
 /// Scope tracks start here, one tid per scope in `Ord` order.
 const TID_SCOPE_BASE: u64 = 10;
 
@@ -116,6 +118,17 @@ pub fn chrome_trace(analysis: &Analysis) -> String {
             &format!("cu {}", cu.name()),
         ));
     }
+    // Span tracks (and their metadata) appear only in obs-instrumented
+    // traces, keeping pre-obs exports byte-identical.
+    if !analysis.spans.is_empty() {
+        events.push(meta("thread_name", PID_INSTRET, Some(TID_SPANS), "spans"));
+        events.push(meta(
+            "thread_name",
+            PID_CYCLE,
+            Some(TID_SPANS + 100),
+            "spans",
+        ));
+    }
 
     // --- instret domain: DO system promotions ---------------------------
     for p in &analysis.promotions {
@@ -193,6 +206,34 @@ pub fn chrome_trace(analysis: &Analysis) -> String {
                     ]),
                 ));
             }
+        }
+    }
+
+    // --- both domains: harness spans -------------------------------------
+    for span in &analysis.spans {
+        let args = obj(vec![
+            ("depth", Value::U64(u64::from(span.depth))),
+            ("open", Value::Bool(span.open)),
+        ]);
+        events.push(slice(
+            format!("span {}", span.name),
+            PID_INSTRET,
+            TID_SPANS,
+            span.begin_instret,
+            span.span_instr(),
+            args.clone(),
+        ));
+        // The cycle-domain copy only helps when the span actually carried
+        // cycle stamps.
+        if span.end_cycle > 0 {
+            events.push(slice(
+                format!("span {}", span.name),
+                PID_CYCLE,
+                TID_SPANS + 100,
+                span.begin_cycle,
+                span.span_cycles(),
+                args,
+            ));
         }
     }
 

@@ -22,7 +22,10 @@
 //!   (`ace trace chrome`),
 //! * [`diff::diff`] — run-to-run regression comparison with configurable
 //!   thresholds (`ace trace diff`), the core of the perf-baseline
-//!   pipeline.
+//!   pipeline,
+//! * [`obs`] — fleet observability streams: wave-over-wave metric
+//!   movement reports and obs-stream regression diffs
+//!   (`ace trace metrics`).
 //!
 //! Because telemetry events carry only architectural counters — never
 //! wall-clock time — every one of these outputs is byte-identical across
@@ -52,15 +55,17 @@
 pub mod analysis;
 pub mod chrome;
 pub mod diff;
+pub mod obs;
 pub mod reader;
 pub mod summary;
 
 pub use analysis::{
     Analysis, Analyzer, CuResidency, Episode, EpisodeOutcome, Headline, LevelResidency, PdmStats,
-    PhaseSegment, PhaseTimeline, Promotion, Reconfig, ScopeAnalysis, Trial, WarmStartStats,
-    NUM_LEVELS,
+    PhaseSegment, PhaseTimeline, Promotion, Reconfig, ScopeAnalysis, SpanSlice, Trial,
+    WarmStartStats, NUM_LEVELS,
 };
 pub use chrome::chrome_trace;
 pub use diff::{diff, DiffLine, DiffReport, DiffThresholds};
+pub use obs::{diff_obs, diff_obs_series, metrics_report, ObsSeries};
 pub use reader::{analyze_file, analyze_reader};
 pub use summary::{summarize, timeline};

@@ -112,6 +112,34 @@ pub fn summarize(analysis: &Analysis) -> String {
         );
     }
 
+    // Harness spans only appear in obs-instrumented traces; stay silent
+    // otherwise so pre-obs summaries are unchanged.
+    if !analysis.spans.is_empty() || analysis.span_mismatches > 0 {
+        let _ = writeln!(
+            out,
+            "harness spans: {} ({} mismatched ends)",
+            analysis.spans.len(),
+            analysis.span_mismatches
+        );
+        const MAX_SPANS: usize = 20;
+        for span in analysis.spans.iter().take(MAX_SPANS) {
+            let _ = writeln!(
+                out,
+                "  {:<16} depth {} instret {:>12}..{:<12} cycles {:>12}..{:<12}{}",
+                span.name,
+                span.depth,
+                span.begin_instret,
+                span.end_instret,
+                span.begin_cycle,
+                span.end_cycle,
+                if span.open { "  (open)" } else { "" }
+            );
+        }
+        if analysis.spans.len() > MAX_SPANS {
+            let _ = writeln!(out, "  ... and {} more", analysis.spans.len() - MAX_SPANS);
+        }
+    }
+
     let _ = writeln!(out, "configuration residency (cycles per level):");
     for cu in Cu::ALL {
         let res = &analysis.residency[cu.index()];

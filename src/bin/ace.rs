@@ -10,6 +10,7 @@
 //! ace trace timeline <trace.jsonl>           chronological episode/phase view
 //! ace trace chrome <trace.jsonl> [--out F]   export Chrome/Perfetto JSON
 //! ace trace diff <a.jsonl> <b.jsonl>         compare runs; nonzero on regression
+//! ace trace metrics <obs.jsonl>              obs time-series report / stream diff
 //! ace trace <workload> <file> [--limit N]    record a binary block trace
 //! ace replay <file>                          simulate a recorded trace
 //! ```
@@ -22,7 +23,9 @@ use ace::core::{
 use ace::energy::EnergyModel;
 use ace::sim::{record_trace, Block, BlockSource, Machine, MachineConfig, SizeLevel, TraceReader};
 use ace::telemetry::Telemetry;
-use ace::trace::{analyze_file, chrome_trace, diff, DiffThresholds};
+use ace::trace::{
+    analyze_file, chrome_trace, diff, diff_obs_series, metrics_report, DiffThresholds, ObsSeries,
+};
 use ace::workloads::{Executor, Program, PRESET_NAMES};
 use std::error::Error;
 use std::process::ExitCode;
@@ -63,6 +66,8 @@ fn print_usage() {
          ace trace chrome <trace.jsonl> [--out <file>]\n  \
          ace trace diff <a.jsonl> <b.jsonl> [--max-ipc-drop F] [--max-epi-rise F]\n            \
          [--max-count-delta F] [--max-residency-shift F] [--max-convergence-slowdown F]\n  \
+         ace trace metrics <obs.jsonl> [--pass P] [--from W] [--to W] [--top N]\n            \
+         [--against <baseline.jsonl>] [threshold flags as for diff]\n  \
          ace trace <workload> <file> [--limit N]\n  \
          ace replay <file>"
     );
@@ -227,6 +232,7 @@ fn cmd_trace(args: &[String]) -> Result<(), Box<dyn Error>> {
         Some("timeline") => return cmd_trace_timeline(&args[1..]),
         Some("chrome") => return cmd_trace_chrome(&args[1..]),
         Some("diff") => return cmd_trace_diff(&args[1..]),
+        Some("metrics") => return cmd_trace_metrics(&args[1..]),
         _ => {}
     }
     let name = args
@@ -304,6 +310,19 @@ fn cmd_trace_diff(args: &[String]) -> Result<(), Box<dyn Error>> {
     let usage = "usage: ace trace diff <a.jsonl> <b.jsonl> [--max-ipc-drop F] ...";
     let path_a = args.first().ok_or(usage)?;
     let path_b = args.get(1).ok_or(usage)?;
+    let thresholds = parse_thresholds(args)?;
+    let a = analyze_file(path_a).map_err(|e| format!("{path_a}: {e}"))?;
+    let b = analyze_file(path_b).map_err(|e| format!("{path_b}: {e}"))?;
+    let report = diff(&a, &b, &thresholds);
+    print!("{}", report.render());
+    if report.regressed() {
+        return Err(format!("{path_b} regressed against {path_a}").into());
+    }
+    Ok(())
+}
+
+/// Shared threshold-flag parsing for the diff-style subcommands.
+fn parse_thresholds(args: &[String]) -> Result<DiffThresholds, Box<dyn Error>> {
     let mut thresholds = DiffThresholds::default();
     for (flag, slot) in [
         ("--max-ipc-drop", &mut thresholds.max_ipc_drop),
@@ -321,14 +340,35 @@ fn cmd_trace_diff(args: &[String]) -> Result<(), Box<dyn Error>> {
                 .map_err(|e| format!("{flag} {value:?}: {e}"))?;
         }
     }
-    let a = analyze_file(path_a).map_err(|e| format!("{path_a}: {e}"))?;
-    let b = analyze_file(path_b).map_err(|e| format!("{path_b}: {e}"))?;
-    let report = diff(&a, &b, &thresholds);
-    print!("{}", report.render());
-    if report.regressed() {
-        return Err(format!("{path_b} regressed against {path_a}").into());
+    Ok(thresholds)
+}
+
+fn cmd_trace_metrics(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let usage = "usage: ace trace metrics <obs.jsonl> [--pass P] [--from W] [--to W] [--top N]\n            \
+                 [--against <baseline.jsonl>] [--max-ipc-drop F] [--max-epi-rise F] ...";
+    let path = args.first().ok_or(usage)?;
+    let series = ObsSeries::load(path)?;
+    let pass = flag_value(args, "--pass");
+    let pass = pass.as_deref();
+
+    if let Some(baseline_path) = flag_value(args, "--against") {
+        let baseline = ObsSeries::load(&baseline_path)?;
+        let thresholds = parse_thresholds(args)?;
+        let report = diff_obs_series(&baseline, &series, pass, &thresholds)?;
+        print!("{}", report.render());
+        if report.regressed() {
+            return Err(format!("{path} regressed against {baseline_path}").into());
+        }
+        return Ok(());
     }
-    Ok(())
+
+    let from = flag_value(args, "--from").map(|s| s.parse()).transpose()?;
+    let to = flag_value(args, "--to").map(|s| s.parse()).transpose()?;
+    let top: usize = flag_value(args, "--top")
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(10);
+    print_report(&metrics_report(&series, pass, from, to, top)?)
 }
 
 fn cmd_replay(args: &[String]) -> Result<(), Box<dyn Error>> {
