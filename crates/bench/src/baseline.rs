@@ -53,12 +53,15 @@ pub struct FleetMetrics {
 /// One timed unit of `run_all` work.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BenchEntry {
-    /// Entry kind: `"workload"`, `"experiment"`, or `"fleet"`. Readers
-    /// must ignore kinds they do not know.
+    /// Entry kind: `"workload"`, `"experiment"`, `"fleet"`, or
+    /// `"microbench"`. Readers must ignore kinds they do not know.
     pub kind: String,
     /// Workload preset or experiment name.
     pub name: String,
     /// Worker wall-clock in milliseconds (0 for cache hits).
+    /// `microbench` entries carry ns/iter here instead — the gate only
+    /// ever compares this field against the same entry in another run,
+    /// so the unit just has to be consistent per kind.
     pub wall_ms: f64,
     /// Whether the result came from the content-addressed cache.
     pub cached: bool,
@@ -179,6 +182,44 @@ impl BenchRun {
         serde_json::from_str(&data)
             .map_err(|e| crate::BenchError::msg(format!("{}: {e}", path.display())))
     }
+
+    /// Loads the JSONL stream the vendored criterion appends when
+    /// `ACE_MICROBENCH_JSON` is set (one
+    /// `{"name":"<group>/<bench>","ns_per_iter":N}` line per measured
+    /// benchmark) into a [`BenchRun`] of `"microbench"` entries, ns/iter
+    /// carried in `wall_ms`. The file is append-mode, so when a name
+    /// repeats (stale lines from an earlier `cargo bench`), the **last**
+    /// measurement wins.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or any line that is not a microbench record.
+    pub fn load_microbench_jsonl(path: impl AsRef<Path>) -> BenchResult<BenchRun> {
+        #[derive(Deserialize)]
+        struct MicrobenchRecord {
+            name: String,
+            ns_per_iter: f64,
+        }
+        let path = path.as_ref();
+        let data = std::fs::read_to_string(path)?;
+        let mut run = BenchRun::new(1);
+        for line in data.lines().filter(|l| !l.trim().is_empty()) {
+            let record: MicrobenchRecord = serde_json::from_str(line)
+                .map_err(|e| crate::BenchError::msg(format!("{}: {e}", path.display())))?;
+            match run.entries.iter_mut().find(|e| e.name == record.name) {
+                Some(entry) => entry.wall_ms = record.ns_per_iter,
+                None => run.entries.push(BenchEntry {
+                    kind: "microbench".to_string(),
+                    name: record.name,
+                    wall_ms: record.ns_per_iter,
+                    cached: false,
+                    headline: None,
+                    fleet: None,
+                }),
+            }
+        }
+        Ok(run)
+    }
 }
 
 /// One workload's wall-clock comparison between two baselines.
@@ -215,8 +256,8 @@ impl GateReport {
     }
 }
 
-/// Compares the headline-workload and fleet-pass wall-clocks of
-/// `current` against `baseline`, flagging any entry more than
+/// Compares the headline-workload, fleet-pass, and microbench timings
+/// of `current` against `baseline`, flagging any entry more than
 /// `threshold_pct` percent slower; fleet entries additionally gate on a
 /// machines/sec drop of the same magnitude. Cache-hit entries time
 /// nothing and are skipped, as are entries present on only one side;
@@ -230,7 +271,7 @@ pub fn gate_against_baseline(
     let gated = |run: &BenchRun| -> Vec<BenchEntry> {
         run.entries
             .iter()
-            .filter(|e| e.kind == "workload" || e.kind == "fleet")
+            .filter(|e| e.kind == "workload" || e.kind == "fleet" || e.kind == "microbench")
             .cloned()
             .collect()
     };
@@ -397,6 +438,46 @@ mod tests {
         let report = gate_against_baseline(&old_baseline, &fleet(10_000.0, 12.8), 25.0);
         assert!(!report.regressed());
         assert!(report.skipped.iter().any(|s| s.contains("fleet/smoke")));
+    }
+
+    #[test]
+    fn microbench_jsonl_loads_and_gates() {
+        let dir = std::env::temp_dir().join(format!("ace_bench_micro_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("micro.jsonl");
+        // Append-mode file with a stale first measurement of exec_block:
+        // the last line for a name must win.
+        std::fs::write(
+            &path,
+            concat!(
+                "{\"name\":\"exec_block/hits\",\"ns_per_iter\":120.0}\n",
+                "{\"name\":\"batch/lanes8\",\"ns_per_iter\":60.0}\n",
+                "{\"name\":\"exec_block/hits\",\"ns_per_iter\":100.0}\n",
+            ),
+        )
+        .unwrap();
+        let base = BenchRun::load_microbench_jsonl(&path).unwrap();
+        assert_eq!(base.entries.len(), 2);
+        assert!(base.entries.iter().all(|e| e.kind == "microbench"));
+        assert_eq!(base.entries[0].wall_ms, 100.0, "last measurement wins");
+
+        // 10% slower passes a 50% gate; 2x slower fails it.
+        let mut ok = base.clone();
+        ok.entries[0].wall_ms = 110.0;
+        assert!(!gate_against_baseline(&base, &ok, 50.0).regressed());
+        let mut slow = base.clone();
+        slow.entries[1].wall_ms = 125.0;
+        let report = gate_against_baseline(&base, &slow, 50.0);
+        assert!(report.regressed());
+        let flagged: Vec<&str> = report
+            .rows
+            .iter()
+            .filter(|r| r.regressed)
+            .map(|r| r.name.as_str())
+            .collect();
+        assert_eq!(flagged, vec!["batch/lanes8"]);
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! perf_gate <baseline.json> <current.json> [--threshold-pct <N>]
+//!           [--micro <baseline.jsonl> <current.jsonl>] [--micro-threshold-pct <N>]
 //! ```
 //!
 //! Only uncached `workload` and `fleet` entries gate (fleet entries also
@@ -12,41 +13,67 @@
 //! clocks are machine-dependent, so the default threshold (25 %) is
 //! deliberately loose — it catches order-of-magnitude slips and
 //! accidental de-optimization, not noise.
+//!
+//! `--micro` adds the microbench trajectory gate: both operands are
+//! `ACE_MICROBENCH_JSON` JSONL streams (see the vendored criterion), and
+//! each benchmark's ns/iter gates under its own, even looser threshold
+//! (default 50 %) — single-digit-nanosecond loops swing harder with host
+//! state than whole-workload walls do.
 
-use ace_bench::{gate_against_baseline, BenchRun};
+use ace_bench::{gate_against_baseline, BenchRun, GateReport};
 use std::process::ExitCode;
+
+const USAGE: &str = "usage: perf_gate <baseline.json> <current.json> [--threshold-pct <N>] \
+     [--micro <baseline.jsonl> <current.jsonl>] [--micro-threshold-pct <N>]";
 
 struct Args {
     baseline: String,
     current: String,
     threshold_pct: f64,
+    micro: Option<(String, String)>,
+    micro_threshold_pct: f64,
 }
 
 fn parse_args() -> Args {
     let mut positional = Vec::new();
     let mut threshold_pct = 25.0;
+    let mut micro = None;
+    let mut micro_threshold_pct = 50.0;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--threshold-pct" => {
+            "--threshold-pct" | "--micro-threshold-pct" => {
                 let value = it.next().and_then(|v| v.parse::<f64>().ok());
                 match value {
-                    Some(n) if n > 0.0 => threshold_pct = n,
+                    Some(n) if n > 0.0 => {
+                        if arg == "--threshold-pct" {
+                            threshold_pct = n;
+                        } else {
+                            micro_threshold_pct = n;
+                        }
+                    }
                     _ => {
-                        eprintln!("--threshold-pct requires a positive number");
+                        eprintln!("{arg} requires a positive number");
                         std::process::exit(2);
                     }
                 }
             }
+            "--micro" => match (it.next(), it.next()) {
+                (Some(base), Some(cur)) => micro = Some((base, cur)),
+                _ => {
+                    eprintln!("--micro requires two JSONL paths (baseline, current)");
+                    std::process::exit(2);
+                }
+            },
             "--help" | "-h" => {
-                println!("usage: perf_gate <baseline.json> <current.json> [--threshold-pct <N>]");
+                println!("{USAGE}");
                 std::process::exit(0);
             }
             other => positional.push(other.to_string()),
         }
     }
     if positional.len() != 2 {
-        eprintln!("usage: perf_gate <baseline.json> <current.json> [--threshold-pct <N>]");
+        eprintln!("{USAGE}");
         std::process::exit(2);
     }
     let mut it = positional.into_iter();
@@ -54,6 +81,28 @@ fn parse_args() -> Args {
         baseline: it.next().unwrap(),
         current: it.next().unwrap(),
         threshold_pct,
+        micro,
+        micro_threshold_pct,
+    }
+}
+
+fn print_report(report: &GateReport, label: &str) {
+    println!(
+        "{:<32} {:>12} {:>12} {:>8}  verdict",
+        label, "baseline", "current", "delta"
+    );
+    for row in &report.rows {
+        println!(
+            "{:<32} {:>12.1} {:>12.1} {:>+7.1}%  {}",
+            row.name,
+            row.baseline_ms,
+            row.current_ms,
+            row.delta_pct,
+            if row.regressed { "REGRESSED" } else { "ok" }
+        );
+    }
+    for s in &report.skipped {
+        println!("skipped: {s}");
     }
 }
 
@@ -79,24 +128,31 @@ fn main() -> ExitCode {
         "perf gate: threshold +{:.0}% (baseline jobs={}, current jobs={})",
         report.threshold_pct, baseline.jobs, current.jobs
     );
-    println!(
-        "{:<12} {:>12} {:>12} {:>8}  verdict",
-        "workload", "baseline ms", "current ms", "delta"
-    );
-    for row in &report.rows {
-        println!(
-            "{:<12} {:>12.1} {:>12.1} {:>+7.1}%  {}",
-            row.name,
-            row.baseline_ms,
-            row.current_ms,
-            row.delta_pct,
-            if row.regressed { "REGRESSED" } else { "ok" }
-        );
-    }
-    for s in &report.skipped {
-        println!("skipped: {s}");
-    }
-    if report.rows.is_empty() {
+    print_report(&report, "workload (ms)");
+
+    let micro_report = match &args.micro {
+        None => None,
+        Some((base_path, cur_path)) => {
+            let load = |path: &str| match BenchRun::load_microbench_jsonl(path) {
+                Ok(run) => Some(run),
+                Err(e) => {
+                    eprintln!("perf_gate: cannot load microbench stream: {e}");
+                    None
+                }
+            };
+            let (Some(micro_base), Some(micro_cur)) = (load(base_path), load(cur_path)) else {
+                return ExitCode::from(2);
+            };
+            let micro = gate_against_baseline(&micro_base, &micro_cur, args.micro_threshold_pct);
+            println!("\nmicrobench gate: threshold +{:.0}%", micro.threshold_pct);
+            print_report(&micro, "benchmark (ns/iter)");
+            Some(micro)
+        }
+    };
+
+    let comparable =
+        !report.rows.is_empty() || micro_report.as_ref().is_some_and(|m| !m.rows.is_empty());
+    if !comparable {
         println!("perf gate: nothing comparable — pass (vacuous)");
         return ExitCode::SUCCESS;
     }
@@ -104,6 +160,13 @@ fn main() -> ExitCode {
         eprintln!(
             "perf gate: FAIL — workload wall-clock regressed more than {:.0}%",
             report.threshold_pct
+        );
+        return ExitCode::FAILURE;
+    }
+    if micro_report.as_ref().is_some_and(GateReport::regressed) {
+        eprintln!(
+            "perf gate: FAIL — a microbench regressed more than {:.0}% ns/iter",
+            args.micro_threshold_pct
         );
         return ExitCode::FAILURE;
     }

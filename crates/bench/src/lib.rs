@@ -44,7 +44,9 @@ pub use baseline::{
 };
 pub use engine::{default_jobs, run_jobs, BenchError, BenchResult, Job, JobOutcome};
 
-use ace_core::{BbvReport, Experiment, HotspotReport, RunConfig, RunRecord, Scheme, SchemeExt};
+use ace_core::{
+    BbvReport, Experiment, HotspotReport, RunConfig, RunRecord, Scheme, SchemeExt, SchemeRun,
+};
 use ace_telemetry::Telemetry;
 use ace_workloads::PRESET_NAMES;
 use serde::{Deserialize, Serialize};
@@ -138,6 +140,7 @@ pub struct ExperimentSet {
     fresh: bool,
     telemetry: Telemetry,
     results_dir: Option<PathBuf>,
+    lanes: usize,
 }
 
 impl ExperimentSet {
@@ -160,7 +163,22 @@ impl ExperimentSet {
             fresh: false,
             telemetry: Telemetry::off(),
             results_dir: None,
+            lanes: 1,
         }
+    }
+
+    /// Groups up to `lanes` consecutive runs into one lane-batched job
+    /// ([`ace_core::run_batch`]): the runs advance round-robin through
+    /// one machine batch, overlapping their dependency chains on a
+    /// single core. Results, caches, and the telemetry event stream are
+    /// byte-identical to `lanes = 1` — each lane traces into its own
+    /// buffered child, absorbed in member order. Only the engine's
+    /// scheduling metrics (`engine.jobs`, wall histograms) see the
+    /// different job shape. Default 1 (scalar); values are clamped to at
+    /// least 1.
+    pub fn lanes(mut self, lanes: usize) -> ExperimentSet {
+        self.lanes = lanes.max(1);
+        self
     }
 
     /// Selects the schemes to run. [`SchemeResults`] records exactly the
@@ -252,9 +270,10 @@ impl ExperimentSet {
 
         let dir = self.results_dir.clone().unwrap_or_else(results_dir);
 
-        // Phase 1: resolve caches; collect jobs for the misses.
+        // Phase 1: resolve caches; collect (workload, scheme) runs for
+        // the misses, in submission order.
         let mut cached: Vec<Option<SchemeResults>> = Vec::with_capacity(self.presets.len());
-        let mut pool: Vec<Job<ace_core::SchemeRun>> = Vec::new();
+        let mut misses: Vec<(String, Scheme)> = Vec::new();
         for name in &self.presets {
             let path = dir.join(cache_file_name(name, &self.base));
             if !self.fresh {
@@ -265,23 +284,60 @@ impl ExperimentSet {
             }
             cached.push(None);
             for scheme in HEADLINE_SCHEMES {
-                let name = name.clone();
-                let base = self.base.clone();
-                pool.push(Job::new(format!("{name}/{}", scheme.name()), move |tel| {
-                    Ok(Experiment::preset(name)
-                        .config(base)
-                        .scheme(scheme)
-                        .telemetry(tel)
-                        .run_scheme()?)
-                }));
+                misses.push((name.clone(), scheme));
             }
         }
 
-        // Phase 2: fan out.
+        // Phase 2: fan out. Consecutive runs group into lane-batched
+        // jobs of up to `self.lanes` members (see [`ExperimentSet::lanes`]).
+        let groups: Vec<Vec<(String, Scheme)>> = misses
+            .chunks(self.lanes.max(1))
+            .map(<[(String, Scheme)]>::to_vec)
+            .collect();
+        let mut pool: Vec<Job<Vec<SchemeRun>>> = Vec::with_capacity(groups.len());
+        for group in &groups {
+            let key = match group.as_slice() {
+                [(name, scheme)] => format!("{name}/{}", scheme.name()),
+                _ => {
+                    let (first, last) = (&group[0], &group[group.len() - 1]);
+                    format!(
+                        "{}/{}..{}/{} [{} lanes]",
+                        first.0,
+                        first.1.name(),
+                        last.0,
+                        last.1.name(),
+                        group.len()
+                    )
+                }
+            };
+            let group = group.clone();
+            let base = self.base.clone();
+            pool.push(Job::new(key, move |tel| run_lane_group(&group, &base, tel)));
+        }
         let outcomes = run_jobs(pool, jobs, &self.telemetry);
 
+        // Flatten group outcomes back to one outcome per run, dividing
+        // each group's worker wall-clock evenly across its members.
+        let mut flat: Vec<(String, BenchResult<SchemeRun>, Duration)> =
+            Vec::with_capacity(misses.len());
+        for (group, outcome) in groups.iter().zip(outcomes) {
+            let share = outcome.wall / group.len().max(1) as u32;
+            match outcome.result {
+                Ok(runs) => {
+                    for ((name, scheme), run) in group.iter().zip(runs) {
+                        flat.push((format!("{name}/{}", scheme.name()), Ok(run), share));
+                    }
+                }
+                Err(e) => {
+                    for (name, scheme) in group {
+                        flat.push((format!("{name}/{}", scheme.name()), Err(e.clone()), share));
+                    }
+                }
+            }
+        }
+
         // Phase 3: merge in preset order; write caches; aggregate errors.
-        let mut outcomes = outcomes.into_iter();
+        let mut outcomes = flat.into_iter();
         let mut results = Vec::with_capacity(self.presets.len());
         let mut failures: Vec<String> = Vec::new();
         for (name, hit) in self.presets.iter().zip(cached) {
@@ -296,11 +352,11 @@ impl ExperimentSet {
             let mut runs = Vec::with_capacity(HEADLINE_SCHEMES.len());
             let mut wall = Duration::ZERO;
             for _ in HEADLINE_SCHEMES {
-                let outcome = outcomes.next().expect("one outcome per job");
-                wall += outcome.wall;
-                match outcome.result {
+                let (key, result, run_wall) = outcomes.next().expect("one outcome per run");
+                wall += run_wall;
+                match result {
                     Ok(run) => runs.push(run),
-                    Err(e) => failures.push(format!("{}: {e}", outcome.key)),
+                    Err(e) => failures.push(format!("{key}: {e}")),
                 }
             }
             if runs.len() != HEADLINE_SCHEMES.len() {
@@ -338,6 +394,51 @@ impl ExperimentSet {
         }
         Ok(results)
     }
+}
+
+/// Runs one lane group inside an engine job. A single member runs
+/// scalar; two or more advance round-robin through the lane-batched
+/// driver ([`Experiment::run_scheme_batch`]). Each lane traces into its
+/// own buffered telemetry child, absorbed into the job's handle in
+/// member order, so the event stream the parent sees is byte-identical
+/// to the same runs executed scalar.
+fn run_lane_group(
+    group: &[(String, Scheme)],
+    base: &RunConfig,
+    tel: &Telemetry,
+) -> BenchResult<Vec<SchemeRun>> {
+    let experiment = |name: &str, scheme: Scheme, t: &Telemetry| {
+        Experiment::preset(name)
+            .config(base.clone())
+            .scheme(scheme)
+            .telemetry(t)
+    };
+    if let [(name, scheme)] = group {
+        return Ok(vec![experiment(name, *scheme, tel).run_scheme()?]);
+    }
+    let lanes: Vec<_> = group
+        .iter()
+        .map(|_| {
+            if tel.is_enabled() {
+                let (child, sink) = Telemetry::buffered();
+                (child, Some(sink))
+            } else {
+                (Telemetry::off(), None)
+            }
+        })
+        .collect();
+    let runs = Experiment::run_scheme_batch(
+        group
+            .iter()
+            .zip(&lanes)
+            .map(|((name, scheme), (child, _))| experiment(name, *scheme, child))
+            .collect(),
+    )?;
+    for (child, sink) in &lanes {
+        let events = sink.as_ref().map(|s| s.drain()).unwrap_or_default();
+        tel.absorb_child(child, &events);
+    }
+    Ok(runs)
 }
 
 /// Directory where cached results live: the `ACE_RESULTS_DIR` env var, or

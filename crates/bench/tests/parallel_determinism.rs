@@ -82,6 +82,53 @@ fn parallel_runs_are_byte_identical_to_serial() {
     let _ = std::fs::remove_dir_all(&parallel_dir);
 }
 
+/// Lane-batched headline runs reproduce scalar stepping exactly: the
+/// results, the cache files, and the *full telemetry event stream*
+/// (content and order — each lane traces into a buffered child absorbed
+/// in member order, and groups merge in submission order).
+#[test]
+fn lane_batched_runs_are_byte_identical_to_scalar() {
+    let run_at = |jobs: usize, lanes: usize, tag: &str| {
+        let dir = temp_dir(tag);
+        let (telemetry, sink) = Telemetry::buffered();
+        let results = ExperimentSet::presets(PRESETS)
+            .config(limited())
+            .lanes(lanes)
+            .telemetry(&telemetry)
+            .results_dir(dir.clone())
+            .run_parallel(jobs)
+            .expect("headline trio over three presets");
+        let json = serde_json::to_string(&results).unwrap();
+        let events: Vec<String> = sink
+            .drain()
+            .iter()
+            .map(|e| serde_json::to_string(e).unwrap())
+            .collect();
+        let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| {
+                let e = e.unwrap();
+                (
+                    e.file_name().into_string().unwrap(),
+                    std::fs::read(e.path()).unwrap(),
+                )
+            })
+            .collect();
+        files.sort();
+        let _ = std::fs::remove_dir_all(&dir);
+        (json, events, files)
+    };
+    let scalar = run_at(1, 1, "lanes_scalar");
+    assert!(!scalar.1.is_empty(), "the runs must emit telemetry");
+    for (jobs, lanes) in [(1usize, 4usize), (4, 4)] {
+        let other = run_at(jobs, lanes, &format!("lanes_{jobs}_{lanes}"));
+        let at = format!("jobs={jobs} lanes={lanes}");
+        assert_eq!(scalar.0, other.0, "results differ at {at}");
+        assert_eq!(scalar.1, other.1, "telemetry event stream differs at {at}");
+        assert_eq!(scalar.2, other.2, "cache files differ at {at}");
+    }
+}
+
 #[test]
 fn second_run_hits_the_cache_and_skips_all_work() {
     let dir = temp_dir("cache_hit");

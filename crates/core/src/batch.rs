@@ -1,0 +1,228 @@
+//! Lane-batched run driver: several independent runs advance round-robin
+//! through one [`ace_sim::MachineBatch`], overlapping their dependency
+//! chains on a single core.
+//!
+//! Each lane is a complete run — its own program, executor, DO system,
+//! manager, and telemetry handle — exactly as [`crate::Experiment`] would
+//! run it scalar. The driver advances every live lane by one executor
+//! step per round: a plain block retires immediately on that lane's
+//! machine, and method enter/exit events, manager decisions, and resizes
+//! (the reconfig boundaries) are handled on that lane alone. Rotating
+//! lanes at block granularity breaks the loop-carried dependency chain a
+//! single run would have between consecutive blocks, which is where the
+//! batched throughput win comes from (see `ace_sim::MachineBatch`). Per
+//! lane, the sequence of operations is identical to the scalar driver,
+//! and lanes share no state — so the records, counters, and per-lane
+//! telemetry streams are byte-identical to N scalar runs. The
+//! differential tests in `crates/sim/tests/batch_equivalence.rs` pin
+//! that equivalence.
+
+use crate::driver::{publish_walk_profile, RunConfig, RunRecord};
+use crate::manager::AceManager;
+use ace_runtime::DoSystem;
+use ace_sim::{Block, ConfigError, Machine, MachineBatch};
+use ace_workloads::{Executor, Program, Step};
+
+/// One lane of a batched run: a program, its run configuration, and the
+/// manager driving it. The manager is borrowed so callers can consult it
+/// afterwards (scheme reports, warm-start state).
+pub struct BatchLane<'a> {
+    /// The workload program.
+    pub program: &'a Program,
+    /// Run parameters. Each lane carries its own telemetry handle;
+    /// batching never interleaves events across lanes' handles.
+    pub cfg: RunConfig,
+    /// The ACE manager for this lane.
+    pub manager: &'a mut dyn AceManager,
+}
+
+/// Per-lane driver state alongside the machine living in the batch.
+struct LaneState<'a> {
+    dos: DoSystem<'a>,
+    exec: Executor<'a>,
+    buf: Block,
+    entry_stack: Vec<u64>,
+}
+
+/// Runs every lane to completion, batching block execution across lanes,
+/// and returns one [`RunRecord`] per lane in input order. Equivalent to
+/// running each lane through the scalar driver on its own.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] if any lane's machine configuration is
+/// invalid; no lane runs in that case.
+pub fn run_batch(mut lanes: Vec<BatchLane<'_>>) -> Result<Vec<RunRecord>, ConfigError> {
+    // Validate every configuration before any lane starts.
+    let machines = lanes
+        .iter()
+        .map(|lane| Machine::new(lane.cfg.machine.clone()))
+        .collect::<Result<Vec<_>, _>>()?;
+    let mut batch = MachineBatch::new(machines);
+
+    let n = lanes.len();
+    let mut states: Vec<LaneState<'_>> = Vec::with_capacity(n);
+    let mut timers: Vec<Option<ace_telemetry::ScopedTimer>> = Vec::with_capacity(n);
+    for (i, lane) in lanes.iter_mut().enumerate() {
+        let mut dos = DoSystem::new(lane.program, lane.cfg.do_config.clone());
+        dos.set_telemetry(lane.cfg.telemetry.clone());
+        lane.manager.set_telemetry(lane.cfg.telemetry.clone());
+        timers.push(lane.cfg.telemetry.metrics().map(|m| m.timer("run_wall_ms")));
+        let mut exec = match lane.cfg.workload_seed {
+            Some(seed) => Executor::with_seed(lane.program, seed),
+            None => Executor::new(lane.program),
+        };
+        if let Some(limit) = lane.cfg.instruction_limit {
+            exec.set_instruction_limit(limit);
+        }
+        lane.manager.on_start(batch.lane_mut(i));
+        states.push(LaneState {
+            dos,
+            exec,
+            buf: Block::with_capacity(64),
+            entry_stack: Vec::with_capacity(64),
+        });
+    }
+
+    let mut records: Vec<Option<RunRecord>> = (0..n).map(|_| None).collect();
+    let mut active: Vec<usize> = (0..n).collect();
+    while !active.is_empty() {
+        // One executor step per live lane, retiring each lane's block
+        // before the rotation moves on. Boundary events (enter/exit,
+        // completion) are handled on that lane alone — the divergence
+        // rule.
+        let mut i = 0;
+        while i < active.len() {
+            let lane = active[i];
+            let st = &mut states[lane];
+            match st.exec.step(&mut st.buf) {
+                Step::Block => {
+                    let machine = batch.lane_mut(lane);
+                    machine.exec_block(&st.buf);
+                    lanes[lane].manager.on_block(&st.buf, machine);
+                    i += 1;
+                }
+                Step::Enter(m) => {
+                    let machine = batch.lane_mut(lane);
+                    let mgr = &mut *lanes[lane].manager;
+                    st.entry_stack.push(machine.instret());
+                    mgr.on_method_enter(m, machine);
+                    let event = st.dos.on_enter(m, machine);
+                    mgr.on_event(event, machine);
+                    i += 1;
+                }
+                Step::Exit(m) => {
+                    let machine = batch.lane_mut(lane);
+                    let mgr = &mut *lanes[lane].manager;
+                    let entered = st.entry_stack.pop().unwrap_or(0);
+                    mgr.on_method_exit(m, machine.instret() - entered, machine);
+                    let event = st.dos.on_exit(m, machine);
+                    mgr.on_event(event, machine);
+                    i += 1;
+                }
+                Step::Done => {
+                    let machine = batch.lane_mut(lane);
+                    lanes[lane].manager.on_finish(machine);
+                    publish_walk_profile(&lanes[lane].cfg.telemetry, st.exec.walk_profile());
+                    let counters = machine.counters().clone();
+                    records[lane] = Some(RunRecord {
+                        workload: lanes[lane].program.name().to_string(),
+                        instret: counters.instret,
+                        cycles: counters.cycles,
+                        ipc: counters.ipc(),
+                        energy: lanes[lane].cfg.energy.breakdown(&counters),
+                        table4: st.dos.table4_summary(counters.instret),
+                        do_stats: *st.dos.stats(),
+                        counters,
+                    });
+                    timers[lane] = None; // stop this lane's wall timer
+                    active.remove(i);
+                }
+            }
+        }
+    }
+
+    Ok(records
+        .into_iter()
+        .map(|r| r.expect("every lane ran to completion"))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::run_with_manager_impl;
+    use crate::manager::NullManager;
+    use crate::{Experiment, Scheme};
+
+    fn cfg(limit: u64) -> RunConfig {
+        RunConfig {
+            instruction_limit: Some(limit),
+            ..RunConfig::default()
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        assert!(run_batch(Vec::new()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn batched_lanes_match_scalar_runs() {
+        let programs: Vec<_> = ["db", "jess", "compress"]
+            .iter()
+            .map(|n| ace_workloads::preset(n).unwrap())
+            .collect();
+        let scalar: Vec<RunRecord> = programs
+            .iter()
+            .map(|p| run_with_manager_impl(p, &cfg(2_000_000), &mut NullManager).unwrap())
+            .collect();
+
+        let mut managers = [NullManager, NullManager, NullManager];
+        let lanes: Vec<BatchLane<'_>> = programs
+            .iter()
+            .zip(managers.iter_mut())
+            .map(|(p, m)| BatchLane {
+                program: p,
+                cfg: cfg(2_000_000),
+                manager: m,
+            })
+            .collect();
+        let batched = run_batch(lanes).unwrap();
+        for (s, b) in scalar.iter().zip(&batched) {
+            assert_eq!(s.workload, b.workload);
+            assert_eq!(s.counters, b.counters, "{} diverged", s.workload);
+            assert_eq!(s.instret, b.instret);
+            assert_eq!(s.cycles, b.cycles);
+        }
+    }
+
+    #[test]
+    fn adaptive_managers_resize_identically_in_a_batch() {
+        // Managers issue resizes (reconfig boundaries) — the divergence
+        // rule routes those through the scalar path per lane.
+        let scalar: Vec<_> = ["javac", "db"]
+            .iter()
+            .map(|n| {
+                Experiment::preset(*n)
+                    .scheme(Scheme::Hotspot)
+                    .instruction_limit(3_000_000)
+                    .run_scheme()
+                    .unwrap()
+            })
+            .collect();
+        let batched = Experiment::run_scheme_batch(vec![
+            Experiment::preset("javac")
+                .scheme(Scheme::Hotspot)
+                .instruction_limit(3_000_000),
+            Experiment::preset("db")
+                .scheme(Scheme::Hotspot)
+                .instruction_limit(3_000_000),
+        ])
+        .unwrap();
+        for (s, b) in scalar.iter().zip(&batched) {
+            assert_eq!(s.record.counters, b.record.counters);
+            assert_eq!(s.report, b.report);
+        }
+    }
+}

@@ -75,6 +75,22 @@ impl RunRecord {
     }
 }
 
+/// Publishes the executor's per-walk-kind block counts as metrics
+/// counters (`workload.walk_blocks.<kind>`). The same profile drives the
+/// hot-first ordering of the walk dispatch in `ace_workloads::Executor`;
+/// exporting it makes the measured mix inspectable from any metrics dump.
+pub(crate) fn publish_walk_profile(telemetry: &Telemetry, profile: [u64; 4]) {
+    if let Some(metrics) = telemetry.metrics() {
+        for (name, count) in ace_workloads::WALK_KIND_NAMES.iter().zip(profile) {
+            if count > 0 {
+                metrics
+                    .counter(&format!("workload.walk_blocks.{name}"))
+                    .add(count);
+            }
+        }
+    }
+}
+
 fn saving(ours: f64, base: f64) -> f64 {
     if base <= 0.0 {
         0.0
@@ -156,6 +172,7 @@ pub(crate) fn run_with_manager_impl<M: AceManager + ?Sized>(
         }
     }
     manager.on_finish(&mut machine);
+    publish_walk_profile(&cfg.telemetry, exec.walk_profile());
 
     let counters = machine.counters().clone();
     Ok(RunRecord {
@@ -257,6 +274,7 @@ pub(crate) fn run_threaded_impl<M: AceManager + ?Sized>(
         }
     }
     manager.on_finish(&mut machine);
+    publish_walk_profile(&cfg.telemetry, mt.walk_profile());
 
     let counters = machine.counters().clone();
     Ok(RunRecord {

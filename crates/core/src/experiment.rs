@@ -310,6 +310,96 @@ impl Experiment {
         })
     }
 
+    /// Runs several experiments to completion through the lane-batched
+    /// driver ([`crate::run_batch`]) and returns their [`SchemeRun`]s in
+    /// input order. Results are byte-identical to calling
+    /// [`Experiment::run_scheme`] on each experiment separately; the
+    /// batched schedule only overlaps the lanes' independent dependency
+    /// chains. Threaded experiments cannot share the block-level batch
+    /// and run scalar within the same call.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first experiment that fails to resolve (unknown
+    /// workload or scheme, invalid machine configuration); no lane runs
+    /// in that case.
+    pub fn run_scheme_batch(
+        experiments: Vec<Experiment>,
+    ) -> Result<Vec<SchemeRun>, ExperimentError> {
+        struct Prepared {
+            program: Program,
+            cfg: RunConfig,
+            manager: Box<dyn crate::SchemeManager>,
+            scheme_name: String,
+            threading: Option<(Vec<MethodId>, u64)>,
+        }
+        let mut prepared = Vec::with_capacity(experiments.len());
+        for e in experiments {
+            let program = e.resolve()?;
+            let scheme = e
+                .scheme
+                .resolve(&e.registry)
+                .ok_or_else(|| ExperimentError::UnknownScheme(e.scheme.id()))?;
+            let manager = scheme.build(&SchemeCtx {
+                program: &program,
+                model: e.model,
+            });
+            prepared.push(Prepared {
+                program,
+                cfg: e.cfg,
+                manager,
+                scheme_name: scheme.name().to_string(),
+                threading: e.threading,
+            });
+        }
+
+        // Threaded lanes cannot join the block batch: run them scalar.
+        let mut records: Vec<Option<RunRecord>> = (0..prepared.len()).map(|_| None).collect();
+        for (i, p) in prepared.iter_mut().enumerate() {
+            if let Some((entries, quantum)) = &p.threading {
+                records[i] = Some(run_threaded_impl(
+                    &p.program,
+                    entries,
+                    *quantum,
+                    &p.cfg,
+                    &mut *p.manager,
+                )?);
+            }
+        }
+        let lanes: Vec<crate::BatchLane<'_>> = prepared
+            .iter_mut()
+            .filter(|p| p.threading.is_none())
+            .map(|p| crate::BatchLane {
+                program: &p.program,
+                cfg: p.cfg.clone(),
+                manager: &mut *p.manager,
+            })
+            .collect();
+        let mut batched = crate::run_batch(lanes)?.into_iter();
+        for (i, p) in prepared.iter().enumerate() {
+            if p.threading.is_none() {
+                records[i] = Some(batched.next().expect("one record per lane"));
+            }
+        }
+
+        Ok(prepared
+            .into_iter()
+            .zip(records)
+            .map(|(p, record)| {
+                let record = record.expect("every lane produced a record");
+                let report = p.manager.scheme_report(&record);
+                if let Some(metrics) = p.cfg.telemetry.metrics() {
+                    report.record_metrics(metrics);
+                }
+                SchemeRun {
+                    scheme: p.scheme_name,
+                    record,
+                    report,
+                }
+            })
+            .collect())
+    }
+
     /// Runs under a caller-supplied manager, ignoring the selected scheme
     /// — the escape hatch for ablations that perturb manager
     /// configurations.

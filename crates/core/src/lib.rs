@@ -43,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod bbv_mgr;
 mod cu;
 mod driver;
@@ -56,6 +57,7 @@ mod scheme;
 mod tuner;
 mod warm;
 
+pub use batch::{run_batch, BatchLane};
 pub use bbv_mgr::{BbvAceManager, BbvManagerConfig, BbvReport};
 pub use cu::{combined_list, single_cu_list, AceConfig};
 #[allow(deprecated)]

@@ -68,6 +68,55 @@ fn fleet_is_byte_identical_across_worker_counts() {
     assert_eq!(serial.4, parallel.4, "final store differs across widths");
 }
 
+/// The lane-batching determinism matrix. The smoke shape cycles 7
+/// presets, so at `wave_size <= 7` every preset-affine bucket is a
+/// singleton and multi-lane groups never form; this shape runs 2
+/// presets in waves of 8 so each wave builds two 4-machine affine
+/// groups. Everything observable — both pass fingerprints, the report,
+/// the final store, and the full telemetry *event stream* (order
+/// included, since the wave merge absorbs lanes in machine-index
+/// order) — must be byte-identical across jobs x lanes.
+#[test]
+fn fleet_is_byte_identical_across_lane_counts() {
+    let run_at = |jobs: usize, lanes: usize| {
+        let mut cfg = test_config();
+        cfg.presets = vec!["db".into(), "compress".into()];
+        cfg.machines = 16;
+        cfg.wave_size = 8;
+        cfg.admit_limit = 8;
+        cfg.instruction_limit = 400_000;
+        cfg.lanes = lanes;
+        let (tel, sink) = Telemetry::buffered();
+        let mut store = memory_store();
+        let cold = run_fleet(&cfg, &mut store, jobs, &tel).expect("cold pass");
+        let warm = run_fleet(&cfg, &mut store, jobs, &tel).expect("warm pass");
+        let report = render_report(&cfg, &cold, &warm, &store);
+        let events: Vec<String> = sink
+            .drain()
+            .iter()
+            .map(|e| serde_json::to_string(e).expect("event serializes"))
+            .collect();
+        (
+            fingerprint(&cold),
+            fingerprint(&warm),
+            report,
+            events,
+            store.entries_sorted(),
+        )
+    };
+    let base = run_at(1, 1);
+    assert!(!base.3.is_empty(), "the traced fleet must emit events");
+    for (jobs, lanes) in [(1usize, 4usize), (8, 1), (8, 4)] {
+        let other = run_at(jobs, lanes);
+        let at = format!("jobs={jobs} lanes={lanes}");
+        assert_eq!(base.0, other.0, "cold pass differs at {at}");
+        assert_eq!(base.1, other.1, "warm pass differs at {at}");
+        assert_eq!(base.2, other.2, "report text differs at {at}");
+        assert_eq!(base.3, other.3, "telemetry event stream differs at {at}");
+        assert_eq!(base.4, other.4, "final store differs at {at}");
+    }
+}
+
 #[test]
 fn warm_fleet_tunes_measurably_less_than_cold() {
     let cfg = test_config();

@@ -18,9 +18,15 @@ fn test_config() -> FleetConfig {
 }
 
 /// Runs a cold + warm pass with samplers attached and returns the
-/// serialized obs stream plus the watchdog reports.
-fn observed_run(jobs: usize) -> (Vec<u8>, String, String) {
-    let cfg = test_config();
+/// serialized obs stream plus the watchdog reports. `lanes` picks the
+/// lane-batched stepping width; the config doubles up presets so waves
+/// contain same-preset machines and preset-affine lane groups actually
+/// form (with the smoke preset's 7-way cycle every bucket would be a
+/// singleton at this wave size).
+fn observed_run(jobs: usize, lanes: usize) -> (Vec<u8>, String, String) {
+    let mut cfg = test_config();
+    cfg.presets = vec!["db".into(), "jess".into()];
+    cfg.lanes = lanes;
     let tel = Telemetry::counting();
     let mut store = TuningStore::in_memory(fleet_registry_version(), TuningStore::DEFAULT_CAPACITY);
     let mut cold_obs = ObsSampler::new("cold");
@@ -40,17 +46,19 @@ fn observed_run(jobs: usize) -> (Vec<u8>, String, String) {
 }
 
 #[test]
-fn obs_stream_is_byte_identical_across_worker_counts() {
-    let serial = observed_run(1);
-    let parallel = observed_run(4);
-
-    assert_eq!(
-        String::from_utf8_lossy(&serial.0),
-        String::from_utf8_lossy(&parallel.0),
-        "obs JSONL must not depend on --jobs"
-    );
-    assert_eq!(serial.1, parallel.1, "cold watchdog report differs");
-    assert_eq!(serial.2, parallel.2, "warm watchdog report differs");
+fn obs_stream_is_byte_identical_across_worker_and_lane_counts() {
+    let serial = observed_run(1, 1);
+    for (jobs, lanes) in [(4usize, 1usize), (1, 4), (4, 4)] {
+        let other = observed_run(jobs, lanes);
+        let at = format!("jobs={jobs} lanes={lanes}");
+        assert_eq!(
+            String::from_utf8_lossy(&serial.0),
+            String::from_utf8_lossy(&other.0),
+            "obs JSONL must not depend on --jobs or --lanes ({at})"
+        );
+        assert_eq!(serial.1, other.1, "cold watchdog report differs at {at}");
+        assert_eq!(serial.2, other.2, "warm watchdog report differs at {at}");
+    }
 
     // Sanity: both passes actually sampled (two waves each).
     let waves = String::from_utf8_lossy(&serial.0).lines().count();

@@ -165,24 +165,24 @@ pub struct Cache {
     /// Packed per-line metadata: `tag << 2 | dirty << 1 | valid`, indexed
     /// `set * ways + way`. Storage covers the *maximum* set count; only the
     /// first `sets * ways` entries are in use after a shrink.
-    meta: Vec<u64>,
+    pub(crate) meta: Vec<u64>,
     /// Per-line LRU rank; within each set a permutation of `0..ways`
     /// (0 = MRU). Ranks of invalid lines are stale but keep the
     /// permutation invariant.
-    rank: Vec<u8>,
+    pub(crate) rank: Vec<u8>,
     /// Memoized key (`tag << 2 | VALID`) of the most recently touched
     /// line, or [`NO_MRU`]; a repeat access skips the probe loop.
-    mru_key: u64,
+    pub(crate) mru_key: u64,
     /// Flat index of the memoized line in `meta`.
-    mru_slot: u32,
+    pub(crate) mru_slot: u32,
     /// Sets at the current level.
-    sets: u32,
+    pub(crate) sets: u32,
     /// Associativity, cached as `usize` for indexing.
-    ways: usize,
+    pub(crate) ways: usize,
     /// `log2(block_bytes)`.
-    offset_bits: u32,
+    pub(crate) offset_bits: u32,
     /// `level.index()`, cached so the hot path never recomputes it.
-    lvl: usize,
+    pub(crate) lvl: usize,
     level: SizeLevel,
     geom: CacheGeometry,
     stats: CacheStats,
@@ -243,6 +243,19 @@ impl Cache {
         let lvl = self.lvl;
         self.stats.accesses[lvl] += 1;
         self.stats.stores[lvl] += is_store as u64;
+        self.access_uncounted(addr, is_store)
+    }
+
+    /// [`Cache::access`] without the per-reference access/store counter
+    /// updates. The block loop counts references in bulk per block via
+    /// [`Cache::bulk_count`] — the level cannot change mid-block (resizes
+    /// only happen between blocks), so one bulk add at the current level
+    /// leaves [`CacheStats`] byte-identical to per-reference counting.
+    /// Misses and writebacks are still counted here (they are decided per
+    /// reference, on the cold path).
+    #[inline]
+    pub(crate) fn access_uncounted(&mut self, addr: u64, is_store: bool) -> AccessOutcome {
+        let lvl = self.lvl;
         let line = addr >> self.offset_bits;
         debug_assert!(line < 1 << 62, "line address too wide to pack");
         let key = (line << 2) | VALID;
@@ -278,6 +291,23 @@ impl Cache {
             };
         }
         self.miss(lvl, key, base, is_store)
+    }
+
+    /// Adds a block's worth of access/store counts at the current level.
+    /// Pairs with [`Cache::access_uncounted`].
+    #[inline]
+    pub(crate) fn bulk_count(&mut self, accesses: u64, stores: u64) {
+        self.stats.accesses[self.lvl] += accesses;
+        self.stats.stores[self.lvl] += stores;
+    }
+
+    /// Marks the memoized MRU line dirty if `is_store`. Sound only when
+    /// the caller has just accessed that line (so it is resident and MRU);
+    /// the block loop uses this for consecutive same-line references,
+    /// where probe, promotion, and miss accounting are all the identity.
+    #[inline]
+    pub(crate) fn mru_mark_dirty(&mut self, is_store: bool) {
+        self.meta[self.mru_slot as usize] |= (is_store as u64) << 1;
     }
 
     /// Makes way `way` of the set starting at `base` the MRU line,

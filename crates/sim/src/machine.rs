@@ -161,6 +161,43 @@ impl MachineCounters {
     }
 }
 
+/// Per-reference penalty constants hoisted out of the data-reference
+/// loop (see [`Machine::ref_consts`]): configuration-derived, invariant
+/// for the duration of any block.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RefConsts {
+    tlb_penalty: u64,
+    l2_hit_milli: u64,
+    mem_miss_milli: u64,
+    store_pct: u64,
+    line_shift: u32,
+}
+
+/// Per-block accumulator state of the data-reference loop. One lives on
+/// the scalar stack in [`Machine::exec_block`]; the lane-batched path
+/// keeps one per lane while stepping references across machines.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RefCursor {
+    /// Previously referenced cache line (fused same-line fast path).
+    prev_line: u64,
+    /// Exposed data-stall milli-cycles accumulated so far.
+    data_stall_milli: u64,
+    /// Store references seen so far (bulk-counted at retire).
+    nstores: u64,
+}
+
+impl RefCursor {
+    #[inline]
+    pub(crate) fn new() -> RefCursor {
+        RefCursor {
+            // No real line: addresses pack into 62 bits.
+            prev_line: u64::MAX,
+            data_stall_milli: 0,
+            nstores: 0,
+        }
+    }
+}
+
 /// The simulated machine.
 ///
 /// # Examples
@@ -306,52 +343,110 @@ impl Machine {
     /// penalty constants, exposure factors, and level indices are hoisted
     /// out of the per-access loop; reconfiguration can only happen between
     /// blocks, so they are loop-invariant.
+    ///
+    /// The body is assembled from `pub(crate)` pieces (`fetch_stalls`,
+    /// `data_ref`, `retire_block`), and the lane-batched path
+    /// ([`crate::MachineBatch`]) executes exactly this function per
+    /// (lane, block) — one implementation, two schedules — which is what
+    /// makes batched and scalar stepping byte-identical by construction.
     pub fn exec_block(&mut self, block: &Block) {
-        let mut stalls: u64 = 0;
-
-        // Instruction fetch: one L1I probe per block.
-        let i_out = self.l1i.access(block.pc, false);
-        if !i_out.hit {
-            let l2_out = self.l2.access(block.pc, false);
-            stalls += self.cfg.l2.hit_latency as u64;
-            if !l2_out.hit {
-                stalls += self.cfg.mem_latency as u64;
-            }
-        }
-
-        // Data references: fused DTLB + L1D probe per access, with the
-        // milli-cycle penalty terms precomputed (they depend only on the
-        // configuration, never on the access).
-        let tlb_penalty = self.cfg.tlb_miss_penalty as u64;
-        let l2_hit_milli =
-            self.cfg.l2.hit_latency as u64 * self.cfg.l2_hit_exposure_pct as u64 * 10;
-        let mem_miss_milli = self.cfg.mem_latency as u64 * self.cfg.miss_exposure_pct as u64 * 10;
-        let store_pct = self.cfg.store_stall_pct as u64;
-        let mut data_stall_milli: u64 = 0;
+        let mut stalls = self.fetch_stalls(block.pc);
+        let consts = self.ref_consts();
+        let mut cursor = RefCursor::new();
         for acc in &block.accesses {
-            if !self.dtlb.translate(acc.addr) {
-                stalls += tlb_penalty;
-            }
-            let out = self.l1d.access(acc.addr, acc.is_store);
-            if !out.hit {
-                if let Some(wb) = out.writeback {
-                    // Dirty L1D eviction drains into the L2; an L2 dirty
-                    // eviction in turn goes to memory, stall-free
-                    // (buffered).
-                    let _ = self.l2.access(wb, true);
-                }
-                let fill = self.l2.access(acc.addr, false);
-                // Milli-cycles: latency * 1000 * exposure% / 100.
-                let mut penalty_milli = l2_hit_milli;
-                if !fill.hit {
-                    penalty_milli += mem_miss_milli;
-                }
-                if acc.is_store {
-                    penalty_milli = penalty_milli * store_pct / 100;
-                }
-                data_stall_milli += penalty_milli;
-            }
+            self.data_ref(&consts, acc.addr, acc.is_store, &mut stalls, &mut cursor);
         }
+        self.retire_block(block, stalls, &cursor);
+    }
+
+    /// Instruction fetch: one L1I probe per block. Returns the fetch
+    /// stall cycles (zero on an L1I hit).
+    #[inline]
+    pub(crate) fn fetch_stalls(&mut self, pc: u64) -> u64 {
+        let i_out = self.l1i.access(pc, false);
+        if i_out.hit {
+            return 0;
+        }
+        let l2_out = self.l2.access(pc, false);
+        let mut stalls = self.cfg.l2.hit_latency as u64;
+        if !l2_out.hit {
+            stalls += self.cfg.mem_latency as u64;
+        }
+        stalls
+    }
+
+    /// Hoists the per-reference penalty constants — they depend only on
+    /// the configuration, and reconfiguration can only happen between
+    /// blocks, so they are loop-invariant for any block.
+    #[inline]
+    pub(crate) fn ref_consts(&self) -> RefConsts {
+        RefConsts {
+            tlb_penalty: self.cfg.tlb_miss_penalty as u64,
+            // Milli-cycles: latency * 1000 * exposure% / 100.
+            l2_hit_milli: self.cfg.l2.hit_latency as u64 * self.cfg.l2_hit_exposure_pct as u64 * 10,
+            mem_miss_milli: self.cfg.mem_latency as u64 * self.cfg.miss_exposure_pct as u64 * 10,
+            store_pct: self.cfg.store_stall_pct as u64,
+            line_shift: self.l1d.offset_bits,
+        }
+    }
+
+    /// Processes one data reference: the fused DTLB + L1D probe.
+    ///
+    /// Access/store counts are accumulated in the cursor and added to the
+    /// cache and TLB statistics in one bulk update per block by
+    /// [`Machine::retire_block`] (levels only change between blocks, so
+    /// attribution is identical); consecutive references to one cache
+    /// line — the dominant pattern of strided walks — take a fused fast
+    /// path: after any reference to address A both MRU memos point at A's
+    /// line and page, so a same-line successor is a guaranteed hit whose
+    /// probe, promotion, and translation are all the identity, leaving
+    /// only the dirty-bit OR.
+    #[inline]
+    pub(crate) fn data_ref(
+        &mut self,
+        consts: &RefConsts,
+        addr: u64,
+        is_store: bool,
+        stalls: &mut u64,
+        cursor: &mut RefCursor,
+    ) {
+        cursor.nstores += is_store as u64;
+        let line = addr >> consts.line_shift;
+        if line == cursor.prev_line {
+            self.l1d.mru_mark_dirty(is_store);
+            return;
+        }
+        cursor.prev_line = line;
+        let translated = self.dtlb.translate_uncounted(addr);
+        *stalls += consts.tlb_penalty * (!translated) as u64;
+        let out = self.l1d.access_uncounted(addr, is_store);
+        if !out.hit {
+            if let Some(wb) = out.writeback {
+                // Dirty L1D eviction drains into the L2; an L2 dirty
+                // eviction in turn goes to memory, stall-free
+                // (buffered).
+                let _ = self.l2.access(wb, true);
+            }
+            let fill = self.l2.access(addr, false);
+            let mut penalty_milli = consts.l2_hit_milli;
+            if !fill.hit {
+                penalty_milli += consts.mem_miss_milli;
+            }
+            if is_store {
+                penalty_milli = penalty_milli * consts.store_pct / 100;
+            }
+            cursor.data_stall_milli += penalty_milli;
+        }
+    }
+
+    /// Retires a block whose data references have all been processed:
+    /// bulk statistics update, window exposure scaling, branch
+    /// resolution, issue bandwidth, and the counter tail.
+    #[inline]
+    pub(crate) fn retire_block(&mut self, block: &Block, mut stalls: u64, cursor: &RefCursor) {
+        let nrefs = block.accesses.len() as u64;
+        self.l1d.bulk_count(nrefs, cursor.nstores);
+        self.dtlb.bulk_count(nrefs);
         // A smaller instruction window extracts less memory-level
         // parallelism: scale the exposed data stalls by the window level's
         // multiplier. Hit-dominated code is unaffected, which is what lets
@@ -359,7 +454,7 @@ impl Machine {
         let win = self.window_level.index();
         let wf = self.cfg.window_exposure_permille[win] as u64;
         // Carry the sub-cycle residue so long runs are exact.
-        let exposed = data_stall_milli * wf / 1000 + self.stall_acc;
+        let exposed = cursor.data_stall_milli * wf / 1000 + self.stall_acc;
         stalls += exposed / 1000;
         self.stall_acc = exposed % 1000;
 

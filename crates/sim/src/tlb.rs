@@ -77,13 +77,13 @@ impl TlbStats {
 #[derive(Debug, Clone)]
 pub struct Tlb {
     /// Packed per-entry metadata: `page << 1 | valid`.
-    meta: Vec<u64>,
+    pub(crate) meta: Vec<u64>,
     /// Per-entry LRU rank; a permutation of `0..ways` within each set.
-    rank: Vec<u8>,
+    pub(crate) rank: Vec<u8>,
     /// Memoized key (`page << 1 | VALID`) of the last translation.
-    mru_key: u64,
-    sets: u32,
-    page_shift: u32,
+    pub(crate) mru_key: u64,
+    pub(crate) sets: u32,
+    pub(crate) page_shift: u32,
     stats: TlbStats,
     /// Set count at the largest (baseline) size level.
     base_sets: u32,
@@ -197,6 +197,17 @@ impl Tlb {
     #[inline]
     pub fn translate(&mut self, addr: u64) -> bool {
         self.stats.accesses += 1;
+        self.translate_uncounted(addr)
+    }
+
+    /// [`Tlb::translate`] without the per-reference access counter update.
+    /// The block loop adds the block's reference count in one
+    /// [`Tlb::bulk_count`] — per-level attribution is already lazy (it
+    /// settles totals only at resize boundaries, which happen between
+    /// blocks), so bulk counting leaves every observable statistic
+    /// byte-identical. Misses are still counted here.
+    #[inline]
+    pub(crate) fn translate_uncounted(&mut self, addr: u64) -> bool {
         let page = addr >> self.page_shift;
         debug_assert!(page < 1 << 63, "page number too wide to pack");
         let key = (page << 1) | VALID;
@@ -220,6 +231,13 @@ impl Tlb {
             return true;
         }
         self.miss(key, base)
+    }
+
+    /// Adds a block's worth of translation counts. Pairs with
+    /// [`Tlb::translate_uncounted`].
+    #[inline]
+    pub(crate) fn bulk_count(&mut self, accesses: u64) {
+        self.stats.accesses += accesses;
     }
 
     /// Makes way `way` of the set starting at `base` the MRU entry.

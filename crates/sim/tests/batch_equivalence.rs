@@ -1,0 +1,202 @@
+//! Differential proptests: lane-batched stepping vs scalar stepping.
+//!
+//! `MachineBatch::exec_blocks` must be a pure scheduling transform — it
+//! may reorder *which lane the host works on next*, never what any lane
+//! computes. These tests drive arbitrary multi-lane workload fragments
+//! (mixed loads/stores over small and thrashing footprints, branches,
+//! idle rounds, and mid-run resizes on every configurable unit) through
+//! both paths and require byte-identical end states: the full
+//! [`MachineCounters`] (cache, TLB, and branch statistics included,
+//! serialized to JSON so every field participates) and the per-CU size
+//! levels.
+//!
+//! The divergence rule under test is the one the drivers rely on: block
+//! execution goes through the batch, while anything that reshapes a
+//! machine (a resize with its flush) drops to the scalar path on the
+//! lane's own `Machine`. If a future edit makes batched stepping observe
+//! or share any cross-lane state, these tests fail on the first
+//! interleaving that exposes it.
+
+use ace_sim::{
+    Block, BranchEvent, CuId, Machine, MachineBatch, MachineConfig, MemAccess, SizeLevel,
+};
+use proptest::prelude::*;
+
+/// One lane's action in one round of the interleaved schedule.
+#[derive(Debug, Clone)]
+enum LaneOp {
+    /// Lane diverged this round (reconfig boundary, block end, …): the
+    /// batch simply doesn't list it.
+    Idle,
+    /// Lane executes a basic block.
+    Block(Block),
+    /// Lane applies a resize — the scalar-fallback path.
+    Resize { cu: usize, level: u8 },
+}
+
+fn access_strategy() -> impl Strategy<Value = MemAccess> {
+    // Two regimes: a small hot footprint (hits after warmup) and a
+    // page-crossing stride (cache and DTLB misses), stores mixed in.
+    (any::<bool>(), 0u64..0x4000, any::<bool>()).prop_map(|(hot, a, is_store)| {
+        let addr = if hot {
+            0x10_0000 + a * 8
+        } else {
+            0x100_0000 + (a % 256) * 4096 * 17
+        };
+        MemAccess { addr, is_store }
+    })
+}
+
+fn block_strategy() -> impl Strategy<Value = Block> {
+    (
+        0u64..64,
+        1u32..65,
+        prop::collection::vec(access_strategy(), 0..12),
+        prop::option::of((0u64..32, any::<bool>())),
+    )
+        .prop_map(|(pc, ninstr, accesses, branch)| Block {
+            pc: 0x400 + pc * 0x40,
+            ninstr,
+            accesses,
+            branch: branch.map(|(pc, taken)| BranchEvent {
+                pc: 0x400 + pc * 0x40 + 0x3c,
+                taken,
+            }),
+        })
+}
+
+fn op_strategy() -> impl Strategy<Value = LaneOp> {
+    // Weighted choice via discriminant: 1/11 idle, 8/11 block, 2/11
+    // resize (the vendored proptest has no `prop_oneof!`).
+    (0u32..11, block_strategy(), 0usize..CuId::ALL.len(), 0u8..4).prop_map(
+        |(pick, block, cu, level)| match pick {
+            0 => LaneOp::Idle,
+            1..=8 => LaneOp::Block(block),
+            _ => LaneOp::Resize { cu, level },
+        },
+    )
+}
+
+/// `schedule[round][lane]` — every lane gets an op every round.
+///
+/// The vendored proptest has no `prop_flat_map`, so rounds are generated
+/// at the maximum width and truncated to the drawn lane count.
+fn schedule_strategy() -> impl Strategy<Value = Vec<Vec<LaneOp>>> {
+    const MAX_LANES: usize = 8;
+    (
+        1usize..MAX_LANES + 1,
+        prop::collection::vec(prop::collection::vec(op_strategy(), MAX_LANES), 1..24),
+    )
+        .prop_map(|(lanes, mut rounds)| {
+            for round in &mut rounds {
+                round.truncate(lanes);
+            }
+            rounds
+        })
+}
+
+fn machines(n: usize) -> Vec<Machine> {
+    (0..n)
+        .map(|_| Machine::new(MachineConfig::table2()).expect("table2 config builds"))
+        .collect()
+}
+
+fn apply_resize(machine: &mut Machine, cu: usize, level: u8) {
+    let cu = CuId::ALL[cu];
+    let level = SizeLevel::new(level).expect("level in range");
+    let _ = machine.apply_resize(cu, level);
+}
+
+/// The complete observable end state of one lane.
+fn fingerprint(machine: &mut Machine) -> String {
+    let counters = serde_json::to_string(machine.counters()).expect("counters serialize");
+    let levels: Vec<String> = CuId::ALL
+        .iter()
+        .map(|&cu| format!("{cu}={}", machine.level(cu)))
+        .collect();
+    format!("{counters} {}", levels.join(" "))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn batched_stepping_is_byte_identical_to_scalar(schedule in schedule_strategy()) {
+        let lanes = schedule[0].len();
+
+        // Scalar arm: each lane is stepped to completion round by round
+        // on its own machine, in lane order.
+        let mut scalar = machines(lanes);
+        for round in &schedule {
+            for (lane, op) in round.iter().enumerate() {
+                match op {
+                    LaneOp::Idle => {}
+                    LaneOp::Block(block) => scalar[lane].exec_block(block),
+                    LaneOp::Resize { cu, level } => apply_resize(&mut scalar[lane], *cu, *level),
+                }
+            }
+        }
+
+        // Batched arm: blocks go through `exec_blocks` as one work list
+        // per round; resizes take the scalar fallback on the lane.
+        let mut batch = MachineBatch::new(machines(lanes));
+        for round in &schedule {
+            let work: Vec<(usize, &Block)> = round
+                .iter()
+                .enumerate()
+                .filter_map(|(lane, op)| match op {
+                    LaneOp::Block(block) => Some((lane, block)),
+                    _ => None,
+                })
+                .collect();
+            batch.exec_blocks(&work);
+            for (lane, op) in round.iter().enumerate() {
+                if let LaneOp::Resize { cu, level } = op {
+                    apply_resize(batch.lane_mut(lane), *cu, *level);
+                }
+            }
+        }
+
+        let mut batched = batch.into_machines();
+        for (lane, (s, b)) in scalar.iter_mut().zip(batched.iter_mut()).enumerate() {
+            prop_assert_eq!(
+                fingerprint(s),
+                fingerprint(b),
+                "lane {} diverged between scalar and batched stepping",
+                lane
+            );
+        }
+    }
+
+    #[test]
+    fn batched_work_order_within_a_round_is_irrelevant(schedule in schedule_strategy()) {
+        // Lanes share no state, so listing a round's work in reverse
+        // lane order must not change any lane either.
+        let mut forward = MachineBatch::new(machines(schedule[0].len()));
+        let mut reverse = MachineBatch::new(machines(schedule[0].len()));
+        for round in &schedule {
+            let work: Vec<(usize, &Block)> = round
+                .iter()
+                .enumerate()
+                .filter_map(|(lane, op)| match op {
+                    LaneOp::Block(block) => Some((lane, block)),
+                    _ => None,
+                })
+                .collect();
+            let reversed: Vec<(usize, &Block)> = work.iter().rev().copied().collect();
+            forward.exec_blocks(&work);
+            reverse.exec_blocks(&reversed);
+            for (lane, op) in round.iter().enumerate() {
+                if let LaneOp::Resize { cu, level } = op {
+                    apply_resize(forward.lane_mut(lane), *cu, *level);
+                    apply_resize(reverse.lane_mut(lane), *cu, *level);
+                }
+            }
+        }
+        let mut forward = forward.into_machines();
+        let mut reverse = reverse.into_machines();
+        for (f, r) in forward.iter_mut().zip(reverse.iter_mut()) {
+            prop_assert_eq!(fingerprint(f), fingerprint(r));
+        }
+    }
+}

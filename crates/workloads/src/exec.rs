@@ -100,6 +100,24 @@ pub struct Executor<'p> {
     emitted_instr: u64,
     limit: Option<u64>,
     entry: MethodId,
+    /// Blocks emitted per walk kind (indexed like [`WALK_KIND_NAMES`]) —
+    /// the frequency profile behind the hot-first dispatch order in
+    /// [`Executor::emit_block`].
+    walk_blocks: [u64; 4],
+}
+
+/// Names for the walk-kind indices of [`Executor::walk_profile`].
+pub const WALK_KIND_NAMES: [&str; 4] = ["strided", "streaming", "random", "skewed"];
+
+/// Index of a walk kind in [`Executor::walk_profile`] / [`WALK_KIND_NAMES`].
+#[inline]
+fn walk_index(walk: &Walk) -> usize {
+    match walk {
+        Walk::Strided { .. } => 0,
+        Walk::Streaming { .. } => 1,
+        Walk::Random => 2,
+        Walk::Skewed { .. } => 3,
+    }
 }
 
 impl<'p> Executor<'p> {
@@ -127,7 +145,18 @@ impl<'p> Executor<'p> {
             emitted_instr: 0,
             limit: None,
             entry,
+            walk_blocks: [0; 4],
         }
+    }
+
+    /// Blocks emitted per walk kind, indexed like [`WALK_KIND_NAMES`].
+    /// This is the measured dispatch-frequency profile: across the seven
+    /// headline presets strided/streaming walks dominate (they are the
+    /// default for resident and streaming patterns), which is why
+    /// the block-emission dispatch tests them first and gives them the
+    /// fused no-store fast path.
+    pub fn walk_profile(&self) -> [u64; 4] {
+        self.walk_blocks
     }
 
     /// Stops execution (unwinding cleanly through exits) once `limit`
@@ -274,13 +303,18 @@ impl<'p> Executor<'p> {
         let milli = ninstr as u64 * pat.refs_per_kinstr as u64 + cursor.ref_residue;
         let nrefs = milli / 1000;
         cursor.ref_residue = milli % 1000;
-        out.accesses.reserve(nrefs as usize);
         // The walk kind is per-pattern, so dispatch once per block, not
-        // once per reference. Each arm draws from the RNG in exactly the
+        // once per reference, with the arms ordered by the measured block
+        // frequency ([`Executor::walk_profile`]: strided/streaming walks
+        // dominate every headline preset). Each arm fills the buffer via
+        // `extend` over an exact-size iterator (one capacity reservation,
+        // no per-push growth check) and draws from the RNG in exactly the
         // order the unspecialized per-reference match did.
+        self.walk_blocks[walk_index(&pat.walk)] += 1;
         let base = pat.base;
         let store_pct = pat.store_pct;
         let ws = pat.working_set;
+        let rng = &mut self.rng;
         match pat.walk {
             // The cursor is kept reduced (`pos < working_set`, see the
             // reduction after the advance), so the per-reference modulo
@@ -290,41 +324,62 @@ impl<'p> Executor<'p> {
             // mod `working_set`.
             Walk::Strided { stride } | Walk::Streaming { stride } => {
                 let mut pos = cursor.pos;
-                for _ in 0..nrefs {
-                    let offset = pos;
-                    pos += stride as u64;
-                    if pos >= ws {
-                        pos %= ws;
-                    }
-                    let addr = base + (offset & !7);
-                    let is_store = self.rng.chance(store_pct);
-                    out.accesses.push(MemAccess { addr, is_store });
+                if store_pct == 0 {
+                    // Fused store-free handler: `chance(0)` is always
+                    // false but must still draw; advance the stream
+                    // without the wide multiply and compare.
+                    out.accesses.extend((0..nrefs).map(|_| {
+                        let offset = pos;
+                        pos += stride as u64;
+                        if pos >= ws {
+                            pos %= ws;
+                        }
+                        let _ = rng.next_u64();
+                        MemAccess {
+                            addr: base + (offset & !7),
+                            is_store: false,
+                        }
+                    }));
+                } else {
+                    out.accesses.extend((0..nrefs).map(|_| {
+                        let offset = pos;
+                        pos += stride as u64;
+                        if pos >= ws {
+                            pos %= ws;
+                        }
+                        MemAccess {
+                            addr: base + (offset & !7),
+                            is_store: rng.chance(store_pct),
+                        }
+                    }));
                 }
                 cursor.pos = pos;
-            }
-            Walk::Random => {
-                for _ in 0..nrefs {
-                    let offset = self.rng.below(ws);
-                    let addr = base + (offset & !7);
-                    let is_store = self.rng.chance(store_pct);
-                    out.accesses.push(MemAccess { addr, is_store });
-                }
             }
             Walk::Skewed {
                 hot_bytes_pct,
                 hot_refs_pct,
             } => {
                 let hot_bytes = (ws * hot_bytes_pct as u64 / 100).max(64);
-                for _ in 0..nrefs {
-                    let offset = if self.rng.chance(hot_refs_pct) {
-                        self.rng.below(hot_bytes)
+                out.accesses.extend((0..nrefs).map(|_| {
+                    let offset = if rng.chance(hot_refs_pct) {
+                        rng.below(hot_bytes)
                     } else {
-                        self.rng.below(ws)
+                        rng.below(ws)
                     };
-                    let addr = base + (offset & !7);
-                    let is_store = self.rng.chance(store_pct);
-                    out.accesses.push(MemAccess { addr, is_store });
-                }
+                    MemAccess {
+                        addr: base + (offset & !7),
+                        is_store: rng.chance(store_pct),
+                    }
+                }));
+            }
+            Walk::Random => {
+                out.accesses.extend((0..nrefs).map(|_| {
+                    let offset = rng.below(ws);
+                    MemAccess {
+                        addr: base + (offset & !7),
+                        is_store: rng.chance(store_pct),
+                    }
+                }));
             }
         }
 

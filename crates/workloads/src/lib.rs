@@ -48,7 +48,7 @@ mod rng;
 mod threads;
 
 pub use builder::{BuildError, ProgramBuilder};
-pub use exec::{Executor, Step, MAX_CALL_DEPTH, MAX_LOOP_DEPTH};
+pub use exec::{Executor, Step, MAX_CALL_DEPTH, MAX_LOOP_DEPTH, WALK_KIND_NAMES};
 pub use ir::{Method, MethodId, Op, Program, Stmt};
 pub use pattern::{MemPattern, PatternCursor, PatternId, Walk};
 pub use presets::{

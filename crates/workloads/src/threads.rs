@@ -118,6 +118,18 @@ impl<'p> ThreadedExecutor<'p> {
         self.threads.iter().map(|t| t.emitted_instructions()).sum()
     }
 
+    /// Per-walk-kind block counts summed across all threads
+    /// (see [`Executor::walk_profile`]).
+    pub fn walk_profile(&self) -> [u64; 4] {
+        let mut total = [0u64; 4];
+        for t in &self.threads {
+            for (slot, n) in total.iter_mut().zip(t.walk_profile()) {
+                *slot += n;
+            }
+        }
+        total
+    }
+
     /// Rotates to the next unfinished thread; returns `false` if none.
     fn rotate(&mut self) -> bool {
         let n = self.threads.len();

@@ -6,7 +6,12 @@
 //! up, run for a fixed wall-clock budget, and reported as mean ns/iter
 //! (plus throughput when configured). Good enough for relative comparisons
 //! in this offline environment; not a confidence-interval estimator.
+//!
+//! When `ACE_MICROBENCH_JSON` names a file, each result is also appended
+//! there as one JSON line (`{"name":"<group>/<bench>","ns_per_iter":N}`)
+//! so the perf gate can compare runs against a committed baseline.
 
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -30,6 +35,7 @@ impl Criterion {
         println!("\n== group: {name} ==");
         BenchmarkGroup {
             criterion: self,
+            group: name.to_string(),
             throughput: None,
         }
     }
@@ -47,6 +53,7 @@ pub enum Throughput {
 /// A named group of benchmarks sharing throughput/sample settings.
 pub struct BenchmarkGroup<'a> {
     criterion: &'a mut Criterion,
+    group: String,
     throughput: Option<Throughput>,
 }
 
@@ -107,6 +114,22 @@ impl BenchmarkGroup<'_> {
                 println!("{name:<32} {ns:>12.1} ns/iter  ({rate:.2e} B/s)");
             }
             _ => println!("{name:<32} {ns:>12.1} ns/iter"),
+        }
+        if let Ok(path) = std::env::var("ACE_MICROBENCH_JSON") {
+            if !path.is_empty() {
+                let line = format!(
+                    "{{\"name\":\"{}/{}\",\"ns_per_iter\":{ns:.3}}}\n",
+                    self.group, name
+                );
+                let write = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)
+                    .and_then(|mut f| f.write_all(line.as_bytes()));
+                if let Err(e) = write {
+                    eprintln!("warning: cannot append microbench record to {path}: {e}");
+                }
+            }
         }
     }
 
