@@ -22,6 +22,9 @@
 //! - `pdm-<workload>-<key>.json`: the pdm experiment's cache namespace —
 //!   the full file name must be one the current build would write
 //!   ([`ace_bench::experiments::pdm::expected_cache_files`]).
+//! - `gen-corpus-<key>.json`: the corpus experiment's summary namespace —
+//!   the full file name must be one the current parameters would write
+//!   ([`ace_bench::experiments::corpus::expected_cache_files`]).
 //! - Anything else `.json`: unknown, flagged (results/ holds only the
 //!   headline cache plus `.txt`/`.md` reports).
 //!
@@ -42,6 +45,7 @@ fn main() -> ExitCode {
         .map(|name| ((*name).to_string(), cache_key(name, &base)))
         .collect();
     let pdm_expected = ace_bench::experiments::pdm::expected_cache_files();
+    let gen_expected = ace_bench::experiments::corpus::expected_cache_files();
 
     let entries = match std::fs::read_dir(&dir) {
         Ok(it) => it,
@@ -78,6 +82,18 @@ fn main() -> ExitCode {
             }
             stale.push(format!(
                 "{name}: superseded pdm cache entry (current set: {pdm_expected:?})"
+            ));
+            continue;
+        }
+        // `gen-*`: the generated-corpus namespace. Like `pdm-`, checked
+        // before the generic keyed parse — `gen-corpus-<key>` would
+        // otherwise mis-parse as workload `gen-corpus`.
+        if stem.starts_with("gen-") {
+            if gen_expected.iter().any(|f| f == name) {
+                continue;
+            }
+            stale.push(format!(
+                "{name}: superseded corpus cache entry (current set: {gen_expected:?})"
             ));
             continue;
         }

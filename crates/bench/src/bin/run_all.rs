@@ -18,6 +18,8 @@
 //!   same-workload lanes only (see `benchmarks/JOURNAL.md`).
 //! * `--fresh` — ignore cached results and re-run everything.
 //! * `--headline-only` — skip the sibling experiments.
+//! * `--list` — print the experiment registry and every registered
+//!   workload name, then exit (nothing runs).
 //! * `--telemetry <path>` — stream decision events (tuning,
 //!   reconfiguration, promotion) as JSONL and print a summary at the end.
 //!   Cached results skip their runs, so combine with `--fresh` for a
@@ -41,6 +43,7 @@ struct Args {
     lanes: usize,
     fresh: bool,
     headline_only: bool,
+    list: bool,
     bench_out: Option<String>,
 }
 
@@ -50,6 +53,7 @@ fn parse_args() -> Args {
         lanes: 1,
         fresh: false,
         headline_only: false,
+        list: false,
         bench_out: None,
     };
     let mut it = std::env::args().skip(1);
@@ -77,6 +81,7 @@ fn parse_args() -> Args {
             }
             "--fresh" => args.fresh = true,
             "--headline-only" => args.headline_only = true,
+            "--list" => args.list = true,
             "--telemetry" => {
                 it.next(); // handled by telemetry_from_args
             }
@@ -98,6 +103,20 @@ fn parse_args() -> Args {
 
 fn main() -> ExitCode {
     let args = parse_args();
+    if args.list {
+        println!("experiments ({}):", REGISTRY.len());
+        for def in REGISTRY {
+            println!("  {:<24} {}", def.name, def.summary);
+        }
+        let workloads = ace_workloads::WorkloadRegistry::builtin();
+        let names = workloads.names();
+        println!("workloads ({}):", names.len());
+        for name in names {
+            println!("  {name}");
+        }
+        println!("(workload names also accept a path to a WorkloadSpec JSON file)");
+        return ExitCode::SUCCESS;
+    }
     let telemetry = telemetry_from_args();
 
     let outcomes = match ExperimentSet::all_presets()

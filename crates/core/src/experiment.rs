@@ -121,6 +121,9 @@ pub enum ExperimentError {
     UnknownScheme(String),
     /// The machine configuration was rejected by the simulator.
     Machine(ConfigError),
+    /// The workload resolved but could not be loaded or built (unreadable
+    /// or unparsable spec file, spec failing validation).
+    Workload(String),
 }
 
 impl fmt::Display for ExperimentError {
@@ -135,6 +138,7 @@ impl fmt::Display for ExperimentError {
                 write!(f, "unknown scheme {name:?}; not in the scheme registry")
             }
             ExperimentError::Machine(e) => write!(f, "{e}"),
+            ExperimentError::Workload(msg) => write!(f, "{msg}"),
         }
     }
 }
@@ -148,7 +152,8 @@ impl From<ConfigError> for ExperimentError {
 }
 
 enum Source {
-    Preset(String),
+    Named(String),
+    Spec(Box<ace_workloads::WorkloadSpec>),
     Program(Box<Program>),
 }
 
@@ -163,11 +168,28 @@ pub struct Experiment {
 }
 
 impl Experiment {
-    /// An experiment over the named preset workload. The name is resolved
-    /// when the experiment runs; unknown names yield
-    /// [`ExperimentError::UnknownWorkload`].
+    /// An experiment over a named workload. The name is resolved through
+    /// [`ace_workloads::WorkloadRegistry::builtin`] when the experiment
+    /// runs, so it accepts a preset name (`"db"`) *or* a path to a
+    /// [`WorkloadSpec`](ace_workloads::WorkloadSpec) JSON file
+    /// (`"specs/gen-1f.json"`). Unknown names yield
+    /// [`ExperimentError::UnknownWorkload`]; unreadable or invalid spec
+    /// files yield [`ExperimentError::Workload`].
+    pub fn workload(name_or_path: impl Into<String>) -> Experiment {
+        Experiment::with_source(Source::Named(name_or_path.into()))
+    }
+
+    /// An experiment over the named preset workload (an alias of
+    /// [`Experiment::workload`], kept for its established call sites).
     pub fn preset(name: impl Into<String>) -> Experiment {
-        Experiment::with_source(Source::Preset(name.into()))
+        Experiment::workload(name)
+    }
+
+    /// An experiment over an in-memory workload spec (e.g. one from
+    /// [`ace_workloads::gen`]). The spec is built when the experiment
+    /// runs; build failures yield [`ExperimentError::Workload`].
+    pub fn spec(spec: ace_workloads::WorkloadSpec) -> Experiment {
+        Experiment::with_source(Source::Spec(Box::new(spec)))
     }
 
     /// An experiment over a custom [`Program`] (e.g. one built with
@@ -262,8 +284,17 @@ impl Experiment {
 
     fn resolve(&self) -> Result<Program, ExperimentError> {
         match &self.source {
-            Source::Preset(name) => ace_workloads::preset(name)
-                .ok_or_else(|| ExperimentError::UnknownWorkload(name.clone())),
+            Source::Named(name) => ace_workloads::WorkloadRegistry::builtin()
+                .resolve_program(name)
+                .map_err(|e| match e {
+                    ace_workloads::WorkloadError::Unknown { name, .. } => {
+                        ExperimentError::UnknownWorkload(name)
+                    }
+                    other => ExperimentError::Workload(other.to_string()),
+                }),
+            Source::Spec(spec) => spec
+                .build()
+                .map_err(|e| ExperimentError::Workload(format!("building '{}': {e}", spec.name))),
             Source::Program(p) => Ok((**p).clone()),
         }
     }
@@ -461,6 +492,46 @@ mod tests {
         let err = Experiment::preset("nope").run().unwrap_err();
         assert!(matches!(err, ExperimentError::UnknownWorkload(_)));
         assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn spec_source_matches_the_named_preset() {
+        let spec = ace_workloads::preset_spec("db").unwrap();
+        let a = Experiment::spec(spec)
+            .instruction_limit(1_000_000)
+            .run()
+            .unwrap();
+        let b = Experiment::preset("db")
+            .instruction_limit(1_000_000)
+            .run()
+            .unwrap();
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.energy.total_nj(), b.energy.total_nj());
+    }
+
+    #[test]
+    fn workload_resolves_spec_files_by_path() {
+        let mut spec = ace_workloads::preset_spec("check").unwrap();
+        spec.name = "from-file".into();
+        let dir = std::env::temp_dir().join("ace-experiment-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("from-file.json");
+        std::fs::write(&path, serde_json::to_string(&spec).unwrap()).unwrap();
+        let r = Experiment::workload(path.to_str().unwrap())
+            .instruction_limit(500_000)
+            .run()
+            .unwrap();
+        assert_eq!(r.workload, "from-file");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn invalid_spec_is_a_workload_error() {
+        let mut spec = ace_workloads::preset_spec("check").unwrap();
+        spec.stages[0].children.leaf_instr = (9, 1);
+        let err = Experiment::spec(spec).run().unwrap_err();
+        assert!(matches!(err, ExperimentError::Workload(_)));
+        assert!(err.to_string().contains("leaf_instr"), "{err}");
     }
 
     #[test]

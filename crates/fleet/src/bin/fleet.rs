@@ -30,6 +30,12 @@
 //! * `--telemetry <path>` — stream decision events as JSONL.
 //! * `--check-cache` — validate `results/fleet-*.json` against current
 //!   cache keys and exit (the fleet half of `check_results`).
+//! * `--corpus <N>` — run the generated-workload store oracle and exit:
+//!   a fleet over N `ace_workloads::gen` specs (resolved from spec files
+//!   on disk) runs cold+warm three times — at `--jobs`, serial, and
+//!   `--jobs` again — and every outcome/store fingerprint must be
+//!   byte-identical (the fleet half of the bench `corpus` experiment's
+//!   differential oracles).
 //!
 //! Observability (any of these forces a live, uncached run):
 //!
@@ -65,6 +71,7 @@ struct Args {
     assert_warm_hits: bool,
     bench_out: Option<String>,
     check_cache: bool,
+    corpus: Option<usize>,
     /// Report caching is reserved for unmodified presets — `--check-cache`
     /// validates `results/fleet-*.json` against the preset keys, so an
     /// overridden shape would write an entry that is instantly stale.
@@ -98,6 +105,7 @@ fn parse_args() -> Args {
         assert_warm_hits: false,
         bench_out: None,
         check_cache: false,
+        corpus: None,
         cacheable: true,
         obs_out: None,
         metrics_out: None,
@@ -148,6 +156,16 @@ fn parse_args() -> Args {
                 it.next(); // handled by telemetry_from_args
             }
             "--check-cache" => args.check_cache = true,
+            "--corpus" => {
+                let value = take(&mut it, "--corpus");
+                match value.parse::<usize>() {
+                    Ok(n) if n > 0 => args.corpus = Some(n),
+                    _ => {
+                        eprintln!("--corpus requires a positive integer");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--obs-out" => args.obs_out = Some(take(&mut it, "--obs-out")),
             "--metrics-out" => args.metrics_out = Some(take(&mut it, "--metrics-out")),
             "--live" => args.live = true,
@@ -211,6 +229,19 @@ fn main() -> ExitCode {
     let args = parse_args();
     let telemetry = telemetry_from_args();
     let dir = results_dir();
+
+    if let Some(count) = args.corpus {
+        return match ace_fleet::run_corpus_oracle(count, args.jobs, &telemetry) {
+            Ok(report) => {
+                print!("{report}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("--corpus: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
 
     if args.check_cache {
         let stale = check_fleet_caches(&dir);

@@ -498,8 +498,9 @@ fn run_machine(
     measure_baseline: bool,
     telemetry: &Telemetry,
 ) -> BenchResult<(MachineOutcome, Vec<StorePublication>)> {
-    let program = ace_workloads::preset(&spec.preset)
-        .ok_or_else(|| BenchError::msg(format!("unknown workload preset {:?}", spec.preset)))?;
+    let program = ace_workloads::WorkloadRegistry::builtin()
+        .resolve_program(&spec.preset)
+        .map_err(|e| BenchError::msg(e.to_string()))?;
     let registry = SchemeRegistry::builtin();
     let scheme = registry
         .get(FLEET_SCHEME)
@@ -626,9 +627,11 @@ fn run_machine_group(
     let mut programs = Vec::with_capacity(specs.len());
     let mut managers = Vec::with_capacity(specs.len());
     let mut children = Vec::with_capacity(specs.len());
+    let workloads = ace_workloads::WorkloadRegistry::builtin();
     for spec in specs {
-        let program = ace_workloads::preset(&spec.preset)
-            .ok_or_else(|| BenchError::msg(format!("unknown workload preset {:?}", spec.preset)))?;
+        let program = workloads
+            .resolve_program(&spec.preset)
+            .map_err(|e| BenchError::msg(e.to_string()))?;
         let mut mgr = scheme.build(&SchemeCtx {
             program: &program,
             model: EnergyModel::default_180nm(),

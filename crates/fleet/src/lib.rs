@@ -31,10 +31,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod corpus;
 pub mod driver;
 pub mod obs;
 pub mod store;
 
+pub use corpus::{fleet_fingerprints, outcome_fingerprint, run_corpus_oracle, store_fingerprint};
 pub use driver::{
     fleet_do_config, fleet_registry_version, render_report, run_fleet, run_fleet_observed,
     FleetConfig, FleetOutcome, MachineOutcome, MachineSpec,

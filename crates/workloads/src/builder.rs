@@ -15,6 +15,15 @@ pub struct BuildError {
     msg: String,
 }
 
+impl BuildError {
+    /// A build error with the given message (crate-internal: spec
+    /// validation reports degenerate parameters through the same type the
+    /// builder uses for structural problems).
+    pub(crate) fn new(msg: impl Into<String>) -> BuildError {
+        BuildError { msg: msg.into() }
+    }
+}
+
 impl fmt::Display for BuildError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "invalid program: {}", self.msg)

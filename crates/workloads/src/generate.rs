@@ -1,0 +1,341 @@
+//! Randomized workload generation over the [`WorkloadSpec`] parameter
+//! space.
+//!
+//! [`gen`] samples the same template the presets are written in — stages,
+//! child kernel populations, leaves, working-set classes — from documented
+//! parameter windows ([`GenParams`]). The presets are seven fixed points in
+//! this space; the generator is how scheme/CU/fleet claims are tested
+//! *across* the space (phase structure, nesting, drift, churn) instead of
+//! only at those points. Generation is deterministic: `gen(seed, params)`
+//! always returns the same spec, and the spec's own `seed` is derived from
+//! the generation seed, so a corpus is reproducible from the seed list
+//! alone.
+//!
+//! Every parameter window is sanitized before drawing (reversed windows
+//! are swapped, percentages clamped to 100, counts clamped to the caps in
+//! [`WorkloadSpec::validate`]), so `gen` returns a *valid* spec for any
+//! `GenParams` — it never panics and its output always builds.
+
+use crate::rng::DetRng;
+use crate::spec::{ChildSpec, StageSpec, WorkloadSpec};
+
+/// Parameter windows for [`gen`]. Each `(lo, hi)` is an inclusive window a
+/// per-workload value (or sub-window) is drawn from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenParams {
+    /// Stage count window. Default `(1, 4)`; clamped to `1..=16`.
+    pub stages: (u32, u32),
+    /// Percent chance a stage is *flat* (inlined into `main`, no L2
+    /// hotspot). Default `25`.
+    pub flat_pct: u32,
+    /// Percent chance a non-first stage streams the shared region instead
+    /// of a fresh one. Default `60`.
+    pub shared_region_pct: u32,
+    /// Consecutive stage invocations per outer iteration. Default `(1, 6)`.
+    pub calls_per_outer: (u32, u32),
+    /// Rounds over the child population per stage invocation. Default
+    /// `(1, 3)`.
+    pub inner_iters: (u32, u32),
+    /// Back-to-back calls of each child per round. Default `(1, 3)`.
+    pub child_calls: (u32, u32),
+    /// Small-class children per stage. Default `(2, 5)`; clamped to `0..=64`.
+    pub children: (u32, u32),
+    /// Large-class children per stage. Default `(0, 2)`; clamped to `0..=8`.
+    pub large_children: (u32, u32),
+    /// Child per-invocation size window (instructions); each stage draws an
+    /// ordered sub-window. Default `(60_000, 400_000)` — the L1D-hotspot
+    /// band the presets use.
+    pub child_instr: (u64, u64),
+    /// Small-class working-set window (bytes). Default `(1 KiB, 12 KiB)`.
+    pub ws_bytes: (u64, u64),
+    /// Large-class working-set window (bytes). Default `(8 KiB, 28 KiB)`.
+    pub large_ws_bytes: (u64, u64),
+    /// Working-set churn: window for the percent of children walking their
+    /// set uniformly at random (the presets range 5–50). Default `(0, 60)`.
+    pub churn_pct: (u32, u32),
+    /// Branch taken-probability window (percent). Default `(80, 97)`.
+    pub taken_pct: (u32, u32),
+    /// Memory references per 1000 instructions. Default `(200, 400)`.
+    pub refs_per_kinstr: (u32, u32),
+    /// Leaves per child. Default `(0, 4)`.
+    pub leaves: (u32, u32),
+    /// Leaf per-invocation size window (instructions). Default
+    /// `(2_000, 15_000)`.
+    pub leaf_instr: (u64, u64),
+    /// Leaf working-set window (bytes). Default `(128, 2_048)`.
+    pub leaf_ws_bytes: (u64, u64),
+    /// Stage streaming computation per invocation (instructions). Default
+    /// `(100_000, 300_000)`.
+    pub stream_instr: (u64, u64),
+    /// Streamed region size window (bytes) — the L2 footprint. Default
+    /// `(16 KiB, 512 KiB)`.
+    pub region_bytes: (u64, u64),
+    /// Cross-stage drift: each successive stage's working-set and region
+    /// windows are scaled by a factor drawn from `±drift_pct` percent,
+    /// modeling phase-to-phase footprint drift. `0` makes all stages draw
+    /// from identical windows. Default `30`.
+    pub drift_pct: u32,
+    /// Expected-total-instructions target window; `outer_iters` is derived
+    /// as `target / per_outer_work` (so one outer pass larger than the
+    /// target hi still yields `outer_iters = 1`). Default `(4 M, 40 M)` —
+    /// big enough to span several sampling intervals, small enough that a
+    /// corpus of dozens runs in CI.
+    pub target_total: (u64, u64),
+}
+
+impl Default for GenParams {
+    fn default() -> Self {
+        GenParams {
+            stages: (1, 4),
+            flat_pct: 25,
+            shared_region_pct: 60,
+            calls_per_outer: (1, 6),
+            inner_iters: (1, 3),
+            child_calls: (1, 3),
+            children: (2, 5),
+            large_children: (0, 2),
+            child_instr: (60_000, 400_000),
+            ws_bytes: (1 << 10, 12 << 10),
+            large_ws_bytes: (8 << 10, 28 << 10),
+            churn_pct: (0, 60),
+            taken_pct: (80, 97),
+            refs_per_kinstr: (200, 400),
+            leaves: (0, 4),
+            leaf_instr: (2_000, 15_000),
+            leaf_ws_bytes: (128, 2_048),
+            stream_instr: (100_000, 300_000),
+            region_bytes: (16 << 10, 512 << 10),
+            drift_pct: 30,
+            target_total: (4_000_000, 40_000_000),
+        }
+    }
+}
+
+/// An ordered, clamped copy of a window.
+fn window_u64(w: (u64, u64), min: u64, max: u64) -> (u64, u64) {
+    let lo = w.0.min(w.1).clamp(min, max);
+    let hi = w.0.max(w.1).clamp(min, max);
+    (lo, hi)
+}
+
+fn window_u32(w: (u32, u32), min: u32, max: u32) -> (u32, u32) {
+    let lo = w.0.min(w.1).clamp(min, max);
+    let hi = w.0.max(w.1).clamp(min, max);
+    (lo, hi)
+}
+
+/// Draws a value from a `u32` window.
+fn draw_u32(rng: &mut DetRng, w: (u32, u32)) -> u32 {
+    rng.range(w.0 as u64, w.1 as u64) as u32
+}
+
+/// Draws an ordered sub-window of `w`: two independent draws, sorted. A
+/// stage's children then draw per-child values from the sub-window, so
+/// stages differ in *where* they sit in the space, not only per-child
+/// noise.
+fn sub_window(rng: &mut DetRng, w: (u64, u64)) -> (u64, u64) {
+    let a = rng.range(w.0, w.1);
+    let b = rng.range(w.0, w.1);
+    (a.min(b), a.max(b))
+}
+
+/// Scales a window by `pct` percent, keeping it within `[min, max]`.
+fn scale_window(w: (u64, u64), pct: u64, min: u64, max: u64) -> (u64, u64) {
+    let lo = (w.0 * pct / 100).clamp(min, max);
+    let hi = (w.1 * pct / 100).clamp(min, max);
+    (lo.min(hi), lo.max(hi))
+}
+
+/// Generates a workload spec from `seed` and the given parameter windows.
+///
+/// The spec is named `gen-<seed as 16 hex digits>`, validates, and builds
+/// for *any* `params` (windows are sanitized first — see the module docs).
+///
+/// # Examples
+///
+/// ```
+/// use ace_workloads::{gen, GenParams};
+///
+/// let spec = gen(0x5EED, &GenParams::default());
+/// assert_eq!(spec.name, "gen-0000000000005eed");
+/// assert_eq!(spec, gen(0x5EED, &GenParams::default()));
+/// let program = spec.build().unwrap();
+/// program.validate().unwrap();
+/// ```
+pub fn gen(seed: u64, params: &GenParams) -> WorkloadSpec {
+    let p = params;
+    let stages_w = window_u32(p.stages, 1, 16);
+    let children_w = window_u32(p.children, 0, 64);
+    let large_w = window_u32(p.large_children, 0, 8);
+    let calls_w = window_u32(p.calls_per_outer, 1, 16);
+    let inner_w = window_u32(p.inner_iters, 1, 8);
+    let ccalls_w = window_u32(p.child_calls, 1, 8);
+    let churn_w = window_u32(p.churn_pct, 0, 100);
+    let taken_w = window_u32(p.taken_pct, 0, 100);
+    let refs_w = window_u32(p.refs_per_kinstr, 1, 1000);
+    let leaves_w = window_u32(p.leaves, 0, 8);
+    let instr_w = window_u64(p.child_instr, 1_000, 4_000_000);
+    let leaf_instr_w = window_u64(p.leaf_instr, 100, 100_000);
+    let leaf_ws_w = window_u64(p.leaf_ws_bytes, 64, 64 << 10);
+    let stream_w = window_u64(p.stream_instr, 1_000, 4_000_000);
+    let target_w = window_u64(p.target_total, 100_000, 4_000_000_000);
+    let flat_pct = p.flat_pct.min(100);
+    let shared_pct = p.shared_region_pct.min(100);
+    let drift = p.drift_pct.min(90) as u64;
+
+    let mut rng = DetRng::new(seed ^ 0x6E5E_ACE0_6E5E_ACE0);
+    let nstages = draw_u32(&mut rng, stages_w);
+
+    // Drift is a multiplicative random walk over the footprint windows:
+    // stage i draws from the walked copy, so consecutive stages are
+    // similar for small drift and unrelated for large.
+    let mut ws_w = window_u64(p.ws_bytes, 128, 1 << 24);
+    let mut lws_w = window_u64(p.large_ws_bytes, 256, 1 << 26);
+    let mut region_w = window_u64(p.region_bytes, 4 << 10, 8 << 20);
+
+    let mut stages = Vec::with_capacity(nstages as usize);
+    for si in 0..nstages {
+        let srng = &mut rng.fork(1000 + si as u64);
+        if si > 0 && drift > 0 {
+            let pct = srng.range(100 - drift, 100 + drift);
+            ws_w = scale_window(ws_w, pct, 128, 1 << 24);
+            lws_w = scale_window(lws_w, pct, 256, 1 << 26);
+            region_w = scale_window(region_w, pct, 4 << 10, 8 << 20);
+        }
+        let mut children = ChildSpec {
+            count: draw_u32(srng, children_w),
+            count_large: draw_u32(srng, large_w),
+            instr: sub_window(srng, instr_w),
+            ws_bytes: sub_window(srng, ws_w),
+            large_ws_bytes: sub_window(srng, lws_w),
+            random_pct: draw_u32(srng, churn_w),
+            leaves: {
+                let (a, b) = (draw_u32(srng, leaves_w), draw_u32(srng, leaves_w));
+                (a.min(b), a.max(b))
+            },
+            leaf_instr: sub_window(srng, leaf_instr_w),
+            leaf_ws_bytes: sub_window(srng, leaf_ws_w),
+            taken_pct: draw_u32(srng, taken_w),
+            refs_per_kinstr: draw_u32(srng, refs_w),
+        };
+        // A stage with no children at all does only streaming work; keep
+        // at least one kernel so every stage has an L1D hotspot.
+        if children.total() == 0 {
+            children.count = 1;
+        }
+        stages.push(StageSpec {
+            name: format!("s{si}"),
+            calls_per_outer: draw_u32(srng, calls_w),
+            inner_iters: draw_u32(srng, inner_w),
+            child_calls: draw_u32(srng, ccalls_w),
+            stream_instr: srng.range(stream_w.0, stream_w.1),
+            region_bytes: srng.range(region_w.0, region_w.1),
+            flat: srng.chance(flat_pct),
+            shared_region: si > 0 && srng.chance(shared_pct),
+            children,
+        });
+    }
+
+    let mut spec = WorkloadSpec {
+        name: format!("gen-{seed:016x}"),
+        seed: seed ^ 0x9E37_79B9_7F4A_7C15,
+        outer_iters: 1,
+        stages,
+    };
+    // Derive outer_iters from the instruction budget: pick a target inside
+    // the window, then repeat the stage sequence enough times to reach it.
+    let per_outer = spec.expected_total().max(1);
+    let target = rng.range(target_w.0, target_w.1);
+    spec.outer_iters = (target / per_outer).clamp(1, 10_000) as u32;
+
+    debug_assert!(spec.validate().is_ok(), "gen produced an invalid spec");
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = GenParams::default();
+        assert_eq!(gen(1, &p), gen(1, &p));
+        assert_ne!(gen(1, &p), gen(2, &p));
+    }
+
+    #[test]
+    fn default_corpus_validates_and_builds() {
+        let p = GenParams::default();
+        for seed in 0..32u64 {
+            let spec = gen(seed, &p);
+            spec.validate()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            let program = spec.build().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            program.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn totals_track_the_target_window() {
+        let p = GenParams::default();
+        for seed in 0..32u64 {
+            let spec = gen(seed, &p);
+            let est = spec.expected_total();
+            assert!(
+                est >= p.target_total.0 / 2,
+                "seed {seed}: total {est} far below target"
+            );
+            // A single outer pass can overshoot the window (documented);
+            // whenever repetition was derived, the ceiling holds.
+            if spec.outer_iters > 1 {
+                assert!(
+                    est <= p.target_total.1,
+                    "seed {seed}: total {est} above target with {} outer iters",
+                    spec.outer_iters
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_params_are_sanitized() {
+        // Reversed windows, percentages over 100, zero everything: gen
+        // must still return a valid, buildable spec.
+        let p = GenParams {
+            stages: (9, 2),
+            flat_pct: 400,
+            shared_region_pct: 999,
+            calls_per_outer: (0, 0),
+            children: (0, 0),
+            large_children: (0, 0),
+            child_instr: (400_000, 60_000),
+            churn_pct: (90, 10),
+            taken_pct: (200, 150),
+            refs_per_kinstr: (0, 0),
+            target_total: (0, 0),
+            ..GenParams::default()
+        };
+        for seed in [0u64, 7, 0xFFFF_FFFF_FFFF_FFFF] {
+            let spec = gen(seed, &p);
+            spec.validate().unwrap();
+            spec.build().unwrap();
+        }
+    }
+
+    #[test]
+    fn drift_zero_keeps_stage_windows_identical() {
+        let p = GenParams {
+            drift_pct: 0,
+            stages: (4, 4),
+            ws_bytes: (4096, 4096),
+            large_ws_bytes: (16_384, 16_384),
+            region_bytes: (65_536, 65_536),
+            ..GenParams::default()
+        };
+        let spec = gen(3, &p);
+        for s in &spec.stages {
+            assert_eq!(s.children.ws_bytes, (4096, 4096));
+            assert_eq!(s.region_bytes, 65_536);
+        }
+    }
+}

@@ -9,10 +9,14 @@
 //! enter/exit events a dynamic optimization system instruments.
 //!
 //! * [`ProgramBuilder`] — build custom programs statement by statement.
-//! * [`WorkloadSpec`]/[`StageSpec`]/[`ChildSpec`] — declarative template
-//!   used by the presets.
+//! * [`WorkloadSpec`]/[`StageSpec`]/[`ChildSpec`] — the serde-able
+//!   declarative template every workload is expressed in.
 //! * [`preset`]/[`all_presets`] — the seven calibrated stand-ins for
-//!   compress, db, jack, javac, jess, mpegaudio, and mtrt.
+//!   compress, db, jack, javac, jess, mpegaudio, and mtrt, committed as
+//!   spec JSON under `presets/`.
+//! * [`WorkloadRegistry`] — resolve a workload by name *or* spec-file path.
+//! * [`gen`] — sample the spec parameter space randomly ([`GenParams`]).
+//! * [`minimize`] — shrink a failing spec to a minimal reproducer.
 //! * [`Executor`] — runs a program, yielding [`Step`] events and blocks.
 //!
 //! ## Example
@@ -41,19 +45,24 @@
 
 mod builder;
 mod exec;
+mod generate;
 mod ir;
+mod minimize;
 mod pattern;
 mod presets;
+mod registry;
 mod rng;
+mod spec;
 mod threads;
 
 pub use builder::{BuildError, ProgramBuilder};
 pub use exec::{Executor, Step, MAX_CALL_DEPTH, MAX_LOOP_DEPTH, WALK_KIND_NAMES};
+pub use generate::{gen, GenParams};
 pub use ir::{Method, MethodId, Op, Program, Stmt};
+pub use minimize::{minimize, MinimizeOutcome};
 pub use pattern::{MemPattern, PatternCursor, PatternId, Walk};
-pub use presets::{
-    all_presets, build_spec, mtrt_threaded, preset, preset_spec, ChildSpec, StageSpec,
-    WorkloadSpec, PRESET_NAMES,
-};
+pub use presets::{all_presets, mtrt_threaded, preset, preset_spec, PRESET_NAMES};
+pub use registry::{load_spec_file, WorkloadError, WorkloadRegistry};
 pub use rng::DetRng;
+pub use spec::{build_spec, ChildSpec, StageSpec, WorkloadSpec};
 pub use threads::{MtStep, ThreadId, ThreadedExecutor};

@@ -1,0 +1,241 @@
+//! Failure-spec minimization.
+//!
+//! When a generated [`WorkloadSpec`] trips an oracle (a build error, a
+//! determinism divergence, a counter mismatch), the raw spec is a poor
+//! bug report: multiple stages, dozens of drawn parameters, and totals in
+//! the millions. [`minimize`] bisects it toward a minimal reproducer: it
+//! repeatedly tries shrinking transformations — dropping stage chunks,
+//! halving counts and budgets, zeroing populations, collapsing ranges —
+//! and keeps a candidate only if the caller's predicate says it *still
+//! fails*. The fixpoint is written to
+//! `crates/workloads/fixtures/regressions/` and replayed by the push-gate
+//! test suite.
+//!
+//! The predicate is the oracle: keep it specific (e.g. "build error
+//! mentioning `leaf_instr`", not "any error"), otherwise the minimizer can
+//! slide onto a *different* failure and minimize that instead.
+
+use crate::spec::WorkloadSpec;
+
+/// Result of a [`minimize`] run.
+#[derive(Debug, Clone)]
+pub struct MinimizeOutcome {
+    /// The minimal spec found (still failing the predicate).
+    pub spec: WorkloadSpec,
+    /// Shrinking transformations accepted.
+    pub accepted: u32,
+    /// Candidate specs tried (predicate invocations, excluding the initial
+    /// check).
+    pub candidates: u32,
+}
+
+/// Predicate-call budget: minimization is bounded even if the predicate is
+/// expensive or the candidate space is large.
+const MAX_CANDIDATES: u32 = 20_000;
+
+/// Shrinks `spec` toward a minimal spec that still satisfies `still_fails`.
+///
+/// `still_fails` must return `true` for `spec` itself (checked first; if it
+/// does not, the input is returned unchanged with zero counts). Greedy
+/// first-improvement descent to a fixpoint: after every accepted shrink the
+/// candidate list is regenerated, so stage removals compose with per-field
+/// halving.
+pub fn minimize(
+    spec: &WorkloadSpec,
+    still_fails: &mut dyn FnMut(&WorkloadSpec) -> bool,
+) -> MinimizeOutcome {
+    let mut out = MinimizeOutcome {
+        spec: spec.clone(),
+        accepted: 0,
+        candidates: 0,
+    };
+    if !still_fails(spec) {
+        return out;
+    }
+    'descent: loop {
+        for cand in shrink_candidates(&out.spec) {
+            if out.candidates >= MAX_CANDIDATES {
+                break 'descent;
+            }
+            out.candidates += 1;
+            if still_fails(&cand) {
+                out.spec = cand;
+                out.accepted += 1;
+                continue 'descent;
+            }
+        }
+        break;
+    }
+    out
+}
+
+/// One round of shrinking candidates, most aggressive first.
+fn shrink_candidates(spec: &WorkloadSpec) -> Vec<WorkloadSpec> {
+    let mut out = Vec::new();
+    let nstages = spec.stages.len();
+
+    // Stage removal, delta-debugging style: halves, then single stages.
+    if nstages > 1 {
+        let half = nstages / 2;
+        let mut first = spec.clone();
+        first.stages.truncate(half);
+        out.push(first);
+        let mut second = spec.clone();
+        second.stages.drain(..half);
+        out.push(second);
+        for i in 0..nstages {
+            let mut one = spec.clone();
+            one.stages.remove(i);
+            out.push(one);
+        }
+    }
+
+    // Outer iterations: straight to 1, then halving.
+    for v in [1, spec.outer_iters / 2] {
+        if v >= 1 && v < spec.outer_iters {
+            let mut c = spec.clone();
+            c.outer_iters = v;
+            out.push(c);
+        }
+    }
+
+    for (si, stage) in spec.stages.iter().enumerate() {
+        let with_stage = |f: &dyn Fn(&mut crate::spec::StageSpec)| {
+            let mut c = spec.clone();
+            f(&mut c.stages[si]);
+            c
+        };
+        type SetCount = dyn Fn(&mut crate::spec::StageSpec, u32);
+        let counts: [(u32, &SetCount); 3] = [
+            (stage.calls_per_outer, &|s, v| s.calls_per_outer = v),
+            (stage.inner_iters, &|s, v| s.inner_iters = v),
+            (stage.child_calls, &|s, v| s.child_calls = v),
+        ];
+        for (cur, set) in counts {
+            for v in [1, cur / 2] {
+                if v >= 1 && v < cur {
+                    out.push(with_stage(&|s| set(s, v)));
+                }
+            }
+        }
+        for v in [1_000, stage.stream_instr / 2] {
+            if v >= 1 && v < stage.stream_instr {
+                out.push(with_stage(&|s| s.stream_instr = v));
+            }
+        }
+        for v in [4_096, stage.region_bytes / 2] {
+            if v >= 1 && v < stage.region_bytes {
+                out.push(with_stage(&|s| s.region_bytes = v));
+            }
+        }
+        if stage.flat {
+            out.push(with_stage(&|s| s.flat = false));
+        }
+        if stage.shared_region {
+            out.push(with_stage(&|s| s.shared_region = false));
+        }
+
+        // Child population shrinks.
+        let c = &stage.children;
+        for v in [0, c.count / 2] {
+            if v < c.count {
+                out.push(with_stage(&|s| s.children.count = v));
+            }
+        }
+        for v in [0, c.count_large / 2] {
+            if v < c.count_large {
+                out.push(with_stage(&|s| s.children.count_large = v));
+            }
+        }
+        if c.leaves != (0, 0) {
+            out.push(with_stage(&|s| s.children.leaves = (0, 0)));
+        }
+        if c.random_pct > 0 {
+            out.push(with_stage(&|s| s.children.random_pct = 0));
+        }
+
+        // Instruction/working-set windows: halve each endpoint
+        // independently (a reversed pair stays reversed, so range-order
+        // failures survive while the magnitudes shrink).
+        type Tuple = (u64, u64);
+        type SetTuple = dyn Fn(&mut crate::spec::StageSpec, Tuple);
+        let tuples: [(Tuple, u64, &SetTuple); 5] = [
+            (c.instr, 8, &|s, v| s.children.instr = v),
+            (c.ws_bytes, 64, &|s, v| s.children.ws_bytes = v),
+            (c.large_ws_bytes, 64, &|s, v| s.children.large_ws_bytes = v),
+            (c.leaf_instr, 8, &|s, v| s.children.leaf_instr = v),
+            (c.leaf_ws_bytes, 64, &|s, v| s.children.leaf_ws_bytes = v),
+        ];
+        for (cur, floor, set) in tuples {
+            let half = |x: u64| (x / 2).max(floor);
+            let both = (half(cur.0), half(cur.1));
+            if both != cur {
+                out.push(with_stage(&|s| set(s, both)));
+            }
+            if cur.0 != cur.1 {
+                out.push(with_stage(&|s| set(s, (cur.0, cur.0))));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::StageSpec;
+
+    fn failing_spec() -> WorkloadSpec {
+        // Three stages; only the middle one carries the defect (a reversed
+        // leaf_instr range).
+        let mut spec = WorkloadSpec {
+            name: "failing".into(),
+            seed: 99,
+            outer_iters: 8,
+            stages: vec![
+                StageSpec::new("a"),
+                StageSpec::new("b"),
+                StageSpec::new("c"),
+            ],
+        };
+        spec.stages[1].children.leaf_instr = (14_000, 6_000);
+        spec
+    }
+
+    fn leaf_instr_reversed(s: &WorkloadSpec) -> bool {
+        matches!(s.build(), Err(e) if e.to_string().contains("leaf_instr"))
+    }
+
+    #[test]
+    fn shrinks_to_one_stage_and_minimal_counts() {
+        let spec = failing_spec();
+        let out = minimize(&spec, &mut leaf_instr_reversed);
+        assert!(leaf_instr_reversed(&out.spec), "minimal spec still fails");
+        assert_eq!(out.spec.stages.len(), 1, "irrelevant stages dropped");
+        assert_eq!(out.spec.outer_iters, 1);
+        assert_eq!(out.spec.stages[0].calls_per_outer, 1);
+        let c = &out.spec.stages[0].children;
+        assert!(c.leaf_instr.0 > c.leaf_instr.1, "defect preserved");
+        assert!(out.accepted > 0 && out.candidates >= out.accepted);
+        assert!(
+            out.spec.expected_total() < spec.expected_total() / 10,
+            "minimal spec is much smaller: {} vs {}",
+            out.spec.expected_total(),
+            spec.expected_total()
+        );
+    }
+
+    #[test]
+    fn non_failing_input_returned_unchanged() {
+        let spec = WorkloadSpec {
+            name: "fine".into(),
+            seed: 1,
+            outer_iters: 2,
+            stages: vec![StageSpec::new("only")],
+        };
+        let out = minimize(&spec, &mut leaf_instr_reversed);
+        assert_eq!(out.spec, spec);
+        assert_eq!(out.accepted, 0);
+        assert_eq!(out.candidates, 0);
+    }
+}

@@ -1,0 +1,616 @@
+//! The declarative workload specification consumed by [`ProgramBuilder`].
+//!
+//! A [`WorkloadSpec`] is plain serde-able data: stage/child/leaf
+//! populations, nesting, working-set classes, instruction budgets, and a
+//! seed. [`build_spec`] (or [`WorkloadSpec::build`]) lowers it to a
+//! [`Program`] through the three-level template described in
+//! [`crate::presets`]. The seven presets are committed spec files under
+//! `crates/workloads/presets/`; [`crate::generate::gen`] samples the same
+//! parameter space randomly.
+
+use crate::builder::{BuildError, ProgramBuilder};
+use crate::ir::{MethodId, Program, Stmt};
+use crate::pattern::{MemPattern, Walk};
+use crate::rng::DetRng;
+use serde::{Deserialize, Serialize};
+
+/// Specification of one child kernel population within a stage.
+///
+/// Children come in two working-set *classes*: a `count`-strong small
+/// class drawn from `ws_bytes`, plus `count_large` children drawn from
+/// `large_ws_bytes`. Mixing classes inside one stage is what separates the
+/// schemes: the hotspot manager tunes each kernel's L1D individually, while
+/// a 1 M-instruction sampling interval blends the classes and forces the
+/// BBV scheme into one compromise configuration per phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChildSpec {
+    /// Number of small-class child methods.
+    pub count: u32,
+    /// Number of large-class child methods.
+    pub count_large: u32,
+    /// Per-invocation dynamic size range (instructions), both classes.
+    pub instr: (u64, u64),
+    /// Small-class working-set range in bytes (log-uniform draw).
+    pub ws_bytes: (u64, u64),
+    /// Large-class working-set range in bytes.
+    pub large_ws_bytes: (u64, u64),
+    /// Percent of children walking their set uniformly at random instead
+    /// of with a skewed hot core.
+    pub random_pct: u32,
+    /// Leaves per child.
+    pub leaves: (u32, u32),
+    /// Leaf per-invocation size range (instructions).
+    pub leaf_instr: (u64, u64),
+    /// Leaf working-set range in bytes.
+    pub leaf_ws_bytes: (u64, u64),
+    /// Branch taken probability (percent) for this population.
+    pub taken_pct: u32,
+    /// Memory references per 1000 instructions.
+    pub refs_per_kinstr: u32,
+}
+
+impl Default for ChildSpec {
+    fn default() -> Self {
+        ChildSpec {
+            count: 4,
+            count_large: 1,
+            instr: (120_000, 180_000),
+            ws_bytes: (4 << 10, 6 << 10),
+            large_ws_bytes: (16 << 10, 20 << 10),
+            random_pct: 20,
+            leaves: (2, 3),
+            leaf_instr: (6_000, 14_000),
+            leaf_ws_bytes: (512, 1536),
+            taken_pct: 90,
+            refs_per_kinstr: 300,
+        }
+    }
+}
+
+impl ChildSpec {
+    /// Total children (both classes).
+    pub fn total(&self) -> u32 {
+        self.count + self.count_large
+    }
+
+    /// Range-order and percentage checks; `ctx` names the owning stage in
+    /// error messages.
+    fn validate(&self, ctx: &str) -> Result<(), BuildError> {
+        let ordered_u64 = |field: &str, (lo, hi): (u64, u64)| {
+            if lo > hi {
+                Err(BuildError::new(format!(
+                    "{ctx}: {field} range reversed ({lo} > {hi})"
+                )))
+            } else {
+                Ok(())
+            }
+        };
+        ordered_u64("instr", self.instr)?;
+        ordered_u64("ws_bytes", self.ws_bytes)?;
+        ordered_u64("large_ws_bytes", self.large_ws_bytes)?;
+        ordered_u64("leaf_instr", self.leaf_instr)?;
+        ordered_u64("leaf_ws_bytes", self.leaf_ws_bytes)?;
+        if self.leaves.0 > self.leaves.1 {
+            return Err(BuildError::new(format!(
+                "{ctx}: leaves range reversed ({} > {})",
+                self.leaves.0, self.leaves.1
+            )));
+        }
+        // Magnitude caps: generous for any realistic workload, tight
+        // enough that every arithmetic path downstream stays in u64.
+        for (field, hi, cap) in [
+            ("instr", self.instr.1, 1u64 << 40),
+            ("leaf_instr", self.leaf_instr.1, 1 << 40),
+            ("ws_bytes", self.ws_bytes.1, 1 << 32),
+            ("large_ws_bytes", self.large_ws_bytes.1, 1 << 32),
+            ("leaf_ws_bytes", self.leaf_ws_bytes.1, 1 << 32),
+        ] {
+            if hi > cap {
+                return Err(BuildError::new(format!(
+                    "{ctx}: {field} upper bound {hi} exceeds the {cap} cap"
+                )));
+            }
+        }
+        if self.leaves.1 > 1024 {
+            return Err(BuildError::new(format!(
+                "{ctx}: {} leaves exceed the 1024-per-child cap",
+                self.leaves.1
+            )));
+        }
+        for (field, pct) in [
+            ("random_pct", self.random_pct),
+            ("taken_pct", self.taken_pct),
+        ] {
+            if pct > 100 {
+                return Err(BuildError::new(format!("{ctx}: {field} {pct} > 100")));
+            }
+        }
+        if self.refs_per_kinstr > 1000 {
+            return Err(BuildError::new(format!(
+                "{ctx}: refs_per_kinstr {} > 1000",
+                self.refs_per_kinstr
+            )));
+        }
+        if self.total() > 256 {
+            return Err(BuildError::new(format!(
+                "{ctx}: {} children exceed the 256-per-stage cap",
+                self.total()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Specification of one stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageSpec {
+    /// Stage name (diagnostics).
+    pub name: String,
+    /// Consecutive invocations per outer iteration. Values ≥ 2 make the
+    /// stage span several BBV sampling intervals back-to-back, producing
+    /// stable phases.
+    pub calls_per_outer: u32,
+    /// Rounds over the child population per stage invocation.
+    pub inner_iters: u32,
+    /// Back-to-back calls of each child per round.
+    pub child_calls: u32,
+    /// The stage's own streaming computation per invocation (instructions).
+    pub stream_instr: u64,
+    /// Bytes of the region the stage streams over (drives the L2 footprint).
+    pub region_bytes: u64,
+    /// `true` to inline the stage into `main` (no L2 hotspot).
+    pub flat: bool,
+    /// `true` to stream over the *first* stage's region instead of a fresh
+    /// one — stages of one program usually share its central data
+    /// structures, and sharing keeps the program's total L2 footprint at
+    /// one region instead of one per stage.
+    pub shared_region: bool,
+    /// Child population.
+    pub children: ChildSpec,
+}
+
+impl StageSpec {
+    /// A stage with sensible defaults.
+    pub fn new(name: impl Into<String>) -> StageSpec {
+        StageSpec {
+            name: name.into(),
+            calls_per_outer: 2,
+            inner_iters: 3,
+            child_calls: 2,
+            stream_instr: 250_000,
+            region_bytes: 512 << 10,
+            flat: false,
+            shared_region: false,
+            children: ChildSpec::default(),
+        }
+    }
+
+    /// Expected per-invocation dynamic size (mean of ranges; saturating,
+    /// so estimates of absurd specs clamp instead of overflowing).
+    pub fn expected_size(&self) -> u64 {
+        let c = &self.children;
+        let child_mean = c.instr.0 / 2 + c.instr.1 / 2;
+        self.stream_instr.saturating_add(
+            (self.inner_iters as u64 * c.total() as u64)
+                .saturating_mul(self.child_calls as u64)
+                .saturating_mul(child_mean),
+        )
+    }
+
+    fn validate(&self) -> Result<(), BuildError> {
+        let ctx = format!("stage '{}'", self.name);
+        for (field, v) in [
+            ("calls_per_outer", self.calls_per_outer),
+            ("inner_iters", self.inner_iters),
+            ("child_calls", self.child_calls),
+        ] {
+            if v == 0 {
+                return Err(BuildError::new(format!("{ctx}: {field} is zero")));
+            }
+        }
+        if self.region_bytes == 0 {
+            return Err(BuildError::new(format!("{ctx}: region_bytes is zero")));
+        }
+        for (field, v, cap) in [
+            ("calls_per_outer", self.calls_per_outer as u64, 10_000),
+            ("inner_iters", self.inner_iters as u64, 10_000),
+            ("child_calls", self.child_calls as u64, 10_000),
+            ("stream_instr", self.stream_instr, 1 << 40),
+            ("region_bytes", self.region_bytes, 1 << 32),
+        ] {
+            if v > cap {
+                return Err(BuildError::new(format!(
+                    "{ctx}: {field} {v} exceeds the {cap} cap"
+                )));
+            }
+        }
+        self.children.validate(&ctx)
+    }
+}
+
+/// Full specification of a synthetic workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Workload name.
+    pub name: String,
+    /// Deterministic seed for parameter draws and executor jitter.
+    pub seed: u64,
+    /// Outer iterations of the whole stage sequence (phase recurrences).
+    pub outer_iters: u32,
+    /// The stage sequence.
+    pub stages: Vec<StageSpec>,
+}
+
+impl WorkloadSpec {
+    /// Expected total dynamic instructions (mean estimate; saturating).
+    pub fn expected_total(&self) -> u64 {
+        (self.outer_iters as u64).saturating_mul(
+            self.stages
+                .iter()
+                .map(|s| (s.calls_per_outer as u64).saturating_mul(s.expected_size()))
+                .fold(0u64, u64::saturating_add),
+        )
+    }
+
+    /// Checks the spec for degenerate parameters *before* any RNG draw, so
+    /// a malformed spec (reversed range, percentage over 100, zero counts)
+    /// surfaces as a typed [`BuildError`] instead of a panic deep inside
+    /// [`build_spec`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] naming the offending stage and field.
+    pub fn validate(&self) -> Result<(), BuildError> {
+        if self.name.is_empty() {
+            return Err(BuildError::new("workload name is empty"));
+        }
+        if self.outer_iters == 0 {
+            return Err(BuildError::new("outer_iters is zero"));
+        }
+        if self.outer_iters > 1_000_000 {
+            return Err(BuildError::new(format!(
+                "outer_iters {} exceeds the 1000000 cap",
+                self.outer_iters
+            )));
+        }
+        if self.stages.is_empty() {
+            return Err(BuildError::new("spec has no stages"));
+        }
+        if self.stages.len() > 64 {
+            return Err(BuildError::new(format!(
+                "{} stages exceed the 64-stage cap",
+                self.stages.len()
+            )));
+        }
+        for stage in &self.stages {
+            stage.validate()?;
+        }
+        Ok(())
+    }
+
+    /// The same workload with `factor`× the outer iterations — the stress
+    /// tier runs presets at 100× their committed length this way, keeping
+    /// per-invocation structure (and therefore hotspot sizes) identical.
+    #[must_use]
+    pub fn scaled(&self, factor: u32) -> WorkloadSpec {
+        let mut scaled = self.clone();
+        scaled.outer_iters = scaled.outer_iters.saturating_mul(factor.max(1));
+        scaled
+    }
+
+    /// Builds the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] if the spec fails [`WorkloadSpec::validate`]
+    /// or the generated program fails validation (which would indicate an
+    /// internal bug or a degenerate spec, e.g. a stage with zero children
+    /// and zero stream instructions).
+    pub fn build(&self) -> Result<Program, BuildError> {
+        build_spec(self)
+    }
+}
+
+/// Draws log-uniformly from `[lo, hi]`.
+pub(crate) fn log_uniform(rng: &mut DetRng, lo: u64, hi: u64) -> u64 {
+    if lo >= hi {
+        return lo;
+    }
+    let llo = (lo as f64).ln();
+    let lhi = (hi as f64).ln();
+    let u = rng.below(1 << 24) as f64 / (1u64 << 24) as f64;
+    (llo + u * (lhi - llo)).exp() as u64
+}
+
+/// Builds a [`Program`] from a [`WorkloadSpec`].
+///
+/// # Errors
+///
+/// Returns [`BuildError`] on validation failure; well-formed specs always
+/// build.
+pub fn build_spec(spec: &WorkloadSpec) -> Result<Program, BuildError> {
+    spec.validate()?;
+    let mut b = ProgramBuilder::new(spec.name.clone(), spec.seed);
+    let rng = DetRng::new(spec.seed ^ 0xACE0_ACE0);
+    let mut main_body: Vec<Stmt> = Vec::new();
+    let mut shared_region: Option<(u64, u64)> = None;
+
+    for (si, stage) in spec.stages.iter().enumerate() {
+        let srng = &mut rng.fork(si as u64 + 1);
+        let cspec = &stage.children;
+
+        // Build the child (and leaf) methods of this stage.
+        let mut child_ids: Vec<MethodId> = Vec::new();
+        for ci in 0..cspec.total() {
+            let crng = &mut srng.fork(100 + ci as u64);
+            let child_size = crng.range(cspec.instr.0, cspec.instr.1);
+            let ws_range = if ci < cspec.count {
+                cspec.ws_bytes
+            } else {
+                cspec.large_ws_bytes
+            };
+            let ws = log_uniform(crng, ws_range.0, ws_range.1).max(256);
+            let region = b.alloc_region(ws);
+            let walk = if crng.chance(cspec.random_pct) {
+                Walk::Random
+            } else {
+                Walk::Skewed {
+                    hot_bytes_pct: 25,
+                    hot_refs_pct: 75,
+                }
+            };
+            let child_pat = b.add_pattern(MemPattern {
+                base: region,
+                working_set: ws,
+                walk,
+                refs_per_kinstr: cspec.refs_per_kinstr,
+                store_pct: 15 + crng.below(20) as u32,
+                taken_pct: cspec.taken_pct,
+                block_len: 32 + 16 * crng.below(3) as u32,
+                reset_on_entry: true,
+            });
+
+            // Leaves: ~70% of the child's work.
+            let nleaves = crng.range(cspec.leaves.0 as u64, cspec.leaves.1 as u64) as u32;
+            let mut leaf_ids = Vec::new();
+            let mut leaf_total = 0u64;
+            for li in 0..nleaves {
+                let lrng = &mut crng.fork(200 + li as u64);
+                let leaf_size = lrng.range(cspec.leaf_instr.0, cspec.leaf_instr.1);
+                let lws = log_uniform(lrng, cspec.leaf_ws_bytes.0, cspec.leaf_ws_bytes.1).max(128);
+                let lbase = b.alloc_region(lws);
+                let leaf_pat = b.add_pattern(MemPattern {
+                    base: lbase,
+                    working_set: lws,
+                    walk: Walk::Strided { stride: 8 },
+                    refs_per_kinstr: cspec.refs_per_kinstr,
+                    store_pct: 20,
+                    taken_pct: cspec.taken_pct.min(97),
+                    block_len: 24,
+                    reset_on_entry: true,
+                });
+                let leaf = b.add_method(
+                    format!("{}::c{}::leaf{}", stage.name, ci, li),
+                    vec![Stmt::Compute {
+                        ninstr: leaf_size,
+                        pattern: leaf_pat,
+                    }],
+                );
+                b.own_pattern(leaf, leaf_pat);
+                leaf_ids.push(leaf);
+                leaf_total += leaf_size;
+            }
+
+            // Leaves are invoked in back-to-back pairs (like every hotspot
+            // here) so their tuning trials can measure steady behavior.
+            let leaf_share = child_size * 7 / 10;
+            let rounds = if leaf_total > 0 {
+                (leaf_share / (2 * leaf_total)).max(1) as u32
+            } else {
+                0
+            };
+            let own = child_size
+                .saturating_sub(rounds as u64 * 2 * leaf_total)
+                .max(8);
+            // The kernel's own computation lives in `work` sub-methods —
+            // one more level of hotspot nesting, sized for the instruction
+            // window's class when the three-CU extension is enabled.
+            let quarter = (own / 4).max(2);
+            let work_in = b.add_method(
+                format!("{}::child{}::work_in", stage.name, ci),
+                vec![Stmt::Compute {
+                    ninstr: quarter,
+                    pattern: child_pat,
+                }],
+            );
+            let work_out = b.add_method(
+                format!("{}::child{}::work_out", stage.name, ci),
+                vec![Stmt::Compute {
+                    ninstr: (own - 2 * quarter).max(2) / 2,
+                    pattern: child_pat,
+                }],
+            );
+
+            let mut body = vec![Stmt::Call {
+                callee: work_in,
+                count: 2,
+            }];
+            if rounds > 0 && !leaf_ids.is_empty() {
+                body.push(Stmt::Loop {
+                    count: rounds,
+                    body: leaf_ids
+                        .iter()
+                        .map(|&l| Stmt::Call {
+                            callee: l,
+                            count: 2,
+                        })
+                        .collect(),
+                });
+            }
+            body.push(Stmt::Call {
+                callee: work_out,
+                count: 2,
+            });
+            let child = b.add_method(format!("{}::child{}", stage.name, ci), body);
+            b.own_pattern(child, child_pat);
+            child_ids.push(child);
+        }
+
+        // The stage's own streaming pattern (possibly over a shared region).
+        let (region, region_bytes) = if stage.shared_region {
+            match shared_region {
+                Some(r) => r,
+                None => {
+                    let r = (b.alloc_region(stage.region_bytes), stage.region_bytes);
+                    shared_region = Some(r);
+                    r
+                }
+            }
+        } else {
+            let r = (b.alloc_region(stage.region_bytes), stage.region_bytes);
+            shared_region = Some(r);
+            r
+        };
+        let stream_pat = b.add_pattern(MemPattern {
+            base: region,
+            working_set: region_bytes,
+            walk: Walk::Streaming { stride: 24 },
+            refs_per_kinstr: 280,
+            store_pct: 20,
+            taken_pct: cspec.taken_pct,
+            block_len: 56,
+            reset_on_entry: false,
+        });
+
+        let inner_body: Vec<Stmt> = child_ids
+            .iter()
+            .map(|&c| Stmt::Call {
+                callee: c,
+                count: stage.child_calls,
+            })
+            .collect();
+
+        // The stage's streaming work lives in its own methods, sized like
+        // the kernels: they are L1D hotspots too, so the L1D is adapted
+        // for the stream (which usually wants it large or does not care)
+        // rather than inheriting whatever the last kernel selected.
+        // Like the kernels, the scans are invoked in back-to-back pairs so
+        // their tuning trials can apply a configuration on one invocation
+        // and measure its steady behavior on the next.
+        let pre = (stage.stream_instr / 5).max(1);
+        let post = (stage.stream_instr * 3 / 10).max(1);
+        let scan_in = b.add_method(
+            format!("{}::scan_in", stage.name),
+            vec![Stmt::Compute {
+                ninstr: pre,
+                pattern: stream_pat,
+            }],
+        );
+        let scan_out = b.add_method(
+            format!("{}::scan_out", stage.name),
+            vec![Stmt::Compute {
+                ninstr: post,
+                pattern: stream_pat,
+            }],
+        );
+
+        if stage.flat {
+            // Inline into main: kernels and scans adapt the L1D, but no
+            // method wraps the stage, so there is no L2 hotspot here.
+            main_body.push(Stmt::Call {
+                callee: scan_in,
+                count: 2,
+            });
+            main_body.push(Stmt::Loop {
+                count: stage.calls_per_outer * stage.inner_iters,
+                body: inner_body,
+            });
+            main_body.push(Stmt::Call {
+                callee: scan_out,
+                count: 2,
+            });
+        } else {
+            let body = vec![
+                Stmt::Call {
+                    callee: scan_in,
+                    count: 2,
+                },
+                Stmt::Loop {
+                    count: stage.inner_iters,
+                    body: inner_body,
+                },
+                Stmt::Call {
+                    callee: scan_out,
+                    count: 2,
+                },
+            ];
+            let stage_m = b.add_method(format!("stage::{}", stage.name), body);
+            main_body.push(Stmt::Call {
+                callee: stage_m,
+                count: stage.calls_per_outer,
+            });
+        }
+    }
+
+    let main = b.add_method(
+        "main",
+        vec![Stmt::Loop {
+            count: spec.outer_iters,
+            body: main_body,
+        }],
+    );
+    b.entry(main);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> WorkloadSpec {
+        WorkloadSpec {
+            name: "tiny".into(),
+            seed: 7,
+            outer_iters: 1,
+            stages: vec![StageSpec::new("only")],
+        }
+    }
+
+    #[test]
+    fn well_formed_spec_builds() {
+        let p = tiny_spec().build().unwrap();
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn reversed_range_is_a_typed_error_not_a_panic() {
+        let mut spec = tiny_spec();
+        spec.stages[0].children.leaf_instr = (14_000, 6_000);
+        let err = spec.build().unwrap_err();
+        assert!(err.to_string().contains("leaf_instr"), "{err}");
+    }
+
+    #[test]
+    fn zero_outer_iters_rejected() {
+        let mut spec = tiny_spec();
+        spec.outer_iters = 0;
+        assert!(spec.build().is_err());
+    }
+
+    #[test]
+    fn over_100_percentage_rejected() {
+        let mut spec = tiny_spec();
+        spec.stages[0].children.random_pct = 120;
+        let err = spec.validate().unwrap_err();
+        assert!(err.to_string().contains("random_pct"), "{err}");
+    }
+
+    #[test]
+    fn scaled_multiplies_outer_iters_only() {
+        let spec = tiny_spec();
+        let big = spec.scaled(100);
+        assert_eq!(big.outer_iters, spec.outer_iters * 100);
+        assert_eq!(big.stages, spec.stages);
+        assert_eq!(big.expected_total(), spec.expected_total() * 100);
+    }
+}
